@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper on the
+simulated substrate, via ``pytest benchmarks/ --benchmark-only``.  The
+heavy experiments run a single round (they are minutes-long simulations,
+not micro-benchmarks); the produced report is printed so the run doubles
+as a reproduction log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,23 @@
+"""Benchmarks regenerating the GPU preliminary study (Fig. 5, Table VII)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_gpu_intraop, table7_gpu_corun
+
+
+def test_bench_fig5_gpu_launch_sweep(benchmark, once):
+    """Figure 5: kernel time vs threads-per-block and vs number of blocks."""
+    result = once(benchmark, fig5_gpu_intraop.run)
+    print()
+    print(fig5_gpu_intraop.format_report(result))
+    for op in ("BiasAdd", "MaxPooling"):
+        assert result.default_gap_threads(op) > 0.05
+
+
+def test_bench_table7_gpu_stream_corun(benchmark, once):
+    """Table VII: serial vs two-stream co-running for five operations."""
+    result = once(benchmark, table7_gpu_corun.run)
+    print()
+    print(table7_gpu_corun.format_report(result))
+    for op in table7_gpu_corun.PAPER_REFERENCE:
+        assert 1.5 < result.speedup(op) <= 2.0

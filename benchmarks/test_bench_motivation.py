@@ -1,0 +1,60 @@
+"""Benchmarks regenerating the motivation-study artefacts (Fig. 1, Tables I-III)."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    fig1_threads,
+    table1_parallelism,
+    table2_input_size,
+    table3_corun,
+)
+
+
+def test_bench_fig1_thread_sweep(benchmark, once):
+    """Figure 1: execution time of three convolutions vs thread count."""
+    result = once(benchmark, fig1_threads.run)
+    print()
+    print(fig1_threads.format_report(result))
+    # The optima sit below the 68-thread recommendation and are ordered
+    # filter-grad < input-grad < forward conv, as in the paper.
+    optima = {op: threads for op, (threads, _) in result.optima.items()}
+    assert optima["Conv2DBackpropFilter"] < optima["Conv2D"] < 68
+
+
+def test_bench_table1_uniform_parallelism(benchmark, once):
+    """Table I: ResNet-50 / DCGAN under uniform (inter, intra) settings."""
+    result = once(benchmark, table1_parallelism.run)
+    print()
+    print(table1_parallelism.format_report(result))
+    for model in ("resnet50", "dcgan"):
+        best = max(
+            result.speedup(model, inter, intra)
+            for inter in table1_parallelism.INTER_OP
+            for intra in table1_parallelism.INTRA_OP
+        )
+        worst = min(
+            result.speedup(model, inter, intra)
+            for inter in table1_parallelism.INTER_OP
+            for intra in table1_parallelism.INTRA_OP
+        )
+        assert best > 1.0  # the recommendation is not optimal
+        assert worst < 0.6  # oversubscription is much worse
+
+
+def test_bench_table2_input_sizes(benchmark, once):
+    """Table II: optimal intra-op parallelism vs input data size."""
+    result = once(benchmark, table2_input_size.run)
+    print()
+    print(table2_input_size.format_report(result))
+    for op_type in table2_input_size.OPERATIONS:
+        small = result.entry(op_type, (32, 8, 8, 384)).best_threads
+        large = result.entry(op_type, (32, 8, 8, 2048)).best_threads
+        assert large >= small
+
+
+def test_bench_table3_corun_strategies(benchmark, once):
+    """Table III: serial vs hyper-threaded vs split-core co-running."""
+    result = once(benchmark, table3_corun.run)
+    print()
+    print(table3_corun.format_report(result))
+    assert result.split_speedup > result.hyperthreading_speedup > 0.95

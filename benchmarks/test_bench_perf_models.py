@@ -1,0 +1,25 @@
+"""Benchmarks regenerating the performance-model accuracy tables (IV and V)."""
+
+from __future__ import annotations
+
+from repro.experiments import table4_regression, table5_hillclimb
+
+
+def test_bench_table4_regression_accuracy(benchmark, once):
+    """Table IV: accuracy of the counter-feature regression models."""
+    result = once(benchmark, table4_regression.run)
+    print()
+    print(table4_regression.format_report(result))
+    # The regression approach stays well below the hill-climbing accuracy
+    # band (Table V reports >90% for x in {2, 4}).
+    assert max(result.accuracy.values()) < 0.90
+
+
+def test_bench_table5_hill_climbing_accuracy(benchmark, once):
+    """Table V: hill-climbing model accuracy for all four NN models."""
+    result = once(benchmark, table5_hillclimb.run)
+    print()
+    print(table5_hillclimb.format_report(result))
+    for model in ("resnet50", "dcgan", "inception_v3", "lstm"):
+        assert result.accuracy[(model, 2)] > result.accuracy[(model, 16)]
+        assert result.accuracy[(model, 4)] > 0.8

@@ -1,0 +1,48 @@
+"""Benchmarks regenerating the headline scheduling results (Fig. 3, Table VI, Fig. 4)."""
+
+from __future__ import annotations
+
+from repro.baselines.manual_opt import ManualOptimizer
+from repro.experiments import fig3_strategies, fig4_corun_events, table6_topops
+from repro.experiments.common import default_machine
+
+
+def test_bench_fig3_strategy_ablation(benchmark, once):
+    """Figure 3: recommendation vs S1+2 vs +S3 vs +S4 vs manual tuning."""
+    machine = default_machine()
+
+    def run():
+        return fig3_strategies.run(machine, include_manual=True)
+
+    result = once(benchmark, run)
+    print()
+    print(fig3_strategies.format_report(result))
+    for model, speedups in result.speedups().items():
+        # The full runtime beats the recommendation for every model and is
+        # at least competitive with exhaustive manual tuning (Fig. 3d).
+        assert speedups["all_strategies"] > 1.1, model
+        assert speedups["all_strategies"] >= speedups["manual"] * 0.9, model
+
+
+def test_bench_table6_top_operations(benchmark, once):
+    """Table VI: top-5 operations, recommendation vs Strategies 1+2."""
+    result = once(benchmark, table6_topops.run)
+    print()
+    print(table6_topops.format_report(result))
+    for model in ("resnet50", "dcgan", "inception_v3", "lstm"):
+        entries = result.for_model(model)
+        assert len(entries) == 5
+        total_rec = sum(e.recommendation_time for e in entries)
+        total_s12 = sum(e.strategies_1_2_time for e in entries)
+        assert total_s12 <= total_rec * 1.02, model
+
+
+def test_bench_fig4_corunning_events(benchmark, once):
+    """Figure 4: co-running operations per event, with and without Strategy 4."""
+    result = once(benchmark, fig4_corun_events.run)
+    print()
+    print(fig4_corun_events.format_report(result))
+    averages = result.averages()
+    for model in ("resnet50", "dcgan", "inception_v3"):
+        assert averages[(model, "with_s4")] >= averages[(model, "without_s4")] * 0.95
+        assert averages[(model, "with_s4")] > 0.5

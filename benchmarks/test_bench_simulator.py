@@ -1,0 +1,58 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not a paper artefact, but useful to track the cost of the infrastructure
+the experiments run on (per-step simulation and profiling throughput).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.tf_default import recommended_policy
+from repro.core.hill_climbing import HillClimbingModel
+from repro.core.runtime import TrainingRuntime
+from repro.execsim.simulator import StepSimulator
+from repro.execsim.standalone import StandaloneRunner
+from repro.experiments.common import default_machine
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return default_machine()
+
+
+@pytest.fixture(scope="module")
+def resnet_graph():
+    return build_model("resnet50")
+
+
+def test_bench_step_simulation_recommendation(benchmark, machine, resnet_graph):
+    """Cost of simulating one ResNet-50 step under the recommendation."""
+    simulator = StepSimulator(machine)
+    result = benchmark(lambda: simulator.run_step(resnet_graph, recommended_policy(machine)))
+    assert result.step_time > 0
+
+
+def test_bench_hill_climb_profiling(benchmark, machine, resnet_graph):
+    """Cost of profiling every unique ResNet-50 signature with x=4."""
+
+    def profile():
+        model = HillClimbingModel(machine, interval=4)
+        runner = StandaloneRunner(machine)
+        model.profile_graph(resnet_graph, runner)
+        return model
+
+    model = benchmark.pedantic(profile, rounds=1, iterations=1)
+    assert len(model.signatures) > 20
+
+
+def test_bench_full_runtime_single_step(benchmark, machine, once):
+    """Profile + schedule one step of the (reduced) ResNet-50 with the runtime."""
+    graph = build_model("resnet50", stage_blocks=(1, 1, 1, 1))
+
+    def run():
+        return TrainingRuntime(machine).run(graph)
+
+    report = once(benchmark, run)
+    assert report.speedup_vs_recommendation > 1.0

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: schedule one ResNet-50 training step with the paper's runtime.
+
+Builds the ResNet-50 training-step graph, profiles its operations with the
+hill-climbing performance model, schedules the step with Strategies 1-4 on
+the simulated KNL node, and compares against the TensorFlow-recommended
+configuration (intra-op = 68 threads, inter-op = 1).
+
+Run with::
+
+    python examples/quickstart.py [model]
+
+where ``model`` is one of resnet50, dcgan, inception_v3, lstm.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import available_models, quick_schedule
+
+
+def main() -> int:
+    model = sys.argv[1] if len(sys.argv) > 1 else "resnet50"
+    if model not in available_models():
+        print(f"unknown model {model!r}; choose one of {', '.join(available_models())}")
+        return 2
+
+    print(f"Scheduling one {model} training step on the simulated KNL node...")
+    outcome = quick_schedule(model)
+
+    print()
+    print(f"model                      : {outcome.model}")
+    print(f"profiled signatures        : {outcome.profiling_signatures}")
+    print(f"step time (our runtime)    : {outcome.step_time * 1e3:8.1f} ms")
+    print(f"step time (recommendation) : {outcome.recommendation_time * 1e3:8.1f} ms")
+    print(f"speedup vs recommendation  : {outcome.speedup_vs_recommendation:8.2f}x")
+    print(f"average co-running ops     : {outcome.average_corunning:8.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

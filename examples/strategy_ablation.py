@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Reproduce the Fig. 3 strategy ablation for one model.
+
+Runs the TensorFlow recommendation, Strategies 1+2, Strategies 1+2+3 and
+the full runtime (plus exhaustive manual tuning) on one training step and
+prints the per-strategy contributions, mirroring Fig. 3(a-d) of the paper.
+
+Run with::
+
+    python examples/strategy_ablation.py [model] [--full]
+
+``--full`` uses the full-size model graph (slower); the default uses the
+reduced variant so the example finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines.manual_opt import ManualOptimizer
+from repro.core.runtime import TrainingRuntime
+from repro.experiments.common import build_paper_model, default_machine
+from repro.models import available_models
+from repro.utils.tables import TextTable
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    model = args[0] if args else "dcgan"
+    full = "--full" in sys.argv
+    if model not in available_models():
+        print(f"unknown model {model!r}; choose one of {', '.join(available_models())}")
+        return 2
+
+    machine = default_machine()
+    graph = build_paper_model(model, reduced=not full)
+    print(f"{graph}  on  {machine.describe()}")
+    print("Profiling and scheduling (this runs four schedules plus a manual grid search)...")
+
+    runtime = TrainingRuntime(machine)
+    comparison = runtime.compare_strategies(
+        graph,
+        include_manual=True,
+        manual_optimizer=ManualOptimizer(
+            machine, intra_candidates=(2, 16, 34, 68), inter_candidates=(1, 2, 4)
+        ),
+    )
+    speedups = comparison.speedups_vs_recommendation()
+    increments = comparison.incremental_speedups()
+
+    table = TextTable(["configuration", "step time (ms)", "speedup vs recommendation"],
+                      title=f"Strategy ablation for {model}")
+    table.add_row(["TensorFlow recommendation", comparison.recommendation * 1e3, 1.0])
+    table.add_row(["Strategies 1+2", comparison.strategies_1_2 * 1e3,
+                   speedups["strategies_1_2"]])
+    table.add_row(["Strategies 1+2+3", comparison.strategies_1_2_3 * 1e3,
+                   speedups["strategies_1_2_3"]])
+    table.add_row(["Our runtime (1+2+3+4)", comparison.all_strategies * 1e3,
+                   speedups["all_strategies"]])
+    assert comparison.manual is not None
+    table.add_row(
+        [
+            f"Manual optimum (intra={comparison.manual.best_intra}, "
+            f"inter={comparison.manual.best_inter})",
+            comparison.manual.best_time * 1e3,
+            speedups["manual"],
+        ]
+    )
+    print()
+    print(table.render())
+    print()
+    print("Incremental contributions (Fig. 3a-c):")
+    print(f"  Strategies 1+2 vs recommendation : {increments['strategies_1_2_vs_recommendation']:.2f}x")
+    print(f"  Strategy 3 vs Strategies 1+2     : {increments['strategy_3_vs_strategies_1_2']:.2f}x")
+    print(f"  Strategy 4 vs Strategy 3         : {increments['strategy_4_vs_strategy_3']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""repro — reproduction of Liu et al., "Runtime Concurrency Control and
+Operation Scheduling for High Performance Neural Network Training"
+(IPDPS 2019).
+
+The package is organised in layers:
+
+* :mod:`repro.hardware` — simulated manycore (Intel KNL-like) and GPU
+  (P100-like) machine models: topology, caches, memory bandwidth, SMT,
+  hardware counters.
+* :mod:`repro.graph` — an operation-level dataflow graph (the role
+  TensorFlow's graph plays in the paper).
+* :mod:`repro.ops` — the operation catalog: per-op-type FLOP / byte /
+  scalability characteristics.
+* :mod:`repro.models` — NN training-step graph generators (ResNet-50,
+  DCGAN, Inception-v3, LSTM).
+* :mod:`repro.execsim` — analytic execution-time model and a
+  discrete-event simulator for co-running operations.
+* :mod:`repro.mlkit` — from-scratch regression models used by the
+  regression-based performance model (Table IV).
+* :mod:`repro.core` — the paper's contribution: performance models
+  (hill climbing and regression based) and the runtime scheduler
+  implementing Strategies 1-4.
+* :mod:`repro.baselines` — the TensorFlow-recommended configuration and
+  exhaustive manual optimisation baselines.
+* :mod:`repro.experiments` — one module per table / figure of the paper.
+
+Typical entry point::
+
+    from repro import quick_schedule
+    result = quick_schedule("resnet50")
+    print(result.speedup_vs_recommendation)
+"""
+
+from __future__ import annotations
+
+from repro.version import __version__
+from repro.api import (
+    available_models,
+    build_model_graph,
+    default_machine,
+    quick_schedule,
+    ScheduleOutcome,
+)
+
+__all__ = [
+    "__version__",
+    "available_models",
+    "build_model_graph",
+    "default_machine",
+    "quick_schedule",
+    "ScheduleOutcome",
+]

@@ -1,0 +1,82 @@
+"""Top-level convenience API.
+
+Wraps the most common end-to-end flow — build one of the paper's model
+graphs, run the paper's runtime on the simulated KNL machine, and compare
+against the TensorFlow-recommended configuration — behind a couple of
+functions, so downstream users (and the quickstart example) do not need
+to assemble the pieces by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import TrainingRuntime
+from repro.graph.dataflow import DataflowGraph
+from repro.hardware.knl import knl_machine
+from repro.hardware.topology import Machine
+from repro.models.registry import available_models as _available_models
+from repro.models.registry import build_model
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """Result of scheduling one model with the paper's runtime."""
+
+    model: str
+    step_time: float
+    recommendation_time: float
+    speedup_vs_recommendation: float
+    average_corunning: float
+    profiling_signatures: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.model}: step {self.step_time * 1e3:.1f} ms vs recommendation "
+            f"{self.recommendation_time * 1e3:.1f} ms "
+            f"({self.speedup_vs_recommendation:.2f}x speedup, "
+            f"{self.average_corunning:.2f} ops co-running on average)"
+        )
+
+
+def available_models() -> tuple[str, ...]:
+    """Names of the NN training workloads shipped with the library."""
+    return _available_models()
+
+
+def build_model_graph(name: str, batch_size: int | None = None, **kwargs) -> DataflowGraph:
+    """Build the training-step dataflow graph of one of the paper's models."""
+    return build_model(name, batch_size=batch_size, **kwargs)
+
+
+def default_machine() -> Machine:
+    """The simulated Intel KNL node the paper evaluates on."""
+    return knl_machine()
+
+
+def quick_schedule(
+    model: str,
+    *,
+    machine: Machine | None = None,
+    config: RuntimeConfig | None = None,
+    batch_size: int | None = None,
+    **model_kwargs,
+) -> ScheduleOutcome:
+    """Profile and schedule one training step of ``model`` with the runtime.
+
+    Returns the step time together with the speedup over the TensorFlow
+    recommendation (intra-op = physical cores, inter-op = 1).
+    """
+    machine = machine or knl_machine()
+    graph = build_model(model, batch_size=batch_size, **model_kwargs)
+    runtime = TrainingRuntime(machine, config)
+    report = runtime.run(graph)
+    return ScheduleOutcome(
+        model=model,
+        step_time=report.step_time,
+        recommendation_time=report.recommendation_time,
+        speedup_vs_recommendation=report.speedup_vs_recommendation,
+        average_corunning=report.average_corunning,
+        profiling_signatures=report.profiling_signatures,
+    )

@@ -1,0 +1,30 @@
+"""Baseline schedulers the paper compares against.
+
+* :class:`~repro.baselines.tf_default.UniformPolicy` — TensorFlow's
+  behaviour: a fixed, user-chosen (intra-op, inter-op) parallelism applied
+  uniformly to every operation, FIFO order on the ready queue.
+* :func:`~repro.baselines.tf_default.recommended_policy` — the TensorFlow
+  performance-guide recommendation (intra = number of physical cores,
+  inter = number of sockets), the paper's baseline for every speedup.
+* :func:`~repro.baselines.tf_default.default_policy` — TensorFlow's
+  out-of-the-box default (intra = inter = number of logical CPUs), which
+  the paper notes is more than 10x slower than the recommendation.
+* :class:`~repro.baselines.manual_opt.ManualOptimizer` — exhaustive search
+  over uniform (intra, inter) combinations, the "manual optimization" of
+  Fig. 3(d).
+"""
+
+from repro.baselines.tf_default import (
+    UniformPolicy,
+    default_policy,
+    recommended_policy,
+)
+from repro.baselines.manual_opt import ManualOptimizer, ManualSearchResult
+
+__all__ = [
+    "UniformPolicy",
+    "default_policy",
+    "recommended_policy",
+    "ManualOptimizer",
+    "ManualSearchResult",
+]

@@ -1,0 +1,112 @@
+"""Exhaustive manual tuning of the uniform (intra-op, inter-op) knobs.
+
+The paper's "manual optimization" baseline tries every combination of
+uniform intra-op and inter-op parallelism and keeps the fastest one.  It
+is not a scalable approach (the search multiplies the training cost) but
+it bounds what uniform concurrency control can achieve — the paper's
+runtime matches or beats it (Fig. 3d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.tf_default import UniformPolicy
+from repro.execsim.simulator import StepResult, StepSimulator
+from repro.graph.dataflow import DataflowGraph
+from repro.hardware.topology import Machine
+
+
+@dataclass(frozen=True)
+class ManualSearchResult:
+    """Outcome of the exhaustive uniform-parallelism search."""
+
+    best_intra: int
+    best_inter: int
+    best_time: float
+    #: step time for every (intra, inter) combination tried.
+    all_results: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    @property
+    def configurations_tried(self) -> int:
+        return len(self.all_results)
+
+
+class ManualOptimizer:
+    """Grid-search the uniform parallelism configuration on the simulator.
+
+    Parameters
+    ----------
+    machine:
+        Machine model to simulate on.
+    intra_candidates / inter_candidates:
+        The grid.  Defaults follow the paper's study (Table I uses
+        intra ∈ {34, 68, 136} and inter ∈ {1, 2, 4}; the manual optimum
+        for some models uses even fewer threads, so smaller intra values
+        are included too).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        intra_candidates: tuple[int, ...] | None = None,
+        inter_candidates: tuple[int, ...] = (1, 2, 4),
+    ) -> None:
+        cores = machine.topology.num_cores
+        if intra_candidates is None:
+            intra_candidates = tuple(
+                sorted(
+                    {
+                        2,
+                        4,
+                        8,
+                        16,
+                        max(1, cores // 4),
+                        max(1, cores // 2),
+                        cores,
+                        cores * 2,
+                    }
+                )
+            )
+        if not intra_candidates or not inter_candidates:
+            raise ValueError("candidate grids must be non-empty")
+        if any(i < 1 for i in intra_candidates) or any(i < 1 for i in inter_candidates):
+            raise ValueError("candidates must be positive")
+        self.machine = machine
+        self.intra_candidates = tuple(intra_candidates)
+        self.inter_candidates = tuple(inter_candidates)
+
+    def search(
+        self,
+        graph: DataflowGraph,
+        *,
+        simulator: StepSimulator | None = None,
+    ) -> ManualSearchResult:
+        """Run one step per configuration and return the best."""
+        sim = simulator if simulator is not None else StepSimulator(self.machine)
+        results: dict[tuple[int, int], float] = {}
+        for intra in self.intra_candidates:
+            for inter in self.inter_candidates:
+                policy = UniformPolicy(intra, inter)
+                outcome = sim.run_step(graph, policy, step_name=f"manual-{intra}-{inter}")
+                results[(intra, inter)] = outcome.step_time
+        (best_intra, best_inter), best_time = min(results.items(), key=lambda kv: kv[1])
+        return ManualSearchResult(
+            best_intra=best_intra,
+            best_inter=best_inter,
+            best_time=best_time,
+            all_results=results,
+        )
+
+    def best_step(
+        self,
+        graph: DataflowGraph,
+        *,
+        simulator: StepSimulator | None = None,
+    ) -> StepResult:
+        """Convenience: run the search and re-simulate the winning configuration."""
+        sim = simulator if simulator is not None else StepSimulator(self.machine)
+        result = self.search(graph, simulator=sim)
+        policy = UniformPolicy(result.best_intra, result.best_inter, label="manual-optimum")
+        return sim.run_step(graph, policy, step_name="manual-optimum")

@@ -1,0 +1,95 @@
+"""TensorFlow-style uniform concurrency control.
+
+TensorFlow lets the user set two knobs before training starts:
+
+* ``intra_op_parallelism_threads`` — every operation is parallelised with
+  this many threads, regardless of its scalability;
+* ``inter_op_parallelism_threads`` — how many operations may run
+  concurrently; ready operations are dispatched first-in-first-out.
+
+The performance guide recommends intra = number of physical cores and
+inter = number of sockets (68 and 1 on the paper's KNL node); the
+out-of-the-box default is one thread per *logical* CPU for both (272 on
+KNL), which oversubscribes the chip badly.
+"""
+
+from __future__ import annotations
+
+from repro.execsim.simulator import (
+    LaunchRequest,
+    PlacementKind,
+    SchedulingContext,
+)
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.traversal import topological_order
+from repro.hardware.affinity import AffinityMode
+from repro.hardware.topology import Machine
+
+
+class UniformPolicy:
+    """Fixed (intra-op, inter-op) parallelism with FIFO dispatch.
+
+    Operations become ready as dependencies resolve and are launched in
+    topological-FIFO order, at most ``inter_op`` at a time, each with
+    ``intra_op`` threads on the shared thread pool (all physical cores).
+    """
+
+    def __init__(self, intra_op: int, inter_op: int = 1, *, label: str | None = None) -> None:
+        if intra_op < 1 or inter_op < 1:
+            raise ValueError("intra_op and inter_op must be positive")
+        self.intra_op = intra_op
+        self.inter_op = inter_op
+        self.name = label or f"uniform(intra={intra_op}, inter={inter_op})"
+        self._fifo_rank: dict[str, int] = {}
+
+    def on_step_begin(self, graph: DataflowGraph, machine: Machine) -> None:
+        # FIFO order approximated by a deterministic topological order:
+        # operations that become ready earlier sit earlier in this order.
+        self._fifo_rank = {name: i for i, name in enumerate(topological_order(graph))}
+
+    def select_launches(self, context: SchedulingContext) -> list[LaunchRequest]:
+        slots = self.inter_op - len(context.running)
+        if slots <= 0 or not context.ready:
+            return []
+        ready_fifo = sorted(context.ready, key=lambda op: self._fifo_rank.get(op.name, 0))
+        requests: list[LaunchRequest] = []
+        for op in ready_fifo[:slots]:
+            # The uniform thread pool spans every physical core; when
+            # inter_op > 1 the co-running operations share it (and with the
+            # 272-thread default they oversubscribe it), which is exactly
+            # what PlacementKind.OVERSUBSCRIBED models.
+            placement = (
+                PlacementKind.DEDICATED
+                if self.inter_op == 1 and self.intra_op <= context.machine.num_cores
+                else PlacementKind.OVERSUBSCRIBED
+            )
+            requests.append(
+                LaunchRequest(
+                    op_name=op.name,
+                    threads=self.intra_op,
+                    affinity=AffinityMode.SHARED,
+                    placement=placement,
+                )
+            )
+        return requests
+
+
+def recommended_policy(machine: Machine) -> UniformPolicy:
+    """The TensorFlow performance-guide recommendation for ``machine``.
+
+    Intra-op = number of physical cores, inter-op = number of sockets
+    (one on the paper's platform).  This is the baseline all speedups in
+    the paper (and in our experiments) are measured against.
+    """
+    return UniformPolicy(
+        intra_op=machine.topology.num_cores,
+        inter_op=1,
+        label="recommendation",
+    )
+
+
+def default_policy(machine: Machine) -> UniformPolicy:
+    """TensorFlow's out-of-the-box default: one thread per logical CPU for
+    both intra-op and inter-op parallelism (272 on KNL)."""
+    logical = machine.topology.num_logical_cpus
+    return UniformPolicy(intra_op=logical, inter_op=logical, label="tf-default")

@@ -1,0 +1,51 @@
+"""The paper's contribution: performance-model-driven concurrency control
+and operation scheduling.
+
+* :mod:`repro.core.hill_climbing` — the hill-climbing performance model
+  (Section III-C): a lightweight profile-and-interpolate predictor of an
+  operation's execution time as a function of thread count and affinity.
+* :mod:`repro.core.regression_model` — the regression-based performance
+  model (Section III-B) built on hardware-counter features, reproduced to
+  show (as in the paper) that it is not accurate enough.
+* :mod:`repro.core.strategies` / :mod:`repro.core.scheduler` — the four
+  runtime scheduling strategies (per-op intra-op parallelism, concurrency
+  stabilisation, partitioned co-running, hyper-thread packing).
+* :mod:`repro.core.runtime` — the end-to-end runtime: profile for a few
+  steps, build the performance model, then schedule the remaining steps.
+"""
+
+from repro.core.config import RuntimeConfig
+from repro.core.perf_model import (
+    ConfigurationPrediction,
+    PerformanceModel,
+    PredictionAccuracy,
+)
+from repro.core.hill_climbing import HillClimbingModel, HillClimbingProfile
+from repro.core.oracle import OraclePerformanceModel
+from repro.core.regression_model import RegressionPerformanceModel, select_sample_cases
+from repro.core.feature_selection import (
+    FeatureSelectionResult,
+    select_counter_features,
+)
+from repro.core.interference import InterferenceTracker
+from repro.core.scheduler import RuntimeSchedulerPolicy
+from repro.core.runtime import TrainingRuntime, TrainingReport, StrategyComparison
+
+__all__ = [
+    "RuntimeConfig",
+    "PerformanceModel",
+    "ConfigurationPrediction",
+    "PredictionAccuracy",
+    "HillClimbingModel",
+    "HillClimbingProfile",
+    "OraclePerformanceModel",
+    "RegressionPerformanceModel",
+    "select_sample_cases",
+    "FeatureSelectionResult",
+    "select_counter_features",
+    "InterferenceTracker",
+    "RuntimeSchedulerPolicy",
+    "TrainingRuntime",
+    "TrainingReport",
+    "StrategyComparison",
+]

@@ -1,0 +1,134 @@
+"""Configuration of the runtime scheduler and its performance model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of the paper's runtime.
+
+    The four ``strategy*`` switches correspond to Section III-D; disabling
+    them one by one reproduces the ablation of Fig. 3.
+
+    Attributes
+    ----------
+    strategy1_per_op_concurrency:
+        Choose the intra-op parallelism of every operation from the
+        performance model (instead of the uniform user setting).
+    strategy2_stable_concurrency:
+        Use one thread count per operation *type* (determined by its
+        largest-input instance) to avoid frequent concurrency changes.
+    strategy3_corun:
+        Co-run ready operations on disjoint core partitions when they fit
+        the idle cores without hurting throughput.
+    strategy4_hyperthreading:
+        Pack small operations onto free SMT slots when a core-filling
+        operation owns every physical core.
+    hill_climbing_interval:
+        The thread-count increment ``x`` of the hill-climbing profiler.
+    corun_candidates:
+        How many of the most performant configurations are considered per
+        ready operation in Strategy 3 (the paper uses three).
+    stable_concurrency_tolerance:
+        Maximum allowed difference between Strategy 3's chosen thread
+        count and Strategy 2's stable thread count (the paper uses two);
+        larger deviations fall back to the stable count.
+    small_op_max_threads:
+        Upper bound on the thread count of operations packed onto
+        hyper-threads by Strategy 4.
+    interference_threshold:
+        Relative per-op slowdown above which a co-run pairing is recorded
+        as harmful and avoided in later steps.
+    profiling_noise_sigma:
+        Log-normal noise applied to profiling measurements (models
+        run-to-run variation during the profiling steps).
+    seed:
+        Seed for every stochastic component of the runtime.
+    """
+
+    strategy1_per_op_concurrency: bool = True
+    strategy2_stable_concurrency: bool = True
+    strategy3_corun: bool = True
+    strategy4_hyperthreading: bool = True
+    hill_climbing_interval: int = 4
+    corun_candidates: int = 3
+    stable_concurrency_tolerance: int = 2
+    small_op_max_threads: int = 8
+    interference_threshold: float = 0.5
+    profiling_noise_sigma: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hill_climbing_interval < 1:
+            raise ValueError("hill_climbing_interval must be at least 1")
+        if self.corun_candidates < 1:
+            raise ValueError("corun_candidates must be at least 1")
+        if self.stable_concurrency_tolerance < 0:
+            raise ValueError("stable_concurrency_tolerance must be non-negative")
+        if self.small_op_max_threads < 1:
+            raise ValueError("small_op_max_threads must be at least 1")
+        if self.interference_threshold < 0:
+            raise ValueError("interference_threshold must be non-negative")
+        if self.profiling_noise_sigma < 0:
+            raise ValueError("profiling_noise_sigma must be non-negative")
+        if self.strategy2_stable_concurrency and not self.strategy1_per_op_concurrency:
+            raise ValueError(
+                "Strategy 2 stabilises the per-operation concurrency chosen by "
+                "Strategy 1 and cannot be enabled without it"
+            )
+
+    # -- ablation helpers (Fig. 3) -------------------------------------------------
+
+    def with_strategies(
+        self,
+        *,
+        s1: bool | None = None,
+        s2: bool | None = None,
+        s3: bool | None = None,
+        s4: bool | None = None,
+    ) -> "RuntimeConfig":
+        """Return a copy with selected strategies toggled."""
+        return replace(
+            self,
+            strategy1_per_op_concurrency=(
+                self.strategy1_per_op_concurrency if s1 is None else s1
+            ),
+            strategy2_stable_concurrency=(
+                self.strategy2_stable_concurrency if s2 is None else s2
+            ),
+            strategy3_corun=self.strategy3_corun if s3 is None else s3,
+            strategy4_hyperthreading=(
+                self.strategy4_hyperthreading if s4 is None else s4
+            ),
+        )
+
+    @staticmethod
+    def strategies_1_2() -> "RuntimeConfig":
+        """Only concurrency control (Fig. 3a)."""
+        return RuntimeConfig(strategy3_corun=False, strategy4_hyperthreading=False)
+
+    @staticmethod
+    def strategies_1_2_3() -> "RuntimeConfig":
+        """Concurrency control plus co-running (Fig. 3b)."""
+        return RuntimeConfig(strategy4_hyperthreading=False)
+
+    @staticmethod
+    def all_strategies() -> "RuntimeConfig":
+        """The full runtime (Fig. 3c/d)."""
+        return RuntimeConfig()
+
+    @property
+    def label(self) -> str:
+        """Short human readable description of the enabled strategies."""
+        enabled = []
+        if self.strategy1_per_op_concurrency:
+            enabled.append("S1")
+        if self.strategy2_stable_concurrency:
+            enabled.append("S2")
+        if self.strategy3_corun:
+            enabled.append("S3")
+        if self.strategy4_hyperthreading:
+            enabled.append("S4")
+        return "+".join(enabled) if enabled else "none"

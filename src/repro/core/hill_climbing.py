@@ -1,0 +1,275 @@
+"""The hill-climbing performance model (Section III-C).
+
+For every operation signature (type + input shapes) the profiler runs the
+operation standalone with an increasing number of threads — starting from
+the smallest feasible count and stepping by the *interval* ``x`` — once
+per affinity (cache sharing / no cache sharing), and stops as soon as the
+measured time increases (or the chip is full).  The measured samples give
+
+* the best configuration found (the runtime's Strategy 1 choice), and
+* a piecewise-linear interpolation that predicts the execution time of
+  every *untested* configuration (what Strategy 3 needs to evaluate
+  co-running candidates).
+
+The model is architecture-independent and needs no knowledge of the
+operation's internals, which is why the paper prefers it over the
+regression model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.perf_model import ConfigurationPrediction, PredictionAccuracy
+from repro.execsim.standalone import StandaloneRunner
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.op import OpInstance, OpSignature
+from repro.hardware.affinity import AffinityMode, ThreadPlacement
+from repro.hardware.topology import Machine
+
+
+@dataclass
+class HillClimbingProfile:
+    """Profiling outcome for one operation signature."""
+
+    signature: OpSignature
+    #: Measured times of the sampled configurations.
+    samples: dict[tuple[int, AffinityMode], float] = field(default_factory=dict)
+    #: Number of standalone measurements taken.
+    measurements: int = 0
+
+    def best(self) -> ConfigurationPrediction:
+        if not self.samples:
+            raise ValueError(f"no samples collected for {self.signature}")
+        (threads, affinity), time = min(self.samples.items(), key=lambda kv: kv[1])
+        return ConfigurationPrediction(threads=threads, affinity=affinity, predicted_time=time)
+
+    def sampled_counts(self, affinity: AffinityMode) -> list[int]:
+        return sorted(t for (t, a) in self.samples if a is affinity)
+
+
+class HillClimbingModel:
+    """Performance model built by hill climbing plus linear interpolation."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        interval: int = 4,
+        *,
+        stop_tolerance: float = 0.02,
+    ) -> None:
+        if interval < 1:
+            raise ValueError("interval must be at least 1")
+        if stop_tolerance < 0:
+            raise ValueError("stop_tolerance must be non-negative")
+        self.machine = machine
+        self.interval = interval
+        #: Relative increase that counts as "the execution time increased";
+        #: a small tolerance keeps measurement noise from stopping the climb
+        #: prematurely.
+        self.stop_tolerance = stop_tolerance
+        self._profiles: dict[OpSignature, HillClimbingProfile] = {}
+
+    # -- profiling -----------------------------------------------------------------
+
+    def _ladder(self, affinity: AffinityMode) -> list[int]:
+        """The thread counts the hill climb may visit for ``affinity``."""
+        feasible = ThreadPlacement.feasible_thread_counts(affinity, self.machine.topology)
+        start = feasible[0]
+        ladder = [c for c in feasible if (c - start) % self.interval == 0]
+        if ladder[-1] != feasible[-1]:
+            ladder.append(feasible[-1])
+        return ladder
+
+    def profile_operation(self, op: OpInstance, runner: StandaloneRunner) -> HillClimbingProfile:
+        """Run the hill climb for one operation (both affinities)."""
+        signature = op.signature
+        if signature in self._profiles:
+            return self._profiles[signature]
+        profile = HillClimbingProfile(signature=signature)
+        for affinity in (AffinityMode.SPREAD, AffinityMode.SHARED):
+            previous: float | None = None
+            for threads in self._ladder(affinity):
+                measured = runner.run(op, threads, affinity)
+                profile.samples[(threads, affinity)] = measured
+                profile.measurements += 1
+                if previous is not None and measured > previous * (1.0 + self.stop_tolerance):
+                    # First increase: the previous count was the local optimum
+                    # for this affinity — stop climbing (Section III-C).
+                    break
+                previous = min(measured, previous) if previous is not None else measured
+        self._profiles[signature] = profile
+        return profile
+
+    def profile_graph(
+        self,
+        graph: DataflowGraph,
+        runner: StandaloneRunner,
+        *,
+        only_tunable: bool = True,
+    ) -> int:
+        """Profile every unique signature in ``graph``.
+
+        Returns the number of distinct signatures profiled.  Untunable
+        (Eigen-implemented) operations are skipped when ``only_tunable``
+        because the runtime does not change their concurrency.
+        """
+        count = 0
+        for op in graph:
+            if only_tunable and not op.is_tunable:
+                continue
+            if op.signature in self._profiles:
+                continue
+            self.profile_operation(op, runner)
+            count += 1
+        return count
+
+    def add_profile(self, profile: HillClimbingProfile) -> None:
+        """Insert an externally-built profile (useful for tests)."""
+        self._profiles[profile.signature] = profile
+
+    # -- bookkeeping ------------------------------------------------------------------
+
+    @property
+    def signatures(self) -> tuple[OpSignature, ...]:
+        return tuple(self._profiles)
+
+    def profile_for(self, signature: OpSignature) -> HillClimbingProfile:
+        return self._profiles[signature]
+
+    def knows(self, signature: OpSignature) -> bool:
+        return signature in self._profiles
+
+    def total_measurements(self) -> int:
+        return sum(p.measurements for p in self._profiles.values())
+
+    def profiling_steps_used(self) -> int:
+        """Upper bound on the number of profiling *training steps* needed.
+
+        The paper runs the ops serially inside N profiling steps, one
+        (threads, affinity) sample case per step, so N is bounded by the
+        longest ladder: at most ``C / x * 2`` where ``C`` is the core count.
+        """
+        spread = len(self._ladder(AffinityMode.SPREAD))
+        shared = len(self._ladder(AffinityMode.SHARED))
+        return spread + shared
+
+    # -- prediction ----------------------------------------------------------------------
+
+    def predict(self, signature: OpSignature, threads: int, affinity: AffinityMode) -> float:
+        """Predicted execution time via piecewise-linear interpolation.
+
+        Configurations beyond the last sampled count are extrapolated from
+        the last two samples of that affinity (the climb stopped there
+        because times started rising).
+        """
+        if threads < 1:
+            raise ValueError("threads must be at least 1")
+        profile = self._profiles.get(signature)
+        if profile is None:
+            raise KeyError(f"signature not profiled: {signature}")
+        counts = profile.sampled_counts(affinity)
+        if not counts:
+            raise KeyError(f"no samples for affinity {affinity} of {signature}")
+        times = {c: profile.samples[(c, affinity)] for c in counts}
+        if threads in times:
+            return times[threads]
+        if threads < counts[0]:
+            return times[counts[0]]
+        if threads > counts[-1]:
+            if len(counts) == 1:
+                return times[counts[0]]
+            # Extrapolate past the stopping point with the average slope of
+            # the last few samples, clamped to a plausible band: beyond the
+            # optimum the true curve rises slowly, so a noisy two-point slope
+            # must not be allowed to explode.
+            tail = counts[-3:] if len(counts) >= 3 else counts[-2:]
+            slope = (times[tail[-1]] - times[tail[0]]) / (tail[-1] - tail[0])
+            slope = max(slope, 0.0)
+            last = times[counts[-1]]
+            extrapolated = last + slope * (threads - counts[-1])
+            return float(min(max(extrapolated, last * 0.8), last * 2.5))
+        # interior: find the bracketing samples
+        for lower, upper in zip(counts, counts[1:]):
+            if lower <= threads <= upper:
+                weight = (threads - lower) / (upper - lower)
+                return times[lower] * (1 - weight) + times[upper] * weight
+        raise AssertionError("unreachable: bracketing interval not found")
+
+    def _all_cases(self) -> list[tuple[int, AffinityMode]]:
+        cases: list[tuple[int, AffinityMode]] = []
+        for affinity in (AffinityMode.SPREAD, AffinityMode.SHARED):
+            for count in ThreadPlacement.feasible_thread_counts(affinity, self.machine.topology):
+                cases.append((count, affinity))
+        return cases
+
+    def predict_all(self, signature: OpSignature) -> dict[tuple[int, AffinityMode], float]:
+        """Predictions for every feasible (threads, affinity) case."""
+        return {
+            (threads, affinity): self.predict(signature, threads, affinity)
+            for threads, affinity in self._all_cases()
+        }
+
+    def best_configuration(self, signature: OpSignature) -> ConfigurationPrediction:
+        """The best *measured* configuration (the hill climb's answer)."""
+        return self._profiles[signature].best()
+
+    def top_configurations(
+        self, signature: OpSignature, count: int
+    ) -> list[ConfigurationPrediction]:
+        """The ``count`` most performant configurations by predicted time."""
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        predictions = self.predict_all(signature)
+        ranked = sorted(predictions.items(), key=lambda kv: kv[1])[:count]
+        return [
+            ConfigurationPrediction(threads=t, affinity=a, predicted_time=time)
+            for (t, a), time in ranked
+        ]
+
+    # -- accuracy -------------------------------------------------------------------------
+
+    def accuracy_against(
+        self,
+        ground_truth: Mapping[OpSignature, Mapping[tuple[int, AffinityMode], float]],
+        *,
+        untested_only: bool = True,
+    ) -> PredictionAccuracy:
+        """Prediction accuracy against exhaustive ground-truth sweeps.
+
+        ``untested_only`` restricts the evaluation to configurations the
+        hill climb did *not* measure (the paper evaluates how well the
+        interpolation predicts unseen cases).
+        """
+        true_times: list[float] = []
+        predicted: list[float] = []
+        for signature, truth in ground_truth.items():
+            if not self.knows(signature):
+                continue
+            profile = self._profiles[signature]
+            for (threads, affinity), true_time in truth.items():
+                if untested_only and (threads, affinity) in profile.samples:
+                    continue
+                try:
+                    predicted_time = self.predict(signature, threads, affinity)
+                except KeyError:
+                    continue
+                true_times.append(true_time)
+                predicted.append(predicted_time)
+        return PredictionAccuracy.from_pairs(true_times, predicted)
+
+
+def ground_truth_sweeps(
+    ops: Iterable[OpInstance],
+    runner: StandaloneRunner,
+) -> dict[OpSignature, dict[tuple[int, AffinityMode], float]]:
+    """Exhaustive noise-free sweeps for a set of operations (per signature)."""
+    sweeps: dict[OpSignature, dict[tuple[int, AffinityMode], float]] = {}
+    for op in ops:
+        if op.signature in sweeps:
+            continue
+        sweeps[op.signature] = {
+            key: breakdown.total for key, breakdown in runner.sweep(op).items()
+        }
+    return sweeps

@@ -1,0 +1,65 @@
+"""Co-run interference tracking (Section III-D, Discussion).
+
+The performance model predicts each operation's time in isolation; when
+operations co-run, contention can make them slower than predicted.  The
+runtime records pairings whose observed slowdown exceeds a threshold and
+avoids co-running them again in later training steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+def _pair_key(a: str, b: str) -> tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class InterferenceTracker:
+    """Remembers which operation-type pairs co-run badly.
+
+    Keys are operation *types* (not instances): if two ``Conv2DBackpropFilter``
+    instances thrash each other, later instances of the same pairing are
+    assumed to thrash as well.
+    """
+
+    threshold: float = 0.5
+    _observations: dict[tuple[str, str], list[float]] = field(default_factory=dict)
+    _blacklist: set[tuple[str, str]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ValueError("threshold must be non-negative")
+
+    def record(self, op_type_a: str, op_type_b: str, slowdown: float) -> None:
+        """Record the observed relative slowdown of a co-run pairing.
+
+        ``slowdown`` is (observed time / predicted isolated time) - 1 for
+        either member of the pair.
+        """
+        if slowdown < 0:
+            slowdown = 0.0
+        key = _pair_key(op_type_a, op_type_b)
+        self._observations.setdefault(key, []).append(slowdown)
+        if slowdown > self.threshold:
+            self._blacklist.add(key)
+
+    def allowed(self, op_type_a: str, op_type_b: str) -> bool:
+        """Whether the runtime may co-run these operation types."""
+        return _pair_key(op_type_a, op_type_b) not in self._blacklist
+
+    def allowed_with_all(self, op_type: str, running_types: Iterable[str]) -> bool:
+        """Whether ``op_type`` may co-run with every type in ``running_types``."""
+        return all(self.allowed(op_type, other) for other in running_types)
+
+    def blacklisted_pairs(self) -> tuple[tuple[str, str], ...]:
+        return tuple(sorted(self._blacklist))
+
+    def observations(self, op_type_a: str, op_type_b: str) -> tuple[float, ...]:
+        return tuple(self._observations.get(_pair_key(op_type_a, op_type_b), ()))
+
+    def clear(self) -> None:
+        self._observations.clear()
+        self._blacklist.clear()

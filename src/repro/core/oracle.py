@@ -1,0 +1,75 @@
+"""Oracle performance model: the exhaustive, noise-free ground truth.
+
+Used to measure the accuracy of the hill-climbing and regression models
+(Tables IV and V) and as an upper bound for the scheduler ("what if the
+runtime knew every operation's true time-vs-threads curve?").
+"""
+
+from __future__ import annotations
+
+from repro.core.perf_model import ConfigurationPrediction
+from repro.execsim.op_runtime import sweep_thread_counts
+from repro.graph.op import OpInstance, OpSignature
+from repro.hardware.affinity import AffinityMode
+from repro.hardware.topology import Machine
+from repro.ops.cost import characterize
+from repro.ops.registry import OpRegistry
+
+
+class OraclePerformanceModel:
+    """Exact execution times from the analytic model, per signature."""
+
+    def __init__(self, machine: Machine, *, registry: OpRegistry | None = None) -> None:
+        self.machine = machine
+        self.registry = registry
+        self._sweeps: dict[OpSignature, dict[tuple[int, AffinityMode], float]] = {}
+
+    def observe(self, op: OpInstance) -> None:
+        """Compute (and cache) the exhaustive sweep for ``op``'s signature."""
+        signature = op.signature
+        if signature in self._sweeps:
+            return
+        chars = characterize(op, self.registry)
+        sweep = sweep_thread_counts(chars, self.machine)
+        self._sweeps[signature] = {key: b.total for key, b in sweep.items()}
+
+    def observe_graph(self, graph) -> None:
+        for op in graph:
+            self.observe(op)
+
+    # -- PerformanceModel interface ------------------------------------------------
+
+    def knows(self, signature: OpSignature) -> bool:
+        return signature in self._sweeps
+
+    def predict(self, signature: OpSignature, threads: int, affinity: AffinityMode) -> float:
+        sweep = self._sweeps[signature]
+        if (threads, affinity) in sweep:
+            return sweep[(threads, affinity)]
+        # Fall back to the nearest feasible thread count of that affinity.
+        counts = sorted(t for (t, a) in sweep if a is affinity)
+        if not counts:
+            raise KeyError(f"no data for affinity {affinity} of {signature}")
+        nearest = min(counts, key=lambda c: abs(c - threads))
+        return sweep[(nearest, affinity)]
+
+    def best_configuration(self, signature: OpSignature) -> ConfigurationPrediction:
+        sweep = self._sweeps[signature]
+        (threads, affinity), time = min(sweep.items(), key=lambda kv: kv[1])
+        return ConfigurationPrediction(threads=threads, affinity=affinity, predicted_time=time)
+
+    def top_configurations(
+        self, signature: OpSignature, count: int
+    ) -> list[ConfigurationPrediction]:
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        sweep = self._sweeps[signature]
+        ranked = sorted(sweep.items(), key=lambda kv: kv[1])[:count]
+        return [
+            ConfigurationPrediction(threads=t, affinity=a, predicted_time=time)
+            for (t, a), time in ranked
+        ]
+
+    def sweep(self, signature: OpSignature) -> dict[tuple[int, AffinityMode], float]:
+        """The cached exhaustive sweep (a copy)."""
+        return dict(self._sweeps[signature])

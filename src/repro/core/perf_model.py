@@ -1,0 +1,80 @@
+"""Performance model interfaces shared by the hill-climbing and regression
+models, plus the accuracy metric the paper reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.graph.op import OpSignature
+from repro.hardware.affinity import AffinityMode
+from repro.utils.stats import paper_accuracy, r_squared
+
+
+@dataclass(frozen=True)
+class ConfigurationPrediction:
+    """Predicted execution time of one (threads, affinity) configuration."""
+
+    threads: int
+    affinity: AffinityMode
+    predicted_time: float
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ValueError("threads must be at least 1")
+        if self.predicted_time < 0:
+            raise ValueError("predicted_time must be non-negative")
+
+
+@runtime_checkable
+class PerformanceModel(Protocol):
+    """What the runtime scheduler needs from a performance model.
+
+    Both the hill-climbing model (Section III-C) and the regression model
+    (Section III-B) implement this interface, as does the exhaustive
+    oracle used to measure their accuracy.
+    """
+
+    def knows(self, signature: OpSignature) -> bool:
+        """Whether the model has predictions for ``signature``."""
+
+    def predict(
+        self, signature: OpSignature, threads: int, affinity: AffinityMode
+    ) -> float:
+        """Predicted execution time of one configuration."""
+
+    def best_configuration(self, signature: OpSignature) -> ConfigurationPrediction:
+        """The configuration with the shortest predicted time."""
+
+    def top_configurations(
+        self, signature: OpSignature, count: int
+    ) -> list[ConfigurationPrediction]:
+        """The ``count`` most performant configurations (Strategy 3 candidates)."""
+
+
+@dataclass(frozen=True)
+class PredictionAccuracy:
+    """Accuracy of a performance model against ground truth.
+
+    ``accuracy`` is the paper's metric (1 - mean absolute relative error)
+    and ``r2`` the coefficient of determination, both over a set of
+    (configuration, true time, predicted time) observations.
+    """
+
+    accuracy: float
+    r2: float
+    num_observations: int
+
+    @staticmethod
+    def from_pairs(
+        true_times: Sequence[float], predicted_times: Sequence[float]
+    ) -> "PredictionAccuracy":
+        if len(true_times) != len(predicted_times):
+            raise ValueError("true and predicted sequences must have equal length")
+        if len(true_times) < 2:
+            raise ValueError("need at least two observations")
+        return PredictionAccuracy(
+            accuracy=paper_accuracy(true_times, predicted_times),
+            r2=r_squared(true_times, predicted_times),
+            num_observations=len(true_times),
+        )

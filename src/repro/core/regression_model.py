@@ -1,0 +1,242 @@
+"""The regression-based performance model (Section III-B).
+
+One regressor per prediction case: on the full KNL machine there are 68
+cases (34 "spread" thread counts with no cache sharing plus 34 even
+"shared" counts).  Every operation contributes one training row whose
+features are the normalised hardware-counter readings (plus the measured
+execution time) collected while running the operation at ``N`` sample
+cases; the row's target for case ``c`` is the operation's execution time
+at ``c``.
+
+The paper's conclusion — which this reproduction preserves by
+construction of the counter noise model — is that the approach is *not*
+accurate enough: counter readings of short operations are noisy, so the
+predictions mislead the scheduler, and the models are architecture
+dependent.  The hill-climbing model supersedes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.perf_model import ConfigurationPrediction, PredictionAccuracy
+from repro.execsim.standalone import StandaloneRunner
+from repro.graph.op import OpInstance, OpSignature
+from repro.hardware.affinity import AffinityMode, ThreadPlacement
+from repro.hardware.counters import CounterEvent, CounterSimulator, SELECTED_FEATURES
+from repro.hardware.topology import Machine
+from repro.mlkit.base import Regressor
+from repro.mlkit.knn import KNeighborsRegression
+from repro.mlkit.preprocessing import StandardScaler
+from repro.ops.cost import characterize
+from repro.utils.seeding import SeedSequenceFactory
+
+RegressorFactory = Callable[[], Regressor]
+
+
+def select_sample_cases(
+    machine: Machine, num_samples: int
+) -> tuple[tuple[int, AffinityMode], ...]:
+    """Evenly sample the (threads, affinity) space, alternating affinities.
+
+    This mirrors the paper's "evenly sampling the search space of possible
+    intra-op parallelisms with the consideration of cache sharing".
+    """
+    if num_samples < 1:
+        raise ValueError("num_samples must be at least 1")
+    spread = ThreadPlacement.feasible_thread_counts(AffinityMode.SPREAD, machine.topology)
+    shared = ThreadPlacement.feasible_thread_counts(AffinityMode.SHARED, machine.topology)
+    cases: list[tuple[int, AffinityMode]] = []
+    for index in range(num_samples):
+        pool, affinity = (
+            (spread, AffinityMode.SPREAD) if index % 2 == 0 else (shared, AffinityMode.SHARED)
+        )
+        position = int(round((index + 0.5) / num_samples * (len(pool) - 1)))
+        cases.append((pool[position], affinity))
+    # Deduplicate while keeping order (tiny sample counts may collide).
+    unique: list[tuple[int, AffinityMode]] = []
+    for case in cases:
+        if case not in unique:
+            unique.append(case)
+    return tuple(unique)
+
+
+@dataclass(frozen=True)
+class OperationProfile:
+    """Features collected for one operation during the profiling steps."""
+
+    signature: OpSignature
+    features: np.ndarray
+
+
+class RegressionPerformanceModel:
+    """Per-case regressors over hardware-counter features."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        regressor_factory: RegressorFactory | None = None,
+        num_samples: int = 4,
+        features: tuple[CounterEvent, ...] = SELECTED_FEATURES,
+        counter_simulator: CounterSimulator | None = None,
+        seed: int = 0,
+    ) -> None:
+        if num_samples < 1:
+            raise ValueError("num_samples must be at least 1")
+        self.machine = machine
+        self.regressor_factory = regressor_factory or (lambda: KNeighborsRegression())
+        self.num_samples = num_samples
+        self.features = features
+        self.counters = counter_simulator or CounterSimulator()
+        self.sample_cases = select_sample_cases(machine, num_samples)
+        self._seeds = SeedSequenceFactory(seed)
+        self._models: dict[tuple[int, AffinityMode], Regressor] = {}
+        self._profiles: dict[OpSignature, OperationProfile] = {}
+        self._scaler = StandardScaler()
+        self._trained = False
+
+    # -- feature extraction ------------------------------------------------------------
+
+    def _prediction_cases(self) -> tuple[tuple[int, AffinityMode], ...]:
+        cases: list[tuple[int, AffinityMode]] = []
+        for affinity in (AffinityMode.SPREAD, AffinityMode.SHARED):
+            for count in ThreadPlacement.feasible_thread_counts(
+                affinity, self.machine.topology
+            ):
+                cases.append((count, affinity))
+        return tuple(cases)
+
+    def collect_features(self, op: OpInstance, runner: StandaloneRunner) -> np.ndarray:
+        """Counter features (+ measured time) of ``op`` at every sample case."""
+        chars = characterize(op, runner.registry)
+        rows: list[float] = []
+        for index, (threads, affinity) in enumerate(self.sample_cases):
+            breakdown = runner.measure(op, threads, affinity)
+            duration = runner.run(op, threads, affinity)
+            sample = self.counters.collect(
+                flops=chars.flops,
+                bytes_from_memory=breakdown.bytes_from_memory,
+                bytes_total=chars.bytes_touched,
+                duration=max(duration, 1e-9),
+                threads=threads,
+                frequency_hz=self.machine.topology.frequency_hz,
+                branchiness=chars.branchiness,
+                seed=self._seeds.child_seed(f"{op.signature}:{index}"),
+            )
+            rows.extend(sample.as_feature_vector(self.features).tolist())
+            rows.append(duration)
+        return np.asarray(rows, dtype=float)
+
+    def profile_operation(self, op: OpInstance, runner: StandaloneRunner) -> OperationProfile:
+        """Collect (and cache) the feature vector for one operation."""
+        signature = op.signature
+        if signature not in self._profiles:
+            self._profiles[signature] = OperationProfile(
+                signature=signature, features=self.collect_features(op, runner)
+            )
+        return self._profiles[signature]
+
+    # -- training ------------------------------------------------------------------------
+
+    def train(self, ops: Sequence[OpInstance], runner: StandaloneRunner) -> int:
+        """Fit one regressor per prediction case from the training operations.
+
+        Returns the number of training rows (unique signatures).
+        """
+        unique: dict[OpSignature, OpInstance] = {}
+        for op in ops:
+            unique.setdefault(op.signature, op)
+        if len(unique) < 2:
+            raise ValueError("need at least two distinct operation signatures to train")
+
+        rows = []
+        sweeps = []
+        for op in unique.values():
+            profile = self.profile_operation(op, runner)
+            rows.append(profile.features)
+            sweep = runner.sweep(op)
+            sweeps.append({key: b.total for key, b in sweep.items()})
+        X = self._scaler.fit_transform(np.vstack(rows))
+
+        self._models = {}
+        for case in self._prediction_cases():
+            # Execution times span several orders of magnitude across
+            # operations, so the regressors are fit in log-space (otherwise
+            # the relative error of small operations dominates).
+            y = np.log(np.array([sweep[case] for sweep in sweeps], dtype=float))
+            model = self.regressor_factory()
+            model.fit(X, y)
+            self._models[case] = model
+        self._trained = True
+        return len(unique)
+
+    # -- PerformanceModel interface ---------------------------------------------------------
+
+    def knows(self, signature: OpSignature) -> bool:
+        return self._trained and signature in self._profiles
+
+    def predict(self, signature: OpSignature, threads: int, affinity: AffinityMode) -> float:
+        if not self._trained:
+            raise RuntimeError("the regression model has not been trained")
+        profile = self._profiles.get(signature)
+        if profile is None:
+            raise KeyError(f"operation not profiled: {signature}")
+        case = (threads, affinity)
+        model = self._models.get(case)
+        if model is None:
+            # Snap to the nearest feasible case of the same affinity.
+            counts = sorted(t for (t, a) in self._models if a is affinity)
+            if not counts:
+                raise KeyError(f"no model for affinity {affinity}")
+            nearest = min(counts, key=lambda c: abs(c - threads))
+            model = self._models[(nearest, affinity)]
+        features = self._scaler.transform(profile.features.reshape(1, -1))
+        log_prediction = float(model.predict(features)[0])
+        # Clamp before exponentiating so a wild regressor cannot overflow.
+        return float(np.exp(np.clip(log_prediction, -18.0, 3.0)))
+
+    def predict_all(self, signature: OpSignature) -> dict[tuple[int, AffinityMode], float]:
+        return {
+            case: self.predict(signature, case[0], case[1]) for case in self._models
+        }
+
+    def best_configuration(self, signature: OpSignature) -> ConfigurationPrediction:
+        predictions = self.predict_all(signature)
+        (threads, affinity), time = min(predictions.items(), key=lambda kv: kv[1])
+        return ConfigurationPrediction(threads=threads, affinity=affinity, predicted_time=time)
+
+    def top_configurations(
+        self, signature: OpSignature, count: int
+    ) -> list[ConfigurationPrediction]:
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        predictions = self.predict_all(signature)
+        ranked = sorted(predictions.items(), key=lambda kv: kv[1])[:count]
+        return [
+            ConfigurationPrediction(threads=t, affinity=a, predicted_time=time)
+            for (t, a), time in ranked
+        ]
+
+    # -- evaluation (Table IV) -----------------------------------------------------------------
+
+    def evaluate(
+        self,
+        test_ops: Iterable[OpInstance],
+        runner: StandaloneRunner,
+    ) -> PredictionAccuracy:
+        """Accuracy over every prediction case of every test operation."""
+        true_times: list[float] = []
+        predicted: list[float] = []
+        for op in test_ops:
+            self.profile_operation(op, runner)
+            sweep = runner.sweep(op)
+            for case, breakdown in sweep.items():
+                if case not in self._models:
+                    continue
+                true_times.append(breakdown.total)
+                predicted.append(self.predict(op.signature, case[0], case[1]))
+        return PredictionAccuracy.from_pairs(true_times, predicted)

@@ -1,0 +1,204 @@
+"""End-to-end runtime: profiling steps, performance model, scheduled steps.
+
+This is the workflow of Fig. 2 in the paper: the first few training steps
+profile the operations (hill climbing), the performance model is built
+from those measurements, and every following step is executed by the
+scheduling strategies.  Because every training step of an NN model has
+the same operations and dependencies, one simulated "scheduled step" is
+representative of all remaining steps — exactly the property the paper
+relies on for its evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.manual_opt import ManualOptimizer, ManualSearchResult
+from repro.baselines.tf_default import recommended_policy
+from repro.core.config import RuntimeConfig
+from repro.core.hill_climbing import HillClimbingModel
+from repro.core.interference import InterferenceTracker
+from repro.core.scheduler import RuntimeSchedulerPolicy
+from repro.execsim.simulator import StepResult, StepSimulator
+from repro.execsim.standalone import StandaloneRunner
+from repro.graph.dataflow import DataflowGraph
+from repro.hardware.topology import Machine
+from repro.ops.registry import OpRegistry
+
+
+@dataclass
+class TrainingReport:
+    """Outcome of running a (simulated) training workload with the runtime."""
+
+    graph_name: str
+    config_label: str
+    step_time: float
+    recommendation_time: float
+    profiling_signatures: int
+    profiling_measurements: int
+    step_result: StepResult
+    recommendation_result: StepResult
+
+    @property
+    def speedup_vs_recommendation(self) -> float:
+        """Speedup over the TensorFlow-recommended configuration."""
+        if self.step_time <= 0:
+            raise ValueError("step_time must be positive")
+        return self.recommendation_time / self.step_time
+
+    @property
+    def average_corunning(self) -> float:
+        return self.step_result.trace.average_corunning()
+
+
+@dataclass
+class StrategyComparison:
+    """Step times of the ablation ladder the paper reports in Fig. 3."""
+
+    graph_name: str
+    recommendation: float
+    strategies_1_2: float
+    strategies_1_2_3: float
+    all_strategies: float
+    manual: ManualSearchResult | None = None
+    traces: dict[str, StepResult] = field(default_factory=dict)
+
+    def speedups_vs_recommendation(self) -> dict[str, float]:
+        """Speedups of each configuration relative to the recommendation."""
+        out = {
+            "recommendation": 1.0,
+            "strategies_1_2": self.recommendation / self.strategies_1_2,
+            "strategies_1_2_3": self.recommendation / self.strategies_1_2_3,
+            "all_strategies": self.recommendation / self.all_strategies,
+        }
+        if self.manual is not None:
+            out["manual"] = self.recommendation / self.manual.best_time
+        return out
+
+    def incremental_speedups(self) -> dict[str, float]:
+        """The per-strategy increments of Fig. 3a-c: each stage normalised by
+        the previous one."""
+        return {
+            "strategies_1_2_vs_recommendation": self.recommendation / self.strategies_1_2,
+            "strategy_3_vs_strategies_1_2": self.strategies_1_2 / self.strategies_1_2_3,
+            "strategy_4_vs_strategy_3": self.strategies_1_2_3 / self.all_strategies,
+        }
+
+
+class TrainingRuntime:
+    """Profile a workload, build the performance model and schedule steps."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        config: RuntimeConfig | None = None,
+        *,
+        registry: OpRegistry | None = None,
+    ) -> None:
+        self.machine = machine
+        self.config = config or RuntimeConfig()
+        self.registry = registry
+        self.simulator = StepSimulator(machine, registry=registry, seed=self.config.seed)
+
+    # -- profiling ---------------------------------------------------------------------
+
+    def profile(self, graph: DataflowGraph) -> HillClimbingModel:
+        """Run the hill-climbing profiling steps for every signature in ``graph``."""
+        runner = StandaloneRunner(
+            self.machine,
+            registry=self.registry,
+            noise_sigma=self.config.profiling_noise_sigma,
+            seed=self.config.seed,
+        )
+        model = HillClimbingModel(self.machine, interval=self.config.hill_climbing_interval)
+        model.profile_graph(graph, runner)
+        return model
+
+    # -- scheduled execution ------------------------------------------------------------
+
+    def build_policy(
+        self,
+        model: HillClimbingModel,
+        *,
+        interference: InterferenceTracker | None = None,
+    ) -> RuntimeSchedulerPolicy:
+        return RuntimeSchedulerPolicy(
+            model,
+            self.config,
+            interference=interference,
+        )
+
+    def run(self, graph: DataflowGraph, *, num_steps: int = 1) -> TrainingReport:
+        """Profile ``graph`` and execute ``num_steps`` scheduled steps.
+
+        Training steps are identical in structure, so the report carries
+        the (representative) last step's result; the interference tracker
+        still learns across steps, as in the paper.
+        """
+        if num_steps < 1:
+            raise ValueError("num_steps must be at least 1")
+        model = self.profile(graph)
+        interference = InterferenceTracker(threshold=self.config.interference_threshold)
+        policy = self.build_policy(model, interference=interference)
+
+        result: StepResult | None = None
+        for step in range(num_steps):
+            result = self.simulator.run_step(graph, policy, step_name=f"step-{step}")
+        assert result is not None
+
+        recommendation = self.simulator.run_step(
+            graph, recommended_policy(self.machine), step_name="recommendation"
+        )
+        return TrainingReport(
+            graph_name=graph.name,
+            config_label=self.config.label,
+            step_time=result.step_time,
+            recommendation_time=recommendation.step_time,
+            profiling_signatures=len(model.signatures),
+            profiling_measurements=model.total_measurements(),
+            step_result=result,
+            recommendation_result=recommendation,
+        )
+
+    # -- ablation (Fig. 3) -----------------------------------------------------------------
+
+    def compare_strategies(
+        self,
+        graph: DataflowGraph,
+        *,
+        include_manual: bool = False,
+        manual_optimizer: ManualOptimizer | None = None,
+    ) -> StrategyComparison:
+        """Run the recommendation, S1+2, S1+2+3 and the full runtime on one step."""
+        model = self.profile(graph)
+        traces: dict[str, StepResult] = {}
+
+        recommendation = self.simulator.run_step(
+            graph, recommended_policy(self.machine), step_name="recommendation"
+        )
+        traces["recommendation"] = recommendation
+
+        def run_with(config: RuntimeConfig, label: str) -> StepResult:
+            policy = RuntimeSchedulerPolicy(model, config, label=label)
+            outcome = self.simulator.run_step(graph, policy, step_name=label)
+            traces[label] = outcome
+            return outcome
+
+        s12 = run_with(RuntimeConfig.strategies_1_2(), "strategies_1_2")
+        s123 = run_with(RuntimeConfig.strategies_1_2_3(), "strategies_1_2_3")
+        full = run_with(RuntimeConfig.all_strategies(), "all_strategies")
+
+        manual: ManualSearchResult | None = None
+        if include_manual:
+            optimizer = manual_optimizer or ManualOptimizer(self.machine)
+            manual = optimizer.search(graph, simulator=self.simulator)
+
+        return StrategyComparison(
+            graph_name=graph.name,
+            recommendation=recommendation.step_time,
+            strategies_1_2=s12.step_time,
+            strategies_1_2_3=s123.step_time,
+            all_strategies=full.step_time,
+            manual=manual,
+            traces=traces,
+        )

@@ -1,0 +1,203 @@
+"""Interference between co-running operations.
+
+When the scheduler co-runs operations (Strategy 3) or packs small
+operations onto hyper-threads (Strategy 4), two resources are shared:
+
+* **cores** — threads of different operations landing on the same physical
+  core share its issue slots.  A KNL core's vector units are essentially
+  saturated by one thread of a dense kernel, so two heavyweight threads
+  each make a bit more than half progress (the aggregate is > 1 only
+  thanks to latency hiding, which grows with how memory-bound the code
+  is);
+* **memory bandwidth** — the chip-level bandwidth ceiling is divided among
+  all streaming operations, stretching the memory-bound part of each.
+
+The simulator calls :func:`corun_slowdowns` every time the set of running
+operations changes and rescales every operation's remaining time by its
+new slowdown factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.hardware.topology import Machine
+
+
+@dataclass(frozen=True)
+class RunningOpView:
+    """The minimal view of a running operation needed by the contention model."""
+
+    key: str
+    core_ids: tuple[int, ...]
+    threads: int
+    #: Average bytes/second the op pulls from memory when running alone.
+    bandwidth_demand: float
+    #: Fraction of the op's busy time that is memory-bound.
+    memory_bound_fraction: float
+    #: The op's intrinsic memory-boundness (drives the SMT latency-hiding bonus).
+    memory_bound_char: float
+    #: True when the op's threads are pinned to their cores (the runtime's
+    #: partitioned co-running and hyper-thread packing); False for
+    #: TensorFlow's shared, unpinned thread pool.
+    pinned: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.core_ids:
+            raise ValueError("a running op must occupy at least one core")
+        if self.threads < 1:
+            raise ValueError("threads must be at least 1")
+        if self.bandwidth_demand < 0:
+            raise ValueError("bandwidth_demand must be non-negative")
+        if not (0.0 <= self.memory_bound_fraction <= 1.0):
+            raise ValueError("memory_bound_fraction must lie in [0, 1]")
+
+
+def _core_sharing_slowdown(
+    views: Sequence[RunningOpView],
+    machine: Machine,
+) -> dict[str, float]:
+    """Slowdown of each op from sharing physical cores with other threads."""
+    # Threads each op places on each of its cores (may be fractional when the
+    # thread count is not a multiple of the core count, and >1 when
+    # oversubscribed).
+    per_core_threads: dict[str, float] = {
+        v.key: v.threads / len(v.core_ids) for v in views
+    }
+    load: dict[int, float] = {}
+    for view in views:
+        for core in view.core_ids:
+            load[core] = load.get(core, 0.0) + per_core_threads[view.key]
+
+    slowdowns: dict[str, float] = {}
+    for view in views:
+        own = per_core_threads[view.key]
+        capacity = 0.0
+        for core in view.core_ids:
+            total = load[core]
+            resident = max(1, round(total))
+            aggregate = machine.smt.core_throughput(
+                resident, memory_bound=view.memory_bound_char
+            )
+            # A thread can at most progress at single-thread speed, so the
+            # op's share of this core is bounded by its own thread count on
+            # the core even when the core is mostly idle.
+            capacity += min(own, aggregate * (own / total))
+        # The base duration assumed one dedicated core per thread, i.e. a
+        # capacity equal to the thread count.
+        slowdowns[view.key] = view.threads / capacity if capacity > 0 else float("inf")
+    return slowdowns
+
+
+#: Strength of the cache-thrashing / thread-migration interference between
+#: unpinned thread pools sharing cores, per unit of foreign load.
+UNPINNED_INTERFERENCE = 0.75
+#: Additional interference per distinct co-running unpinned pool (pool
+#: management, scheduler migration, allocator locks).
+UNPINNED_POOL_INTERFERENCE = 0.3
+#: Upper bound on the unpinned interference factor.
+UNPINNED_INTERFERENCE_CAP = 2.6
+
+
+def _unpinned_interference(
+    views: Sequence[RunningOpView],
+) -> dict[str, float]:
+    """Extra slowdown from co-running *unpinned* thread pools.
+
+    TensorFlow's inter-op parallelism runs several operations on one
+    shared, unpinned intra-op pool: their threads migrate, interleave and
+    evict each other's tile working sets.  The paper's runtime avoids this
+    by giving co-running operations disjoint, pinned core partitions
+    (Strategy 3) or dedicated SMT slots (Strategy 4) — those placements do
+    not pay this penalty, which is a large part of why the runtime beats
+    uniform inter-op parallelism (Table I vs Fig. 3).
+    """
+    per_core_threads: dict[str, float] = {
+        v.key: v.threads / len(v.core_ids) for v in views
+    }
+    load: dict[int, float] = {}
+    unpinned_on_core: dict[int, bool] = {}
+    for view in views:
+        for core in view.core_ids:
+            load[core] = load.get(core, 0.0) + per_core_threads[view.key]
+            if not view.pinned:
+                unpinned_on_core[core] = True
+
+    num_unpinned = sum(1 for v in views if not v.pinned)
+    factors: dict[str, float] = {}
+    for view in views:
+        exposed = (not view.pinned) or any(
+            unpinned_on_core.get(core, False) for core in view.core_ids
+        )
+        if not exposed:
+            factors[view.key] = 1.0
+            continue
+        own = per_core_threads[view.key]
+        foreign = sum(load[core] - own for core in view.core_ids) / len(view.core_ids)
+        other_pools = max(0, num_unpinned - (0 if view.pinned else 1))
+        factor = (
+            1.0
+            + UNPINNED_INTERFERENCE * max(0.0, foreign)
+            + UNPINNED_POOL_INTERFERENCE * other_pools
+        )
+        factors[view.key] = min(UNPINNED_INTERFERENCE_CAP, factor)
+    return factors
+
+
+def _bandwidth_slowdown(
+    views: Sequence[RunningOpView],
+    machine: Machine,
+) -> dict[str, float]:
+    """Slowdown of each op from dividing the chip's memory bandwidth."""
+    total_demand = sum(v.bandwidth_demand for v in views)
+    ceiling = machine.memory.fast_bandwidth
+    if total_demand <= ceiling or total_demand == 0.0:
+        return {v.key: 1.0 for v in views}
+    stretch = total_demand / ceiling
+    return {
+        v.key: (1.0 - v.memory_bound_fraction) + v.memory_bound_fraction * stretch
+        for v in views
+    }
+
+
+def corun_slowdowns(
+    views: Sequence[RunningOpView],
+    machine: Machine,
+) -> dict[str, float]:
+    """Combined slowdown factor (>= about 1) for every running operation.
+
+    A single operation running alone on dedicated cores gets a factor of
+    exactly 1.0; sharing cores or exceeding the bandwidth ceiling raises
+    it.  Factors slightly below 1.0 are possible when an operation placed
+    two of *its own* threads per core (the small SMT aggregate gain).
+    """
+    if not views:
+        return {}
+    keys = [v.key for v in views]
+    if len(set(keys)) != len(keys):
+        raise ValueError("running op keys must be unique")
+    core = _core_sharing_slowdown(views, machine)
+    bandwidth = _bandwidth_slowdown(views, machine)
+    unpinned = _unpinned_interference(views)
+    return {key: core[key] * bandwidth[key] * unpinned[key] for key in keys}
+
+
+def interference_loss(
+    alone: Mapping[str, float],
+    corun: Mapping[str, float],
+) -> dict[str, float]:
+    """Relative per-op performance loss of co-running versus running alone.
+
+    Used by the runtime's interference tracker (Section III-D: the runtime
+    records operations whose co-run loss is unexpectedly high and avoids
+    co-running them again).
+    """
+    losses: dict[str, float] = {}
+    for key, alone_time in alone.items():
+        if key not in corun:
+            continue
+        if alone_time <= 0:
+            raise ValueError(f"alone time for {key!r} must be positive")
+        losses[key] = max(0.0, corun[key] / alone_time - 1.0)
+    return losses

@@ -1,0 +1,47 @@
+"""Event records produced by the discrete-event simulator.
+
+The paper instruments its runtime the same way: "whenever there is an
+operation finished or launched, we record the number of co-running
+operations at the moment" (Section IV-B, Fig. 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EventKind(enum.Enum):
+    """What happened at a simulation event."""
+
+    LAUNCH = "launch"
+    FINISH = "finish"
+    STEP_BEGIN = "step_begin"
+    STEP_END = "step_end"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SimulationEvent:
+    """One launch/finish event of the simulated training step."""
+
+    index: int
+    time: float
+    kind: EventKind
+    op_name: str
+    #: Number of operations running immediately *after* the event.
+    corunning: int
+    #: Physical cores busy immediately after the event (primary slots).
+    busy_cores: int
+    #: Threads granted to the operation this event refers to.
+    threads: int = 0
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("index must be non-negative")
+        if self.time < 0:
+            raise ValueError("time must be non-negative")
+        if self.corunning < 0 or self.busy_cores < 0:
+            raise ValueError("counters must be non-negative")

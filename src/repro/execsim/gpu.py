@@ -1,0 +1,203 @@
+"""GPU kernel timing and stream co-running (Section VII of the paper).
+
+The paper's preliminary GPU study asks two questions:
+
+* how does a kernel's execution time respond to the launch configuration
+  (threads per block, number of thread blocks)?  (Fig. 5)
+* how much does co-running two operations in separate CUDA streams gain
+  over serialising them?  (Table VII)
+
+Both are answered here with an occupancy/roofline model of a P100.  A
+single kernel rarely keeps the whole GPU busy (wave quantisation, launch
+gaps between the thousands of repeated invocations, unbalanced resource
+use), which is what makes two-stream co-running profitable; the
+``single_stream_utilization`` constant captures that head-room.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gpu import GpuSpec, p100_gpu
+from repro.ops.characteristics import OpCharacteristics
+
+
+@dataclass(frozen=True)
+class GpuLaunchConfig:
+    """A CUDA launch configuration."""
+
+    threads_per_block: int
+    num_blocks: int
+
+    def __post_init__(self) -> None:
+        if self.threads_per_block <= 0 or self.num_blocks <= 0:
+            raise ValueError("launch configuration must be positive")
+
+    @property
+    def total_threads(self) -> int:
+        return self.threads_per_block * self.num_blocks
+
+
+@dataclass(frozen=True)
+class GpuKernelModel:
+    """Analytic kernel-time model on a :class:`GpuSpec`.
+
+    Attributes
+    ----------
+    gpu:
+        The GPU description.
+    per_thread_overhead:
+        Seconds of setup cost per launched thread (register/stack setup,
+        grid-stride loop management).  This is what makes oversized
+        launches slower than necessary.
+    occupancy_saturation:
+        Occupancy beyond which extra resident threads no longer improve
+        throughput for compute-bound kernels.
+    occupancy_saturation_memory:
+        Same, for memory-bound kernels (they need more concurrency to
+        hide memory latency, so the saturation point is higher).
+    single_stream_utilization:
+        Baseline fraction of the GPU a single well-configured kernel keeps
+        busy on average; compute-heavy kernels keep a little more (see
+        :meth:`stream_utilization`).  The remainder is reclaimable by a
+        second stream (Table VII).
+    """
+
+    gpu: GpuSpec
+    per_thread_overhead: float = 1.0e-9
+    occupancy_saturation: float = 0.2
+    occupancy_saturation_memory: float = 0.32
+    single_stream_utilization: float = 0.5
+
+    # -- launch configurations -----------------------------------------------------
+
+    def default_config(self) -> GpuLaunchConfig:
+        """TensorFlow's default launch: 1024 threads/block, one block per SM."""
+        return GpuLaunchConfig(
+            threads_per_block=self.gpu.max_threads_per_block,
+            num_blocks=self.gpu.num_sms,
+        )
+
+    # -- single-kernel time ----------------------------------------------------------
+
+    def _efficiency(self, chars: OpCharacteristics, config: GpuLaunchConfig) -> float:
+        occupancy = self.gpu.occupancy(config.threads_per_block, config.num_blocks)
+        saturation = (
+            self.occupancy_saturation
+            + (self.occupancy_saturation_memory - self.occupancy_saturation)
+            * chars.memory_bound
+        )
+        return min(1.0, occupancy / saturation)
+
+    def kernel_time(self, chars: OpCharacteristics, config: GpuLaunchConfig) -> float:
+        """Execution time of one kernel invocation under ``config``."""
+        compute_time = chars.flops / self.gpu.effective_flops
+        memory_time = chars.bytes_touched / self.gpu.memory_bandwidth
+        efficiency = self._efficiency(chars, config)
+        busy = max(compute_time, memory_time) / efficiency
+        overhead = (
+            self.gpu.launch_latency
+            + self.per_thread_overhead * config.total_threads
+        )
+        busy *= self.gpu.scheduling_overhead(config.threads_per_block, config.num_blocks)
+        return busy + overhead
+
+    def sweep_threads_per_block(
+        self,
+        chars: OpCharacteristics,
+        candidates: tuple[int, ...],
+        *,
+        num_blocks: int | None = None,
+    ) -> dict[int, float]:
+        """Kernel time for each candidate threads-per-block value (Fig. 5a)."""
+        blocks = num_blocks if num_blocks is not None else self.gpu.num_sms
+        return {
+            tpb: self.kernel_time(chars, GpuLaunchConfig(tpb, blocks))
+            for tpb in candidates
+        }
+
+    def sweep_num_blocks(
+        self,
+        chars: OpCharacteristics,
+        candidates: tuple[int, ...],
+        *,
+        threads_per_block: int | None = None,
+    ) -> dict[int, float]:
+        """Kernel time for each candidate block count (Fig. 5b)."""
+        tpb = (
+            threads_per_block
+            if threads_per_block is not None
+            else self.gpu.max_threads_per_block
+        )
+        return {
+            blocks: self.kernel_time(chars, GpuLaunchConfig(tpb, blocks))
+            for blocks in candidates
+        }
+
+    def best_config(
+        self,
+        chars: OpCharacteristics,
+        *,
+        threads_candidates: tuple[int, ...] = (64, 128, 256, 512, 1024),
+        block_candidates: tuple[int, ...] = (14, 28, 56, 112, 224, 448, 896),
+    ) -> tuple[GpuLaunchConfig, float]:
+        """Best launch configuration over a candidate grid.
+
+        The paper observes the two dimensions are roughly independent, so
+        this exhaustive grid stands in for its reduced O(2n) search.
+        """
+        best: tuple[GpuLaunchConfig, float] | None = None
+        for tpb in threads_candidates:
+            for blocks in block_candidates:
+                config = GpuLaunchConfig(tpb, blocks)
+                time = self.kernel_time(chars, config)
+                if best is None or time < best[1]:
+                    best = (config, time)
+        assert best is not None
+        return best
+
+    # -- stream co-running -------------------------------------------------------------
+
+    def stream_utilization(self, chars: OpCharacteristics) -> float:
+        """Average device utilisation of one stream running this kernel.
+
+        Memory-bound kernels leave more of the compute resources idle (and
+        vice versa), so their streams overlap slightly better.
+        """
+        return min(0.95, self.single_stream_utilization + 0.1 * (1.0 - chars.memory_bound))
+
+    def serial_time(
+        self,
+        kernels: tuple[tuple[OpCharacteristics, GpuLaunchConfig], ...],
+        *,
+        repeats: int = 1,
+    ) -> float:
+        """Total time of running the kernels back to back (one stream)."""
+        if repeats < 1:
+            raise ValueError("repeats must be at least 1")
+        return repeats * sum(self.kernel_time(c, cfg) for c, cfg in kernels)
+
+    def corun_time(
+        self,
+        kernels: tuple[tuple[OpCharacteristics, GpuLaunchConfig], ...],
+        *,
+        repeats: int = 1,
+    ) -> float:
+        """Total time of running the kernels concurrently in separate streams.
+
+        Each kernel alone keeps only ``single_stream_utilization`` of the
+        GPU busy; concurrent streams fill the gaps until the total demand
+        exceeds the whole device, at which point they slow each other down
+        proportionally.
+        """
+        if repeats < 1:
+            raise ValueError("repeats must be at least 1")
+        if not kernels:
+            raise ValueError("corun_time needs at least one kernel")
+        alone = [self.kernel_time(c, cfg) for c, cfg in kernels]
+        # Aggregate demand on the device; above 1.0 the streams contend and
+        # every kernel stretches by the same factor.
+        demand = sum(self.stream_utilization(c) for c, _ in kernels)
+        stretch = max(1.0, demand)
+        # Streams run concurrently; the slowest stream determines the span.
+        return max(alone) * stretch * repeats

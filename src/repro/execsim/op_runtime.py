@@ -1,0 +1,180 @@
+"""Analytic execution-time model for a single operation.
+
+The model combines the classic ingredients of manycore kernel
+performance:
+
+* an Amdahl serial fraction,
+* parallel compute time bounded by the cores' sustained FLOP rate,
+* memory time bounded by achievable bandwidth after L2 reuse (roofline),
+* a per-thread parallelisation overhead (thread spawn, private buffer
+  setup and reduction) that grows linearly with the thread count.
+
+The last term is what creates the *interior optimum* of the
+time-vs-threads curve: the optimal thread count grows roughly as
+``sqrt(parallel_work / per_thread_overhead)``, so large operations want
+the whole chip while small or reduction-heavy operations prefer a few
+tens of threads — the central empirical observation of the paper
+(Fig. 1, Table II).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.affinity import AffinityMode, ThreadPlacement
+from repro.hardware.topology import Machine
+from repro.ops.characteristics import OpCharacteristics
+
+
+@dataclass(frozen=True)
+class OpTimeBreakdown:
+    """Execution time of one operation run, with its components.
+
+    ``total`` is what the runtime observes; the components are useful for
+    analysis and for the contention model (which needs to know how
+    memory-bound the run was).
+    """
+
+    threads: int
+    affinity: AffinityMode
+    compute_time: float
+    memory_time: float
+    overhead_time: float
+    bytes_from_memory: float
+    total: float
+
+    @property
+    def memory_bound_fraction(self) -> float:
+        """Fraction of the core time that is memory-bound."""
+        busy = self.compute_time + self.memory_time
+        if busy <= 0:
+            return 0.0
+        return self.memory_time / busy
+
+    @property
+    def bandwidth_demand(self) -> float:
+        """Average bytes/second pulled from memory over the run."""
+        if self.total <= 0:
+            return 0.0
+        return self.bytes_from_memory / self.total
+
+
+def execution_time(
+    chars: OpCharacteristics,
+    machine: Machine,
+    threads: int,
+    affinity: AffinityMode = AffinityMode.SHARED,
+    *,
+    reconfigured: bool = False,
+) -> OpTimeBreakdown:
+    """Time to execute an operation with ``threads`` threads.
+
+    Parameters
+    ----------
+    chars:
+        The operation's cost characteristics.
+    machine:
+        The machine model.
+    threads:
+        Number of threads used for the operation.  May exceed the number
+        of physical cores (oversubscription, e.g. TensorFlow's default of
+        one thread per logical CPU); the extra threads only add overhead
+        here — the sharing slowdown is applied by the simulator, which
+        knows the actual placement.
+    affinity:
+        Tile placement of the threads (cache sharing or not).
+    reconfigured:
+        True when the operation runs with a different thread count than
+        its previous execution; adds the thread-pool reconfiguration
+        penalty that Strategy 2 is designed to avoid.
+    """
+    if threads < 1:
+        raise ValueError("threads must be at least 1")
+    topo = machine.topology
+
+    # --- placement-derived quantities -------------------------------------
+    physical_threads = min(threads, topo.num_cores)
+    try:
+        placement = ThreadPlacement.plan(physical_threads, affinity, topo)
+    except ValueError:
+        # Infeasible placements (e.g. 40 "spread" threads on 34 tiles) are
+        # silently promoted to the shared layout; the paper's search space
+        # only contains feasible combinations, but user code may ask.
+        placement = ThreadPlacement.plan(physical_threads, AffinityMode.SHARED, topo)
+    tiles_used = placement.tiles_used
+    cores_used = placement.cores_used
+
+    # --- compute component --------------------------------------------------
+    single_core_seconds = chars.flops / topo.effective_flops_per_core
+    usable_parallelism = min(threads, chars.parallel_grains)
+    serial = chars.serial_fraction
+    compute_time = single_core_seconds * (serial + (1.0 - serial) / usable_parallelism)
+
+    # --- memory component ---------------------------------------------------
+    working_set_per_tile = chars.working_set / max(tiles_used, 1)
+    reuse = machine.cache.reuse_fraction(
+        working_set_per_tile,
+        siblings_share_tile=placement.siblings_share_tile,
+        reuse_potential=chars.reuse_potential,
+    )
+    bytes_from_memory = chars.bytes_touched * (1.0 - reuse)
+    bandwidth = machine.memory.achievable_bandwidth(cores_used)
+    memory_time = bytes_from_memory / bandwidth if bandwidth > 0 else float("inf")
+
+    # --- overheads ------------------------------------------------------------
+    overhead = (
+        machine.op_dispatch_cost
+        + machine.thread_spawn_cost * threads
+        + machine.sync_cost * math.log2(threads + 1)
+        + chars.per_thread_overhead * threads
+    )
+    if reconfigured:
+        overhead += machine.reconfiguration_cost
+
+    # Compute and memory phases overlap (hardware prefetch, out-of-order
+    # execution), so the core time is the roofline maximum of the two.
+    core_time = max(compute_time, memory_time)
+    total = core_time + overhead
+    return OpTimeBreakdown(
+        threads=threads,
+        affinity=affinity,
+        compute_time=compute_time,
+        memory_time=memory_time,
+        overhead_time=overhead,
+        bytes_from_memory=bytes_from_memory,
+        total=total,
+    )
+
+
+def sweep_thread_counts(
+    chars: OpCharacteristics,
+    machine: Machine,
+    *,
+    affinities: tuple[AffinityMode, ...] = (AffinityMode.SPREAD, AffinityMode.SHARED),
+) -> dict[tuple[int, AffinityMode], OpTimeBreakdown]:
+    """Execution time for every feasible (threads, affinity) prediction case.
+
+    On the full KNL machine this is the 68-case space of Section III-B:
+    1..34 threads spread one-per-tile plus even counts 2..68 packed
+    two-per-tile.
+    """
+    results: dict[tuple[int, AffinityMode], OpTimeBreakdown] = {}
+    for affinity in affinities:
+        for count in ThreadPlacement.feasible_thread_counts(affinity, machine.topology):
+            results[(count, affinity)] = execution_time(chars, machine, count, affinity)
+    return results
+
+
+def optimal_configuration(
+    chars: OpCharacteristics,
+    machine: Machine,
+) -> tuple[int, AffinityMode, float]:
+    """Exhaustively find the (threads, affinity) with the shortest time.
+
+    This is the ground truth the hill-climbing model approximates; the
+    experiments use it to measure prediction accuracy.
+    """
+    sweep = sweep_thread_counts(chars, machine)
+    (threads, affinity), breakdown = min(sweep.items(), key=lambda item: item[1].total)
+    return threads, affinity, breakdown.total

@@ -1,0 +1,405 @@
+"""Discrete-event simulator of one training step.
+
+The simulator executes a :class:`~repro.graph.dataflow.DataflowGraph`
+under a pluggable :class:`SchedulingPolicy`.  It owns the clock, the core
+allocator, dependency tracking and the contention model; the policy only
+decides *which ready operations to launch, with how many threads and on
+which kind of placement* — exactly the decision surface of the paper's
+runtime (and of the TensorFlow baselines it compares against).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.execsim.contention import RunningOpView, corun_slowdowns
+from repro.execsim.events import EventKind, SimulationEvent
+from repro.execsim.op_runtime import OpTimeBreakdown, execution_time
+from repro.execsim.trace import ExecutionTrace, OpExecutionRecord
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.op import OpInstance
+from repro.hardware.affinity import AffinityMode, CoreAllocation, CoreAllocator
+from repro.hardware.topology import Machine
+from repro.ops.cost import characterize_cached
+from repro.ops.registry import OpRegistry
+from repro.utils.seeding import make_rng
+
+
+class PlacementKind(enum.Enum):
+    """How an operation's threads are placed on the chip."""
+
+    #: Exclusive primary SMT slots (the runtime's normal co-run placement).
+    DEDICATED = "dedicated"
+    #: Secondary SMT slots of cores whose primary slot is busy (Strategy 4).
+    HYPERTHREAD = "hyperthread"
+    #: All physical cores, shared with whatever else is running (TensorFlow's
+    #: uniform intra-op pool, possibly oversubscribed).
+    OVERSUBSCRIBED = "oversubscribed"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class LaunchRequest:
+    """A policy's request to start one ready operation."""
+
+    op_name: str
+    threads: int
+    affinity: AffinityMode = AffinityMode.SHARED
+    placement: PlacementKind = PlacementKind.DEDICATED
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ValueError("threads must be at least 1")
+
+
+@dataclass(frozen=True)
+class RunningOpInfo:
+    """Read-only view of a running operation exposed to policies."""
+
+    op: OpInstance
+    threads: int
+    placement: PlacementKind
+    start_time: float
+    predicted_finish: float
+    cores: int
+
+
+@dataclass(frozen=True)
+class SchedulingContext:
+    """Everything a policy may look at when deciding what to launch."""
+
+    time: float
+    ready: tuple[OpInstance, ...]
+    running: tuple[RunningOpInfo, ...]
+    free_cores: int
+    free_hyperthread_cores: int
+    machine: Machine
+
+    @property
+    def any_core_filling_op(self) -> bool:
+        """True when a running operation occupies every physical core."""
+        return any(r.cores >= self.machine.num_cores for r in self.running)
+
+
+class SchedulingPolicy(Protocol):
+    """The interface both the baselines and the paper's runtime implement."""
+
+    name: str
+
+    def on_step_begin(self, graph: DataflowGraph, machine: Machine) -> None:
+        """Called once before the step starts."""
+
+    def select_launches(self, context: SchedulingContext) -> Sequence[LaunchRequest]:
+        """Return operations to launch now (possibly empty)."""
+
+
+@dataclass
+class StepResult:
+    """Outcome of simulating one training step."""
+
+    policy_name: str
+    graph_name: str
+    step_time: float
+    trace: ExecutionTrace
+    forced_launches: int = 0
+
+    def speedup_over(self, other: "StepResult") -> float:
+        """Speedup of this result relative to ``other`` (other/self)."""
+        if self.step_time <= 0:
+            raise ValueError("step_time must be positive to compute a speedup")
+        return other.step_time / self.step_time
+
+
+@dataclass
+class _Running:
+    op: OpInstance
+    request: LaunchRequest
+    allocation: CoreAllocation | None
+    core_ids: tuple[int, ...]
+    breakdown: OpTimeBreakdown
+    base_duration: float
+    start_time: float
+    remaining_fraction: float = 1.0
+    slowdown: float = 1.0
+    last_update: float = 0.0
+
+    def predicted_finish(self, now: float) -> float:
+        return now + self.remaining_fraction * self.base_duration * self.slowdown
+
+
+class StepSimulator:
+    """Simulates training steps of a dataflow graph on a machine model.
+
+    Parameters
+    ----------
+    machine:
+        The machine model (usually :func:`repro.hardware.knl_machine`).
+    registry:
+        Optional op-cost registry; defaults to the built-in catalog.
+    noise_sigma:
+        Multiplicative log-normal noise applied to every operation's base
+        duration (models run-to-run measurement variation during
+        profiling).  Zero (the default) keeps the simulation fully
+        deterministic.
+    seed:
+        Seed for the noise generator.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        registry: OpRegistry | None = None,
+        noise_sigma: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        self.machine = machine
+        self.registry = registry
+        self.noise_sigma = noise_sigma
+        self._rng = make_rng(seed)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _characterize(self, op: OpInstance):
+        if self.registry is None:
+            return characterize_cached(op)
+        return self.registry.estimate(op)
+
+    def _noisy(self, duration: float) -> float:
+        if self.noise_sigma == 0.0:
+            return duration
+        return float(duration * self._rng.lognormal(mean=0.0, sigma=self.noise_sigma))
+
+    # -- main entry point ------------------------------------------------------
+
+    def run_step(
+        self,
+        graph: DataflowGraph,
+        policy: SchedulingPolicy,
+        *,
+        step_name: str = "step",
+    ) -> StepResult:
+        """Simulate one training step of ``graph`` under ``policy``."""
+        graph.validate()
+        policy.on_step_begin(graph, self.machine)
+
+        allocator = CoreAllocator(self.machine.topology)
+        trace = ExecutionTrace(step_name=step_name)
+        completed: set[str] = set()
+        pending: set[str] = {op.name for op in graph}
+        ready: set[str] = set(graph.sources())
+        running: dict[str, _Running] = {}
+        #: thread count last used per operation type (Strategy 2 / reconfiguration).
+        last_threads: dict[str, int] = {}
+        now = 0.0
+        event_index = 0
+        forced_launches = 0
+
+        def emit(kind: EventKind, op_name: str, threads: int = 0) -> None:
+            nonlocal event_index
+            busy = self.machine.num_cores - allocator.free_cores
+            trace.add_event(
+                SimulationEvent(
+                    index=event_index,
+                    time=now,
+                    kind=kind,
+                    op_name=op_name,
+                    corunning=len(running),
+                    busy_cores=busy,
+                    threads=threads,
+                )
+            )
+            event_index += 1
+
+        def build_context() -> SchedulingContext:
+            ready_ops = tuple(sorted((graph.op(n) for n in ready), key=lambda o: o.name))
+            running_info = tuple(
+                RunningOpInfo(
+                    op=r.op,
+                    threads=r.request.threads,
+                    placement=r.request.placement,
+                    start_time=r.start_time,
+                    predicted_finish=r.predicted_finish(now),
+                    cores=len(r.core_ids),
+                )
+                for r in running.values()
+            )
+            return SchedulingContext(
+                time=now,
+                ready=ready_ops,
+                running=running_info,
+                free_cores=allocator.free_cores,
+                free_hyperthread_cores=allocator.free_hyperthread_cores,
+                machine=self.machine,
+            )
+
+        def update_progress() -> None:
+            """Advance every running op's completed fraction up to ``now``."""
+            for r in running.values():
+                elapsed = now - r.last_update
+                if elapsed > 0:
+                    duration = r.base_duration * r.slowdown
+                    r.remaining_fraction = max(
+                        0.0, r.remaining_fraction - elapsed / duration
+                    )
+                    r.last_update = now
+
+        def refresh_slowdowns() -> None:
+            """Recompute contention factors after the running set changed."""
+            if not running:
+                return
+            views = [
+                RunningOpView(
+                    key=name,
+                    core_ids=r.core_ids,
+                    threads=r.request.threads,
+                    bandwidth_demand=r.breakdown.bandwidth_demand,
+                    memory_bound_fraction=r.breakdown.memory_bound_fraction,
+                    memory_bound_char=self._characterize(r.op).memory_bound,
+                    pinned=r.request.placement is not PlacementKind.OVERSUBSCRIBED,
+                )
+                for name, r in running.items()
+            ]
+            factors = corun_slowdowns(views, self.machine)
+            for name, r in running.items():
+                r.slowdown = factors[name]
+
+        def try_launch(request: LaunchRequest) -> bool:
+            op = graph.op(request.op_name)
+            if request.op_name not in ready:
+                raise ValueError(
+                    f"policy tried to launch {request.op_name!r} which is not ready"
+                )
+            allocation: CoreAllocation | None
+            if request.placement is PlacementKind.DEDICATED:
+                cores = min(request.threads, allocator.free_cores)
+                if cores <= 0:
+                    return False
+                allocation = allocator.allocate(cores)
+                core_ids = allocation.core_ids
+            elif request.placement is PlacementKind.HYPERTHREAD:
+                cores = min(request.threads, allocator.free_hyperthread_cores)
+                if cores <= 0:
+                    return False
+                allocation = allocator.allocate_hyperthreads(cores)
+                core_ids = allocation.core_ids
+            else:  # OVERSUBSCRIBED — share every physical core, bypassing the allocator.
+                allocation = None
+                core_ids = tuple(range(self.machine.num_cores))
+
+            chars = self._characterize(op)
+            reconfigured = (
+                op.op_type in last_threads and last_threads[op.op_type] != request.threads
+            )
+            breakdown = execution_time(
+                chars,
+                self.machine,
+                request.threads,
+                request.affinity,
+                reconfigured=reconfigured and op.is_tunable,
+            )
+            last_threads[op.op_type] = request.threads
+            base = self._noisy(breakdown.total)
+            running[request.op_name] = _Running(
+                op=op,
+                request=request,
+                allocation=allocation,
+                core_ids=core_ids,
+                breakdown=breakdown,
+                base_duration=base,
+                start_time=now,
+                last_update=now,
+            )
+            ready.discard(request.op_name)
+            emit(EventKind.LAUNCH, request.op_name, threads=request.threads)
+            return True
+
+        emit(EventKind.STEP_BEGIN, "")
+
+        while pending:
+            # --- launch phase: keep asking the policy until it stops launching.
+            launched_any = True
+            while launched_any and ready:
+                launched_any = False
+                context = build_context()
+                requests = list(policy.select_launches(context))
+                for request in requests:
+                    if request.op_name in running or request.op_name in completed:
+                        continue
+                    if try_launch(request):
+                        launched_any = True
+                if launched_any:
+                    update_progress()
+                    refresh_slowdowns()
+
+            # --- deadlock guard: never let the step stall with work pending.
+            if not running:
+                if not ready:
+                    raise RuntimeError(
+                        f"graph {graph.name!r} cannot make progress: "
+                        f"{len(pending)} pending ops but none ready"
+                    )
+                fallback_name = sorted(ready)[0]
+                fallback_threads = max(1, allocator.free_cores)
+                forced_launches += 1
+                try_launch(
+                    LaunchRequest(
+                        op_name=fallback_name,
+                        threads=fallback_threads,
+                        affinity=AffinityMode.SHARED,
+                        placement=PlacementKind.DEDICATED,
+                    )
+                )
+                update_progress()
+                refresh_slowdowns()
+
+            # --- advance time to the earliest finish.
+            finishing_name, finishing = min(
+                running.items(), key=lambda item: item[1].predicted_finish(now)
+            )
+            finish_time = finishing.predicted_finish(now)
+            now = finish_time
+            update_progress()
+
+            # --- retire the finished operation.
+            r = running.pop(finishing_name)
+            if r.allocation is not None:
+                allocator.release(r.allocation)
+            completed.add(finishing_name)
+            pending.discard(finishing_name)
+            trace.add_record(
+                OpExecutionRecord(
+                    op_name=r.op.name,
+                    op_type=r.op.op_type,
+                    threads=r.request.threads,
+                    affinity=r.request.affinity,
+                    start_time=r.start_time,
+                    finish_time=now,
+                    used_hyperthreads=r.request.placement is PlacementKind.HYPERTHREAD,
+                )
+            )
+            emit(EventKind.FINISH, finishing_name, threads=r.request.threads)
+
+            # --- newly ready operations.
+            for succ in graph.successors(finishing_name):
+                if succ in completed or succ in running or succ in ready:
+                    continue
+                if all(dep in completed for dep in graph.predecessors(succ)):
+                    ready.add(succ)
+
+            refresh_slowdowns()
+
+        emit(EventKind.STEP_END, "")
+        return StepResult(
+            policy_name=getattr(policy, "name", policy.__class__.__name__),
+            graph_name=graph.name,
+            step_time=now,
+            trace=trace,
+            forced_launches=forced_launches,
+        )

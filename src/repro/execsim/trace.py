@@ -1,0 +1,116 @@
+"""Execution traces: per-operation records plus the event log."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.execsim.events import EventKind, SimulationEvent
+from repro.hardware.affinity import AffinityMode
+
+
+@dataclass(frozen=True)
+class OpExecutionRecord:
+    """How one operation instance actually ran inside a step."""
+
+    op_name: str
+    op_type: str
+    threads: int
+    affinity: AffinityMode
+    start_time: float
+    finish_time: float
+    used_hyperthreads: bool = False
+
+    def __post_init__(self) -> None:
+        if self.finish_time < self.start_time:
+            raise ValueError("finish_time must not precede start_time")
+        if self.threads < 1:
+            raise ValueError("threads must be at least 1")
+
+    @property
+    def duration(self) -> float:
+        return self.finish_time - self.start_time
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything observed while simulating one training step."""
+
+    step_name: str = "step"
+    records: list[OpExecutionRecord] = field(default_factory=list)
+    events: list[SimulationEvent] = field(default_factory=list)
+
+    # -- recording ---------------------------------------------------------------
+
+    def add_record(self, record: OpExecutionRecord) -> None:
+        self.records.append(record)
+
+    def add_event(self, event: SimulationEvent) -> None:
+        if self.events and event.index != self.events[-1].index + 1:
+            raise ValueError("event indices must be consecutive")
+        if self.events and event.time < self.events[-1].time - 1e-12:
+            raise ValueError("event times must be non-decreasing")
+        self.events.append(event)
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        """Wall-clock time of the step (last finish)."""
+        if not self.records:
+            return 0.0
+        return max(r.finish_time for r in self.records)
+
+    @property
+    def total_op_time(self) -> float:
+        """Sum of all individual operation durations."""
+        return sum(r.duration for r in self.records)
+
+    def record_for(self, op_name: str) -> OpExecutionRecord:
+        for record in self.records:
+            if record.op_name == op_name:
+                return record
+        raise KeyError(f"no record for operation {op_name!r}")
+
+    def time_by_op_type(self) -> dict[str, float]:
+        """Aggregate duration per operation type (Table VI's grouping)."""
+        totals: dict[str, float] = {}
+        for record in self.records:
+            totals[record.op_type] = totals.get(record.op_type, 0.0) + record.duration
+        return totals
+
+    def top_op_types(self, n: int = 5) -> list[tuple[str, float]]:
+        """The ``n`` most time-consuming operation types."""
+        totals = self.time_by_op_type()
+        return sorted(totals.items(), key=lambda kv: kv[1], reverse=True)[:n]
+
+    def corunning_series(self) -> list[int]:
+        """Number of co-running operations at each launch/finish event
+        (the series Fig. 4 plots)."""
+        return [
+            e.corunning
+            for e in self.events
+            if e.kind in (EventKind.LAUNCH, EventKind.FINISH)
+        ]
+
+    def average_corunning(self) -> float:
+        """Average of the co-running series (reported in Section IV-B)."""
+        series = self.corunning_series()
+        if not series:
+            return 0.0
+        return sum(series) / len(series)
+
+    def threads_used_by(self, op_names: Iterable[str]) -> dict[str, int]:
+        wanted = set(op_names)
+        return {r.op_name: r.threads for r in self.records if r.op_name in wanted}
+
+    def core_utilization(self, num_cores: int) -> float:
+        """Fraction of core-time busy over the makespan (proxy for the
+        hardware-utilisation improvements the paper reports)."""
+        if num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        busy = sum(min(r.threads, num_cores) * r.duration for r in self.records)
+        return min(1.0, busy / (num_cores * span))

@@ -1,0 +1,44 @@
+"""One module per table/figure of the paper's evaluation.
+
+Every experiment module exposes
+
+* ``run(...)`` — execute the experiment on the simulated substrate and
+  return a result dataclass;
+* ``format_report(result)`` — render the result as a text table shaped
+  like the corresponding table/figure of the paper;
+* ``PAPER_REFERENCE`` — the headline numbers the paper reports, for
+  side-by-side comparison in EXPERIMENTS.md.
+
+``repro.experiments.cli`` runs any subset of them from the command line
+(``repro-experiments fig1 table3 ...``).
+"""
+
+from repro.experiments import (
+    fig1_threads,
+    fig3_strategies,
+    fig4_corun_events,
+    fig5_gpu_intraop,
+    table1_parallelism,
+    table2_input_size,
+    table3_corun,
+    table4_regression,
+    table5_hillclimb,
+    table6_topops,
+    table7_gpu_corun,
+)
+
+ALL_EXPERIMENTS = {
+    "fig1": fig1_threads,
+    "table1": table1_parallelism,
+    "table2": table2_input_size,
+    "table3": table3_corun,
+    "table4": table4_regression,
+    "table5": table5_hillclimb,
+    "fig3": fig3_strategies,
+    "table6": table6_topops,
+    "fig4": fig4_corun_events,
+    "fig5": fig5_gpu_intraop,
+    "table7": table7_gpu_corun,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,75 @@
+"""Command-line entry point: ``repro-experiments [names...]``.
+
+Runs any subset of the paper's experiments (default: the cheap ones) and
+prints their reports.  ``repro-experiments --list`` shows what is
+available; ``repro-experiments all`` runs everything (several minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments import ALL_EXPERIMENTS
+
+#: Experiments cheap enough for a default invocation.
+DEFAULT_SET: tuple[str, ...] = ("fig1", "table2", "table3", "fig5", "table7")
+
+
+def _run_one(name: str, *, reduced: bool) -> str:
+    module = ALL_EXPERIMENTS[name]
+    kwargs = {}
+    # Experiments accepting a `reduced` flag get it forwarded.
+    if "reduced" in module.run.__code__.co_varnames:
+        kwargs["reduced"] = reduced
+    result = module.run(**kwargs)
+    return module.format_report(result)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the paper on the simulated substrate.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=list(DEFAULT_SET),
+        help="experiment names (e.g. fig1 table3), or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the full-size model graphs (slower, closer to the paper's scale)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(args.experiments)
+    if names == ["all"] or names == ["ALL"]:
+        names = list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        start = time.time()
+        report = _run_one(name, reduced=not args.full)
+        elapsed = time.time() - start
+        print(f"=== {name} ({elapsed:.1f}s) ===")
+        print(report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

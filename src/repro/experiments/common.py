@@ -1,0 +1,63 @@
+"""Shared fixtures for the experiment modules."""
+
+from __future__ import annotations
+
+from repro.graph.op import OpInstance
+from repro.graph.shapes import TensorShape
+from repro.hardware.knl import knl_machine
+from repro.hardware.topology import Machine
+from repro.models.registry import build_model
+
+#: The models the paper evaluates, in its reporting order.
+PAPER_MODELS: tuple[str, ...] = ("resnet50", "dcgan", "inception_v3", "lstm")
+
+
+def default_machine() -> Machine:
+    """The simulated KNL node used by every experiment."""
+    return knl_machine()
+
+
+def motivation_conv_op(
+    op_type: str,
+    input_dims: tuple[int, int, int, int],
+    *,
+    out_channels: int | None = None,
+    name: str | None = None,
+) -> OpInstance:
+    """One of the standalone convolution operations of Section II-C.
+
+    The paper uses input sizes from Inception-v3, e.g. ``(32, 8, 8, 384)``,
+    for ``Conv2D``, ``Conv2DBackpropInput`` and ``Conv2DBackpropFilter``.
+    """
+    n, h, w, c = input_dims
+    k = out_channels if out_channels is not None else c
+    activation = TensorShape((n, h, w, c))
+    gradient = TensorShape((n, h, w, k))
+    attrs = {"kernel": (3, 3), "stride": 1}
+    label = name or f"{op_type}_{n}x{h}x{w}x{c}"
+    if op_type == "Conv2D":
+        return OpInstance(label, op_type, (activation,), gradient, attrs=attrs)
+    if op_type == "Conv2DBackpropFilter":
+        return OpInstance(
+            label, op_type, (activation, gradient), TensorShape((3, 3, c, k)), attrs=attrs
+        )
+    if op_type == "Conv2DBackpropInput":
+        return OpInstance(label, op_type, (activation, gradient), activation, attrs=attrs)
+    raise ValueError(f"unsupported motivation op type: {op_type}")
+
+
+def build_paper_model(name: str, *, reduced: bool = False):
+    """Build one of the paper's model graphs.
+
+    ``reduced=True`` shrinks the deepest models so fast iterations (tests,
+    benchmark warm-ups) stay cheap while preserving the op-type mix.
+    """
+    if not reduced:
+        return build_model(name)
+    if name == "inception_v3":
+        return build_model(name, module_counts=(1, 1, 1))
+    if name == "resnet50":
+        return build_model(name, stage_blocks=(1, 1, 1, 1))
+    if name == "lstm":
+        return build_model(name, num_steps=6)
+    return build_model(name)

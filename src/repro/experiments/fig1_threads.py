@@ -1,0 +1,94 @@
+"""Figure 1: execution time of three convolution operations versus threads.
+
+The paper sweeps the thread count of ``Conv2DBackpropFilter``,
+``Conv2DBackpropInput`` and ``Conv2D`` (with an Inception-v3 input size)
+from 1 to 64 threads with threads that share data placed on the same tile,
+and observes best performance at 26, 36 and 45 threads respectively —
+i.e. well below the 68-thread recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.execsim.standalone import StandaloneRunner
+from repro.experiments.common import default_machine, motivation_conv_op
+from repro.hardware.affinity import AffinityMode
+from repro.hardware.topology import Machine
+from repro.utils.tables import TextTable
+
+#: Optimal thread counts the paper reports for the three operations.
+PAPER_REFERENCE = {
+    "Conv2DBackpropFilter": 26,
+    "Conv2DBackpropInput": 36,
+    "Conv2D": 45,
+    "max_variance_vs_68_threads": 0.173,
+}
+
+OPERATIONS: tuple[str, ...] = (
+    "Conv2DBackpropFilter",
+    "Conv2DBackpropInput",
+    "Conv2D",
+)
+
+#: The Inception-v3 input size used in the figure.
+INPUT_DIMS: tuple[int, int, int, int] = (32, 8, 8, 384)
+
+
+@dataclass
+class Fig1Result:
+    """Time-vs-threads curves for the three operations."""
+
+    thread_counts: tuple[int, ...]
+    #: op type -> list of execution times (one per thread count), seconds.
+    curves: dict[str, list[float]] = field(default_factory=dict)
+    #: op type -> (optimal threads, optimal time).
+    optima: dict[str, tuple[int, float]] = field(default_factory=dict)
+    #: op type -> relative gap between 64/68-thread execution and optimum.
+    variance_vs_max_threads: dict[str, float] = field(default_factory=dict)
+
+
+def run(
+    machine: Machine | None = None,
+    *,
+    thread_counts: tuple[int, ...] = tuple(range(2, 66, 2)),
+    repeats: int = 1000,
+) -> Fig1Result:
+    """Sweep the three operations over ``thread_counts`` (shared affinity)."""
+    machine = machine or default_machine()
+    runner = StandaloneRunner(machine)
+    result = Fig1Result(thread_counts=thread_counts)
+    for op_type in OPERATIONS:
+        op = motivation_conv_op(op_type, INPUT_DIMS)
+        times = [
+            runner.run(op, threads, AffinityMode.SHARED, repeats=repeats)
+            for threads in thread_counts
+        ]
+        result.curves[op_type] = times
+        best_index = min(range(len(times)), key=times.__getitem__)
+        result.optima[op_type] = (thread_counts[best_index], times[best_index])
+        max_threads_time = times[-1]
+        result.variance_vs_max_threads[op_type] = (
+            (max_threads_time - times[best_index]) / max_threads_time
+        )
+    return result
+
+
+def format_report(result: Fig1Result) -> str:
+    table = TextTable(
+        ["operation", "best threads", "best time (s)", "time @ max threads (s)", "variance"],
+        title="Figure 1 — execution time vs intra-op parallelism "
+        f"(input {INPUT_DIMS}, total of 1000 runs)",
+    )
+    for op_type, times in result.curves.items():
+        best_threads, best_time = result.optima[op_type]
+        table.add_row(
+            [
+                op_type,
+                best_threads,
+                best_time,
+                times[-1],
+                f"{result.variance_vs_max_threads[op_type] * 100:.1f}%",
+            ]
+        )
+    return table.render()

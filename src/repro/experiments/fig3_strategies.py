@@ -1,0 +1,100 @@
+"""Figure 3: contribution of the four strategies and overall comparison.
+
+The paper applies the strategies cumulatively — (a) Strategies 1+2 vs the
+TensorFlow recommendation, (b) Strategy 3 on top of 1+2, (c) Strategy 4
+on top of 3 — and finally (d) compares the full runtime against the
+recommendation and against exhaustive manual tuning of the uniform
+(intra-op, inter-op) parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.manual_opt import ManualOptimizer
+from repro.core.runtime import StrategyComparison, TrainingRuntime
+from repro.experiments.common import PAPER_MODELS, build_paper_model, default_machine
+from repro.hardware.topology import Machine
+from repro.utils.tables import TextTable
+
+#: Speedups over the recommendation the paper reports in Fig. 3d.
+PAPER_REFERENCE = {
+    ("resnet50", "ours"): 1.49,
+    ("resnet50", "manual"): 1.41,
+    ("dcgan", "ours"): 1.34,
+    ("dcgan", "manual"): 1.27,
+    ("inception_v3", "ours"): 1.17,
+    ("inception_v3", "manual"): 1.19,
+    ("lstm", "ours"): 1.43,
+    ("lstm", "manual"): 1.41,
+    "average_improvement": 0.36,
+}
+
+
+@dataclass
+class Fig3Result:
+    comparisons: dict[str, StrategyComparison] = field(default_factory=dict)
+
+    def speedups(self) -> dict[str, dict[str, float]]:
+        return {name: cmp.speedups_vs_recommendation() for name, cmp in self.comparisons.items()}
+
+    def increments(self) -> dict[str, dict[str, float]]:
+        return {name: cmp.incremental_speedups() for name, cmp in self.comparisons.items()}
+
+
+def run(
+    machine: Machine | None = None,
+    *,
+    models: tuple[str, ...] = PAPER_MODELS,
+    include_manual: bool = True,
+    reduced: bool = False,
+    manual_optimizer: ManualOptimizer | None = None,
+) -> Fig3Result:
+    machine = machine or default_machine()
+    result = Fig3Result()
+    for model_name in models:
+        graph = build_paper_model(model_name, reduced=reduced)
+        runtime = TrainingRuntime(machine)
+        optimizer = manual_optimizer
+        if include_manual and optimizer is None:
+            # The grid the paper's manual search explores (Table I plus the
+            # smaller counts its per-model optima use).
+            optimizer = ManualOptimizer(
+                machine, intra_candidates=(2, 16, 34, 68, 136), inter_candidates=(1, 2, 4)
+            )
+        comparison = runtime.compare_strategies(
+            graph,
+            include_manual=include_manual,
+            manual_optimizer=optimizer,
+        )
+        result.comparisons[model_name] = comparison
+    return result
+
+
+def format_report(result: Fig3Result) -> str:
+    table = TextTable(
+        [
+            "model",
+            "S1+2 vs rec",
+            "S3 vs S1+2",
+            "S4 vs S3",
+            "ours vs rec",
+            "manual vs rec",
+        ],
+        title="Figure 3 — contribution of the scheduling strategies "
+        "(speedups over the TensorFlow recommendation)",
+    )
+    for model_name, comparison in result.comparisons.items():
+        speedups = comparison.speedups_vs_recommendation()
+        increments = comparison.incremental_speedups()
+        table.add_row(
+            [
+                model_name,
+                f"{increments['strategies_1_2_vs_recommendation']:.2f}",
+                f"{increments['strategy_3_vs_strategies_1_2']:.2f}",
+                f"{increments['strategy_4_vs_strategy_3']:.2f}",
+                f"{speedups['all_strategies']:.2f}",
+                f"{speedups.get('manual', float('nan')):.2f}",
+            ]
+        )
+    return table.render()

@@ -1,0 +1,113 @@
+"""Figure 5: GPU kernel time versus the launch configuration.
+
+The paper's preliminary GPU study sweeps the number of threads per block
+(with the default 56 blocks) and the number of thread blocks (with the
+default 1024 threads per block) for ``BiasAdd`` and ``MaxPooling`` on a
+Tesla P100, and finds up to 18% / 11% gaps between TensorFlow's default
+launch and the best one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.execsim.gpu import GpuKernelModel
+from repro.graph.op import OpInstance
+from repro.graph.shapes import TensorShape
+from repro.hardware.gpu import p100_gpu
+from repro.ops.cost import characterize
+from repro.utils.tables import TextTable
+
+PAPER_REFERENCE = {
+    "max_gap_threads_per_block": 0.18,
+    "max_gap_num_blocks": 0.11,
+}
+
+THREADS_PER_BLOCK: tuple[int, ...] = (64, 128, 256, 512, 1024)
+NUM_BLOCKS: tuple[int, ...] = (14, 56, 112, 224, 896)
+
+#: Inception-v3-sized inputs, as in the paper's GPU study.
+_BIAS_SHAPE = TensorShape((32, 17, 17, 384))
+_POOL_IN = TensorShape((32, 35, 35, 288))
+_POOL_OUT = TensorShape((32, 17, 17, 288))
+
+
+def _gpu_ops() -> dict[str, OpInstance]:
+    return {
+        "BiasAdd": OpInstance(
+            "gpu_bias_add",
+            "BiasAdd",
+            (_BIAS_SHAPE, TensorShape((384,))),
+            _BIAS_SHAPE,
+        ),
+        "MaxPooling": OpInstance(
+            "gpu_max_pool",
+            "MaxPooling",
+            (_POOL_IN,),
+            _POOL_OUT,
+            attrs={"kernel": (3, 3), "stride": 2},
+        ),
+    }
+
+
+@dataclass
+class Fig5Result:
+    #: op -> {threads_per_block: time} with the default block count.
+    threads_sweep: dict[str, dict[int, float]] = field(default_factory=dict)
+    #: op -> {num_blocks: time} with the default threads per block.
+    blocks_sweep: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def default_gap_threads(self, op: str, default: int = 1024) -> float:
+        sweep = self.threads_sweep[op]
+        best = min(sweep.values())
+        return (sweep[default] - best) / sweep[default]
+
+    def default_gap_blocks(self, op: str, default: int = 56) -> float:
+        sweep = self.blocks_sweep[op]
+        best = min(sweep.values())
+        return (sweep[default] - best) / sweep[default]
+
+
+def run(
+    *,
+    threads_candidates: tuple[int, ...] = THREADS_PER_BLOCK,
+    block_candidates: tuple[int, ...] = NUM_BLOCKS,
+    repeats: int = 10000,
+) -> Fig5Result:
+    gpu = GpuKernelModel(p100_gpu())
+    result = Fig5Result()
+    for name, op in _gpu_ops().items():
+        chars = characterize(op)
+        result.threads_sweep[name] = {
+            tpb: time * repeats
+            for tpb, time in gpu.sweep_threads_per_block(chars, threads_candidates).items()
+        }
+        result.blocks_sweep[name] = {
+            blocks: time * repeats
+            for blocks, time in gpu.sweep_num_blocks(chars, block_candidates).items()
+        }
+    return result
+
+
+def format_report(result: Fig5Result) -> str:
+    lines = []
+    table_a = TextTable(
+        ["op"] + [str(t) for t in sorted(next(iter(result.threads_sweep.values())))],
+        title="Figure 5a — execution time (s, 10000 runs) vs threads per block (56 blocks)",
+    )
+    for op, sweep in result.threads_sweep.items():
+        table_a.add_row([op] + [f"{sweep[t]:.2f}" for t in sorted(sweep)])
+    lines.append(table_a.render())
+    table_b = TextTable(
+        ["op"] + [str(b) for b in sorted(next(iter(result.blocks_sweep.values())))],
+        title="Figure 5b — execution time (s, 10000 runs) vs number of blocks (1024 threads/block)",
+    )
+    for op, sweep in result.blocks_sweep.items():
+        table_b.add_row([op] + [f"{sweep[b]:.2f}" for b in sorted(sweep)])
+    lines.append(table_b.render())
+    for op in result.threads_sweep:
+        lines.append(
+            f"{op}: default-vs-best gap {result.default_gap_threads(op) * 100:.1f}% "
+            f"(threads/block), {result.default_gap_blocks(op) * 100:.1f}% (#blocks)"
+        )
+    return "\n\n".join(lines)

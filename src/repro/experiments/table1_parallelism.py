@@ -1,0 +1,83 @@
+"""Table I: NN model performance under uniform inter-op / intra-op settings.
+
+The paper runs ResNet-50 and DCGAN with every combination of inter-op
+parallelism in {1, 2, 4} and intra-op parallelism in {34, 68, 136}, and
+shows that the recommended configuration (1, 68) is not the best — up to
+28% better configurations exist — while oversubscribed settings are far
+worse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.tf_default import UniformPolicy, recommended_policy
+from repro.execsim.simulator import StepSimulator
+from repro.experiments.common import build_paper_model, default_machine
+from repro.hardware.topology import Machine
+from repro.utils.tables import TextTable
+
+#: Speedups over the recommendation the paper reports (ResNet-50, DCGAN).
+PAPER_REFERENCE = {
+    ("resnet50", 1, 34): 0.98,
+    ("resnet50", 2, 34): 1.27,
+    ("resnet50", 2, 136): 0.34,
+    ("resnet50", 4, 68): 0.45,
+    ("dcgan", 1, 34): 1.21,
+    ("dcgan", 2, 34): 1.28,
+    ("dcgan", 2, 136): 0.42,
+    ("dcgan", 4, 68): 0.93,
+}
+
+MODELS: tuple[str, ...] = ("resnet50", "dcgan")
+INTER_OP: tuple[int, ...] = (1, 2, 4)
+INTRA_OP: tuple[int, ...] = (34, 68, 136)
+
+
+@dataclass
+class Table1Result:
+    """Step times and speedups for every (model, inter, intra) combination."""
+
+    #: (model, inter, intra) -> step time in seconds.
+    times: dict[tuple[str, int, int], float] = field(default_factory=dict)
+    #: model -> baseline (recommendation) step time.
+    baselines: dict[str, float] = field(default_factory=dict)
+
+    def speedup(self, model: str, inter: int, intra: int) -> float:
+        return self.baselines[model] / self.times[(model, inter, intra)]
+
+
+def run(
+    machine: Machine | None = None,
+    *,
+    models: tuple[str, ...] = MODELS,
+    reduced: bool = False,
+) -> Table1Result:
+    machine = machine or default_machine()
+    simulator = StepSimulator(machine)
+    result = Table1Result()
+    for model in models:
+        graph = build_paper_model(model, reduced=reduced)
+        baseline = simulator.run_step(graph, recommended_policy(machine))
+        result.baselines[model] = baseline.step_time
+        for inter in INTER_OP:
+            for intra in INTRA_OP:
+                outcome = simulator.run_step(graph, UniformPolicy(intra, inter))
+                result.times[(model, inter, intra)] = outcome.step_time
+    return result
+
+
+def format_report(result: Table1Result) -> str:
+    models = sorted(result.baselines)
+    headers = ["inter-op", "intra-op"]
+    for model in models:
+        headers.extend([f"{model} time (ms)", f"{model} speedup"])
+    table = TextTable(headers, title="Table I — uniform inter-op / intra-op parallelism")
+    for inter in INTER_OP:
+        for intra in INTRA_OP:
+            row: list = [inter, intra]
+            for model in models:
+                time = result.times[(model, inter, intra)]
+                row.extend([time * 1e3, result.speedup(model, inter, intra)])
+            table.add_row(row)
+    return table.render()

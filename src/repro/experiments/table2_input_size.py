@@ -1,0 +1,114 @@
+"""Table II: the optimal intra-op parallelism depends on the input size.
+
+For three convolution operations and three Inception-v3 input sizes the
+paper finds the best thread count per (operation, size): the optimum grows
+with the input size (e.g. 26 -> 42 -> 68 threads for
+``Conv2DBackpropFilter``) and the penalty of simply using 68 threads
+shrinks accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.execsim.standalone import StandaloneRunner
+from repro.experiments.common import default_machine, motivation_conv_op
+from repro.hardware.affinity import AffinityMode
+from repro.hardware.topology import Machine
+from repro.utils.tables import TextTable
+
+#: (op, input size) -> optimal threads reported by the paper.
+PAPER_REFERENCE = {
+    ("Conv2DBackpropFilter", (32, 8, 8, 384)): 26,
+    ("Conv2DBackpropFilter", (32, 17, 17, 384)): 42,
+    ("Conv2DBackpropFilter", (32, 8, 8, 2048)): 68,
+    ("Conv2DBackpropInput", (32, 8, 8, 384)): 36,
+    ("Conv2DBackpropInput", (32, 17, 17, 384)): 56,
+    ("Conv2DBackpropInput", (32, 8, 8, 2048)): 68,
+    ("Conv2D", (32, 8, 8, 384)): 45,
+    ("Conv2D", (32, 17, 17, 384)): 63,
+    ("Conv2D", (32, 8, 8, 2048)): 66,
+}
+
+OPERATIONS: tuple[str, ...] = (
+    "Conv2DBackpropFilter",
+    "Conv2DBackpropInput",
+    "Conv2D",
+)
+INPUT_SIZES: tuple[tuple[int, int, int, int], ...] = (
+    (32, 8, 8, 384),
+    (32, 17, 17, 384),
+    (32, 8, 8, 2048),
+)
+
+
+@dataclass(frozen=True)
+class InputSizeEntry:
+    op_type: str
+    input_dims: tuple[int, int, int, int]
+    best_threads: int
+    best_time: float
+    time_at_max_threads: float
+
+    @property
+    def performance_variance(self) -> float:
+        """Relative gap between the 68-thread run and the optimum."""
+        if self.time_at_max_threads <= 0:
+            return 0.0
+        return (self.time_at_max_threads - self.best_time) / self.time_at_max_threads
+
+
+@dataclass
+class Table2Result:
+    entries: list[InputSizeEntry] = field(default_factory=list)
+
+    def entry(self, op_type: str, input_dims: tuple[int, int, int, int]) -> InputSizeEntry:
+        for entry in self.entries:
+            if entry.op_type == op_type and entry.input_dims == input_dims:
+                return entry
+        raise KeyError((op_type, input_dims))
+
+
+def run(
+    machine: Machine | None = None,
+    *,
+    operations: tuple[str, ...] = OPERATIONS,
+    input_sizes: tuple[tuple[int, int, int, int], ...] = INPUT_SIZES,
+) -> Table2Result:
+    machine = machine or default_machine()
+    runner = StandaloneRunner(machine)
+    result = Table2Result()
+    max_threads = machine.topology.num_cores
+    for op_type in operations:
+        for dims in input_sizes:
+            op = motivation_conv_op(op_type, dims)
+            best_threads, _, best_time = runner.best_configuration(op)
+            at_max = runner.measure(op, max_threads, AffinityMode.SHARED).total
+            result.entries.append(
+                InputSizeEntry(
+                    op_type=op_type,
+                    input_dims=dims,
+                    best_threads=best_threads,
+                    best_time=best_time,
+                    time_at_max_threads=at_max,
+                )
+            )
+    return result
+
+
+def format_report(result: Table2Result) -> str:
+    table = TextTable(
+        ["operation", "input size", "best threads", "best time (ms)", "variance vs 68 threads"],
+        title="Table II — impact of the input data size on the optimal intra-op parallelism",
+    )
+    for entry in result.entries:
+        table.add_row(
+            [
+                entry.op_type,
+                str(entry.input_dims),
+                entry.best_threads,
+                entry.best_time * 1e3,
+                f"{entry.performance_variance * 100:.1f}%",
+            ]
+        )
+    return table.render()

@@ -1,0 +1,84 @@
+"""Table V: prediction accuracy of the hill-climbing performance model.
+
+For each of the four NN models and each hill-climbing interval
+x in {2, 4, 8, 16}, the paper reports the average accuracy of predicting
+the execution time of the configurations the hill climb did not measure.
+Accuracy is high for small intervals (98% at x=2, ~94% at x=4) and drops
+sharply for coarse intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hill_climbing import HillClimbingModel, ground_truth_sweeps
+from repro.execsim.standalone import StandaloneRunner
+from repro.experiments.common import PAPER_MODELS, build_paper_model, default_machine
+from repro.hardware.topology import Machine
+from repro.utils.tables import TextTable
+
+PAPER_REFERENCE = {
+    ("resnet50", 2): 0.9813,
+    ("resnet50", 4): 0.9545,
+    ("dcgan", 2): 0.9716,
+    ("dcgan", 4): 0.9443,
+    ("inception_v3", 2): 0.9791,
+    ("inception_v3", 4): 0.9422,
+    ("lstm", 2): 0.9556,
+    ("lstm", 4): 0.9045,
+}
+
+INTERVALS: tuple[int, ...] = (2, 4, 8, 16)
+
+
+@dataclass
+class Table5Result:
+    #: (model, interval) -> prediction accuracy in [0, 1].
+    accuracy: dict[tuple[str, int], float] = field(default_factory=dict)
+    #: (model, interval) -> number of standalone measurements the profiler took.
+    measurements: dict[tuple[str, int], int] = field(default_factory=dict)
+
+
+def run(
+    machine: Machine | None = None,
+    *,
+    models: tuple[str, ...] = PAPER_MODELS,
+    intervals: tuple[int, ...] = INTERVALS,
+    reduced: bool = True,
+    profiling_noise: float = 0.01,
+) -> Table5Result:
+    """Profile every model with every interval and score the interpolation.
+
+    ``reduced=True`` uses the smaller model variants (same op-type and
+    shape mix, fewer layers) so the sweep stays fast; accuracy is computed
+    per unique operation signature, so the reduction barely affects it.
+    """
+    machine = machine or default_machine()
+    result = Table5Result()
+    for model_name in models:
+        graph = build_paper_model(model_name, reduced=reduced)
+        truth_runner = StandaloneRunner(machine)
+        truth = ground_truth_sweeps(list(graph), truth_runner)
+        for interval in intervals:
+            runner = StandaloneRunner(machine, noise_sigma=profiling_noise, seed=interval)
+            model = HillClimbingModel(machine, interval=interval)
+            model.profile_graph(graph, runner)
+            accuracy = model.accuracy_against(truth)
+            result.accuracy[(model_name, interval)] = accuracy.accuracy
+            result.measurements[(model_name, interval)] = model.total_measurements()
+    return result
+
+
+def format_report(result: Table5Result) -> str:
+    intervals = sorted({interval for _, interval in result.accuracy})
+    models = sorted({model for model, _ in result.accuracy})
+    table = TextTable(
+        ["model"] + [f"x={interval}" for interval in intervals],
+        title="Table V — hill-climbing performance model prediction accuracy",
+    )
+    for model in models:
+        row: list = [model]
+        for interval in intervals:
+            row.append(f"{result.accuracy[(model, interval)] * 100:.2f}%")
+        table.add_row(row)
+    return table.render()

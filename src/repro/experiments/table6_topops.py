@@ -1,0 +1,100 @@
+"""Table VI: the top-5 most time-consuming operations per model.
+
+The paper compares, per NN model, the aggregate time of the five most
+expensive operation types under the TensorFlow recommendation and after
+applying Strategies 1 and 2 (per-operation concurrency control); every
+operation improves or at least matches, by up to 34%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.tf_default import recommended_policy
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import TrainingRuntime
+from repro.experiments.common import PAPER_MODELS, build_paper_model, default_machine
+from repro.hardware.topology import Machine
+from repro.profiling.profiler import StepProfiler
+from repro.utils.tables import TextTable
+
+#: A few of the paper's per-op speedups from Strategies 1+2 (Table VI).
+PAPER_REFERENCE = {
+    ("resnet50", "Conv2DBackpropFilter"): 1.08,
+    ("dcgan", "Conv2DBackpropInput"): 1.14,
+    ("dcgan", "Conv2DBackpropFilter"): 1.21,
+    ("inception_v3", "AvgPool"): 1.04,
+    ("lstm", "SparseSoftmaxCross"): 1.34,
+}
+
+
+@dataclass(frozen=True)
+class TopOpEntry:
+    model: str
+    op_type: str
+    recommendation_time: float
+    strategies_1_2_time: float
+
+    @property
+    def speedup(self) -> float:
+        if self.strategies_1_2_time <= 0:
+            return float("inf")
+        return self.recommendation_time / self.strategies_1_2_time
+
+
+@dataclass
+class Table6Result:
+    entries: list[TopOpEntry] = field(default_factory=list)
+
+    def for_model(self, model: str) -> list[TopOpEntry]:
+        return [e for e in self.entries if e.model == model]
+
+
+def run(
+    machine: Machine | None = None,
+    *,
+    models: tuple[str, ...] = PAPER_MODELS,
+    top_n: int = 5,
+    reduced: bool = False,
+) -> Table6Result:
+    machine = machine or default_machine()
+    result = Table6Result()
+    for model_name in models:
+        graph = build_paper_model(model_name, reduced=reduced)
+        runtime = TrainingRuntime(machine, RuntimeConfig.strategies_1_2())
+        model = runtime.profile(graph)
+        policy = runtime.build_policy(model)
+        s12 = runtime.simulator.run_step(graph, policy, step_name="strategies_1_2")
+        recommendation = runtime.simulator.run_step(
+            graph, recommended_policy(machine), step_name="recommendation"
+        )
+        rec_stats = StepProfiler(recommendation.trace)
+        s12_stats = StepProfiler(s12.trace)
+        for stats in rec_stats.top_op_types(top_n):
+            result.entries.append(
+                TopOpEntry(
+                    model=model_name,
+                    op_type=stats.op_type,
+                    recommendation_time=stats.total_time,
+                    strategies_1_2_time=s12_stats.total_time_of(stats.op_type),
+                )
+            )
+    return result
+
+
+def format_report(result: Table6Result) -> str:
+    table = TextTable(
+        ["model", "operation", "recommendation (ms)", "strategies 1+2 (ms)", "speedup"],
+        title="Table VI — top-5 most time-consuming operations, recommendation vs Strategies 1+2",
+    )
+    for entry in result.entries:
+        table.add_row(
+            [
+                entry.model,
+                entry.op_type,
+                entry.recommendation_time * 1e3,
+                entry.strategies_1_2_time * 1e3,
+                f"{entry.speedup:.2f}",
+            ]
+        )
+    return table.render()

@@ -1,0 +1,85 @@
+"""Table VII: co-running operations in separate CUDA streams.
+
+For five operation types the paper runs two instances either serially
+(TensorFlow's single-stream default) or concurrently in two streams; the
+co-run wins by 1.75x-1.91x because a single kernel does not keep the
+whole GPU busy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.execsim.gpu import GpuKernelModel
+from repro.graph.op import OpInstance
+from repro.graph.shapes import TensorShape
+from repro.hardware.gpu import p100_gpu
+from repro.ops.cost import characterize
+from repro.utils.tables import TextTable
+
+PAPER_REFERENCE = {
+    "Conv2DBackpropFilter": 1.78,
+    "Conv2DBackpropInput": 1.84,
+    "Conv2D": 1.91,
+    "BiasAdd": 1.79,
+    "MaxPooling": 1.75,
+}
+
+
+def _gpu_ops() -> dict[str, OpInstance]:
+    act = TensorShape((32, 17, 17, 384))
+    grad = TensorShape((32, 17, 17, 384))
+    weights = TensorShape((3, 3, 384, 384))
+    attrs = {"kernel": (3, 3), "stride": 1}
+    return {
+        "Conv2DBackpropFilter": OpInstance(
+            "gpu_filter_grad", "Conv2DBackpropFilter", (act, grad), weights, attrs=attrs
+        ),
+        "Conv2DBackpropInput": OpInstance(
+            "gpu_input_grad", "Conv2DBackpropInput", (act, grad), act, attrs=attrs
+        ),
+        "Conv2D": OpInstance("gpu_conv", "Conv2D", (act,), grad, attrs=attrs),
+        "BiasAdd": OpInstance(
+            "gpu_bias", "BiasAdd", (act, TensorShape((384,))), act
+        ),
+        "MaxPooling": OpInstance(
+            "gpu_pool",
+            "MaxPooling",
+            (TensorShape((32, 35, 35, 288)),),
+            TensorShape((32, 17, 17, 288)),
+            attrs={"kernel": (3, 3), "stride": 2},
+        ),
+    }
+
+
+@dataclass
+class Table7Result:
+    #: op -> (serial time, co-run time) over `repeats` invocations of 2 instances.
+    times: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def speedup(self, op: str) -> float:
+        serial, corun = self.times[op]
+        return serial / corun
+
+
+def run(*, repeats: int = 10000) -> Table7Result:
+    gpu = GpuKernelModel(p100_gpu())
+    result = Table7Result()
+    for name, op in _gpu_ops().items():
+        chars = characterize(op)
+        config, _ = gpu.best_config(chars)
+        kernels = ((chars, config), (chars, config))
+        serial = gpu.serial_time(kernels, repeats=repeats)
+        corun = gpu.corun_time(kernels, repeats=repeats)
+        result.times[name] = (serial, corun)
+    return result
+
+
+def format_report(result: Table7Result) -> str:
+    table = TextTable(
+        ["operation", "serial (s)", "co-run (s)", "speedup"],
+        title="Table VII — co-running two instances in separate CUDA streams (10000 runs)",
+    )
+    for op, (serial, corun) in result.times.items():
+        table.add_row([op, serial, corun, f"{result.speedup(op):.2f}"])
+    return table.render()

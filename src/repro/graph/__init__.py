@@ -1,0 +1,32 @@
+"""Operation-level dataflow graph (the role TensorFlow's graph plays).
+
+A training step is a DAG whose nodes are *operation instances*
+(:class:`repro.graph.op.OpInstance`) — a concrete invocation of an
+operation type such as ``Conv2DBackpropFilter`` with specific input
+tensor shapes — and whose edges are data/control dependencies.  An
+instance becomes *ready* once all of its predecessors have finished,
+exactly the execution semantics the paper's scheduler works against.
+"""
+
+from repro.graph.shapes import TensorShape
+from repro.graph.op import OpInstance, OpSignature
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.traversal import (
+    critical_path_length,
+    max_width,
+    ready_frontier,
+    topological_order,
+)
+
+__all__ = [
+    "TensorShape",
+    "OpInstance",
+    "OpSignature",
+    "DataflowGraph",
+    "GraphBuilder",
+    "topological_order",
+    "ready_frontier",
+    "critical_path_length",
+    "max_width",
+]

@@ -1,0 +1,110 @@
+"""Convenience builder used by the NN model generators.
+
+Keeps track of the "current" frontier so sequential layers chain
+automatically, generates unique names, and understands the fact that a
+training step contains forward ops, their gradients, and optimizer
+update ops.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.op import OpInstance
+from repro.graph.shapes import TensorShape
+
+
+class GraphBuilder:
+    """Incrementally construct a :class:`DataflowGraph`.
+
+    >>> b = GraphBuilder("demo")
+    >>> x = b.add("Conv2D", inputs=[TensorShape((32, 8, 8, 384))],
+    ...           output=TensorShape((32, 8, 8, 384)))
+    >>> y = b.add("BiasAdd", inputs=[x.output], output=x.output, deps=[x])
+    >>> graph = b.build()
+    >>> len(graph)
+    2
+    """
+
+    def __init__(self, name: str) -> None:
+        self.graph = DataflowGraph(name=name)
+        self._counters: dict[str, int] = {}
+
+    def _unique_name(self, op_type: str, scope: str | None) -> str:
+        base = f"{scope}/{op_type}" if scope else op_type
+        index = self._counters.get(base, 0)
+        self._counters[base] = index + 1
+        return f"{base}_{index}"
+
+    def add(
+        self,
+        op_type: str,
+        *,
+        inputs: Sequence[TensorShape],
+        output: TensorShape,
+        deps: Iterable[OpInstance | str] = (),
+        scope: str | None = None,
+        attrs: Mapping[str, Any] | None = None,
+        implementation: str = "mkl",
+        name: str | None = None,
+    ) -> OpInstance:
+        """Add an operation instance and return it."""
+        op = OpInstance(
+            name=name or self._unique_name(op_type, scope),
+            op_type=op_type,
+            inputs=tuple(inputs),
+            output=output,
+            attrs=dict(attrs or {}),
+            implementation=implementation,
+        )
+        self.graph.add_op(op, deps=deps)
+        return op
+
+    def chain(
+        self,
+        specs: Sequence[tuple[str, Sequence[TensorShape], TensorShape]],
+        *,
+        deps: Iterable[OpInstance | str] = (),
+        scope: str | None = None,
+    ) -> list[OpInstance]:
+        """Add a linear chain of operations, each depending on the previous.
+
+        ``specs`` is a list of ``(op_type, inputs, output)`` tuples.  The
+        first element additionally depends on ``deps``.
+        """
+        added: list[OpInstance] = []
+        previous: list[OpInstance | str] = list(deps)
+        for op_type, inputs, output in specs:
+            op = self.add(op_type, inputs=inputs, output=output, deps=previous, scope=scope)
+            added.append(op)
+            previous = [op]
+        return added
+
+    def join(
+        self,
+        op_type: str,
+        branches: Sequence[OpInstance],
+        *,
+        inputs: Sequence[TensorShape],
+        output: TensorShape,
+        scope: str | None = None,
+        attrs: Mapping[str, Any] | None = None,
+    ) -> OpInstance:
+        """Add an operation depending on every op in ``branches`` (e.g. a
+        concat or add joining parallel branches)."""
+        if not branches:
+            raise ValueError("join needs at least one branch")
+        return self.add(
+            op_type,
+            inputs=inputs,
+            output=output,
+            deps=branches,
+            scope=scope,
+            attrs=attrs,
+        )
+
+    def build(self) -> DataflowGraph:
+        """Validate and return the constructed graph."""
+        self.graph.validate()
+        return self.graph

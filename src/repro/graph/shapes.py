@@ -1,0 +1,87 @@
+"""Tensor shape description used throughout the graph and cost models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """An immutable tensor shape with element/byte accounting.
+
+    The convolution shapes in the paper are NHWC, e.g. ``(32, 8, 8, 2048)``
+    means batch 32, 8x8 spatial, 2048 channels.
+
+    >>> TensorShape((32, 8, 8, 384)).num_elements
+    786432
+    """
+
+    dims: tuple[int, ...]
+    dtype_bytes: int = 4
+
+    def __init__(self, dims: Iterable[int], dtype_bytes: int = 4) -> None:
+        dims_tuple = tuple(int(d) for d in dims)
+        if any(d <= 0 for d in dims_tuple):
+            raise ValueError(f"all dimensions must be positive, got {dims_tuple}")
+        if dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+        object.__setattr__(self, "dims", dims_tuple)
+        object.__setattr__(self, "dtype_bytes", int(dtype_bytes))
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def num_elements(self) -> int:
+        count = 1
+        for d in self.dims:
+            count *= d
+        return count
+
+    @property
+    def num_bytes(self) -> int:
+        return self.num_elements * self.dtype_bytes
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.dims)
+
+    def __len__(self) -> int:
+        return len(self.dims)
+
+    def __getitem__(self, index: int) -> int:
+        return self.dims[index]
+
+    def __str__(self) -> str:
+        return "(" + ",".join(str(d) for d in self.dims) + ")"
+
+    # -- common NHWC accessors ---------------------------------------------------
+
+    @property
+    def batch(self) -> int:
+        """First dimension (batch for NHWC activations)."""
+        return self.dims[0]
+
+    @property
+    def channels(self) -> int:
+        """Last dimension (channels for NHWC activations)."""
+        return self.dims[-1]
+
+    @property
+    def spatial(self) -> tuple[int, ...]:
+        """The dimensions between batch and channels."""
+        if self.rank < 3:
+            return ()
+        return self.dims[1:-1]
+
+    def with_batch(self, batch: int) -> "TensorShape":
+        """Return the same shape with a different leading dimension."""
+        if self.rank == 0:
+            raise ValueError("cannot change batch of a scalar shape")
+        return TensorShape((batch, *self.dims[1:]), self.dtype_bytes)
+
+
+def shape(*dims: int, dtype_bytes: int = 4) -> TensorShape:
+    """Convenience constructor: ``shape(32, 8, 8, 384)``."""
+    return TensorShape(dims, dtype_bytes=dtype_bytes)

@@ -1,0 +1,81 @@
+"""Graph traversal helpers: topological order, ready frontier, critical path."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+import networkx as nx
+
+from repro.graph.dataflow import DataflowGraph
+
+
+def topological_order(graph: DataflowGraph) -> tuple[str, ...]:
+    """A deterministic topological ordering of operation names.
+
+    Ties are broken lexicographically so that repeated runs (and tests)
+    see the same order.
+    """
+    g = graph.to_networkx()
+    return tuple(nx.lexicographical_topological_sort(g))
+
+
+def ready_frontier(graph: DataflowGraph, completed: Iterable[str]) -> tuple[str, ...]:
+    """Operations whose dependencies are all in ``completed`` and which are
+    not themselves completed — the "ready to run" queue of the paper.
+    """
+    done = set(completed)
+    unknown = done - {op.name for op in graph}
+    if unknown:
+        raise KeyError(f"completed set references unknown operations: {sorted(unknown)}")
+    ready = []
+    for op in graph:
+        if op.name in done:
+            continue
+        if all(dep in done for dep in graph.predecessors(op.name)):
+            ready.append(op.name)
+    return tuple(sorted(ready))
+
+
+def critical_path_length(
+    graph: DataflowGraph,
+    cost: Mapping[str, float] | Callable[[str], float],
+) -> float:
+    """Length of the longest weighted path (the step's lower bound on time
+    with unlimited parallelism), with per-node costs from ``cost``.
+    """
+    get = cost.__getitem__ if isinstance(cost, Mapping) else cost
+    order = topological_order(graph)
+    longest: dict[str, float] = {}
+    for name in order:
+        node_cost = float(get(name))
+        if node_cost < 0:
+            raise ValueError(f"negative cost for {name}")
+        preds = graph.predecessors(name)
+        best_pred = max((longest[p] for p in preds), default=0.0)
+        longest[name] = best_pred + node_cost
+    return max(longest.values(), default=0.0)
+
+
+def max_width(graph: DataflowGraph) -> int:
+    """Maximum number of operations that could ever be ready simultaneously
+    (the width of the DAG's level decomposition) — an upper bound on useful
+    inter-op parallelism.
+    """
+    order = topological_order(graph)
+    level: dict[str, int] = {}
+    for name in order:
+        preds = graph.predecessors(name)
+        level[name] = 1 + max((level[p] for p in preds), default=-1)
+    counts: dict[int, int] = {}
+    for lvl in level.values():
+        counts[lvl] = counts.get(lvl, 0) + 1
+    return max(counts.values(), default=0)
+
+
+def serial_time(
+    graph: DataflowGraph,
+    cost: Mapping[str, float] | Callable[[str], float],
+) -> float:
+    """Sum of all node costs (time to run every op back to back)."""
+    get = cost.__getitem__ if isinstance(cost, Mapping) else cost
+    return float(sum(get(op.name) for op in graph))

@@ -1,0 +1,52 @@
+"""Simulated hardware substrates.
+
+The paper's runtime makes decisions on an Intel Knights Landing (KNL)
+manycore node (68 cores, 34 tiles sharing a 1 MB L2 each, 4 SMT threads
+per core, MCDRAM in cache mode) and, in its preliminary GPU study, on an
+Nvidia P100.  We have neither, so this subpackage provides analytic
+machine models exposing exactly the properties those decisions depend on:
+
+* core/tile topology and thread placement (:mod:`repro.hardware.topology`,
+  :mod:`repro.hardware.affinity`),
+* cache reuse as a function of per-tile working set
+  (:mod:`repro.hardware.cache`),
+* memory bandwidth and its saturation under many cores
+  (:mod:`repro.hardware.memory`),
+* simultaneous multithreading throughput (:mod:`repro.hardware.hyperthread`),
+* hardware performance counters with realistic measurement noise
+  (:mod:`repro.hardware.counters`),
+* a P100-like GPU occupancy model (:mod:`repro.hardware.gpu`).
+"""
+
+from repro.hardware.topology import CoreTopology, Machine
+from repro.hardware.memory import MemoryHierarchy
+from repro.hardware.cache import CacheModel
+from repro.hardware.hyperthread import SmtModel
+from repro.hardware.affinity import (
+    AffinityMode,
+    ThreadPlacement,
+    CoreAllocator,
+    CoreAllocation,
+)
+from repro.hardware.knl import knl_machine, small_knl_machine
+from repro.hardware.counters import CounterEvent, CounterSimulator, CounterSample
+from repro.hardware.gpu import GpuSpec, p100_gpu
+
+__all__ = [
+    "CoreTopology",
+    "Machine",
+    "MemoryHierarchy",
+    "CacheModel",
+    "SmtModel",
+    "AffinityMode",
+    "ThreadPlacement",
+    "CoreAllocator",
+    "CoreAllocation",
+    "knl_machine",
+    "small_knl_machine",
+    "CounterEvent",
+    "CounterSimulator",
+    "CounterSample",
+    "GpuSpec",
+    "p100_gpu",
+]

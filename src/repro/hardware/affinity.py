@@ -1,0 +1,241 @@
+"""Thread affinity (tile placement) and core allocation.
+
+Two concerns live here:
+
+* :class:`ThreadPlacement` — how the threads of a *single* operation are
+  laid out over tiles.  The paper evaluates two layouts: *cache sharing*
+  (consecutive thread ids pinned to the same tile, two threads per tile)
+  and *no cache sharing* (one thread per tile).  The 68 prediction cases
+  of Section III-B are exactly: 1..34 threads spread one-per-tile, and
+  2, 4, ..., 68 threads packed two-per-tile.
+* :class:`CoreAllocator` — which physical cores each *co-running*
+  operation owns (Strategy 3 partitions the chip between operations).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.hardware.topology import CoreTopology
+
+
+class AffinityMode(enum.Enum):
+    """Thread-to-tile layout of a single operation."""
+
+    #: One thread per tile: threads never share a last-level cache.
+    SPREAD = "spread"
+    #: Two threads (consecutive ids) per tile: siblings share the tile L2.
+    SHARED = "shared"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ThreadPlacement:
+    """Placement of ``num_threads`` threads of one operation.
+
+    ``tiles_used`` is the number of distinct tiles hosting at least one
+    thread; ``threads_per_tile`` is the (maximum) number of sibling
+    threads on a tile.
+    """
+
+    num_threads: int
+    mode: AffinityMode
+    tiles_used: int
+    threads_per_tile: int
+    cores_used: int
+
+    @property
+    def siblings_share_tile(self) -> bool:
+        return self.threads_per_tile > 1
+
+    @staticmethod
+    def plan(num_threads: int, mode: AffinityMode, topology: CoreTopology) -> "ThreadPlacement":
+        """Compute the placement of ``num_threads`` under ``mode``.
+
+        Raises ``ValueError`` when the placement is infeasible (e.g. more
+        spread threads than tiles, or more shared threads than cores).
+        """
+        if num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+        if mode is AffinityMode.SPREAD:
+            if num_threads > topology.num_tiles:
+                raise ValueError(
+                    f"spread placement of {num_threads} threads exceeds "
+                    f"{topology.num_tiles} tiles"
+                )
+            return ThreadPlacement(
+                num_threads=num_threads,
+                mode=mode,
+                tiles_used=num_threads,
+                threads_per_tile=1,
+                cores_used=num_threads,
+            )
+        if num_threads > topology.num_cores:
+            raise ValueError(
+                f"shared placement of {num_threads} threads exceeds "
+                f"{topology.num_cores} cores"
+            )
+        per_tile = min(num_threads, topology.cores_per_tile)
+        tiles = -(-num_threads // topology.cores_per_tile)  # ceil division
+        return ThreadPlacement(
+            num_threads=num_threads,
+            mode=mode,
+            tiles_used=tiles,
+            threads_per_tile=per_tile,
+            cores_used=num_threads,
+        )
+
+    @staticmethod
+    def feasible_thread_counts(mode: AffinityMode, topology: CoreTopology) -> tuple[int, ...]:
+        """Thread counts the paper's performance model considers for ``mode``.
+
+        SPREAD: 1..num_tiles.  SHARED: even counts 2..num_cores (odd counts
+        would leave one tile imbalanced, which the paper excludes).
+        """
+        if mode is AffinityMode.SPREAD:
+            return tuple(range(1, topology.num_tiles + 1))
+        return tuple(range(2, topology.num_cores + 1, 2))
+
+
+def prediction_cases(topology: CoreTopology) -> tuple[tuple[int, AffinityMode], ...]:
+    """The full set of (threads, affinity) prediction cases of Section III-B.
+
+    On KNL this yields 68 cases: 34 spread + 34 shared.
+    """
+    cases: list[tuple[int, AffinityMode]] = []
+    for count in ThreadPlacement.feasible_thread_counts(AffinityMode.SPREAD, topology):
+        cases.append((count, AffinityMode.SPREAD))
+    for count in ThreadPlacement.feasible_thread_counts(AffinityMode.SHARED, topology):
+        cases.append((count, AffinityMode.SHARED))
+    return tuple(cases)
+
+
+@dataclass(frozen=True)
+class CoreAllocation:
+    """A set of physical cores granted to one running operation."""
+
+    core_ids: tuple[int, ...]
+    #: Hardware-thread slot on each core (0 = primary, 1.. = hyper-thread).
+    smt_slot: int = 0
+
+    def __post_init__(self) -> None:
+        if len(set(self.core_ids)) != len(self.core_ids):
+            raise ValueError("core_ids must be unique")
+        if self.smt_slot < 0:
+            raise ValueError("smt_slot must be non-negative")
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.core_ids)
+
+    def tiles(self, topology: CoreTopology) -> set[int]:
+        return {topology.tile_of_core(c) for c in self.core_ids}
+
+
+class CoreAllocator:
+    """Tracks which physical cores are free and grants tile-aware allocations.
+
+    The allocator prefers granting whole tiles (so that an operation's
+    sibling threads can share a tile L2) and falls back to stray cores.
+    Hyper-thread slots are tracked separately: Strategy 4 places small
+    operations on the secondary SMT slot of cores whose primary slot is
+    busy.
+    """
+
+    def __init__(self, topology: CoreTopology) -> None:
+        self.topology = topology
+        self._free_primary: set[int] = set(range(topology.num_cores))
+        #: Cores whose primary slot is busy but secondary slot is free.
+        self._free_secondary: set[int] = set()
+
+    # -- primary-slot allocation -------------------------------------------------
+
+    @property
+    def free_cores(self) -> int:
+        """Number of cores with a free primary slot."""
+        return len(self._free_primary)
+
+    @property
+    def free_hyperthread_cores(self) -> int:
+        """Number of busy cores with a free secondary SMT slot."""
+        return len(self._free_secondary)
+
+    def allocate(self, num_cores: int) -> CoreAllocation:
+        """Allocate ``num_cores`` primary slots, preferring whole tiles."""
+        if num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if num_cores > len(self._free_primary):
+            raise RuntimeError(
+                f"requested {num_cores} cores but only {len(self._free_primary)} free"
+            )
+        chosen: list[int] = []
+        # First take fully-free tiles.
+        for tile in range(self.topology.num_tiles):
+            if len(chosen) >= num_cores:
+                break
+            cores = self.topology.cores_of_tile(tile)
+            if all(c in self._free_primary for c in cores):
+                take = min(len(cores), num_cores - len(chosen))
+                chosen.extend(cores[:take])
+        # Then stray cores.
+        if len(chosen) < num_cores:
+            for core in sorted(self._free_primary):
+                if core in chosen:
+                    continue
+                chosen.append(core)
+                if len(chosen) >= num_cores:
+                    break
+        allocation = CoreAllocation(core_ids=tuple(sorted(chosen)))
+        self._mark_busy(allocation)
+        return allocation
+
+    def allocate_hyperthreads(self, num_cores: int) -> CoreAllocation:
+        """Allocate ``num_cores`` secondary SMT slots on busy cores."""
+        if num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if num_cores > len(self._free_secondary):
+            raise RuntimeError(
+                f"requested {num_cores} hyper-thread slots but only "
+                f"{len(self._free_secondary)} available"
+            )
+        chosen = sorted(self._free_secondary)[:num_cores]
+        for core in chosen:
+            self._free_secondary.discard(core)
+        return CoreAllocation(core_ids=tuple(chosen), smt_slot=1)
+
+    def release(self, allocation: CoreAllocation) -> None:
+        """Return an allocation's slots to the free pools."""
+        if allocation.smt_slot == 0:
+            for core in allocation.core_ids:
+                if core in self._free_primary:
+                    raise RuntimeError(f"core {core} released twice")
+                self._free_primary.add(core)
+                # A core whose primary slot is free no longer offers a
+                # meaningful "hyper-thread only" slot.
+                self._free_secondary.discard(core)
+        else:
+            for core in allocation.core_ids:
+                if core in self._free_primary:
+                    # The primary owner already finished; nothing to do.
+                    continue
+                self._free_secondary.add(core)
+
+    def _mark_busy(self, allocation: CoreAllocation) -> None:
+        for core in allocation.core_ids:
+            self._free_primary.discard(core)
+            self._free_secondary.add(core)
+
+    def reserve_all(self) -> CoreAllocation:
+        """Allocate every free primary slot (used by core-filling operations)."""
+        return self.allocate(len(self._free_primary))
+
+    def snapshot(self) -> dict[str, int]:
+        """Debug view of the allocator state."""
+        return {
+            "free_primary": len(self._free_primary),
+            "free_secondary": len(self._free_secondary),
+        }

@@ -1,0 +1,106 @@
+"""Tile-level cache reuse model.
+
+Two cores on a KNL tile share a 1 MB L2.  How much of an operation's
+memory traffic is served from that L2 depends on the per-tile working set
+and on whether the two sibling threads work on adjacent loop iterations
+(the "cache sharing" affinity of the paper, where threads with
+consecutive ids are pinned to the same tile and reuse each other's data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Analytic L2 reuse model.
+
+    Attributes
+    ----------
+    l1_size_per_core:
+        L1 data cache per core, bytes.
+    l2_size_per_tile:
+        Shared L2 per tile, bytes (1 MiB on KNL).
+    sibling_sharing_bonus:
+        Fraction of a thread's working set that overlaps with its tile
+        sibling when the "cache sharing" affinity is used (consecutive
+        thread ids work on adjacent iterations of the parallel loop).
+    reuse_ceiling:
+        Maximum fraction of memory traffic that can be eliminated by L2
+        reuse even when the working set fits entirely (cold misses and
+        streaming stores always go to memory).
+    """
+
+    l1_size_per_core: int = 32 * 1024
+    l2_size_per_tile: int = 1024 * 1024
+    sibling_sharing_bonus: float = 0.35
+    reuse_ceiling: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.l1_size_per_core <= 0 or self.l2_size_per_tile <= 0:
+            raise ValueError("cache sizes must be positive")
+        if not (0.0 <= self.sibling_sharing_bonus < 1.0):
+            raise ValueError("sibling_sharing_bonus must lie in [0, 1)")
+        if not (0.0 < self.reuse_ceiling <= 1.0):
+            raise ValueError("reuse_ceiling must lie in (0, 1]")
+
+    def fit_fraction(self, working_set_per_tile: float) -> float:
+        """Fraction of the per-tile working set resident in the tile L2.
+
+        Uses a smooth saturating curve instead of a hard cliff: real
+        kernels blocked for cache degrade gracefully as the working set
+        outgrows the L2.
+        """
+        if working_set_per_tile < 0:
+            raise ValueError("working set must be non-negative")
+        if working_set_per_tile == 0:
+            return 1.0
+        ratio = self.l2_size_per_tile / working_set_per_tile
+        # ratio >= 1 -> fully resident, ratio -> 0 -> nothing resident.
+        return float(min(1.0, ratio) ** 0.75)
+
+    def reuse_fraction(
+        self,
+        working_set_per_tile: float,
+        *,
+        siblings_share_tile: bool,
+        reuse_potential: float,
+    ) -> float:
+        """Fraction of memory traffic eliminated by the tile L2.
+
+        Parameters
+        ----------
+        working_set_per_tile:
+            Bytes actively touched by the threads on one tile.
+        siblings_share_tile:
+            True when two threads of the same operation are co-located on
+            the tile (the paper's cache-sharing affinity).
+        reuse_potential:
+            Operation-specific temporal reuse in [0, 1]; high for blocked
+            GEMM/conv kernels, low for streaming elementwise ops.
+        """
+        if not (0.0 <= reuse_potential <= 1.0):
+            raise ValueError("reuse_potential must lie in [0, 1]")
+        fit = self.fit_fraction(working_set_per_tile)
+        reuse = reuse_potential * fit
+        if siblings_share_tile:
+            # Siblings touching adjacent iterations effectively shrink the
+            # combined working set and convert some of each other's misses
+            # into L2 hits.
+            reuse = reuse + (1.0 - reuse) * self.sibling_sharing_bonus * fit
+        return float(min(self.reuse_ceiling, reuse))
+
+    def thrash_penalty(self, reconfigurations: int) -> float:
+        """Multiplicative slowdown from repeatedly resizing thread teams.
+
+        Each concurrency change flushes warm per-thread state; the penalty
+        saturates (diminishing additional damage) with the number of
+        changes between two executions of the same operation.
+        """
+        if reconfigurations < 0:
+            raise ValueError("reconfigurations must be non-negative")
+        if reconfigurations == 0:
+            return 1.0
+        return 1.0 + 0.06 * math.log2(1 + reconfigurations)

@@ -1,0 +1,93 @@
+"""P100-like GPU model for the paper's preliminary GPU study (Section VII).
+
+The study needs only two responses:
+
+* kernel execution time as a function of the launch configuration
+  (threads per block, number of thread blocks) — Figure 5; and
+* throughput of two kernels co-running in separate CUDA streams versus
+  running them serially — Table VII.
+
+Both are captured by a simple occupancy/roofline model of a Tesla P100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of the GPU."""
+
+    name: str = "Nvidia Tesla P100"
+    num_sms: int = 56
+    cores_per_sm: int = 64
+    max_threads_per_sm: int = 2048
+    max_threads_per_block: int = 1024
+    max_blocks_per_sm: int = 32
+    warp_size: int = 32
+    frequency_hz: float = 1.3e9
+    l2_size: int = 4 * 1024 * 1024
+    memory_bandwidth: float = 732e9
+    #: Sustained fraction of peak FLOP/s for tuned kernels.
+    compute_efficiency: float = 0.45
+    #: Fixed kernel launch latency in seconds.
+    launch_latency: float = 6e-6
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0 or self.cores_per_sm <= 0:
+            raise ValueError("SM configuration must be positive")
+        if self.max_threads_per_block <= 0 or self.warp_size <= 0:
+            raise ValueError("thread limits must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def peak_flops(self) -> float:
+        # 2 FLOPs per core per cycle (FMA).
+        return self.total_cores * self.frequency_hz * 2.0
+
+    @property
+    def effective_flops(self) -> float:
+        return self.peak_flops * self.compute_efficiency
+
+    def occupancy(self, threads_per_block: int, num_blocks: int) -> float:
+        """Fraction of the GPU's thread slots that the launch keeps busy.
+
+        Captures the two first-order effects of Figure 5: too few threads
+        per block (or too few blocks) underutilise SMs, while oversized
+        launches gain nothing and pay slightly more scheduling overhead.
+        """
+        if threads_per_block <= 0 or num_blocks <= 0:
+            raise ValueError("launch configuration must be positive")
+        threads_per_block = min(threads_per_block, self.max_threads_per_block)
+        # Round up to whole warps: a 48-thread block still occupies 2 warps.
+        warps_per_block = -(-threads_per_block // self.warp_size)
+        effective_threads_per_block = warps_per_block * self.warp_size
+        blocks_per_sm = min(
+            self.max_blocks_per_sm,
+            max(1, self.max_threads_per_sm // effective_threads_per_block),
+        )
+        resident_blocks = min(num_blocks, blocks_per_sm * self.num_sms)
+        resident_threads = resident_blocks * effective_threads_per_block
+        max_resident = self.num_sms * self.max_threads_per_sm
+        occ = resident_threads / max_resident
+        # Having fewer blocks than SMs leaves SMs idle regardless of block size.
+        sm_coverage = min(1.0, num_blocks / self.num_sms)
+        return float(min(1.0, occ) * sm_coverage)
+
+    def scheduling_overhead(self, threads_per_block: int, num_blocks: int) -> float:
+        """Relative overhead of managing the launch (more blocks and very
+        large blocks cost slightly more)."""
+        if threads_per_block <= 0 or num_blocks <= 0:
+            raise ValueError("launch configuration must be positive")
+        block_cost = 1.0 + 2e-5 * num_blocks
+        thread_cost = 1.0 + 1.5e-5 * max(0, threads_per_block - 256)
+        return float(block_cost * thread_cost)
+
+
+def p100_gpu() -> GpuSpec:
+    """The Tesla P100 used in Section VII."""
+    return GpuSpec()

@@ -1,0 +1,91 @@
+"""Simultaneous multithreading (hyper-threading) throughput model.
+
+KNL cores offer 4 hardware threads.  Running a second thread on a core
+does not double throughput; it typically adds 20-40% for memory-bound
+code and very little for compute-bound code.  The paper's Strategy 4
+exploits this by packing *small* operations onto the hyper-threads of
+cores already running a big, core-filling operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SmtModel:
+    """Throughput of a physical core as a function of resident threads.
+
+    ``aggregate_throughput[k]`` is the total instruction throughput of a
+    core running ``k`` hardware threads, normalised to a single thread.
+    """
+
+    aggregate_throughput: tuple[float, ...] = (0.0, 1.0, 1.06, 1.10, 1.12)
+    #: Extra efficiency SMT gains for memory-bound work (latency hiding).
+    #: A KNL core's VPUs are saturated by one thread of a dense kernel, so
+    #: the compute-bound aggregate barely exceeds 1.0; memory-bound code
+    #: benefits more because the second thread hides miss latency.
+    memory_bound_bonus: float = 0.30
+
+    def __post_init__(self) -> None:
+        if len(self.aggregate_throughput) < 2:
+            raise ValueError("need throughput for at least 0 and 1 threads")
+        if self.aggregate_throughput[0] != 0.0:
+            raise ValueError("throughput with zero threads must be zero")
+        if self.aggregate_throughput[1] != 1.0:
+            raise ValueError("throughput is normalised to one thread")
+        prev = 0.0
+        for value in self.aggregate_throughput:
+            if value < prev:
+                raise ValueError("aggregate throughput must be non-decreasing")
+            prev = value
+
+    @property
+    def max_threads_per_core(self) -> int:
+        return len(self.aggregate_throughput) - 1
+
+    def core_throughput(self, threads_on_core: int, *, memory_bound: float = 0.0) -> float:
+        """Total throughput of a core with ``threads_on_core`` threads.
+
+        ``memory_bound`` in [0, 1] increases the SMT benefit (latency
+        hiding helps memory-bound code more).
+        """
+        if threads_on_core < 0:
+            raise ValueError("threads_on_core must be non-negative")
+        if not (0.0 <= memory_bound <= 1.0):
+            raise ValueError("memory_bound must lie in [0, 1]")
+        k = min(threads_on_core, self.max_threads_per_core)
+        base = self.aggregate_throughput[k]
+        if k >= 2:
+            base = base + self.memory_bound_bonus * memory_bound * (k - 1) / (
+                self.max_threads_per_core - 1
+            )
+        return float(base)
+
+    def per_thread_throughput(self, threads_on_core: int, *, memory_bound: float = 0.0) -> float:
+        """Throughput of each thread when ``threads_on_core`` share the core."""
+        if threads_on_core == 0:
+            return 0.0
+        return self.core_throughput(threads_on_core, memory_bound=memory_bound) / threads_on_core
+
+    def corun_share(
+        self,
+        own_threads: int,
+        other_threads: int,
+        *,
+        memory_bound: float = 0.0,
+    ) -> float:
+        """Throughput share of an operation that placed ``own_threads`` hardware
+        threads on a core whose remaining SMT slots run ``other_threads``
+        threads of other operations (Strategy 4 packing).
+
+        Returns the fraction of a dedicated core the operation effectively
+        receives.
+        """
+        if own_threads < 0 or other_threads < 0:
+            raise ValueError("thread counts must be non-negative")
+        if own_threads == 0:
+            return 0.0
+        total = own_threads + other_threads
+        per_thread = self.per_thread_throughput(total, memory_bound=memory_bound)
+        return float(own_threads * per_thread)

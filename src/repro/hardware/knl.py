@@ -1,0 +1,76 @@
+"""Intel Knights Landing (Xeon Phi 7250) machine description.
+
+Values follow the configuration used in the paper (Cori KNL nodes):
+68 cores organised in 34 tiles, two cores per tile sharing 1 MB L2, four
+hardware threads per core, 16 GB MCDRAM in cache mode.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cache import CacheModel
+from repro.hardware.hyperthread import SmtModel
+from repro.hardware.memory import MemoryHierarchy
+from repro.hardware.topology import CoreTopology, Machine
+
+
+def knl_machine() -> Machine:
+    """The Xeon Phi 7250 node the paper evaluates on."""
+    topology = CoreTopology(
+        num_cores=68,
+        cores_per_tile=2,
+        smt_per_core=4,
+        frequency_hz=1.4e9,
+        flops_per_cycle=32.0,
+        compute_efficiency=0.35,
+    )
+    memory = MemoryHierarchy(
+        fast_bandwidth=420e9,
+        ddr_bandwidth=90e9,
+        fast_capacity=16 * 1024**3,
+        per_core_bandwidth=13e9,
+    )
+    cache = CacheModel(
+        l1_size_per_core=32 * 1024,
+        l2_size_per_tile=1024 * 1024,
+        sibling_sharing_bonus=0.35,
+        reuse_ceiling=0.85,
+    )
+    return Machine(
+        name="Intel Xeon Phi 7250 (KNL, cache mode)",
+        topology=topology,
+        memory=memory,
+        cache=cache,
+        smt=SmtModel(),
+    )
+
+
+def small_knl_machine(num_cores: int = 8) -> Machine:
+    """A scaled-down KNL-like machine for fast unit tests.
+
+    Keeps the tile structure (two cores per tile) and relative parameters
+    but with far fewer cores, so exhaustive sweeps stay cheap.
+    """
+    if num_cores < 2 or num_cores % 2 != 0:
+        raise ValueError("small KNL machine needs an even core count >= 2")
+    topology = CoreTopology(
+        num_cores=num_cores,
+        cores_per_tile=2,
+        smt_per_core=4,
+        frequency_hz=1.4e9,
+        flops_per_cycle=32.0,
+        compute_efficiency=0.35,
+    )
+    memory = MemoryHierarchy(
+        fast_bandwidth=420e9 * num_cores / 68,
+        ddr_bandwidth=90e9,
+        fast_capacity=16 * 1024**3,
+        per_core_bandwidth=13e9,
+    )
+    cache = CacheModel()
+    return Machine(
+        name=f"small-knl-{num_cores}",
+        topology=topology,
+        memory=memory,
+        cache=cache,
+        smt=SmtModel(),
+    )

@@ -1,0 +1,76 @@
+"""Memory bandwidth model.
+
+KNL in *cache mode* exposes the 16 GB MCDRAM as a memory-side cache in
+front of DDR4.  The paper notes that all data sets fit in MCDRAM, so the
+relevant bandwidth is the MCDRAM stream bandwidth (~400-450 GB/s), which a
+single core cannot saturate: per-core achievable bandwidth is roughly
+12-14 GB/s, so bandwidth scales with active cores until the chip-level
+ceiling is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """Bandwidth/capacity description of the memory system.
+
+    Attributes
+    ----------
+    fast_bandwidth:
+        Chip-level bandwidth of the fast memory (MCDRAM in cache mode),
+        bytes/second.
+    ddr_bandwidth:
+        DDR bandwidth, bytes/second (unused while the working set fits in
+        fast memory, which holds for all paper workloads).
+    fast_capacity:
+        Capacity of the fast memory in bytes.
+    per_core_bandwidth:
+        Bandwidth achievable by a single core's outstanding misses,
+        bytes/second.
+    """
+
+    fast_bandwidth: float = 420e9
+    ddr_bandwidth: float = 90e9
+    fast_capacity: int = 16 * 1024**3
+    per_core_bandwidth: float = 13e9
+
+    def __post_init__(self) -> None:
+        if min(self.fast_bandwidth, self.ddr_bandwidth, self.per_core_bandwidth) <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.fast_capacity <= 0:
+            raise ValueError("fast_capacity must be positive")
+
+    def achievable_bandwidth(self, active_cores: int) -> float:
+        """Bandwidth available to ``active_cores`` concurrently streaming cores.
+
+        Scales linearly with the number of cores issuing misses until the
+        chip-level ceiling is hit.
+        """
+        if active_cores < 0:
+            raise ValueError("active_cores must be non-negative")
+        if active_cores == 0:
+            return 0.0
+        return min(self.fast_bandwidth, active_cores * self.per_core_bandwidth)
+
+    def contended_bandwidth(self, active_cores: int, total_active_cores: int) -> float:
+        """Bandwidth share of one operation using ``active_cores`` while
+        ``total_active_cores`` cores are streaming chip-wide.
+
+        Each operation can at most use what its own cores can pull
+        (``active_cores * per_core_bandwidth``); if the sum of all demands
+        exceeds the chip ceiling the ceiling is divided proportionally to
+        core counts.
+        """
+        if active_cores < 0 or total_active_cores < 0:
+            raise ValueError("core counts must be non-negative")
+        if active_cores == 0:
+            return 0.0
+        total_active_cores = max(total_active_cores, active_cores)
+        own_limit = active_cores * self.per_core_bandwidth
+        total_demand = total_active_cores * self.per_core_bandwidth
+        if total_demand <= self.fast_bandwidth:
+            return own_limit
+        return self.fast_bandwidth * (active_cores / total_active_cores)

@@ -1,0 +1,137 @@
+"""Core/tile topology and the top-level :class:`Machine` description.
+
+The topology captures the structural facts the scheduler cares about:
+how many physical cores exist, how they are grouped into tiles that share
+a last-level cache, and how many hardware (SMT) threads each core offers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.cache import CacheModel
+from repro.hardware.hyperthread import SmtModel
+from repro.hardware.memory import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class CoreTopology:
+    """Physical layout of a manycore processor.
+
+    Attributes
+    ----------
+    num_cores:
+        Number of physical cores (68 on KNL).
+    cores_per_tile:
+        Cores sharing one last-level cache slice (2 on KNL).
+    smt_per_core:
+        Hardware threads per core (4 on KNL; the paper uses at most 2).
+    frequency_hz:
+        Core clock frequency.
+    flops_per_cycle:
+        Peak double-precision FLOPs per cycle per core.
+    compute_efficiency:
+        Fraction of peak a well-tuned dense kernel sustains (MKL-DNN on
+        KNL sustains roughly a third of peak for the conv shapes used in
+        the paper).
+    """
+
+    num_cores: int = 68
+    cores_per_tile: int = 2
+    smt_per_core: int = 4
+    frequency_hz: float = 1.4e9
+    flops_per_cycle: float = 32.0
+    compute_efficiency: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if self.cores_per_tile <= 0:
+            raise ValueError("cores_per_tile must be positive")
+        if self.num_cores % self.cores_per_tile != 0:
+            raise ValueError("num_cores must be divisible by cores_per_tile")
+        if self.smt_per_core < 1:
+            raise ValueError("smt_per_core must be at least 1")
+        if not (0 < self.compute_efficiency <= 1):
+            raise ValueError("compute_efficiency must lie in (0, 1]")
+
+    @property
+    def num_tiles(self) -> int:
+        """Number of tiles (last-level-cache domains)."""
+        return self.num_cores // self.cores_per_tile
+
+    @property
+    def num_logical_cpus(self) -> int:
+        """Total number of hardware threads."""
+        return self.num_cores * self.smt_per_core
+
+    @property
+    def peak_flops_per_core(self) -> float:
+        """Peak FLOP/s of a single core."""
+        return self.frequency_hz * self.flops_per_cycle
+
+    @property
+    def effective_flops_per_core(self) -> float:
+        """Sustained FLOP/s of a single core for tuned dense kernels."""
+        return self.peak_flops_per_core * self.compute_efficiency
+
+    def tile_of_core(self, core_id: int) -> int:
+        """Tile index owning physical core ``core_id``."""
+        if not 0 <= core_id < self.num_cores:
+            raise ValueError(f"core_id {core_id} out of range [0, {self.num_cores})")
+        return core_id // self.cores_per_tile
+
+    def cores_of_tile(self, tile_id: int) -> tuple[int, ...]:
+        """Physical core ids belonging to ``tile_id``."""
+        if not 0 <= tile_id < self.num_tiles:
+            raise ValueError(f"tile_id {tile_id} out of range [0, {self.num_tiles})")
+        start = tile_id * self.cores_per_tile
+        return tuple(range(start, start + self.cores_per_tile))
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A complete machine description used by the execution simulator."""
+
+    name: str
+    topology: CoreTopology
+    memory: MemoryHierarchy
+    cache: CacheModel
+    smt: SmtModel = field(default_factory=SmtModel)
+    #: Per-thread wake-up cost in seconds (OpenMP thread-pool fan-out).
+    thread_spawn_cost: float = 0.2e-6
+    #: Synchronisation (barrier) cost per log2(threads) step, seconds.
+    sync_cost: float = 1.5e-6
+    #: Fixed per-operation dispatch cost (kernel launch, allocator, runtime
+    #: bookkeeping) paid regardless of the thread count, seconds.
+    op_dispatch_cost: float = 12e-6
+    #: Penalty (seconds) applied when an operation is launched with a thread
+    #: count different from its previous launch (cache thrashing and thread
+    #: pool resize, the effect Strategy 2 avoids).
+    reconfiguration_cost: float = 150e-6
+
+    def __post_init__(self) -> None:
+        if self.thread_spawn_cost < 0 or self.sync_cost < 0:
+            raise ValueError("overhead costs must be non-negative")
+        if self.op_dispatch_cost < 0:
+            raise ValueError("op_dispatch_cost must be non-negative")
+        if self.reconfiguration_cost < 0:
+            raise ValueError("reconfiguration_cost must be non-negative")
+
+    @property
+    def num_cores(self) -> int:
+        return self.topology.num_cores
+
+    @property
+    def num_tiles(self) -> int:
+        return self.topology.num_tiles
+
+    def describe(self) -> str:
+        """Human readable one-line summary."""
+        t = self.topology
+        return (
+            f"{self.name}: {t.num_cores} cores / {t.num_tiles} tiles, "
+            f"{t.smt_per_core} SMT, {t.frequency_hz / 1e9:.2f} GHz, "
+            f"L2 {self.cache.l2_size_per_tile // 1024} KiB per tile, "
+            f"{self.memory.fast_bandwidth / 1e9:.0f} GB/s fast memory"
+        )

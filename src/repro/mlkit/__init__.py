@@ -1,0 +1,62 @@
+"""A small, from-scratch regression toolkit.
+
+The paper's first performance model feeds hardware-counter features into
+ten off-the-shelf regression models (Section III-B).  No external ML
+library is available offline, so this package implements the regressors
+the paper evaluates — enough of each to reproduce Table IV's accuracy
+comparison — with a scikit-learn-like ``fit``/``predict`` interface.
+"""
+
+from repro.mlkit.base import Regressor
+from repro.mlkit.preprocessing import StandardScaler
+from repro.mlkit.metrics import mean_squared_error, paper_accuracy, r2_score
+from repro.mlkit.linear import LinearRegression, RidgeRegression
+from repro.mlkit.theil_sen import TheilSenRegression
+from repro.mlkit.passive_aggressive import PassiveAggressiveRegression
+from repro.mlkit.knn import KNeighborsRegression
+from repro.mlkit.tree import DecisionTreeRegression
+from repro.mlkit.forest import RandomForestRegression
+from repro.mlkit.boosting import GradientBoostingRegression
+from repro.mlkit.svr import SVR
+from repro.mlkit.ard import ARDRegression
+from repro.mlkit.mlp import MLPRegression
+
+__all__ = [
+    "Regressor",
+    "StandardScaler",
+    "mean_squared_error",
+    "paper_accuracy",
+    "r2_score",
+    "LinearRegression",
+    "RidgeRegression",
+    "TheilSenRegression",
+    "PassiveAggressiveRegression",
+    "KNeighborsRegression",
+    "DecisionTreeRegression",
+    "RandomForestRegression",
+    "GradientBoostingRegression",
+    "SVR",
+    "ARDRegression",
+    "MLPRegression",
+    "default_regressors",
+]
+
+
+def default_regressors(seed: int = 0) -> dict[str, Regressor]:
+    """The regressor zoo of the paper's Table IV, with default settings."""
+    return {
+        "gradient_boosting": GradientBoostingRegression(seed=seed),
+        "k_neighbors": KNeighborsRegression(),
+        "random_forest": RandomForestRegression(seed=seed),
+        "decision_tree": DecisionTreeRegression(),
+        "tsr": TheilSenRegression(seed=seed),
+        "ols": LinearRegression(),
+        "par": PassiveAggressiveRegression(seed=seed),
+        "svr_linear": SVR(kernel="linear", seed=seed),
+        "svr_poly": SVR(kernel="poly", seed=seed),
+        "svr_rbf": SVR(kernel="rbf", seed=seed),
+        "ard": ARDRegression(),
+        "mlp_adam": MLPRegression(solver="adam", seed=seed),
+        "mlp_sgd": MLPRegression(solver="sgd", seed=seed),
+        "mlp_lbfgs": MLPRegression(solver="lbfgs", seed=seed),
+    }

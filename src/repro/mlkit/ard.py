@@ -1,0 +1,95 @@
+"""Bayesian linear regression with automatic relevance determination (ARD).
+
+Evidence-maximisation (MacKay-style fixed-point) updates of one precision
+hyper-parameter per weight; irrelevant features get their precision driven
+to a large value and are effectively pruned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mlkit.base import Regressor, check_x, check_xy
+
+
+class ARDRegression(Regressor):
+    """Sparse Bayesian linear regression (the paper's "Bayesian ARD")."""
+
+    def __init__(
+        self,
+        max_iter: int = 200,
+        tol: float = 1e-4,
+        alpha_prune: float = 1e8,
+    ) -> None:
+        if max_iter < 1:
+            raise ValueError("max_iter must be at least 1")
+        if tol <= 0 or alpha_prune <= 0:
+            raise ValueError("tol and alpha_prune must be positive")
+        self.max_iter = max_iter
+        self.tol = tol
+        self.alpha_prune = alpha_prune
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self.alpha_: np.ndarray | None = None
+        self.noise_precision_: float = 1.0
+
+    def fit(self, X, y) -> "ARDRegression":
+        X, y = check_xy(X, y)
+        n_samples, n_features = X.shape
+        x_mean = X.mean(axis=0)
+        y_mean = float(y.mean())
+        Xc = X - x_mean
+        yc = y - y_mean
+
+        alpha = np.ones(n_features)  # per-weight precision
+        beta = 1.0 / (np.var(yc) + 1e-12)  # noise precision
+        coef = np.zeros(n_features)
+        gram = Xc.T @ Xc
+        xty = Xc.T @ yc
+
+        for _ in range(self.max_iter):
+            active = alpha < self.alpha_prune
+            if not np.any(active):
+                coef = np.zeros(n_features)
+                break
+            A = np.diag(alpha[active])
+            gram_a = gram[np.ix_(active, active)]
+            sigma = np.linalg.inv(beta * gram_a + A)
+            mean = beta * sigma @ xty[active]
+            new_coef = np.zeros(n_features)
+            new_coef[active] = mean
+
+            gamma = 1.0 - alpha[active] * np.diag(sigma)
+            new_alpha = alpha.copy()
+            new_alpha[active] = gamma / (mean**2 + 1e-12)
+            new_alpha = np.clip(new_alpha, 1e-10, self.alpha_prune * 10)
+
+            residual = yc - Xc[:, active] @ mean
+            denom = n_samples - gamma.sum()
+            beta = max(denom, 1e-6) / (float(residual @ residual) + 1e-12)
+
+            if np.max(np.abs(new_coef - coef)) < self.tol:
+                coef = new_coef
+                alpha = new_alpha
+                break
+            coef = new_coef
+            alpha = new_alpha
+
+        self.coef_ = coef
+        self.intercept_ = y_mean - float(x_mean @ coef)
+        self.alpha_ = alpha
+        self.noise_precision_ = float(beta)
+        self._n_features = n_features
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        n = self._require_fitted()
+        X = check_x(X, n)
+        assert self.coef_ is not None
+        return X @ self.coef_ + self.intercept_
+
+    def relevant_features(self) -> np.ndarray:
+        """Indices of features the ARD prior kept (not pruned)."""
+        if self.alpha_ is None:
+            raise RuntimeError("model is not fitted yet")
+        return np.where(self.alpha_ < self.alpha_prune)[0]

@@ -1,0 +1,61 @@
+"""Common regressor interface and input validation helpers."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+def check_xy(X, y) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and convert training inputs to float arrays."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    if X.shape[0] == 0:
+        raise ValueError("need at least one training sample")
+    if not np.all(np.isfinite(X)) or not np.all(np.isfinite(y)):
+        raise ValueError("X and y must be finite")
+    return X, y
+
+
+def check_x(X, n_features: int) -> np.ndarray:
+    """Validate prediction inputs."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(1, -1)
+    if X.ndim != 2 or X.shape[1] != n_features:
+        raise ValueError(f"expected shape (*, {n_features}), got {X.shape}")
+    return X
+
+
+class Regressor(abc.ABC):
+    """Minimal scikit-learn-like regressor interface."""
+
+    _n_features: int | None = None
+
+    @abc.abstractmethod
+    def fit(self, X, y) -> "Regressor":
+        """Fit the model; returns self."""
+
+    @abc.abstractmethod
+    def predict(self, X) -> np.ndarray:
+        """Predict targets for X."""
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._n_features is not None
+
+    def _require_fitted(self) -> int:
+        if self._n_features is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted yet")
+        return self._n_features
+
+    def score(self, X, y) -> float:
+        """Coefficient of determination R^2 on (X, y)."""
+        from repro.mlkit.metrics import r2_score
+
+        return r2_score(np.asarray(y, dtype=float).ravel(), self.predict(X))

@@ -1,0 +1,69 @@
+"""Random forest regression: bagged decision trees with feature subsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mlkit.base import Regressor, check_x, check_xy
+from repro.mlkit.tree import DecisionTreeRegression
+from repro.utils.seeding import make_rng
+
+
+class RandomForestRegression(Regressor):
+    """Bootstrap-aggregated CART trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 8,
+        min_samples_leaf: int = 2,
+        max_features: str | int | None = "sqrt",
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: list[DecisionTreeRegression] = []
+        self.feature_importances_: np.ndarray | None = None
+
+    def _resolve_max_features(self, n_features: int) -> int | None:
+        if self.max_features is None:
+            return None
+        if isinstance(self.max_features, int):
+            return max(1, min(self.max_features, n_features))
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        raise ValueError(f"unknown max_features: {self.max_features!r}")
+
+    def fit(self, X, y) -> "RandomForestRegression":
+        X, y = check_xy(X, y)
+        n_samples, n_features = X.shape
+        rng = make_rng(self.seed)
+        max_features = self._resolve_max_features(n_features)
+        self._trees = []
+        importances = np.zeros(n_features)
+        for _ in range(self.n_estimators):
+            idx = rng.integers(0, n_samples, size=n_samples)
+            tree = DecisionTreeRegression(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+            )
+            tree.fit(X[idx], y[idx], rng=rng)
+            self._trees.append(tree)
+            assert tree.feature_importances_ is not None
+            importances += tree.feature_importances_
+        self.feature_importances_ = importances / self.n_estimators
+        self._n_features = n_features
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        n = self._require_fitted()
+        X = check_x(X, n)
+        if not self._trees:
+            raise RuntimeError("forest has no trees")
+        return np.mean([tree.predict(X) for tree in self._trees], axis=0)

@@ -1,0 +1,57 @@
+"""k-nearest-neighbours regression (the paper's most accurate regressor)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mlkit.base import Regressor, check_x, check_xy
+
+
+class KNeighborsRegression(Regressor):
+    """Distance-weighted k-NN regression with standardised features."""
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "distance") -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be at least 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(self, X, y) -> "KNeighborsRegression":
+        X, y = check_xy(X, y)
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._scale = scale
+        self._X = (X - self._mean) / self._scale
+        self._y = y
+        self._n_features = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        n = self._require_fitted()
+        X = check_x(X, n)
+        assert self._X is not None and self._y is not None
+        assert self._mean is not None and self._scale is not None
+        Xs = (X - self._mean) / self._scale
+        k = min(self.n_neighbors, self._X.shape[0])
+        predictions = np.empty(Xs.shape[0])
+        for row, x in enumerate(Xs):
+            distances = np.sqrt(((self._X - x) ** 2).sum(axis=1))
+            nearest = np.argpartition(distances, k - 1)[:k]
+            if self.weights == "uniform":
+                predictions[row] = float(self._y[nearest].mean())
+                continue
+            d = distances[nearest]
+            if np.any(d < 1e-12):
+                exact = nearest[d < 1e-12]
+                predictions[row] = float(self._y[exact].mean())
+            else:
+                w = 1.0 / d
+                predictions[row] = float(np.average(self._y[nearest], weights=w))
+        return predictions

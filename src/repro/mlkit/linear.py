@@ -1,0 +1,75 @@
+"""Ordinary least squares and ridge regression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mlkit.base import Regressor, check_x, check_xy
+
+
+class LinearRegression(Regressor):
+    """Ordinary least squares (the paper's "OLS")."""
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def _design(self, X: np.ndarray) -> np.ndarray:
+        if not self.fit_intercept:
+            return X
+        return np.hstack([X, np.ones((X.shape[0], 1))])
+
+    def fit(self, X, y) -> "LinearRegression":
+        X, y = check_xy(X, y)
+        design = self._design(X)
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        if self.fit_intercept:
+            self.coef_ = solution[:-1]
+            self.intercept_ = float(solution[-1])
+        else:
+            self.coef_ = solution
+            self.intercept_ = 0.0
+        self._n_features = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        n = self._require_fitted()
+        X = check_x(X, n)
+        assert self.coef_ is not None
+        return X @ self.coef_ + self.intercept_
+
+
+class RidgeRegression(Regressor):
+    """L2-regularised least squares."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y) -> "RidgeRegression":
+        X, y = check_xy(X, y)
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = float(y.mean())
+            xc = X - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(X.shape[1])
+            y_mean = 0.0
+            xc, yc = X, y
+        gram = xc.T @ xc + self.alpha * np.eye(X.shape[1])
+        self.coef_ = np.linalg.solve(gram, xc.T @ yc)
+        self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        self._n_features = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        n = self._require_fitted()
+        X = check_x(X, n)
+        assert self.coef_ is not None
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,29 @@
+"""Regression metrics (thin wrappers over the shared statistics helpers)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.stats import paper_accuracy as _paper_accuracy
+from repro.utils.stats import r_squared
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    t = np.asarray(y_true, dtype=float).ravel()
+    p = np.asarray(y_pred, dtype=float).ravel()
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {p.shape}")
+    if t.size == 0:
+        raise ValueError("empty input")
+    return float(np.mean((t - p) ** 2))
+
+
+def r2_score(y_true, y_pred) -> float:
+    return r_squared(np.asarray(y_true, dtype=float).ravel(),
+                     np.asarray(y_pred, dtype=float).ravel())
+
+
+def paper_accuracy(y_true, y_pred) -> float:
+    """The paper's modelling-accuracy metric: 1 - mean(|error| / truth)."""
+    return _paper_accuracy(np.asarray(y_true, dtype=float).ravel(),
+                           np.asarray(y_pred, dtype=float).ravel())

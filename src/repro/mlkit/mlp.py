@@ -1,0 +1,179 @@
+"""Multi-layer perceptron regression with SGD, Adam or L-BFGS training."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from repro.mlkit.base import Regressor, check_x, check_xy
+from repro.utils.seeding import make_rng
+
+
+class MLPRegression(Regressor):
+    """A small fully-connected network (tanh hidden layers, linear output)."""
+
+    def __init__(
+        self,
+        hidden_sizes: tuple[int, ...] = (32, 16),
+        solver: str = "adam",
+        learning_rate: float = 1e-2,
+        max_iter: int = 400,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if solver not in ("sgd", "adam", "lbfgs"):
+            raise ValueError("solver must be 'sgd', 'adam' or 'lbfgs'")
+        if not hidden_sizes or any(h < 1 for h in hidden_sizes):
+            raise ValueError("hidden_sizes must be positive")
+        if max_iter < 1 or learning_rate <= 0 or l2 < 0:
+            raise ValueError("invalid hyper-parameters")
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.solver = solver
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.l2 = l2
+        self.seed = seed
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self._x_mean: np.ndarray | None = None
+        self._x_scale: np.ndarray | None = None
+        self._y_mean: float = 0.0
+        self._y_scale: float = 1.0
+
+    # -- parameter (de)serialisation for L-BFGS -----------------------------------
+
+    def _layer_dims(self, n_features: int) -> list[tuple[int, int]]:
+        dims = []
+        previous = n_features
+        for hidden in self.hidden_sizes:
+            dims.append((previous, hidden))
+            previous = hidden
+        dims.append((previous, 1))
+        return dims
+
+    def _init_params(self, n_features: int, rng: np.random.Generator) -> None:
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in self._layer_dims(n_features):
+            bound = np.sqrt(6.0 / (fan_in + fan_out))
+            self._weights.append(rng.uniform(-bound, bound, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def _flatten(self) -> np.ndarray:
+        return np.concatenate(
+            [w.ravel() for w in self._weights] + [b.ravel() for b in self._biases]
+        )
+
+    def _unflatten(self, theta: np.ndarray, n_features: int) -> None:
+        dims = self._layer_dims(n_features)
+        weights, biases = [], []
+        offset = 0
+        for fan_in, fan_out in dims:
+            size = fan_in * fan_out
+            weights.append(theta[offset : offset + size].reshape(fan_in, fan_out))
+            offset += size
+        for _, fan_out in dims:
+            biases.append(theta[offset : offset + fan_out])
+            offset += fan_out
+        self._weights = weights
+        self._biases = biases
+
+    # -- forward / backward ---------------------------------------------------------
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        activations = [X]
+        current = X
+        for i, (w, b) in enumerate(zip(self._weights, self._biases)):
+            z = current @ w + b
+            current = z if i == len(self._weights) - 1 else np.tanh(z)
+            activations.append(current)
+        return current.ravel(), activations
+
+    def _loss_and_grad(self, X: np.ndarray, y: np.ndarray) -> tuple[float, list, list]:
+        n = X.shape[0]
+        pred, activations = self._forward(X)
+        error = pred - y
+        loss = 0.5 * float(error @ error) / n
+        loss += 0.5 * self.l2 * sum(float((w**2).sum()) for w in self._weights)
+
+        grad_w = [np.zeros_like(w) for w in self._weights]
+        grad_b = [np.zeros_like(b) for b in self._biases]
+        delta = (error / n).reshape(-1, 1)
+        for layer in reversed(range(len(self._weights))):
+            grad_w[layer] = activations[layer].T @ delta + self.l2 * self._weights[layer]
+            grad_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = (delta @ self._weights[layer].T) * (1.0 - activations[layer] ** 2)
+        return loss, grad_w, grad_b
+
+    # -- training ---------------------------------------------------------------------
+
+    def fit(self, X, y) -> "MLPRegression":
+        X, y = check_xy(X, y)
+        rng = make_rng(self.seed)
+        self._x_mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._x_scale = scale
+        Xs = (X - self._x_mean) / self._x_scale
+        self._y_mean = float(y.mean())
+        self._y_scale = float(y.std()) or 1.0
+        ys = (y - self._y_mean) / self._y_scale
+
+        n_features = X.shape[1]
+        self._init_params(n_features, rng)
+
+        if self.solver == "lbfgs":
+            def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
+                self._unflatten(theta, n_features)
+                loss, grad_w, grad_b = self._loss_and_grad(Xs, ys)
+                grad = np.concatenate(
+                    [g.ravel() for g in grad_w] + [g.ravel() for g in grad_b]
+                )
+                return loss, grad
+
+            result = optimize.minimize(
+                objective,
+                self._flatten(),
+                jac=True,
+                method="L-BFGS-B",
+                options={"maxiter": self.max_iter},
+            )
+            self._unflatten(result.x, n_features)
+        else:
+            m_w = [np.zeros_like(w) for w in self._weights]
+            v_w = [np.zeros_like(w) for w in self._weights]
+            m_b = [np.zeros_like(b) for b in self._biases]
+            v_b = [np.zeros_like(b) for b in self._biases]
+            beta1, beta2, eps = 0.9, 0.999, 1e-8
+            for step in range(1, self.max_iter + 1):
+                _, grad_w, grad_b = self._loss_and_grad(Xs, ys)
+                if self.solver == "sgd":
+                    lr = self.learning_rate / (1.0 + 0.01 * step)
+                    for i in range(len(self._weights)):
+                        self._weights[i] -= lr * grad_w[i]
+                        self._biases[i] -= lr * grad_b[i]
+                else:  # adam
+                    lr = self.learning_rate
+                    for i in range(len(self._weights)):
+                        m_w[i] = beta1 * m_w[i] + (1 - beta1) * grad_w[i]
+                        v_w[i] = beta2 * v_w[i] + (1 - beta2) * grad_w[i] ** 2
+                        m_b[i] = beta1 * m_b[i] + (1 - beta1) * grad_b[i]
+                        v_b[i] = beta2 * v_b[i] + (1 - beta2) * grad_b[i] ** 2
+                        m_w_hat = m_w[i] / (1 - beta1**step)
+                        v_w_hat = v_w[i] / (1 - beta2**step)
+                        m_b_hat = m_b[i] / (1 - beta1**step)
+                        v_b_hat = v_b[i] / (1 - beta2**step)
+                        self._weights[i] -= lr * m_w_hat / (np.sqrt(v_w_hat) + eps)
+                        self._biases[i] -= lr * m_b_hat / (np.sqrt(v_b_hat) + eps)
+
+        self._n_features = n_features
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        n = self._require_fitted()
+        X = check_x(X, n)
+        assert self._x_mean is not None and self._x_scale is not None
+        Xs = (X - self._x_mean) / self._x_scale
+        pred, _ = self._forward(Xs)
+        return pred * self._y_scale + self._y_mean

@@ -1,0 +1,74 @@
+"""Passive-aggressive regression (the paper's "PAR").
+
+Online epsilon-insensitive updates (PA-I): a sample inside the epsilon
+tube leaves the model unchanged (passive); otherwise the weights move just
+enough to bring the sample onto the tube boundary, with the step clipped
+by the aggressiveness parameter ``C``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mlkit.base import Regressor, check_x, check_xy
+from repro.utils.seeding import make_rng
+
+
+class PassiveAggressiveRegression(Regressor):
+    """PA-I regression with epsilon-insensitive loss."""
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        epsilon: float = 0.1,
+        max_iter: int = 50,
+        shuffle: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if C <= 0:
+            raise ValueError("C must be positive")
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if max_iter < 1:
+            raise ValueError("max_iter must be at least 1")
+        self.C = C
+        self.epsilon = epsilon
+        self.max_iter = max_iter
+        self.shuffle = shuffle
+        self.seed = seed
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y) -> "PassiveAggressiveRegression":
+        X, y = check_xy(X, y)
+        n_samples, n_features = X.shape
+        rng = make_rng(self.seed)
+        w = np.zeros(n_features)
+        b = 0.0
+        for _ in range(self.max_iter):
+            order = rng.permutation(n_samples) if self.shuffle else np.arange(n_samples)
+            updated = False
+            for i in order:
+                x_i = X[i]
+                error = y[i] - (w @ x_i + b)
+                loss = abs(error) - self.epsilon
+                if loss <= 0:
+                    continue
+                norm_sq = float(x_i @ x_i) + 1.0  # +1 for the intercept dimension
+                tau = min(self.C, loss / norm_sq)
+                step = np.sign(error) * tau
+                w = w + step * x_i
+                b = b + step
+                updated = True
+            if not updated:
+                break
+        self.coef_ = w
+        self.intercept_ = b
+        self._n_features = n_features
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        n = self._require_fitted()
+        X = check_x(X, n)
+        assert self.coef_ is not None
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,152 @@
+"""CART-style decision-tree regression.
+
+Used directly (the paper's "decision tree" regressor), as the base learner
+of the random forest and gradient boosting, and as the feature-importance
+estimator for the paper's counter-feature selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mlkit.base import Regressor, check_x, check_xy
+
+
+@dataclass
+class _Node:
+    """A node of the regression tree."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None or self.right is None
+
+
+class DecisionTreeRegression(Regressor):
+    """Variance-reduction CART regressor.
+
+    Splits greedily on the (feature, threshold) pair that minimises the
+    weighted child variance; accumulates per-feature impurity reduction as
+    ``feature_importances_``.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        max_features: int | None = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be at least 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be at least 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._root: _Node | None = None
+        self.feature_importances_: np.ndarray | None = None
+        self._rng: np.random.Generator | None = None
+
+    # -- fitting -----------------------------------------------------------------
+
+    def fit(self, X, y, *, rng: np.random.Generator | None = None) -> "DecisionTreeRegression":
+        X, y = check_xy(X, y)
+        self._n_features = X.shape[1]
+        self._rng = rng
+        self._importances = np.zeros(X.shape[1])
+        self._root = self._build(X, y, depth=0)
+        total = self._importances.sum()
+        self.feature_importances_ = (
+            self._importances / total if total > 0 else np.zeros(X.shape[1])
+        )
+        return self
+
+    def _candidate_features(self, n_features: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= n_features:
+            return np.arange(n_features)
+        k = max(1, self.max_features)
+        if self._rng is None:
+            return np.arange(k)
+        return self._rng.choice(n_features, size=k, replace=False)
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        """Return (feature, threshold, impurity_decrease) or None."""
+        n_samples, n_features = X.shape
+        parent_var = float(np.var(y)) * n_samples
+        best: tuple[int, float, float] | None = None
+        for feature in self._candidate_features(n_features):
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y[order]
+            # Prefix sums for O(n) evaluation of every split position.
+            csum = np.cumsum(ys)
+            csum_sq = np.cumsum(ys**2)
+            total_sum = csum[-1]
+            total_sq = csum_sq[-1]
+            for i in range(self.min_samples_leaf, n_samples - self.min_samples_leaf + 1):
+                if i < 1 or i >= n_samples:
+                    continue
+                if xs[i - 1] == xs[i]:
+                    continue
+                left_n = i
+                right_n = n_samples - i
+                left_sum, left_sq = csum[i - 1], csum_sq[i - 1]
+                right_sum = total_sum - left_sum
+                right_sq = total_sq - left_sq
+                left_var = left_sq - left_sum**2 / left_n
+                right_var = right_sq - right_sum**2 / right_n
+                decrease = parent_var - (left_var + right_var)
+                if best is None or decrease > best[2]:
+                    threshold = 0.5 * (xs[i - 1] + xs[i])
+                    best = (int(feature), float(threshold), float(decrease))
+        if best is None or best[2] <= 1e-12:
+            return None
+        return best
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(y.mean()))
+        if (
+            depth >= self.max_depth
+            or X.shape[0] < self.min_samples_split
+            or np.all(y == y[0])
+        ):
+            return node
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        feature, threshold, decrease = split
+        self._importances[feature] += decrease
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    # -- prediction ---------------------------------------------------------------
+
+    def predict(self, X) -> np.ndarray:
+        n = self._require_fitted()
+        X = check_x(X, n)
+        assert self._root is not None
+        out = np.empty(X.shape[0])
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out

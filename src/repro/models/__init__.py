@@ -1,0 +1,37 @@
+"""Training-step graph generators for the paper's four NN models.
+
+Each generator emits the operation-level dataflow graph of **one training
+step** — forward pass, backward pass and optimiser updates — with
+realistic operation types, instance counts and tensor shapes:
+
+* :mod:`repro.models.resnet50` — ResNet-50 on CIFAR-10, batch 64;
+* :mod:`repro.models.dcgan` — DCGAN on MNIST, batch 64;
+* :mod:`repro.models.inception_v3` — Inception-v3 on ImageNet, batch 16;
+* :mod:`repro.models.lstm` — a 2-layer word-level LSTM on PTB, batch 20.
+
+The graphs are what the schedulers consume; they are not numerical
+networks (no weights are trained), because the paper's contribution is
+entirely about *when and with how many threads* each operation runs.
+"""
+
+from repro.models.registry import (
+    MODEL_BUILDERS,
+    available_models,
+    build_model,
+    model_batch_size,
+)
+from repro.models.resnet50 import build_resnet50
+from repro.models.dcgan import build_dcgan
+from repro.models.inception_v3 import build_inception_v3
+from repro.models.lstm import build_lstm
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "available_models",
+    "build_model",
+    "model_batch_size",
+    "build_resnet50",
+    "build_dcgan",
+    "build_inception_v3",
+    "build_lstm",
+]

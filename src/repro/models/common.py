@@ -1,0 +1,465 @@
+"""Shared building blocks for the NN model graph generators.
+
+The generators compose a small vocabulary of layer macros (convolution +
+batch-norm + ReLU, dense layers, pooling) into full training-step graphs.
+Every macro adds the forward operation(s) *and returns enough bookkeeping
+to later add the corresponding backward and optimiser operations*, so the
+resulting graphs contain the op mix the paper profiles (the
+``Conv2DBackpropFilter`` / ``Conv2DBackpropInput`` instances, the MKL
+layout conversion ops ``InputConversion`` / ``ToTf``, ``ApplyAdam``
+updates, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.op import OpInstance
+from repro.graph.shapes import TensorShape
+
+
+@dataclass
+class LayerRecord:
+    """Bookkeeping of one trainable layer for backward-pass generation."""
+
+    scope: str
+    kind: str  # "conv", "dense", "deconv"
+    forward_output: OpInstance
+    input_shape: TensorShape
+    output_shape: TensorShape
+    weight_shape: TensorShape
+    attrs: dict = field(default_factory=dict)
+
+
+@dataclass
+class ModelGraphState:
+    """Mutable state threaded through a model generator."""
+
+    builder: GraphBuilder
+    layers: list[LayerRecord] = field(default_factory=list)
+    #: Ops whose outputs feed the loss (ends of the forward pass).
+    forward_tail: list[OpInstance] = field(default_factory=list)
+
+
+def conv_output_shape(
+    input_shape: TensorShape,
+    out_channels: int,
+    *,
+    stride: int = 1,
+    padding: str = "same",
+    kernel: tuple[int, int] = (3, 3),
+) -> TensorShape:
+    """NHWC output shape of a 2-D convolution."""
+    n, h, w, _ = input_shape.dims
+    if padding == "same":
+        oh = -(-h // stride)
+        ow = -(-w // stride)
+    elif padding == "valid":
+        kh, kw = kernel
+        oh = max(1, (h - kh) // stride + 1)
+        ow = max(1, (w - kw) // stride + 1)
+    else:
+        raise ValueError(f"unknown padding {padding!r}")
+    return TensorShape((n, oh, ow, out_channels))
+
+
+def conv_block(
+    state: ModelGraphState,
+    inputs: OpInstance | None,
+    input_shape: TensorShape,
+    out_channels: int,
+    *,
+    scope: str,
+    kernel: tuple[int, int] = (3, 3),
+    stride: int = 1,
+    padding: str = "same",
+    batch_norm: bool = True,
+    activation: str | None = "Relu",
+    input_conversion: bool = False,
+) -> tuple[OpInstance, TensorShape]:
+    """Convolution (+ optional BN and activation) forward macro.
+
+    Returns the last forward op of the block and its output shape.
+    """
+    b = state.builder
+    deps = [inputs] if inputs is not None else []
+    kh, kw = kernel
+    weight_shape = TensorShape((kh, kw, input_shape.channels, out_channels))
+    output_shape = conv_output_shape(
+        input_shape, out_channels, stride=stride, padding=padding, kernel=kernel
+    )
+    current_input_shape = input_shape
+    if input_conversion:
+        conv_in = b.add(
+            "InputConversion",
+            inputs=[input_shape],
+            output=input_shape,
+            deps=deps,
+            scope=scope,
+        )
+        deps = [conv_in]
+    conv = b.add(
+        "Conv2D",
+        inputs=[current_input_shape],
+        output=output_shape,
+        deps=deps,
+        scope=scope,
+        attrs={"kernel": kernel, "stride": stride, "padding": padding},
+    )
+    state.layers.append(
+        LayerRecord(
+            scope=scope,
+            kind="conv",
+            forward_output=conv,
+            input_shape=current_input_shape,
+            output_shape=output_shape,
+            weight_shape=weight_shape,
+            attrs={"kernel": kernel, "stride": stride},
+        )
+    )
+    last = conv
+    if batch_norm:
+        last = b.add(
+            "FusedBatchNorm",
+            inputs=[output_shape],
+            output=output_shape,
+            deps=[last],
+            scope=scope,
+        )
+    else:
+        last = b.add(
+            "BiasAdd",
+            inputs=[output_shape, TensorShape((out_channels,))],
+            output=output_shape,
+            deps=[last],
+            scope=scope,
+        )
+    if activation is not None:
+        last = b.add(
+            activation,
+            inputs=[output_shape],
+            output=output_shape,
+            deps=[last],
+            scope=scope,
+        )
+    return last, output_shape
+
+
+def deconv_block(
+    state: ModelGraphState,
+    inputs: OpInstance | None,
+    input_shape: TensorShape,
+    out_channels: int,
+    *,
+    scope: str,
+    kernel: tuple[int, int] = (5, 5),
+    stride: int = 2,
+    batch_norm: bool = True,
+    activation: str | None = "Relu",
+) -> tuple[OpInstance, TensorShape]:
+    """Transposed-convolution block (DCGAN generator)."""
+    b = state.builder
+    deps = [inputs] if inputs is not None else []
+    n, h, w, _ = input_shape.dims
+    output_shape = TensorShape((n, h * stride, w * stride, out_channels))
+    kh, kw = kernel
+    weight_shape = TensorShape((kh, kw, out_channels, input_shape.channels))
+    deconv = b.add(
+        "Conv2DTranspose",
+        inputs=[input_shape],
+        output=output_shape,
+        deps=deps,
+        scope=scope,
+        attrs={"kernel": kernel, "stride": stride},
+    )
+    state.layers.append(
+        LayerRecord(
+            scope=scope,
+            kind="deconv",
+            forward_output=deconv,
+            input_shape=input_shape,
+            output_shape=output_shape,
+            weight_shape=weight_shape,
+            attrs={"kernel": kernel, "stride": stride},
+        )
+    )
+    last = deconv
+    if batch_norm:
+        last = b.add(
+            "FusedBatchNorm",
+            inputs=[output_shape],
+            output=output_shape,
+            deps=[last],
+            scope=scope,
+        )
+    if activation is not None:
+        last = b.add(
+            activation,
+            inputs=[output_shape],
+            output=output_shape,
+            deps=[last],
+            scope=scope,
+        )
+    return last, output_shape
+
+
+def dense_block(
+    state: ModelGraphState,
+    inputs: OpInstance | None,
+    input_shape: TensorShape,
+    out_features: int,
+    *,
+    scope: str,
+    activation: str | None = None,
+    bias: bool = True,
+) -> tuple[OpInstance, TensorShape]:
+    """Fully connected (GEMM) layer macro."""
+    b = state.builder
+    deps = [inputs] if inputs is not None else []
+    batch = input_shape.dims[0]
+    in_features = input_shape.num_elements // batch
+    flat_shape = TensorShape((batch, in_features))
+    weight_shape = TensorShape((in_features, out_features))
+    output_shape = TensorShape((batch, out_features))
+    matmul = b.add(
+        "MatMul",
+        inputs=[flat_shape, weight_shape],
+        output=output_shape,
+        deps=deps,
+        scope=scope,
+    )
+    state.layers.append(
+        LayerRecord(
+            scope=scope,
+            kind="dense",
+            forward_output=matmul,
+            input_shape=flat_shape,
+            output_shape=output_shape,
+            weight_shape=weight_shape,
+        )
+    )
+    last = matmul
+    if bias:
+        last = b.add(
+            "BiasAdd",
+            inputs=[output_shape, TensorShape((out_features,))],
+            output=output_shape,
+            deps=[last],
+            scope=scope,
+        )
+    if activation is not None:
+        last = b.add(
+            activation,
+            inputs=[output_shape],
+            output=output_shape,
+            deps=[last],
+            scope=scope,
+        )
+    return last, output_shape
+
+
+def pool_block(
+    state: ModelGraphState,
+    inputs: OpInstance,
+    input_shape: TensorShape,
+    *,
+    scope: str,
+    kind: str = "MaxPooling",
+    kernel: tuple[int, int] = (3, 3),
+    stride: int = 2,
+) -> tuple[OpInstance, TensorShape]:
+    """Pooling layer macro (records no trainable layer)."""
+    b = state.builder
+    n, h, w, c = input_shape.dims
+    output_shape = TensorShape((n, max(1, -(-h // stride)), max(1, -(-w // stride)), c))
+    pool = b.add(
+        kind,
+        inputs=[input_shape],
+        output=output_shape,
+        deps=[inputs],
+        scope=scope,
+        attrs={"kernel": kernel, "stride": stride},
+    )
+    return pool, output_shape
+
+
+def add_loss_and_backward(
+    state: ModelGraphState,
+    logits: OpInstance,
+    logits_shape: TensorShape,
+    *,
+    optimizer: str = "ApplyAdam",
+    loss_op: str = "SparseSoftmaxCross",
+    label_classes: int | None = None,
+    scope: str = "loss",
+    extra_tail: list[OpInstance] | None = None,
+) -> OpInstance:
+    """Append the loss, the layer-by-layer backward pass and the optimiser.
+
+    The backward pass walks the recorded layers in reverse order and adds,
+    per layer, the gradient ops the corresponding TensorFlow graph would
+    contain (conv layers get ``Conv2DBackpropFilter`` / ``Conv2DBackpropInput``
+    plus the layout conversions, dense layers get gradient GEMMs, and every
+    trainable layer gets an optimiser update op).  Returns the final
+    gradient-aggregation op so callers can append more work after it.
+    """
+    b = state.builder
+    classes = label_classes if label_classes is not None else logits_shape.dims[-1]
+    batch = logits_shape.dims[0]
+    loss_deps: list[OpInstance] = [logits] + list(extra_tail or [])
+    loss = b.add(
+        loss_op,
+        inputs=[logits_shape, TensorShape((batch,))],
+        output=TensorShape((batch,)),
+        deps=loss_deps,
+        scope=scope,
+        attrs={"classes": classes},
+    )
+    loss_value = b.add(
+        "Mean",
+        inputs=[TensorShape((batch,))],
+        output=TensorShape((1,)),
+        deps=[loss],
+        scope=scope,
+    )
+    grad_seed = b.add(
+        "Mul",
+        inputs=[logits_shape, logits_shape],
+        output=logits_shape,
+        deps=[loss_value],
+        scope=scope,
+    )
+
+    upstream: OpInstance = grad_seed
+    for layer in reversed(state.layers):
+        upstream = _backward_for_layer(state, layer, upstream, optimizer)
+    return upstream
+
+
+def _backward_for_layer(
+    state: ModelGraphState,
+    layer: LayerRecord,
+    upstream: OpInstance,
+    optimizer: str,
+) -> OpInstance:
+    b = state.builder
+    scope = f"grad/{layer.scope}"
+    if layer.kind in ("conv", "deconv"):
+        # Activation gradient (elementwise mask multiply), then the MKL
+        # layout conversion the TensorFlow/MKL-DNN graph inserts before the
+        # convolution gradients.
+        act_grad = b.add(
+            "Mul",
+            inputs=[layer.output_shape, layer.output_shape],
+            output=layer.output_shape,
+            deps=[upstream, layer.forward_output],
+            scope=scope,
+        )
+        grad_conv_in = b.add(
+            "InputConversion",
+            inputs=[layer.output_shape],
+            output=layer.output_shape,
+            deps=[act_grad],
+            scope=scope,
+        )
+        dfilter = b.add(
+            "Conv2DBackpropFilter",
+            inputs=[layer.input_shape, layer.output_shape],
+            output=layer.weight_shape,
+            deps=[grad_conv_in],
+            scope=scope,
+            attrs=dict(layer.attrs),
+        )
+        dinput = b.add(
+            "Conv2DBackpropInput",
+            inputs=[layer.input_shape, layer.output_shape],
+            output=layer.input_shape,
+            deps=[grad_conv_in],
+            scope=scope,
+            attrs=dict(layer.attrs),
+        )
+        to_tf = b.add(
+            "ToTf",
+            inputs=[layer.input_shape],
+            output=layer.input_shape,
+            deps=[dinput],
+            scope=scope,
+        )
+        bn_grad = b.add(
+            "FusedBatchNormGrad",
+            inputs=[layer.output_shape],
+            output=layer.output_shape,
+            deps=[grad_conv_in],
+            scope=scope,
+        )
+        # Broadcasting the per-channel BN scale/offset gradients back to the
+        # activation shape shows up as a Tile op in the TensorFlow graph.
+        bn_tile = b.add(
+            "Tile",
+            inputs=[TensorShape((layer.output_shape.dims[-1],))],
+            output=layer.output_shape,
+            deps=[bn_grad],
+            scope=scope,
+        )
+        update = b.add(
+            optimizer,
+            inputs=[layer.weight_shape],
+            output=layer.weight_shape,
+            deps=[dfilter],
+            scope=scope,
+        )
+        # The next (earlier) layer's upstream gradient is the input gradient,
+        # after the BN gradient merges in.
+        merged = b.add(
+            "AddN",
+            inputs=[layer.input_shape, layer.input_shape],
+            output=layer.input_shape,
+            deps=[to_tf, bn_tile],
+            scope=scope,
+        )
+        # Optimiser updates are sinks; keep them reachable from the merge so
+        # a step only finishes when every update is done.
+        b.graph.add_dependency(update, merged)
+        return merged
+
+    # dense layer
+    dweight = b.add(
+        "MatMul",
+        inputs=[layer.input_shape, layer.output_shape],
+        output=layer.weight_shape,
+        deps=[upstream, layer.forward_output],
+        scope=scope,
+        attrs={"transpose_a": True},
+    )
+    dinput = b.add(
+        "MatMul",
+        inputs=[layer.output_shape, layer.weight_shape],
+        output=layer.input_shape,
+        deps=[upstream, layer.forward_output],
+        scope=scope,
+        attrs={"transpose_b": True},
+    )
+    dbias = b.add(
+        "BiasAddGrad",
+        inputs=[layer.output_shape],
+        output=TensorShape((layer.output_shape.dims[-1],)),
+        deps=[upstream],
+        scope=scope,
+    )
+    update = b.add(
+        optimizer,
+        inputs=[layer.weight_shape],
+        output=layer.weight_shape,
+        deps=[dweight, dbias],
+        scope=scope,
+    )
+    merged = b.add(
+        "AddN",
+        inputs=[layer.input_shape, layer.input_shape],
+        output=layer.input_shape,
+        deps=[dinput],
+        scope=scope,
+    )
+    b.graph.add_dependency(update, merged)
+    return merged

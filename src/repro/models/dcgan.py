@@ -1,0 +1,142 @@
+"""DCGAN training-step graph (MNIST, batch 64 in the paper).
+
+One DCGAN training step runs the generator (a stack of transposed
+convolutions turning a latent vector into a 64x64 image), the
+discriminator on both the real and the generated batch (strided
+convolutions with leaky-ReLU and batch-norm), and the backward passes of
+both networks with Adam updates — which is why ``Conv2DBackpropInput``,
+``Conv2DBackpropFilter`` and ``ApplyAdam`` dominate its profile
+(Table VI of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.op import OpInstance
+from repro.graph.shapes import TensorShape
+from repro.models.common import (
+    ModelGraphState,
+    add_loss_and_backward,
+    conv_block,
+    deconv_block,
+    dense_block,
+)
+
+
+def _generator(
+    state: ModelGraphState,
+    batch_size: int,
+    latent_dim: int,
+    base_channels: int,
+) -> tuple[OpInstance, TensorShape]:
+    """Latent vector -> 64x64x1 image through four transposed convolutions."""
+    b = state.builder
+    latent_shape = TensorShape((batch_size, latent_dim))
+    project, project_shape = dense_block(
+        state,
+        None,
+        latent_shape,
+        4 * 4 * base_channels * 8,
+        scope="gen/project",
+        activation="Relu",
+    )
+    current = b.add(
+        "Reshape",
+        inputs=[project_shape],
+        output=TensorShape((batch_size, 4, 4, base_channels * 8)),
+        deps=[project],
+        scope="gen",
+    )
+    shape = TensorShape((batch_size, 4, 4, base_channels * 8))
+    channels = (base_channels * 4, base_channels * 2, base_channels, 1)
+    out: OpInstance = current
+    for index, out_channels in enumerate(channels):
+        is_last = index == len(channels) - 1
+        out, shape = deconv_block(
+            state,
+            out,
+            shape,
+            out_channels,
+            scope=f"gen/deconv{index + 1}",
+            kernel=(5, 5),
+            stride=2,
+            batch_norm=not is_last,
+            activation="Tanh" if is_last else "Relu",
+        )
+    return out, shape
+
+
+def _discriminator(
+    state: ModelGraphState,
+    image: OpInstance | None,
+    image_shape: TensorShape,
+    base_channels: int,
+    *,
+    scope: str,
+) -> tuple[OpInstance, TensorShape]:
+    """64x64 image -> real/fake logit through four strided convolutions."""
+    channels = (base_channels, base_channels * 2, base_channels * 4, base_channels * 8)
+    current: OpInstance | None = image
+    shape = image_shape
+    for index, out_channels in enumerate(channels):
+        current, shape = conv_block(
+            state,
+            current,
+            shape,
+            out_channels,
+            scope=f"{scope}/conv{index + 1}",
+            kernel=(5, 5),
+            stride=2,
+            batch_norm=index > 0,
+            activation="LeakyRelu",
+            input_conversion=index == 0,
+        )
+    logit, logit_shape = dense_block(state, current, shape, 1, scope=f"{scope}/logit")
+    return logit, logit_shape
+
+
+def build_dcgan(
+    batch_size: int = 64,
+    *,
+    image_size: int = 64,
+    latent_dim: int = 100,
+    base_channels: int = 64,
+) -> DataflowGraph:
+    """Build the training-step graph of DCGAN (generator + discriminator)."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    if image_size % 16 != 0:
+        raise ValueError("image_size must be divisible by 16 (four stride-2 layers)")
+
+    builder = GraphBuilder(f"dcgan-b{batch_size}")
+    state = ModelGraphState(builder=builder)
+
+    fake_image, fake_shape = _generator(state, batch_size, latent_dim, base_channels)
+
+    real_shape = TensorShape((batch_size, image_size, image_size, 1))
+    real_input = builder.add(
+        "InputConversion",
+        inputs=[real_shape],
+        output=real_shape,
+        scope="data",
+    )
+    real_logit, logit_shape = _discriminator(
+        state, real_input, real_shape, base_channels, scope="disc/real"
+    )
+    fake_logit, _ = _discriminator(
+        state, fake_image, fake_shape, base_channels, scope="disc/fake"
+    )
+
+    # GAN losses use sigmoid cross-entropy on the two logits.
+    add_loss_and_backward(
+        state,
+        fake_logit,
+        logit_shape,
+        optimizer="ApplyAdam",
+        loss_op="SparseSoftmaxCross",
+        label_classes=2,
+        scope="loss",
+        extra_tail=[real_logit],
+    )
+    return builder.build()

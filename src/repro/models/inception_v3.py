@@ -1,0 +1,253 @@
+"""Inception-v3 training-step graph (ImageNet, batch 16 in the paper).
+
+Inception-v3 is the largest of the four workloads: the paper reports
+~16,000 operations per training step and 42 differently-shaped instances
+of ``Conv2DBackpropFilter``.  This generator builds the standard
+architecture — the 299x299 stem, three groups of Inception modules
+(35x35, 17x17 and 8x8 grids, with the factorised 7x1/1x7 modules in the
+middle group and the expanded 3x1/1x3 modules at the end), global average
+pooling and a 1000-way classifier — and appends the backward pass with
+Adam updates.  Branch structure inside a module gives the scheduler
+genuinely independent operations to co-run.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.op import OpInstance
+from repro.graph.shapes import TensorShape
+from repro.models.common import (
+    ModelGraphState,
+    add_loss_and_backward,
+    conv_block,
+    dense_block,
+    pool_block,
+)
+
+
+def _branch_conv_chain(
+    state: ModelGraphState,
+    inputs: OpInstance,
+    input_shape: TensorShape,
+    specs: list[tuple[int, tuple[int, int], int]],
+    *,
+    scope: str,
+) -> tuple[OpInstance, TensorShape]:
+    """A chain of conv blocks described by (out_channels, kernel, stride)."""
+    current, shape = inputs, input_shape
+    for index, (channels, kernel, stride) in enumerate(specs):
+        current, shape = conv_block(
+            state,
+            current,
+            shape,
+            channels,
+            scope=f"{scope}/conv{index + 1}",
+            kernel=kernel,
+            stride=stride,
+            padding="same",
+            input_conversion=index == 0,
+        )
+    return current, shape
+
+
+def _inception_module(
+    state: ModelGraphState,
+    inputs: OpInstance,
+    input_shape: TensorShape,
+    branch_specs: list[list[tuple[int, tuple[int, int], int]]],
+    *,
+    scope: str,
+    pool_channels: int | None = None,
+) -> tuple[OpInstance, TensorShape]:
+    """A generic Inception module: parallel branches joined by a concat."""
+    b = state.builder
+    branch_outputs: list[OpInstance] = []
+    total_channels = 0
+    out_spatial: tuple[int, int] | None = None
+    for index, specs in enumerate(branch_specs):
+        out, shape = _branch_conv_chain(
+            state, inputs, input_shape, specs, scope=f"{scope}/branch{index + 1}"
+        )
+        branch_outputs.append(out)
+        total_channels += shape.channels
+        out_spatial = (shape.dims[1], shape.dims[2])
+    if pool_channels is not None:
+        pooled, pooled_shape = pool_block(
+            state,
+            inputs,
+            input_shape,
+            scope=f"{scope}/branch_pool",
+            kind="AvgPool",
+            kernel=(3, 3),
+            stride=1,
+        )
+        pool_proj, pool_proj_shape = conv_block(
+            state,
+            pooled,
+            pooled_shape,
+            pool_channels,
+            scope=f"{scope}/branch_pool/proj",
+            kernel=(1, 1),
+            stride=1,
+        )
+        branch_outputs.append(pool_proj)
+        total_channels += pool_proj_shape.channels
+        out_spatial = (pool_proj_shape.dims[1], pool_proj_shape.dims[2])
+
+    assert out_spatial is not None
+    batch = input_shape.batch
+    output_shape = TensorShape((batch, out_spatial[0], out_spatial[1], total_channels))
+    concat = b.join(
+        "ConcatV2",
+        branch_outputs,
+        inputs=[output_shape],
+        output=output_shape,
+        scope=scope,
+    )
+    return concat, output_shape
+
+
+def build_inception_v3(
+    batch_size: int = 16,
+    *,
+    image_size: int = 299,
+    num_classes: int = 1000,
+    module_counts: tuple[int, int, int] = (3, 4, 2),
+) -> DataflowGraph:
+    """Build the training-step graph of Inception-v3.
+
+    ``module_counts`` controls how many Inception modules each of the
+    three grid groups contains (the full network uses (3, 4, 2) plus the
+    two grid-reduction modules, which are always emitted); smaller counts
+    make convenient test fixtures.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+
+    builder = GraphBuilder(f"inception_v3-b{batch_size}")
+    state = ModelGraphState(builder=builder)
+
+    image_shape = TensorShape((batch_size, image_size, image_size, 3))
+    stem_in = builder.add(
+        "InputConversion", inputs=[image_shape], output=image_shape, scope="stem"
+    )
+
+    # --- stem: 299x299x3 -> 35x35x192 -----------------------------------------
+    current, shape = conv_block(
+        state, stem_in, image_shape, 32, scope="stem/conv1", kernel=(3, 3), stride=2,
+        padding="valid",
+    )
+    current, shape = conv_block(
+        state, current, shape, 32, scope="stem/conv2", kernel=(3, 3), stride=1,
+        padding="valid",
+    )
+    current, shape = conv_block(
+        state, current, shape, 64, scope="stem/conv3", kernel=(3, 3), stride=1
+    )
+    current, shape = pool_block(
+        state, current, shape, scope="stem/pool1", kind="MaxPooling", kernel=(3, 3), stride=2
+    )
+    current, shape = conv_block(
+        state, current, shape, 80, scope="stem/conv4", kernel=(1, 1), stride=1
+    )
+    current, shape = conv_block(
+        state, current, shape, 192, scope="stem/conv5", kernel=(3, 3), stride=1,
+        padding="valid",
+    )
+    current, shape = pool_block(
+        state, current, shape, scope="stem/pool2", kind="MaxPooling", kernel=(3, 3), stride=2
+    )
+
+    # --- 35x35 modules (Inception-A) --------------------------------------------
+    for index in range(module_counts[0]):
+        current, shape = _inception_module(
+            state,
+            current,
+            shape,
+            branch_specs=[
+                [(64, (1, 1), 1)],
+                [(48, (1, 1), 1), (64, (5, 5), 1)],
+                [(64, (1, 1), 1), (96, (3, 3), 1), (96, (3, 3), 1)],
+            ],
+            pool_channels=64,
+            scope=f"mixed_35x35_{index + 1}",
+        )
+
+    # --- grid reduction 35x35 -> 17x17 ------------------------------------------
+    current, shape = _inception_module(
+        state,
+        current,
+        shape,
+        branch_specs=[
+            [(384, (3, 3), 2)],
+            [(64, (1, 1), 1), (96, (3, 3), 1), (96, (3, 3), 2)],
+            [(shape.channels, (1, 1), 2)],
+        ],
+        scope="reduction_a",
+    )
+
+    # --- 17x17 modules (Inception-B, factorised 7x1/1x7) -------------------------
+    for index in range(module_counts[1]):
+        width = 128 if index == 0 else 160
+        current, shape = _inception_module(
+            state,
+            current,
+            shape,
+            branch_specs=[
+                [(192, (1, 1), 1)],
+                [(width, (1, 1), 1), (width, (1, 7), 1), (192, (7, 1), 1)],
+                [
+                    (width, (1, 1), 1),
+                    (width, (7, 1), 1),
+                    (width, (1, 7), 1),
+                    (192, (7, 1), 1),
+                ],
+            ],
+            pool_channels=192,
+            scope=f"mixed_17x17_{index + 1}",
+        )
+
+    # --- grid reduction 17x17 -> 8x8 ----------------------------------------------
+    current, shape = _inception_module(
+        state,
+        current,
+        shape,
+        branch_specs=[
+            [(192, (1, 1), 1), (320, (3, 3), 2)],
+            [(192, (1, 1), 1), (192, (1, 7), 1), (192, (7, 1), 1), (192, (3, 3), 2)],
+            [(shape.channels, (1, 1), 2)],
+        ],
+        scope="reduction_b",
+    )
+
+    # --- 8x8 modules (Inception-C) --------------------------------------------------
+    for index in range(module_counts[2]):
+        current, shape = _inception_module(
+            state,
+            current,
+            shape,
+            branch_specs=[
+                [(320, (1, 1), 1)],
+                [(384, (1, 1), 1), (384, (1, 3), 1), (384, (3, 1), 1)],
+                [(448, (1, 1), 1), (384, (3, 3), 1), (384, (1, 3), 1), (384, (3, 1), 1)],
+            ],
+            pool_channels=192,
+            scope=f"mixed_8x8_{index + 1}",
+        )
+
+    # --- classifier head --------------------------------------------------------------
+    pooled, pooled_shape = pool_block(
+        state,
+        current,
+        shape,
+        scope="head/avgpool",
+        kind="AvgPool",
+        kernel=(shape.dims[1], shape.dims[2]),
+        stride=shape.dims[1],
+    )
+    logits, logits_shape = dense_block(
+        state, pooled, pooled_shape, num_classes, scope="head/fc"
+    )
+    add_loss_and_backward(state, logits, logits_shape, optimizer="ApplyAdam")
+    return builder.build()

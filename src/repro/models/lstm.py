@@ -1,0 +1,193 @@
+"""Word-level LSTM language-model training-step graph (PTB, batch 20).
+
+The paper trains the TensorFlow models-repository PTB LSTM (batch 20).
+One training step unrolls ``num_steps`` time steps of a two-layer LSTM:
+for every (layer, time) cell there is one gate GEMM followed by a handful
+of small elementwise operations (sigmoid/tanh gates, cell-state updates),
+then a vocabulary-sized softmax cross-entropy loss and the BPTT backward
+pass.  The step therefore consists of *many small operations* — none of
+which needs the whole chip — which is why the paper's runtime gains come
+almost entirely from concurrency control and co-running (Strategies 1-3)
+and Strategy 4 finds nothing to do (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.op import OpInstance
+from repro.graph.shapes import TensorShape
+from repro.models.common import ModelGraphState, add_loss_and_backward, dense_block
+
+
+def _lstm_cell(
+    state: ModelGraphState,
+    x: OpInstance,
+    x_shape: TensorShape,
+    h_prev: OpInstance | None,
+    c_prev: OpInstance | None,
+    hidden: int,
+    *,
+    scope: str,
+) -> tuple[OpInstance, OpInstance, TensorShape]:
+    """One LSTM cell: gate GEMM + elementwise gate math.
+
+    Returns (new_h, new_c, hidden_shape).
+    """
+    b = state.builder
+    batch = x_shape.dims[0]
+    hidden_shape = TensorShape((batch, hidden))
+    concat_shape = TensorShape((batch, x_shape.dims[-1] + hidden))
+    gates_shape = TensorShape((batch, 4 * hidden))
+
+    concat_deps = [x] + ([h_prev] if h_prev is not None else [])
+    concat = b.add(
+        "ConcatV2",
+        inputs=[x_shape, hidden_shape],
+        output=concat_shape,
+        deps=concat_deps,
+        scope=scope,
+    )
+    gates, _ = dense_block(
+        state,
+        concat,
+        concat_shape,
+        4 * hidden,
+        scope=f"{scope}/gates",
+        bias=True,
+    )
+    split = b.add(
+        "Split",
+        inputs=[gates_shape],
+        output=gates_shape,
+        deps=[gates],
+        scope=scope,
+    )
+    input_gate = b.add("Sigmoid", inputs=[hidden_shape], output=hidden_shape, deps=[split], scope=scope)
+    forget_gate = b.add("Sigmoid", inputs=[hidden_shape], output=hidden_shape, deps=[split], scope=scope)
+    output_gate = b.add("Sigmoid", inputs=[hidden_shape], output=hidden_shape, deps=[split], scope=scope)
+    candidate = b.add("Tanh", inputs=[hidden_shape], output=hidden_shape, deps=[split], scope=scope)
+
+    forget_term_deps = [forget_gate] + ([c_prev] if c_prev is not None else [])
+    forget_term = b.add(
+        "Mul",
+        inputs=[hidden_shape, hidden_shape],
+        output=hidden_shape,
+        deps=forget_term_deps,
+        scope=scope,
+    )
+    input_term = b.add(
+        "Mul",
+        inputs=[hidden_shape, hidden_shape],
+        output=hidden_shape,
+        deps=[input_gate, candidate],
+        scope=scope,
+    )
+    new_c = b.add(
+        "AddN",
+        inputs=[hidden_shape, hidden_shape],
+        output=hidden_shape,
+        deps=[forget_term, input_term],
+        scope=scope,
+    )
+    cell_tanh = b.add("Tanh", inputs=[hidden_shape], output=hidden_shape, deps=[new_c], scope=scope)
+    new_h = b.add(
+        "Mul",
+        inputs=[hidden_shape, hidden_shape],
+        output=hidden_shape,
+        deps=[output_gate, cell_tanh],
+        scope=scope,
+    )
+    return new_h, new_c, hidden_shape
+
+
+def build_lstm(
+    batch_size: int = 20,
+    *,
+    num_steps: int = 20,
+    hidden_size: int = 200,
+    num_layers: int = 2,
+    vocab_size: int = 10000,
+    embedding_size: int | None = None,
+) -> DataflowGraph:
+    """Build the training-step graph of the PTB LSTM language model.
+
+    Defaults correspond to the "small" PTB configuration of the
+    TensorFlow models repository, which matches the per-operation times
+    the paper reports for LSTM (top operations in the low-millisecond
+    range, Table VI).
+    """
+    if batch_size < 1 or num_steps < 1 or num_layers < 1:
+        raise ValueError("batch_size, num_steps and num_layers must be positive")
+    emb = embedding_size if embedding_size is not None else hidden_size
+
+    builder = GraphBuilder(f"lstm-b{batch_size}")
+    state = ModelGraphState(builder=builder)
+
+    token_shape = TensorShape((batch_size, num_steps))
+    embed_shape = TensorShape((batch_size, num_steps, emb))
+    embedding = builder.add(
+        "Gather",
+        inputs=[TensorShape((vocab_size, emb)), token_shape],
+        output=embed_shape,
+        scope="embedding",
+    )
+
+    # Per-time-step input slices.
+    step_input_shape = TensorShape((batch_size, emb))
+    step_inputs: list[OpInstance] = []
+    for t in range(num_steps):
+        step_inputs.append(
+            builder.add(
+                "Slice",
+                inputs=[embed_shape],
+                output=step_input_shape,
+                deps=[embedding],
+                scope=f"input/t{t}",
+            )
+        )
+
+    # Unrolled 2-layer LSTM.
+    hidden_shape = TensorShape((batch_size, hidden_size))
+    h_prev: list[OpInstance | None] = [None] * num_layers
+    c_prev: list[OpInstance | None] = [None] * num_layers
+    outputs: list[OpInstance] = []
+    for t in range(num_steps):
+        layer_input = step_inputs[t]
+        layer_input_shape = step_input_shape
+        for layer in range(num_layers):
+            new_h, new_c, hidden_shape = _lstm_cell(
+                state,
+                layer_input,
+                layer_input_shape,
+                h_prev[layer],
+                c_prev[layer],
+                hidden_size,
+                scope=f"lstm/layer{layer}/t{t}",
+            )
+            h_prev[layer] = new_h
+            c_prev[layer] = new_c
+            layer_input = new_h
+            layer_input_shape = hidden_shape
+        outputs.append(layer_input)
+
+    # Stack outputs and project to the vocabulary.
+    stacked_shape = TensorShape((batch_size * num_steps, hidden_size))
+    stacked = builder.join(
+        "ConcatV2",
+        outputs,
+        inputs=[stacked_shape],
+        output=stacked_shape,
+        scope="output",
+    )
+    logits, logits_shape = dense_block(
+        state, stacked, stacked_shape, vocab_size, scope="output/softmax_w"
+    )
+    add_loss_and_backward(
+        state,
+        logits,
+        logits_shape,
+        optimizer="ApplyGradientDescent",
+        loss_op="SparseSoftmaxCross",
+    )
+    return builder.build()

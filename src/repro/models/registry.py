@@ -1,0 +1,71 @@
+"""Registry of the model graph builders evaluated in the paper."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.graph.dataflow import DataflowGraph
+from repro.models.dcgan import build_dcgan
+from repro.models.inception_v3 import build_inception_v3
+from repro.models.lstm import build_lstm
+from repro.models.resnet50 import build_resnet50
+
+ModelBuilder = Callable[..., DataflowGraph]
+
+#: Model name -> builder.  Names follow the paper's spelling.
+MODEL_BUILDERS: dict[str, ModelBuilder] = {
+    "resnet50": build_resnet50,
+    "dcgan": build_dcgan,
+    "inception_v3": build_inception_v3,
+    "lstm": build_lstm,
+}
+
+#: Batch sizes used in the paper's evaluation (Section IV-A).
+PAPER_BATCH_SIZES: dict[str, int] = {
+    "resnet50": 64,
+    "dcgan": 64,
+    "inception_v3": 16,
+    "lstm": 20,
+}
+
+_ALIASES = {
+    "resnet-50": "resnet50",
+    "resnet_50": "resnet50",
+    "inception-v3": "inception_v3",
+    "inceptionv3": "inception_v3",
+    "inception": "inception_v3",
+}
+
+
+def _canonical(name: str) -> str:
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in MODEL_BUILDERS:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(sorted(MODEL_BUILDERS))}"
+        )
+    return key
+
+
+def available_models() -> tuple[str, ...]:
+    """Names of all models with a graph builder."""
+    return tuple(sorted(MODEL_BUILDERS))
+
+
+def model_batch_size(name: str) -> int:
+    """The batch size the paper uses for ``name``."""
+    return PAPER_BATCH_SIZES[_canonical(name)]
+
+
+def build_model(name: str, batch_size: int | None = None, **kwargs) -> DataflowGraph:
+    """Build the training-step graph of ``name``.
+
+    ``batch_size`` defaults to the paper's setting for that model; extra
+    keyword arguments are forwarded to the specific builder (e.g.
+    ``module_counts`` for Inception-v3 or ``stage_blocks`` for ResNet-50,
+    which are handy for fast tests).
+    """
+    key = _canonical(name)
+    builder = MODEL_BUILDERS[key]
+    batch = batch_size if batch_size is not None else PAPER_BATCH_SIZES[key]
+    return builder(batch, **kwargs)

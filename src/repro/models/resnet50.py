@@ -1,0 +1,173 @@
+"""ResNet-50 training-step graph (CIFAR-10, batch 64 in the paper).
+
+The generator follows the standard bottleneck architecture — an initial
+convolution followed by four stages of [3, 4, 6, 3] bottleneck blocks
+with 256/512/1024/2048 output channels — and appends the backward pass
+and Adam updates.  On CIFAR-sized inputs the spatial resolution starts at
+32x32 and the stem keeps it (no aggressive 7x7/stride-2 + max-pool stem),
+which matches the TensorFlow models-repository CIFAR variant the paper
+uses.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.op import OpInstance
+from repro.graph.shapes import TensorShape
+from repro.models.common import (
+    ModelGraphState,
+    add_loss_and_backward,
+    conv_block,
+    dense_block,
+    pool_block,
+)
+
+#: Bottleneck blocks per stage for ResNet-50.
+STAGE_BLOCKS: tuple[int, ...] = (3, 4, 6, 3)
+#: Output channels of each stage (after the x4 bottleneck expansion).
+STAGE_CHANNELS: tuple[int, ...] = (256, 512, 1024, 2048)
+
+
+def _bottleneck(
+    state: ModelGraphState,
+    inputs: OpInstance,
+    input_shape: TensorShape,
+    out_channels: int,
+    *,
+    scope: str,
+    stride: int = 1,
+) -> tuple[OpInstance, TensorShape]:
+    """One bottleneck residual block: 1x1 reduce, 3x3, 1x1 expand, shortcut."""
+    b = state.builder
+    mid_channels = out_channels // 4
+
+    reduce_out, reduce_shape = conv_block(
+        state,
+        inputs,
+        input_shape,
+        mid_channels,
+        scope=f"{scope}/reduce",
+        kernel=(1, 1),
+        stride=1,
+    )
+    mid_out, mid_shape = conv_block(
+        state,
+        reduce_out,
+        reduce_shape,
+        mid_channels,
+        scope=f"{scope}/spatial",
+        kernel=(3, 3),
+        stride=stride,
+        input_conversion=True,
+    )
+    expand_out, expand_shape = conv_block(
+        state,
+        mid_out,
+        mid_shape,
+        out_channels,
+        scope=f"{scope}/expand",
+        kernel=(1, 1),
+        stride=1,
+        activation=None,
+    )
+
+    needs_projection = stride != 1 or input_shape.channels != out_channels
+    if needs_projection:
+        shortcut, _ = conv_block(
+            state,
+            inputs,
+            input_shape,
+            out_channels,
+            scope=f"{scope}/shortcut",
+            kernel=(1, 1),
+            stride=stride,
+            activation=None,
+        )
+    else:
+        shortcut = inputs
+
+    summed = b.add(
+        "Add",
+        inputs=[expand_shape, expand_shape],
+        output=expand_shape,
+        deps=[expand_out, shortcut],
+        scope=scope,
+    )
+    relu = b.add(
+        "Relu",
+        inputs=[expand_shape],
+        output=expand_shape,
+        deps=[summed],
+        scope=scope,
+    )
+    return relu, expand_shape
+
+
+def build_resnet50(
+    batch_size: int = 64,
+    *,
+    image_size: int = 32,
+    num_classes: int = 10,
+    stage_blocks: tuple[int, ...] = STAGE_BLOCKS,
+) -> DataflowGraph:
+    """Build the training-step graph of ResNet-50.
+
+    Parameters mirror the paper's setup (CIFAR-10: 32x32 images, 10
+    classes, batch 64); smaller ``stage_blocks`` make handy test fixtures.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    if len(stage_blocks) != len(STAGE_CHANNELS):
+        raise ValueError("stage_blocks must have four entries")
+
+    builder = GraphBuilder(f"resnet50-b{batch_size}")
+    state = ModelGraphState(builder=builder)
+
+    image_shape = TensorShape((batch_size, image_size, image_size, 3))
+    stem_in = builder.add(
+        "InputConversion",
+        inputs=[image_shape],
+        output=image_shape,
+        scope="stem",
+    )
+    current, shape = conv_block(
+        state,
+        stem_in,
+        image_shape,
+        64,
+        scope="stem/conv1",
+        kernel=(3, 3),
+        stride=1,
+        input_conversion=False,
+    )
+    current, shape = pool_block(
+        state, current, shape, scope="stem/pool", kind="MaxPooling", kernel=(3, 3), stride=1
+    )
+
+    for stage_index, (blocks, channels) in enumerate(zip(stage_blocks, STAGE_CHANNELS)):
+        for block_index in range(blocks):
+            stride = 2 if (block_index == 0 and stage_index > 0) else 1
+            current, shape = _bottleneck(
+                state,
+                current,
+                shape,
+                channels,
+                scope=f"stage{stage_index + 1}/block{block_index + 1}",
+                stride=stride,
+            )
+
+    pooled, pooled_shape = pool_block(
+        state,
+        current,
+        shape,
+        scope="head/avgpool",
+        kind="AvgPool",
+        kernel=(shape.dims[1], shape.dims[2]),
+        stride=shape.dims[1],
+    )
+    logits, logits_shape = dense_block(
+        state, pooled, pooled_shape, num_classes, scope="head/fc"
+    )
+    add_loss_and_backward(state, logits, logits_shape, optimizer="ApplyAdam")
+    return builder.build()

@@ -1,0 +1,20 @@
+"""Operation catalog: per-operation-type cost characteristics.
+
+The execution simulator needs, for every operation instance, an estimate
+of its floating point work, memory traffic, cache-reuse potential, serial
+fraction and parallel grain count.  The catalog provides those estimates
+per operation type; :func:`repro.ops.cost.characterize` dispatches on the
+operation type through the registry.
+"""
+
+from repro.ops.characteristics import OpCharacteristics
+from repro.ops.registry import OpRegistry, default_registry, register_op
+from repro.ops.cost import characterize
+
+__all__ = [
+    "OpCharacteristics",
+    "OpRegistry",
+    "default_registry",
+    "register_op",
+    "characterize",
+]

@@ -1,0 +1,95 @@
+"""The cost characteristics attached to every operation instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OpCharacteristics:
+    """What the execution-time model needs to know about one op instance.
+
+    Attributes
+    ----------
+    flops:
+        Floating point operations performed by the instance.
+    bytes_touched:
+        Logical bytes moved by the kernel (reads + writes before any cache
+        filtering).
+    working_set:
+        Bytes the kernel actively reuses (weights + a blocking tile); this
+        is what competes for the tile L2.
+    serial_fraction:
+        Amdahl fraction of the runtime that does not parallelise
+        (setup, reductions, pointer chasing).
+    reuse_potential:
+        Temporal reuse available to a cache-blocked implementation, in
+        [0, 1].  High for GEMM/convolutions, near zero for streaming
+        elementwise kernels.
+    parallel_grains:
+        Number of independent work items; thread counts above this yield
+        no additional speedup (small ops cannot use the whole chip).
+    per_thread_overhead:
+        Seconds of parallelisation overhead added *per thread* (private
+        buffer setup, partial-result reduction, task creation).  This is
+        the term that creates the interior optimum of the time-vs-threads
+        curve: the optimum thread count grows roughly as
+        ``sqrt(parallel_work / per_thread_overhead)``, so larger inputs
+        push the optimum toward the full chip while small operations want
+        only a handful of threads — exactly the behaviour of Fig. 1 and
+        Table II of the paper.
+    branchiness:
+        Branches per instruction (used only by the counter simulator).
+    memory_bound:
+        Rough fraction in [0, 1] of time bound by memory rather than
+        compute for a single-thread run; used by the SMT model.
+    """
+
+    flops: float
+    bytes_touched: float
+    working_set: float
+    serial_fraction: float
+    reuse_potential: float
+    parallel_grains: int
+    per_thread_overhead: float = 2e-5
+    branchiness: float = 0.08
+    memory_bound: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_touched < 0 or self.working_set < 0:
+            raise ValueError("work quantities must be non-negative")
+        if not (0.0 <= self.serial_fraction < 1.0):
+            raise ValueError("serial_fraction must lie in [0, 1)")
+        if not (0.0 <= self.reuse_potential <= 1.0):
+            raise ValueError("reuse_potential must lie in [0, 1]")
+        if self.parallel_grains < 1:
+            raise ValueError("parallel_grains must be at least 1")
+        if not (0.0 <= self.memory_bound <= 1.0):
+            raise ValueError("memory_bound must lie in [0, 1]")
+        if self.branchiness < 0:
+            raise ValueError("branchiness must be non-negative")
+        if self.per_thread_overhead < 0:
+            raise ValueError("per_thread_overhead must be non-negative")
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of logical traffic."""
+        if self.bytes_touched == 0:
+            return float("inf") if self.flops > 0 else 0.0
+        return self.flops / self.bytes_touched
+
+    def scaled(self, factor: float) -> "OpCharacteristics":
+        """Return characteristics scaled by ``factor`` (used for batched runs)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return OpCharacteristics(
+            flops=self.flops * factor,
+            bytes_touched=self.bytes_touched * factor,
+            working_set=self.working_set,
+            serial_fraction=self.serial_fraction,
+            reuse_potential=self.reuse_potential,
+            parallel_grains=max(1, int(self.parallel_grains * factor)),
+            per_thread_overhead=self.per_thread_overhead,
+            branchiness=self.branchiness,
+            memory_bound=self.memory_bound,
+        )

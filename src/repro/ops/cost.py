@@ -1,0 +1,38 @@
+"""Dispatch from an operation instance to its cost characteristics."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.graph.op import OpInstance
+from repro.ops.characteristics import OpCharacteristics
+from repro.ops.registry import OpRegistry, default_registry
+
+
+def characterize(op: OpInstance, registry: OpRegistry | None = None) -> OpCharacteristics:
+    """Estimate the cost characteristics of ``op``.
+
+    Uses the default registry (populated from the catalog) unless an
+    explicit registry is supplied.
+    """
+    reg = registry if registry is not None else default_registry()
+    return reg.estimate(op)
+
+
+@lru_cache(maxsize=65536)
+def _characterize_cached(op: OpInstance) -> OpCharacteristics:
+    return default_registry().estimate(op)
+
+
+def characterize_cached(op: OpInstance) -> OpCharacteristics:
+    """Memoised variant of :func:`characterize` for the default registry.
+
+    Operation instances are immutable, and a training step evaluates the
+    same instances thousands of times during profiling sweeps, so caching
+    pays off.  Only valid for the default registry.
+    """
+    try:
+        return _characterize_cached(op)
+    except TypeError:
+        # attrs may contain unhashable values; fall back to the uncached path.
+        return characterize(op)

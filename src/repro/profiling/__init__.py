@@ -1,0 +1,20 @@
+"""Profiling utilities: per-operation timing reports and step timelines.
+
+The paper builds its measurement infrastructure from TensorBoard traces
+and VTune counter sampling; this package provides the equivalent views
+over simulated execution traces — per-op-type aggregates (Table VI), a
+chronological timeline, and formatted text reports.
+"""
+
+from repro.profiling.profiler import OpTypeStats, StepProfiler
+from repro.profiling.timeline import Timeline, TimelineEntry
+from repro.profiling.reports import format_op_type_report, format_timeline
+
+__all__ = [
+    "StepProfiler",
+    "OpTypeStats",
+    "Timeline",
+    "TimelineEntry",
+    "format_op_type_report",
+    "format_timeline",
+]

@@ -1,0 +1,63 @@
+"""Per-operation-type statistics over an execution trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.execsim.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class OpTypeStats:
+    """Aggregate statistics of one operation type within a step."""
+
+    op_type: str
+    instances: int
+    total_time: float
+    average_time: float
+    max_time: float
+    average_threads: float
+
+    def __post_init__(self) -> None:
+        if self.instances < 1:
+            raise ValueError("instances must be at least 1")
+
+
+class StepProfiler:
+    """Summarises an :class:`ExecutionTrace` the way the paper's tables do."""
+
+    def __init__(self, trace: ExecutionTrace) -> None:
+        self.trace = trace
+
+    def op_type_stats(self) -> dict[str, OpTypeStats]:
+        """Statistics keyed by operation type."""
+        groups: dict[str, list] = {}
+        for record in self.trace.records:
+            groups.setdefault(record.op_type, []).append(record)
+        stats: dict[str, OpTypeStats] = {}
+        for op_type, records in groups.items():
+            durations = [r.duration for r in records]
+            stats[op_type] = OpTypeStats(
+                op_type=op_type,
+                instances=len(records),
+                total_time=sum(durations),
+                average_time=sum(durations) / len(durations),
+                max_time=max(durations),
+                average_threads=sum(r.threads for r in records) / len(records),
+            )
+        return stats
+
+    def top_op_types(self, n: int = 5) -> list[OpTypeStats]:
+        """The ``n`` most time-consuming operation types (Table VI's rows)."""
+        if n < 1:
+            raise ValueError("n must be at least 1")
+        stats = self.op_type_stats()
+        return sorted(stats.values(), key=lambda s: s.total_time, reverse=True)[:n]
+
+    def total_time_of(self, op_type: str) -> float:
+        """Total time of an operation type (0.0 when absent)."""
+        stats = self.op_type_stats().get(op_type)
+        return stats.total_time if stats is not None else 0.0
+
+    def step_time(self) -> float:
+        return self.trace.makespan

@@ -1,0 +1,46 @@
+"""Text reports over profiling data."""
+
+from __future__ import annotations
+
+from repro.profiling.profiler import StepProfiler
+from repro.profiling.timeline import Timeline
+from repro.utils.tables import TextTable
+from repro.utils.units import format_time
+
+
+def format_op_type_report(profiler: StepProfiler, *, top: int = 10, title: str | None = None) -> str:
+    """Table of the most time-consuming operation types (Table VI style)."""
+    table = TextTable(
+        ["op type", "instances", "total", "avg", "avg threads"],
+        title=title or "Most time-consuming operation types",
+    )
+    for stats in profiler.top_op_types(top):
+        table.add_row(
+            [
+                stats.op_type,
+                stats.instances,
+                format_time(stats.total_time),
+                format_time(stats.average_time),
+                f"{stats.average_threads:.1f}",
+            ]
+        )
+    return table.render()
+
+
+def format_timeline(timeline: Timeline, *, limit: int = 40, title: str | None = None) -> str:
+    """Chronological listing of the first ``limit`` operations of a step."""
+    table = TextTable(
+        ["start", "duration", "lane", "threads", "operation"],
+        title=title or "Step timeline",
+    )
+    for entry in timeline.entries[:limit]:
+        table.add_row(
+            [
+                format_time(entry.start),
+                format_time(entry.duration),
+                entry.lane,
+                entry.threads,
+                f"{entry.op_name} <{entry.op_type}>",
+            ]
+        )
+    return table.render()

@@ -1,0 +1,73 @@
+"""Chronological view of a simulated step (a TensorBoard-trace equivalent)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.execsim.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One operation execution placed on the step timeline."""
+
+    op_name: str
+    op_type: str
+    start: float
+    end: float
+    threads: int
+    lane: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Assigns concurrent operations to display lanes (like a trace viewer)."""
+
+    def __init__(self, trace: ExecutionTrace) -> None:
+        self.trace = trace
+        self.entries = self._build()
+
+    def _build(self) -> list[TimelineEntry]:
+        entries: list[TimelineEntry] = []
+        lane_free_at: list[float] = []
+        for record in sorted(self.trace.records, key=lambda r: (r.start_time, r.op_name)):
+            lane = None
+            for index, free_at in enumerate(lane_free_at):
+                if record.start_time >= free_at - 1e-12:
+                    lane = index
+                    break
+            if lane is None:
+                lane = len(lane_free_at)
+                lane_free_at.append(0.0)
+            lane_free_at[lane] = record.finish_time
+            entries.append(
+                TimelineEntry(
+                    op_name=record.op_name,
+                    op_type=record.op_type,
+                    start=record.start_time,
+                    end=record.finish_time,
+                    threads=record.threads,
+                    lane=lane,
+                )
+            )
+        return entries
+
+    @property
+    def num_lanes(self) -> int:
+        """Maximum number of concurrently displayed operations."""
+        if not self.entries:
+            return 0
+        return max(e.lane for e in self.entries) + 1
+
+    def between(self, start: float, end: float) -> list[TimelineEntry]:
+        """Entries overlapping the window [start, end)."""
+        if end < start:
+            raise ValueError("end must not precede start")
+        return [e for e in self.entries if e.end > start and e.start < end]
+
+    def concurrency_at(self, time: float) -> int:
+        """Number of operations running at ``time``."""
+        return sum(1 for e in self.entries if e.start <= time < e.end)

@@ -1,0 +1,42 @@
+"""Small shared utilities: units, seeding, statistics, and table rendering."""
+
+from repro.utils.units import (
+    GB,
+    GHZ,
+    KB,
+    MB,
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    format_bytes,
+    format_time,
+)
+from repro.utils.seeding import SeedSequenceFactory, make_rng
+from repro.utils.stats import (
+    geometric_mean,
+    harmonic_mean,
+    mean_absolute_percentage_error,
+    paper_accuracy,
+    r_squared,
+)
+from repro.utils.tables import TextTable
+
+__all__ = [
+    "GB",
+    "GHZ",
+    "KB",
+    "MB",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "format_bytes",
+    "format_time",
+    "SeedSequenceFactory",
+    "make_rng",
+    "geometric_mean",
+    "harmonic_mean",
+    "mean_absolute_percentage_error",
+    "paper_accuracy",
+    "r_squared",
+    "TextTable",
+]

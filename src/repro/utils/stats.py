@@ -1,0 +1,65 @@
+"""Statistics helpers shared by the performance models and experiments."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (used for speedup aggregation)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean of positive values."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("harmonic_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("harmonic_mean requires strictly positive values")
+    return float(arr.size / np.sum(1.0 / arr))
+
+
+def mean_absolute_percentage_error(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """MAPE = mean(|(pred - true) / true|)."""
+    t = np.asarray(y_true, dtype=float)
+    p = np.asarray(y_pred, dtype=float)
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {p.shape}")
+    if t.size == 0:
+        raise ValueError("empty input")
+    if np.any(t == 0):
+        raise ValueError("y_true contains zeros; MAPE undefined")
+    return float(np.mean(np.abs((p - t) / t)))
+
+
+def paper_accuracy(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """The accuracy metric of the paper: ``1 - MAPE`` clamped at zero.
+
+    Section III-B defines modelling accuracy as
+    ``1 - (1/n) * sum(|y_hat - y| / y)``.  Large errors can push the raw
+    value below zero; following common reporting practice we clamp at 0.
+    """
+    return max(0.0, 1.0 - mean_absolute_percentage_error(y_true, y_pred))
+
+
+def r_squared(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Coefficient of determination R^2."""
+    t = np.asarray(y_true, dtype=float)
+    p = np.asarray(y_pred, dtype=float)
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {p.shape}")
+    if t.size < 2:
+        raise ValueError("need at least two observations for R^2")
+    ss_res = float(np.sum((t - p) ** 2))
+    ss_tot = float(np.sum((t - np.mean(t)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,57 @@
+"""Unit constants and human readable formatting helpers.
+
+Internally all times are seconds, sizes are bytes, rates are per second.
+These constants make intent explicit at call sites, e.g. ``16 * GB`` or
+``5 * MICROSECOND``.
+"""
+
+from __future__ import annotations
+
+#: One kibibyte-free kilobyte (we use powers of two throughout, matching
+#: hardware cache sizes such as the KNL 1 MB tile L2).
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+
+#: Time units, in seconds.
+SECOND: float = 1.0
+MILLISECOND: float = 1e-3
+MICROSECOND: float = 1e-6
+NANOSECOND: float = 1e-9
+
+#: Frequency unit, in Hz.
+GHZ: float = 1e9
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with an appropriate unit.
+
+    >>> format_time(0.00032)
+    '320.0 us'
+    """
+    if seconds < 0:
+        return "-" + format_time(-seconds)
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds / 1e-3:.2f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds / 1e-6:.1f} us"
+    return f"{seconds / 1e-9:.1f} ns"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with an appropriate binary unit.
+
+    >>> format_bytes(3 * 1024 * 1024)
+    '3.00 MiB'
+    """
+    if num_bytes < 0:
+        return "-" + format_bytes(-num_bytes)
+    if num_bytes >= GB:
+        return f"{num_bytes / GB:.2f} GiB"
+    if num_bytes >= MB:
+        return f"{num_bytes / MB:.2f} MiB"
+    if num_bytes >= KB:
+        return f"{num_bytes / KB:.2f} KiB"
+    return f"{num_bytes:.0f} B"

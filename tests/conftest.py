@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.op import OpInstance
+from repro.graph.shapes import TensorShape
+from repro.hardware.knl import knl_machine, small_knl_machine
+
+
+@pytest.fixture(scope="session")
+def knl():
+    """The full 68-core KNL machine model."""
+    return knl_machine()
+
+
+@pytest.fixture(scope="session")
+def small_machine():
+    """A small (8-core) KNL-like machine for fast simulator tests."""
+    return small_knl_machine(8)
+
+
+def make_conv_op(
+    op_type: str = "Conv2D",
+    dims: tuple[int, int, int, int] = (32, 8, 8, 384),
+    out_channels: int | None = None,
+    name: str | None = None,
+) -> OpInstance:
+    """A convolution-family op with Inception-like shapes."""
+    n, h, w, c = dims
+    k = out_channels or c
+    act = TensorShape((n, h, w, c))
+    grad = TensorShape((n, h, w, k))
+    attrs = {"kernel": (3, 3), "stride": 1}
+    label = name or f"{op_type}/{n}x{h}x{w}x{c}"
+    if op_type == "Conv2D":
+        return OpInstance(label, op_type, (act,), grad, attrs=attrs)
+    if op_type == "Conv2DBackpropFilter":
+        return OpInstance(label, op_type, (act, grad), TensorShape((3, 3, c, k)), attrs=attrs)
+    if op_type == "Conv2DBackpropInput":
+        return OpInstance(label, op_type, (act, grad), act, attrs=attrs)
+    raise ValueError(op_type)
+
+
+def make_elementwise_op(
+    op_type: str = "Mul",
+    dims: tuple[int, ...] = (32, 8, 8, 384),
+    name: str | None = None,
+) -> OpInstance:
+    shape = TensorShape(dims)
+    return OpInstance(name or f"{op_type}/{'x'.join(map(str, dims))}", op_type, (shape, shape), shape)
+
+
+@pytest.fixture
+def conv_op() -> OpInstance:
+    return make_conv_op()
+
+
+@pytest.fixture
+def elementwise_op() -> OpInstance:
+    return make_elementwise_op()

@@ -1,0 +1,235 @@
+"""Tests for the performance models: hill climbing, oracle, regression."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import RuntimeConfig
+from repro.core.feature_selection import select_counter_features
+from repro.core.hill_climbing import HillClimbingModel, ground_truth_sweeps
+from repro.core.oracle import OraclePerformanceModel
+from repro.core.perf_model import ConfigurationPrediction, PredictionAccuracy
+from repro.core.regression_model import RegressionPerformanceModel, select_sample_cases
+from repro.execsim.standalone import StandaloneRunner
+from repro.hardware.affinity import AffinityMode
+from repro.hardware.counters import CounterEvent, CounterSimulator
+from repro.mlkit import KNeighborsRegression, LinearRegression
+
+from tests.conftest import make_conv_op, make_elementwise_op
+
+import numpy as np
+
+
+class TestConfigurationPrediction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfigurationPrediction(0, AffinityMode.SHARED, 1.0)
+        with pytest.raises(ValueError):
+            ConfigurationPrediction(4, AffinityMode.SHARED, -1.0)
+
+    def test_accuracy_from_pairs(self):
+        acc = PredictionAccuracy.from_pairs([1.0, 2.0], [1.1, 2.0])
+        assert 0.9 < acc.accuracy < 1.0
+        assert acc.num_observations == 2
+        with pytest.raises(ValueError):
+            PredictionAccuracy.from_pairs([1.0], [1.0])
+
+
+class TestHillClimbing:
+    @pytest.fixture
+    def runner(self, knl):
+        return StandaloneRunner(knl)
+
+    def test_profile_finds_near_optimal_configuration(self, knl, runner, conv_op):
+        model = HillClimbingModel(knl, interval=2)
+        model.profile_operation(conv_op, runner)
+        found = model.best_configuration(conv_op.signature)
+        true_threads, true_affinity, true_best = runner.best_configuration(conv_op)
+        assert found.predicted_time <= true_best * 1.05
+
+    def test_small_interval_more_accurate_than_large(self, knl, conv_op):
+        ops = [conv_op, make_conv_op("Conv2DBackpropFilter"), make_elementwise_op("Mul")]
+        truth_runner = StandaloneRunner(knl)
+        truth = ground_truth_sweeps(ops, truth_runner)
+        accuracies = {}
+        for interval in (2, 16):
+            runner = StandaloneRunner(knl, noise_sigma=0.01, seed=interval)
+            model = HillClimbingModel(knl, interval=interval)
+            for op in ops:
+                model.profile_operation(op, runner)
+            accuracies[interval] = model.accuracy_against(truth).accuracy
+        assert accuracies[2] > accuracies[16]
+        assert accuracies[2] > 0.85
+
+    def test_interpolation_between_samples(self, knl, runner, conv_op):
+        model = HillClimbingModel(knl, interval=8)
+        model.profile_operation(conv_op, runner)
+        profile = model.profile_for(conv_op.signature)
+        counts = profile.sampled_counts(AffinityMode.SHARED)
+        assert len(counts) >= 2
+        mid = (counts[0] + counts[1]) // 2
+        prediction = model.predict(conv_op.signature, mid, AffinityMode.SHARED)
+        lo = profile.samples[(counts[0], AffinityMode.SHARED)]
+        hi = profile.samples[(counts[1], AffinityMode.SHARED)]
+        assert min(lo, hi) <= prediction <= max(lo, hi)
+
+    def test_extrapolation_is_bounded(self, knl, runner):
+        op = make_elementwise_op("Mul", (20, 200))
+        model = HillClimbingModel(knl, interval=2)
+        model.profile_operation(op, runner)
+        profile = model.profile_for(op.signature)
+        last = max(profile.sampled_counts(AffinityMode.SHARED))
+        last_time = profile.samples[(last, AffinityMode.SHARED)]
+        far = model.predict(op.signature, 68, AffinityMode.SHARED)
+        assert 0.8 * last_time <= far <= 2.5 * last_time
+
+    def test_unknown_signature_raises(self, knl, conv_op):
+        model = HillClimbingModel(knl)
+        with pytest.raises(KeyError):
+            model.predict(conv_op.signature, 4, AffinityMode.SHARED)
+        assert not model.knows(conv_op.signature)
+
+    def test_profile_graph_deduplicates_signatures(self, knl, runner):
+        from repro.graph.builder import GraphBuilder
+        from repro.graph.shapes import TensorShape
+
+        b = GraphBuilder("dup")
+        s = TensorShape((8, 8, 8, 16))
+        first = b.add("Relu", inputs=[s], output=s)
+        b.add("Relu", inputs=[s], output=s, deps=[first])
+        graph = b.build()
+        model = HillClimbingModel(knl, interval=8)
+        profiled = model.profile_graph(graph, runner)
+        assert profiled == 1
+
+    def test_top_configurations_sorted(self, knl, runner, conv_op):
+        model = HillClimbingModel(knl, interval=4)
+        model.profile_operation(conv_op, runner)
+        top = model.top_configurations(conv_op.signature, 3)
+        assert len(top) == 3
+        times = [c.predicted_time for c in top]
+        assert times == sorted(times)
+
+    def test_measurement_budget_matches_paper_bound(self, knl, runner, conv_op):
+        """N is at most C/x * 2 profiling cases (Section III-C)."""
+        interval = 4
+        model = HillClimbingModel(knl, interval=interval)
+        model.profile_operation(conv_op, runner)
+        bound = model.profiling_steps_used()
+        assert bound <= (knl.topology.num_cores // interval + 2) * 2
+        assert model.total_measurements() <= bound
+
+    def test_invalid_interval(self, knl):
+        with pytest.raises(ValueError):
+            HillClimbingModel(knl, interval=0)
+
+
+class TestOracle:
+    def test_oracle_matches_exhaustive_sweep(self, knl, conv_op):
+        oracle = OraclePerformanceModel(knl)
+        oracle.observe(conv_op)
+        runner = StandaloneRunner(knl)
+        threads, affinity, best = runner.best_configuration(conv_op)
+        prediction = oracle.best_configuration(conv_op.signature)
+        assert prediction.threads == threads
+        assert prediction.predicted_time == pytest.approx(best)
+
+    def test_oracle_nearest_case_fallback(self, knl, conv_op):
+        oracle = OraclePerformanceModel(knl)
+        oracle.observe(conv_op)
+        odd = oracle.predict(conv_op.signature, 35, AffinityMode.SHARED)
+        neighbours = (
+            oracle.predict(conv_op.signature, 34, AffinityMode.SHARED),
+            oracle.predict(conv_op.signature, 36, AffinityMode.SHARED),
+        )
+        assert any(odd == pytest.approx(n) for n in neighbours)
+
+    def test_top_configurations(self, knl, conv_op):
+        oracle = OraclePerformanceModel(knl)
+        oracle.observe(conv_op)
+        top = oracle.top_configurations(conv_op.signature, 5)
+        assert len(top) == 5
+        assert top[0].predicted_time <= top[-1].predicted_time
+
+
+class TestRegressionModel:
+    def _train_test_ops(self):
+        train = [
+            make_conv_op("Conv2D", (32, 8, 8, c), name=f"t{c}") for c in (64, 128, 256, 384)
+        ] + [
+            make_conv_op("Conv2DBackpropFilter", (32, 8, 8, c), name=f"f{c}")
+            for c in (64, 128, 256)
+        ]
+        test = [make_conv_op("Conv2D", (32, 8, 8, 192), name="test192")]
+        return train, test
+
+    def test_sample_case_selection(self, knl):
+        cases = select_sample_cases(knl, 4)
+        assert len(cases) == 4
+        assert {a for _, a in cases} == {AffinityMode.SPREAD, AffinityMode.SHARED}
+        with pytest.raises(ValueError):
+            select_sample_cases(knl, 0)
+
+    def test_train_and_predict(self, knl):
+        train, test = self._train_test_ops()
+        runner = StandaloneRunner(knl, noise_sigma=0.02, seed=0)
+        model = RegressionPerformanceModel(
+            knl, regressor_factory=lambda: KNeighborsRegression(n_neighbors=3), num_samples=4
+        )
+        rows = model.train(train, runner)
+        assert rows == len(train)
+        accuracy = model.evaluate(test, runner)
+        assert 0.0 <= accuracy.accuracy <= 1.0
+        prediction = model.best_configuration(test[0].signature)
+        assert prediction.predicted_time > 0
+
+    def test_regression_less_accurate_than_hill_climbing(self, knl):
+        """The paper's central comparison: hill climbing wins."""
+        train, test = self._train_test_ops()
+        runner = StandaloneRunner(knl, noise_sigma=0.02, seed=1)
+        regression = RegressionPerformanceModel(
+            knl, regressor_factory=lambda: LinearRegression(), num_samples=4, seed=1
+        )
+        regression.train(train, runner)
+        regression_accuracy = regression.evaluate(test, runner).accuracy
+
+        hill = HillClimbingModel(knl, interval=4)
+        for op in test:
+            hill.profile_operation(op, StandaloneRunner(knl, noise_sigma=0.01, seed=2))
+        truth = ground_truth_sweeps(test, StandaloneRunner(knl))
+        hill_accuracy = hill.accuracy_against(truth).accuracy
+        assert hill_accuracy > regression_accuracy
+
+    def test_training_requires_two_signatures(self, knl, conv_op):
+        runner = StandaloneRunner(knl)
+        model = RegressionPerformanceModel(knl)
+        with pytest.raises(ValueError):
+            model.train([conv_op], runner)
+
+    def test_predict_before_training_raises(self, knl, conv_op):
+        model = RegressionPerformanceModel(knl)
+        with pytest.raises(RuntimeError):
+            model.predict(conv_op.signature, 4, AffinityMode.SHARED)
+
+
+class TestFeatureSelection:
+    def test_selects_informative_features(self, knl):
+        rng = np.random.default_rng(0)
+        events = tuple(CounterEvent)[:6]
+        n = 200
+        X = rng.uniform(0.1, 1.0, size=(n, len(events)))
+        # Make the target depend strongly on the first two columns only.
+        y = 5.0 * X[:, 0] + 2.0 * X[:, 1] + 0.01 * rng.standard_normal(n)
+        result = select_counter_features(X, y, events, num_features=2)
+        top2 = set(result.top(2))
+        assert events[0] in top2
+        assert len(result.importances) == len(events)
+
+    def test_shape_validation(self):
+        events = tuple(CounterEvent)[:3]
+        with pytest.raises(ValueError):
+            select_counter_features(np.ones((5, 2)), np.ones(5), events)
+        with pytest.raises(ValueError):
+            select_counter_features(np.ones((5, 3)), np.ones(4), events)
+        with pytest.raises(ValueError):
+            select_counter_features(np.ones((5, 3)), np.ones(5), events, num_features=0)

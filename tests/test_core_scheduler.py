@@ -1,0 +1,193 @@
+"""Tests for the runtime configuration, interference tracker and scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.tf_default import recommended_policy
+from repro.core.config import RuntimeConfig
+from repro.core.hill_climbing import HillClimbingModel
+from repro.core.interference import InterferenceTracker
+from repro.core.oracle import OraclePerformanceModel
+from repro.core.scheduler import RuntimeSchedulerPolicy
+from repro.execsim.simulator import PlacementKind, StepSimulator
+from repro.execsim.standalone import StandaloneRunner
+from repro.graph.builder import GraphBuilder
+from repro.graph.shapes import TensorShape
+from repro.models import build_model
+
+
+class TestRuntimeConfig:
+    def test_defaults_enable_everything(self):
+        config = RuntimeConfig()
+        assert config.label == "S1+S2+S3+S4"
+
+    def test_ablation_constructors(self):
+        assert RuntimeConfig.strategies_1_2().label == "S1+S2"
+        assert RuntimeConfig.strategies_1_2_3().label == "S1+S2+S3"
+        assert RuntimeConfig.all_strategies().label == "S1+S2+S3+S4"
+
+    def test_with_strategies(self):
+        config = RuntimeConfig().with_strategies(s4=False)
+        assert config.strategy4_hyperthreading is False
+        assert config.strategy3_corun is True
+
+    def test_s2_requires_s1(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(strategy1_per_op_concurrency=False, strategy2_stable_concurrency=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(hill_climbing_interval=0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(corun_candidates=0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(profiling_noise_sigma=-1)
+
+
+class TestInterferenceTracker:
+    def test_blacklists_bad_pairs(self):
+        tracker = InterferenceTracker(threshold=0.5)
+        tracker.record("Conv2D", "Mul", 0.2)
+        assert tracker.allowed("Conv2D", "Mul")
+        tracker.record("Conv2D", "Mul", 0.8)
+        assert not tracker.allowed("Conv2D", "Mul")
+        assert not tracker.allowed("Mul", "Conv2D")  # symmetric
+        assert ("Conv2D", "Mul") in tracker.blacklisted_pairs()
+
+    def test_allowed_with_all(self):
+        tracker = InterferenceTracker(threshold=0.3)
+        tracker.record("A", "B", 0.9)
+        assert not tracker.allowed_with_all("A", ["C", "B"])
+        assert tracker.allowed_with_all("A", ["C", "D"])
+
+    def test_observations_and_clear(self):
+        tracker = InterferenceTracker()
+        tracker.record("A", "B", 0.1)
+        tracker.record("B", "A", 0.2)
+        assert tracker.observations("A", "B") == (0.1, 0.2)
+        tracker.clear()
+        assert tracker.observations("A", "B") == ()
+
+    def test_negative_slowdown_clamped(self):
+        tracker = InterferenceTracker()
+        tracker.record("A", "B", -0.5)
+        assert tracker.observations("A", "B") == (0.0,)
+
+
+def _wide_graph():
+    """One big conv followed by several independent medium/small ops."""
+    b = GraphBuilder("wide")
+    big = TensorShape((32, 8, 8, 2048))
+    mid = TensorShape((32, 8, 8, 384))
+    small = TensorShape((32, 1024))
+    conv = b.add("Conv2D", inputs=[big], output=big, attrs={"kernel": (3, 3)}, name="bigconv")
+    for index in range(4):
+        b.add("Conv2DBackpropInput", inputs=[mid, mid], output=mid,
+              attrs={"kernel": (3, 3)}, name=f"medium{index}", deps=[conv])
+    for index in range(4):
+        b.add("Mul", inputs=[small, small], output=small, name=f"small{index}", deps=[conv])
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def oracle_and_graph(knl):
+    graph = _wide_graph()
+    oracle = OraclePerformanceModel(knl)
+    oracle.observe_graph(graph)
+    return oracle, graph
+
+
+class TestRuntimeSchedulerPolicy:
+    def test_strategy2_assigns_one_thread_count_per_type(self, knl):
+        graph = build_model("resnet50", stage_blocks=(1, 1, 1, 1))
+        oracle = OraclePerformanceModel(knl)
+        oracle.observe_graph(graph)
+        policy = RuntimeSchedulerPolicy(oracle, RuntimeConfig.strategies_1_2())
+        policy.on_step_begin(graph, knl)
+        by_type: dict[str, set[int]] = {}
+        for op in graph:
+            assignment = policy.assignment_for(op.name)
+            by_type.setdefault(op.op_type, set()).add(assignment.threads)
+        assert all(len(threads) == 1 for threads in by_type.values())
+
+    def test_strategy1_without_s2_varies_threads_per_instance(self, knl):
+        graph = build_model("resnet50", stage_blocks=(1, 1, 1, 1))
+        oracle = OraclePerformanceModel(knl)
+        oracle.observe_graph(graph)
+        config = RuntimeConfig(strategy2_stable_concurrency=False,
+                               strategy3_corun=False, strategy4_hyperthreading=False)
+        policy = RuntimeSchedulerPolicy(oracle, config)
+        policy.on_step_begin(graph, knl)
+        conv_threads = {
+            policy.assignment_for(op.name).threads
+            for op in graph.instances_of("Conv2DBackpropFilter")
+        }
+        assert len(conv_threads) > 1
+
+    def test_serial_mode_runs_one_op_at_a_time(self, knl, oracle_and_graph):
+        oracle, graph = oracle_and_graph
+        policy = RuntimeSchedulerPolicy(oracle, RuntimeConfig.strategies_1_2())
+        result = StepSimulator(knl).run_step(graph, policy)
+        assert max(result.trace.corunning_series()) == 1
+
+    def test_corun_mode_overlaps_operations(self, knl, oracle_and_graph):
+        oracle, graph = oracle_and_graph
+        policy = RuntimeSchedulerPolicy(oracle, RuntimeConfig.strategies_1_2_3())
+        result = StepSimulator(knl).run_step(graph, policy)
+        assert max(result.trace.corunning_series()) >= 2
+
+    def test_corun_beats_serial_strategies(self, knl, oracle_and_graph):
+        oracle, graph = oracle_and_graph
+        sim = StepSimulator(knl)
+        serial = sim.run_step(graph, RuntimeSchedulerPolicy(oracle, RuntimeConfig.strategies_1_2()))
+        corun = sim.run_step(graph, RuntimeSchedulerPolicy(oracle, RuntimeConfig.strategies_1_2_3()))
+        assert corun.step_time < serial.step_time
+
+    def test_full_runtime_beats_recommendation(self, knl, oracle_and_graph):
+        oracle, graph = oracle_and_graph
+        sim = StepSimulator(knl)
+        ours = sim.run_step(graph, RuntimeSchedulerPolicy(oracle, RuntimeConfig.all_strategies()))
+        rec = sim.run_step(graph, recommended_policy(knl))
+        assert ours.step_time < rec.step_time
+
+    def test_hyperthread_packing_uses_smt_slots(self, knl, oracle_and_graph):
+        oracle, graph = oracle_and_graph
+        policy = RuntimeSchedulerPolicy(oracle, RuntimeConfig.all_strategies())
+        result = StepSimulator(knl).run_step(graph, policy)
+        # The big conv occupies all cores; if any small op was packed onto
+        # hyper-threads the trace records it.
+        hyper = [r for r in result.trace.records if r.used_hyperthreads]
+        dedicated = [r for r in result.trace.records if not r.used_hyperthreads]
+        assert len(dedicated) >= len(graph) - 4
+        # Packing is opportunistic; when it happens it must be a small op.
+        for record in hyper:
+            assert record.op_type == "Mul"
+
+    def test_interference_blacklist_prevents_corun(self, knl, oracle_and_graph):
+        oracle, graph = oracle_and_graph
+        tracker = InterferenceTracker(threshold=0.1)
+        # Forbid every pairing involving the medium convs.
+        for other in ("Conv2D", "Conv2DBackpropInput", "Mul"):
+            tracker.record("Conv2DBackpropInput", other, 1.0)
+        policy = RuntimeSchedulerPolicy(
+            oracle, RuntimeConfig.strategies_1_2_3(), interference=tracker
+        )
+        result = StepSimulator(knl).run_step(graph, policy)
+        # The medium convs never co-run with each other.
+        records = {r.op_name: r for r in result.trace.records}
+        mediums = [records[f"medium{i}"] for i in range(4)]
+        for a in mediums:
+            for b in mediums:
+                if a.op_name == b.op_name:
+                    continue
+                overlap = min(a.finish_time, b.finish_time) - max(a.start_time, b.start_time)
+                assert overlap <= 1e-9
+
+    def test_unknown_signature_falls_back_to_all_cores(self, knl, oracle_and_graph):
+        _, graph = oracle_and_graph
+        empty_oracle = OraclePerformanceModel(knl)  # knows nothing
+        policy = RuntimeSchedulerPolicy(empty_oracle, RuntimeConfig.strategies_1_2())
+        policy.on_step_begin(graph, knl)
+        assignment = policy.assignment_for("bigconv")
+        assert assignment.threads == knl.topology.num_cores

@@ -1,0 +1,105 @@
+"""Tests for the GPU kernel timing and stream co-running model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execsim.gpu import GpuKernelModel, GpuLaunchConfig
+from repro.hardware.gpu import p100_gpu
+from repro.ops.cost import characterize
+
+from tests.conftest import make_conv_op, make_elementwise_op
+
+
+@pytest.fixture(scope="module")
+def gpu_model() -> GpuKernelModel:
+    return GpuKernelModel(p100_gpu())
+
+
+@pytest.fixture(scope="module")
+def bias_chars():
+    return characterize(make_elementwise_op("BiasAdd", (32, 17, 17, 384)))
+
+
+@pytest.fixture(scope="module")
+def conv_chars():
+    return characterize(make_conv_op("Conv2D", (32, 17, 17, 384)))
+
+
+class TestLaunchConfig:
+    def test_total_threads(self):
+        config = GpuLaunchConfig(256, 56)
+        assert config.total_threads == 256 * 56
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpuLaunchConfig(0, 56)
+        with pytest.raises(ValueError):
+            GpuLaunchConfig(256, 0)
+
+
+class TestKernelTime:
+    def test_time_positive(self, gpu_model, bias_chars):
+        time = gpu_model.kernel_time(bias_chars, gpu_model.default_config())
+        assert 0 < time < 1.0
+
+    def test_default_config_matches_tensorflow(self, gpu_model):
+        config = gpu_model.default_config()
+        assert config.threads_per_block == 1024
+        assert config.num_blocks == 56
+
+    def test_default_not_optimal_for_streaming_kernels(self, gpu_model, bias_chars):
+        """Fig. 5a: the default 1024 threads/block loses against the best."""
+        sweep = gpu_model.sweep_threads_per_block(bias_chars, (64, 128, 256, 512, 1024))
+        best = min(sweep.values())
+        default = sweep[1024]
+        gap = (default - best) / default
+        assert 0.05 < gap < 0.45
+
+    def test_too_few_blocks_underutilise(self, gpu_model, bias_chars):
+        sweep = gpu_model.sweep_num_blocks(bias_chars, (14, 56))
+        assert sweep[14] > sweep[56]
+
+    def test_best_config_beats_default(self, gpu_model, bias_chars):
+        _, best_time = gpu_model.best_config(bias_chars)
+        default_time = gpu_model.kernel_time(bias_chars, gpu_model.default_config())
+        assert best_time <= default_time
+
+    def test_compute_bound_kernel_dominated_by_flops(self, gpu_model, conv_chars):
+        config = gpu_model.default_config()
+        time = gpu_model.kernel_time(conv_chars, config)
+        compute_floor = conv_chars.flops / gpu_model.gpu.effective_flops
+        assert time >= compute_floor
+
+
+class TestStreamCorun:
+    def test_corun_beats_serial(self, gpu_model, conv_chars):
+        """Table VII: two streams beat back-to-back execution by 1.7x-2.0x."""
+        config, _ = gpu_model.best_config(conv_chars)
+        kernels = ((conv_chars, config), (conv_chars, config))
+        serial = gpu_model.serial_time(kernels)
+        corun = gpu_model.corun_time(kernels)
+        speedup = serial / corun
+        assert 1.5 < speedup <= 2.0
+
+    def test_stream_utilization_depends_on_memory_boundness(
+        self, gpu_model, conv_chars, bias_chars
+    ):
+        assert gpu_model.stream_utilization(conv_chars) > gpu_model.stream_utilization(bias_chars)
+
+    def test_repeats_scale_linearly(self, gpu_model, bias_chars):
+        config = gpu_model.default_config()
+        kernels = ((bias_chars, config),)
+        assert gpu_model.serial_time(kernels, repeats=10) == pytest.approx(
+            10 * gpu_model.serial_time(kernels)
+        )
+        assert gpu_model.corun_time(kernels, repeats=10) == pytest.approx(
+            10 * gpu_model.corun_time(kernels)
+        )
+
+    def test_invalid_inputs(self, gpu_model, bias_chars):
+        config = gpu_model.default_config()
+        with pytest.raises(ValueError):
+            gpu_model.serial_time(((bias_chars, config),), repeats=0)
+        with pytest.raises(ValueError):
+            gpu_model.corun_time((), repeats=1)

@@ -1,0 +1,129 @@
+"""Tests for the single-operation execution-time model.
+
+These tests check the *behavioural* properties the paper's runtime relies
+on rather than absolute numbers: interior optima, their ordering across
+operation types, their growth with input size, and sane breakdowns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execsim.op_runtime import execution_time, optimal_configuration, sweep_thread_counts
+from repro.hardware.affinity import AffinityMode
+from repro.ops.cost import characterize
+
+from tests.conftest import make_conv_op, make_elementwise_op
+
+
+class TestExecutionTime:
+    def test_positive_and_finite(self, knl, conv_op):
+        chars = characterize(conv_op)
+        breakdown = execution_time(chars, knl, 16)
+        assert 0 < breakdown.total < 10
+        assert breakdown.total >= breakdown.compute_time
+
+    def test_invalid_threads_rejected(self, knl, conv_op):
+        with pytest.raises(ValueError):
+            execution_time(characterize(conv_op), knl, 0)
+
+    def test_more_threads_help_up_to_a_point(self, knl, conv_op):
+        chars = characterize(conv_op)
+        t1 = execution_time(chars, knl, 1, AffinityMode.SPREAD).total
+        t16 = execution_time(chars, knl, 16, AffinityMode.SHARED).total
+        assert t16 < t1 / 4
+
+    def test_oversubscription_adds_overhead(self, knl, conv_op):
+        chars = characterize(conv_op)
+        t68 = execution_time(chars, knl, 68).total
+        t272 = execution_time(chars, knl, 272).total
+        assert t272 > t68
+
+    def test_reconfiguration_penalty(self, knl, conv_op):
+        chars = characterize(conv_op)
+        base = execution_time(chars, knl, 34).total
+        reconfigured = execution_time(chars, knl, 34, reconfigured=True).total
+        assert reconfigured == pytest.approx(base + knl.reconfiguration_cost)
+
+    def test_memory_bound_fraction_higher_for_elementwise(self, knl, conv_op, elementwise_op):
+        conv = execution_time(characterize(conv_op), knl, 34)
+        mul = execution_time(characterize(elementwise_op), knl, 34)
+        assert mul.memory_bound_fraction > conv.memory_bound_fraction
+
+    def test_bandwidth_demand_consistent(self, knl, elementwise_op):
+        breakdown = execution_time(characterize(elementwise_op), knl, 34)
+        assert breakdown.bandwidth_demand == pytest.approx(
+            breakdown.bytes_from_memory / breakdown.total
+        )
+
+    def test_infeasible_spread_placement_promoted(self, knl, conv_op):
+        # 40 threads cannot be spread one-per-tile on 34 tiles; the model
+        # silently falls back to the shared layout instead of failing.
+        chars = characterize(conv_op)
+        breakdown = execution_time(chars, knl, 40, AffinityMode.SPREAD)
+        assert breakdown.total > 0
+
+
+class TestSweepAndOptimum:
+    def test_sweep_covers_68_cases_on_knl(self, knl, conv_op):
+        sweep = sweep_thread_counts(characterize(conv_op), knl)
+        assert len(sweep) == 68
+
+    def test_fig1_optimum_ordering(self, knl):
+        """Filter-grad < input-grad < forward conv optimum threads (Fig. 1)."""
+        optima = {}
+        for op_type in ("Conv2DBackpropFilter", "Conv2DBackpropInput", "Conv2D"):
+            chars = characterize(make_conv_op(op_type, (32, 8, 8, 384)))
+            threads, _, _ = optimal_configuration(chars, knl)
+            optima[op_type] = threads
+        assert (
+            optima["Conv2DBackpropFilter"]
+            < optima["Conv2DBackpropInput"]
+            < optima["Conv2D"]
+        )
+        # All optima sit strictly below the 68-thread recommendation.
+        assert all(threads < 68 for threads in optima.values())
+
+    def test_table2_optimum_grows_with_input_size(self, knl):
+        """Larger inputs push the optimum toward the full chip (Table II)."""
+        small = optimal_configuration(
+            characterize(make_conv_op("Conv2DBackpropFilter", (32, 8, 8, 384))), knl
+        )[0]
+        large = optimal_configuration(
+            characterize(make_conv_op("Conv2DBackpropFilter", (32, 8, 8, 2048))), knl
+        )[0]
+        assert large > small
+        assert large >= 60
+
+    def test_default_68_threads_loses_meaningfully_on_small_convs(self, knl):
+        """Fig. 1 reports up to ~17% loss for the recommendation."""
+        chars = characterize(make_conv_op("Conv2DBackpropFilter", (32, 8, 8, 384)))
+        _, _, best = optimal_configuration(chars, knl)
+        at_68 = execution_time(chars, knl, 68, AffinityMode.SHARED).total
+        loss = (at_68 - best) / at_68
+        assert 0.08 < loss < 0.35
+
+    def test_small_ops_prefer_few_threads(self, knl):
+        chars = characterize(make_elementwise_op("Mul", (20, 200)))
+        threads, _, _ = optimal_configuration(chars, knl)
+        assert threads <= 12
+
+    def test_optimum_is_global_minimum_of_sweep(self, knl, conv_op):
+        chars = characterize(conv_op)
+        threads, affinity, best = optimal_configuration(chars, knl)
+        sweep = sweep_thread_counts(chars, knl)
+        assert best == pytest.approx(min(b.total for b in sweep.values()))
+        assert sweep[(threads, affinity)].total == pytest.approx(best)
+
+    def test_curve_is_roughly_convex_around_optimum(self, knl):
+        """The paper observes the time-vs-threads curve behaves as a convex
+        function; check no deep secondary minima exist for the shared layout."""
+        chars = characterize(make_conv_op("Conv2DBackpropFilter", (32, 8, 8, 384)))
+        counts = list(range(2, 69, 2))
+        times = [execution_time(chars, knl, c, AffinityMode.SHARED).total for c in counts]
+        best_index = times.index(min(times))
+        # strictly decreasing before the optimum, non-decreasing after (with slack)
+        for i in range(1, best_index):
+            assert times[i] <= times[i - 1] * 1.02
+        for i in range(best_index + 1, len(times)):
+            assert times[i] >= times[best_index] * 0.98

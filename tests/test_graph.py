@@ -1,0 +1,215 @@
+"""Tests for the dataflow graph layer: shapes, ops, graph, builder, traversal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.op import OpInstance, OpSignature
+from repro.graph.shapes import TensorShape, shape
+from repro.graph.traversal import (
+    critical_path_length,
+    max_width,
+    ready_frontier,
+    serial_time,
+    topological_order,
+)
+
+
+class TestTensorShape:
+    def test_elements_and_bytes(self):
+        s = TensorShape((32, 8, 8, 384))
+        assert s.num_elements == 32 * 8 * 8 * 384
+        assert s.num_bytes == s.num_elements * 4
+
+    def test_accessors(self):
+        s = shape(32, 17, 17, 384)
+        assert s.batch == 32
+        assert s.channels == 384
+        assert s.spatial == (17, 17)
+        assert s.rank == 4
+        assert len(s) == 4
+        assert s[1] == 17
+        assert list(s) == [32, 17, 17, 384]
+
+    def test_with_batch(self):
+        s = shape(32, 8, 8, 64).with_batch(16)
+        assert s.dims == (16, 8, 8, 64)
+
+    def test_str(self):
+        assert str(shape(32, 8, 8, 384)) == "(32,8,8,384)"
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            TensorShape((0, 3))
+        with pytest.raises(ValueError):
+            TensorShape((2, 3), dtype_bytes=0)
+
+    def test_hashable_and_equal(self):
+        assert shape(2, 3) == shape(2, 3)
+        assert hash(shape(2, 3)) == hash(shape(2, 3))
+
+
+class TestOpInstance:
+    def test_signature_groups_by_type_and_shapes(self):
+        a = OpInstance("a", "Conv2D", (shape(32, 8, 8, 64),), shape(32, 8, 8, 64))
+        b = OpInstance("b", "Conv2D", (shape(32, 8, 8, 64),), shape(32, 8, 8, 64))
+        c = OpInstance("c", "Conv2D", (shape(32, 4, 4, 64),), shape(32, 4, 4, 64))
+        assert a.signature == b.signature
+        assert a.signature != c.signature
+        assert isinstance(a.signature, OpSignature)
+
+    def test_byte_accounting(self):
+        op = OpInstance("x", "Mul", (shape(10, 10), shape(10, 10)), shape(10, 10))
+        assert op.total_input_bytes == 2 * 100 * 4
+        assert op.total_bytes == 3 * 100 * 4
+        assert op.total_input_elements == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpInstance("", "Mul", (shape(2),), shape(2))
+        with pytest.raises(ValueError):
+            OpInstance("x", "", (shape(2),), shape(2))
+        with pytest.raises(ValueError):
+            OpInstance("x", "Mul", (shape(2),), shape(2), implementation="cuda")
+
+    def test_tunable_flag(self):
+        mkl = OpInstance("x", "Mul", (shape(2),), shape(2), implementation="mkl")
+        eigen = OpInstance("y", "Mul", (shape(2),), shape(2), implementation="eigen")
+        assert mkl.is_tunable and not eigen.is_tunable
+
+    def test_primary_input(self):
+        op = OpInstance("x", "Mul", (shape(4, 4),), shape(4, 4))
+        assert op.primary_input() == shape(4, 4)
+        empty = OpInstance("y", "Const", (), shape(1))
+        with pytest.raises(ValueError):
+            empty.primary_input()
+
+
+def _diamond_graph() -> DataflowGraph:
+    """a -> {b, c} -> d"""
+    g = DataflowGraph("diamond")
+    s = shape(4, 4)
+    a = OpInstance("a", "Conv2D", (s,), s)
+    b = OpInstance("b", "Relu", (s,), s)
+    c = OpInstance("c", "Mul", (s, s), s)
+    d = OpInstance("d", "Add", (s, s), s)
+    g.add_op(a)
+    g.add_op(b, deps=[a])
+    g.add_op(c, deps=[a])
+    g.add_op(d, deps=[b, c])
+    return g
+
+
+class TestDataflowGraph:
+    def test_basic_structure(self):
+        g = _diamond_graph()
+        assert len(g) == 4
+        assert g.num_edges == 4
+        assert g.sources() == ("a",)
+        assert g.sinks() == ("d",)
+        assert set(g.successors("a")) == {"b", "c"}
+        assert set(g.predecessors("d")) == {"b", "c"}
+
+    def test_duplicate_names_rejected(self):
+        g = _diamond_graph()
+        with pytest.raises(ValueError):
+            g.add_op(OpInstance("a", "Relu", (shape(2),), shape(2)))
+
+    def test_unknown_dependency_rejected(self):
+        g = DataflowGraph()
+        with pytest.raises(KeyError):
+            g.add_op(OpInstance("x", "Relu", (shape(2),), shape(2)), deps=["missing"])
+
+    def test_cycle_rejected(self):
+        g = _diamond_graph()
+        with pytest.raises(ValueError):
+            g.add_dependency("d", "a")
+        # graph unchanged after the rejected edge
+        g.validate()
+
+    def test_self_dependency_rejected(self):
+        g = _diamond_graph()
+        with pytest.raises(ValueError):
+            g.add_dependency("a", "a")
+
+    def test_empty_graph_invalid(self):
+        with pytest.raises(ValueError):
+            DataflowGraph().validate()
+
+    def test_op_types_histogram(self):
+        g = _diamond_graph()
+        assert g.op_types() == {"Conv2D": 1, "Relu": 1, "Mul": 1, "Add": 1}
+        assert len(g.instances_of("Relu")) == 1
+
+    def test_subgraph(self):
+        g = _diamond_graph()
+        sub = g.subgraph(["a", "b"])
+        assert len(sub) == 2
+        assert sub.num_edges == 1
+        with pytest.raises(KeyError):
+            g.subgraph(["a", "zzz"])
+
+
+class TestTraversal:
+    def test_topological_order_respects_dependencies(self):
+        g = _diamond_graph()
+        order = topological_order(g)
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_ready_frontier(self):
+        g = _diamond_graph()
+        assert ready_frontier(g, []) == ("a",)
+        assert ready_frontier(g, ["a"]) == ("b", "c")
+        assert ready_frontier(g, ["a", "b"]) == ("c",)
+        assert ready_frontier(g, ["a", "b", "c"]) == ("d",)
+        with pytest.raises(KeyError):
+            ready_frontier(g, ["nope"])
+
+    def test_critical_path_and_serial_time(self):
+        g = _diamond_graph()
+        cost = {"a": 1.0, "b": 2.0, "c": 5.0, "d": 1.0}
+        assert critical_path_length(g, cost) == pytest.approx(7.0)
+        assert serial_time(g, cost) == pytest.approx(9.0)
+        with pytest.raises(ValueError):
+            critical_path_length(g, {"a": -1.0, "b": 0, "c": 0, "d": 0})
+
+    def test_max_width(self):
+        g = _diamond_graph()
+        assert max_width(g) == 2
+
+
+class TestGraphBuilder:
+    def test_chain_and_join(self):
+        b = GraphBuilder("demo")
+        s = shape(8, 8)
+        chain = b.chain(
+            [("Conv2D", [s], s), ("Relu", [s], s)],
+            scope="layer1",
+        )
+        other = b.add("Mul", inputs=[s, s], output=s, deps=[chain[0]])
+        joined = b.join("Add", [chain[-1], other], inputs=[s, s], output=s)
+        g = b.build()
+        assert len(g) == 4
+        assert set(g.predecessors(joined.name)) == {chain[-1].name, other.name}
+
+    def test_unique_names_generated(self):
+        b = GraphBuilder("demo")
+        s = shape(2, 2)
+        first = b.add("Relu", inputs=[s], output=s, scope="blk")
+        second = b.add("Relu", inputs=[s], output=s, scope="blk")
+        assert first.name != second.name
+
+    def test_explicit_name(self):
+        b = GraphBuilder("demo")
+        s = shape(2, 2)
+        op = b.add("Relu", inputs=[s], output=s, name="my_relu")
+        assert op.name == "my_relu"
+
+    def test_join_requires_branches(self):
+        b = GraphBuilder("demo")
+        s = shape(2, 2)
+        with pytest.raises(ValueError):
+            b.join("Add", [], inputs=[s], output=s)

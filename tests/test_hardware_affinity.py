@@ -1,0 +1,124 @@
+"""Tests for thread placement and the core allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.affinity import (
+    AffinityMode,
+    CoreAllocation,
+    CoreAllocator,
+    ThreadPlacement,
+    prediction_cases,
+)
+
+
+class TestThreadPlacement:
+    def test_spread_uses_one_thread_per_tile(self, knl):
+        placement = ThreadPlacement.plan(10, AffinityMode.SPREAD, knl.topology)
+        assert placement.tiles_used == 10
+        assert placement.threads_per_tile == 1
+        assert not placement.siblings_share_tile
+
+    def test_shared_packs_two_per_tile(self, knl):
+        placement = ThreadPlacement.plan(10, AffinityMode.SHARED, knl.topology)
+        assert placement.tiles_used == 5
+        assert placement.threads_per_tile == 2
+        assert placement.siblings_share_tile
+
+    def test_spread_limited_by_tiles(self, knl):
+        with pytest.raises(ValueError):
+            ThreadPlacement.plan(35, AffinityMode.SPREAD, knl.topology)
+
+    def test_shared_limited_by_cores(self, knl):
+        with pytest.raises(ValueError):
+            ThreadPlacement.plan(69, AffinityMode.SHARED, knl.topology)
+
+    def test_positive_thread_count_required(self, knl):
+        with pytest.raises(ValueError):
+            ThreadPlacement.plan(0, AffinityMode.SPREAD, knl.topology)
+
+    def test_feasible_counts(self, knl):
+        spread = ThreadPlacement.feasible_thread_counts(AffinityMode.SPREAD, knl.topology)
+        shared = ThreadPlacement.feasible_thread_counts(AffinityMode.SHARED, knl.topology)
+        assert spread == tuple(range(1, 35))
+        assert shared == tuple(range(2, 69, 2))
+
+    def test_prediction_cases_count_is_68_on_knl(self, knl):
+        # Section III-B: 34 spread cases + 34 shared cases.
+        assert len(prediction_cases(knl.topology)) == 68
+
+
+class TestCoreAllocation:
+    def test_duplicate_cores_rejected(self):
+        with pytest.raises(ValueError):
+            CoreAllocation(core_ids=(1, 1))
+
+    def test_tiles(self, knl):
+        allocation = CoreAllocation(core_ids=(0, 1, 2))
+        assert allocation.tiles(knl.topology) == {0, 1}
+
+
+class TestCoreAllocator:
+    def test_allocate_prefers_whole_tiles(self, knl):
+        allocator = CoreAllocator(knl.topology)
+        allocation = allocator.allocate(4)
+        tiles = allocation.tiles(knl.topology)
+        assert len(tiles) == 2  # two whole tiles, not four half tiles
+
+    def test_allocate_and_release_roundtrip(self, knl):
+        allocator = CoreAllocator(knl.topology)
+        assert allocator.free_cores == 68
+        allocation = allocator.allocate(20)
+        assert allocator.free_cores == 48
+        allocator.release(allocation)
+        assert allocator.free_cores == 68
+
+    def test_over_allocation_rejected(self, knl):
+        allocator = CoreAllocator(knl.topology)
+        allocator.allocate(68)
+        with pytest.raises(RuntimeError):
+            allocator.allocate(1)
+
+    def test_double_release_rejected(self, knl):
+        allocator = CoreAllocator(knl.topology)
+        allocation = allocator.allocate(2)
+        allocator.release(allocation)
+        with pytest.raises(RuntimeError):
+            allocator.release(allocation)
+
+    def test_hyperthread_slots_follow_busy_cores(self, knl):
+        allocator = CoreAllocator(knl.topology)
+        assert allocator.free_hyperthread_cores == 0
+        allocator.allocate(10)
+        assert allocator.free_hyperthread_cores == 10
+        ht = allocator.allocate_hyperthreads(4)
+        assert ht.smt_slot == 1
+        assert allocator.free_hyperthread_cores == 6
+
+    def test_hyperthread_over_allocation_rejected(self, knl):
+        allocator = CoreAllocator(knl.topology)
+        allocator.allocate(2)
+        with pytest.raises(RuntimeError):
+            allocator.allocate_hyperthreads(3)
+
+    def test_release_hyperthreads(self, knl):
+        allocator = CoreAllocator(knl.topology)
+        allocator.allocate(10)
+        ht = allocator.allocate_hyperthreads(5)
+        allocator.release(ht)
+        assert allocator.free_hyperthread_cores == 10
+
+    def test_reserve_all(self, knl):
+        allocator = CoreAllocator(knl.topology)
+        allocation = allocator.reserve_all()
+        assert allocation.num_cores == 68
+        assert allocator.free_cores == 0
+        assert allocator.snapshot() == {"free_primary": 0, "free_secondary": 68}
+
+    def test_invalid_requests(self, knl):
+        allocator = CoreAllocator(knl.topology)
+        with pytest.raises(ValueError):
+            allocator.allocate(0)
+        with pytest.raises(ValueError):
+            allocator.allocate_hyperthreads(0)

@@ -1,0 +1,112 @@
+"""Tests for the synthetic hardware-counter simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.counters import (
+    EVENTS_PER_GROUP,
+    SELECTED_FEATURES,
+    CounterEvent,
+    CounterSimulator,
+)
+
+
+@pytest.fixture
+def simulator() -> CounterSimulator:
+    return CounterSimulator()
+
+
+def collect(simulator: CounterSimulator, *, duration: float = 5e-3, seed: int = 0):
+    return simulator.collect(
+        flops=1e9,
+        bytes_from_memory=50e6,
+        bytes_total=200e6,
+        duration=duration,
+        threads=34,
+        frequency_hz=1.4e9,
+        seed=seed,
+    )
+
+
+class TestCounterSimulator:
+    def test_there_are_26_events(self):
+        assert len(CounterEvent) == 26
+
+    def test_selected_features_match_paper(self):
+        assert CounterEvent.CPU_CYCLES in SELECTED_FEATURES
+        assert CounterEvent.LLC_MISSES in SELECTED_FEATURES
+        assert CounterEvent.LLC_ACCESSES in SELECTED_FEATURES
+        assert CounterEvent.L1_HITS in SELECTED_FEATURES
+        assert len(SELECTED_FEATURES) == 4
+
+    def test_sample_covers_all_events(self, simulator):
+        sample = collect(simulator)
+        assert set(sample.values) == set(CounterEvent)
+        assert all(v >= 0 for v in sample.values.values())
+
+    def test_deterministic_given_seed(self, simulator):
+        a = collect(simulator, seed=3)
+        b = collect(simulator, seed=3)
+        assert a.values == b.values
+
+    def test_noise_grows_for_short_ops(self, simulator):
+        # The paper's key observation: counter readings of short operations
+        # are much less reliable.
+        assert simulator.relative_noise(50e-6) > simulator.relative_noise(50e-3)
+
+    def test_relative_noise_rejects_nonpositive_duration(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.relative_noise(0.0)
+
+    def test_normalised_features_divide_by_instructions(self, simulator):
+        sample = collect(simulator)
+        normalised = sample.normalized()
+        instructions = sample[CounterEvent.INSTRUCTIONS]
+        assert normalised[CounterEvent.CPU_CYCLES] == pytest.approx(
+            sample[CounterEvent.CPU_CYCLES] / instructions
+        )
+
+    def test_feature_vector_order(self, simulator):
+        sample = collect(simulator)
+        vector = sample.as_feature_vector()
+        assert vector.shape == (len(SELECTED_FEATURES),)
+        normalised = sample.normalized()
+        assert vector[0] == pytest.approx(normalised[SELECTED_FEATURES[0]])
+
+    def test_cycles_scale_with_duration(self, simulator):
+        short = collect(simulator, duration=1e-3)
+        long = collect(simulator, duration=100e-3)
+        assert long[CounterEvent.CPU_CYCLES] > short[CounterEvent.CPU_CYCLES] * 10
+
+    def test_llc_misses_reflect_memory_traffic(self, simulator):
+        sample = collect(simulator)
+        assert sample[CounterEvent.LLC_MISSES] <= sample[CounterEvent.LLC_ACCESSES] * 1.5
+
+    def test_profiling_steps_required(self, simulator):
+        assert simulator.profiling_steps_required(len(CounterEvent)) == -(
+            -len(CounterEvent) // EVENTS_PER_GROUP
+        )
+        assert simulator.profiling_steps_required(len(CounterEvent)) >= 4
+        with pytest.raises(ValueError):
+            simulator.profiling_steps_required(0)
+
+    def test_invalid_inputs_rejected(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.collect(
+                flops=-1,
+                bytes_from_memory=0,
+                bytes_total=0,
+                duration=1e-3,
+                threads=1,
+                frequency_hz=1e9,
+            )
+        with pytest.raises(ValueError):
+            simulator.collect(
+                flops=1,
+                bytes_from_memory=0,
+                bytes_total=0,
+                duration=1e-3,
+                threads=0,
+                frequency_hz=1e9,
+            )

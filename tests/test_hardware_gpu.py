@@ -1,0 +1,55 @@
+"""Tests for the P100-like GPU model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.gpu import GpuSpec, p100_gpu
+
+
+class TestGpuSpec:
+    def test_p100_headline_numbers(self):
+        gpu = p100_gpu()
+        assert gpu.num_sms == 56
+        assert gpu.total_cores == 3584
+        assert gpu.l2_size == 4 * 1024 * 1024
+
+    def test_peak_and_effective_flops(self):
+        gpu = p100_gpu()
+        assert gpu.effective_flops < gpu.peak_flops
+        assert gpu.peak_flops > 8e12  # ~9.3 TFLOP/s FP32
+
+    def test_occupancy_increases_with_blocks(self):
+        gpu = p100_gpu()
+        low = gpu.occupancy(1024, 14)
+        mid = gpu.occupancy(1024, 56)
+        high = gpu.occupancy(1024, 112)
+        assert low < mid <= high <= 1.0
+
+    def test_occupancy_increases_with_threads_per_block(self):
+        gpu = p100_gpu()
+        assert gpu.occupancy(128, 56) < gpu.occupancy(1024, 56)
+
+    def test_occupancy_clamped_to_one(self):
+        gpu = p100_gpu()
+        assert gpu.occupancy(1024, 10_000) <= 1.0
+
+    def test_occupancy_rounds_to_warps(self):
+        gpu = p100_gpu()
+        # 33 threads occupy two warps, same as 64 threads.
+        assert gpu.occupancy(33, 56) == pytest.approx(gpu.occupancy(64, 56))
+
+    def test_occupancy_invalid_inputs(self):
+        gpu = p100_gpu()
+        with pytest.raises(ValueError):
+            gpu.occupancy(0, 56)
+        with pytest.raises(ValueError):
+            gpu.occupancy(128, 0)
+
+    def test_scheduling_overhead_grows_with_blocks(self):
+        gpu = p100_gpu()
+        assert gpu.scheduling_overhead(1024, 896) > gpu.scheduling_overhead(1024, 56)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            GpuSpec(num_sms=0)

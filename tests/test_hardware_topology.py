@@ -1,0 +1,151 @@
+"""Tests for the machine topology, memory and cache models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.cache import CacheModel
+from repro.hardware.knl import knl_machine, small_knl_machine
+from repro.hardware.memory import MemoryHierarchy
+from repro.hardware.topology import CoreTopology
+
+
+class TestCoreTopology:
+    def test_knl_counts(self, knl):
+        topo = knl.topology
+        assert topo.num_cores == 68
+        assert topo.num_tiles == 34
+        assert topo.num_logical_cpus == 272
+
+    def test_tile_mapping_roundtrip(self, knl):
+        topo = knl.topology
+        for tile in range(topo.num_tiles):
+            for core in topo.cores_of_tile(tile):
+                assert topo.tile_of_core(core) == tile
+
+    def test_tile_of_core_bounds(self, knl):
+        with pytest.raises(ValueError):
+            knl.topology.tile_of_core(68)
+        with pytest.raises(ValueError):
+            knl.topology.cores_of_tile(34)
+
+    def test_effective_flops_below_peak(self, knl):
+        topo = knl.topology
+        assert topo.effective_flops_per_core < topo.peak_flops_per_core
+
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(ValueError):
+            CoreTopology(num_cores=0)
+        with pytest.raises(ValueError):
+            CoreTopology(num_cores=7, cores_per_tile=2)
+        with pytest.raises(ValueError):
+            CoreTopology(compute_efficiency=0.0)
+
+    def test_small_machine_validation(self):
+        with pytest.raises(ValueError):
+            small_knl_machine(3)
+        machine = small_knl_machine(8)
+        assert machine.topology.num_cores == 8
+        assert machine.topology.num_tiles == 4
+
+    def test_machine_describe_mentions_cores(self, knl):
+        assert "68 cores" in knl.describe()
+
+
+class TestMemoryHierarchy:
+    def test_bandwidth_scales_then_saturates(self):
+        memory = MemoryHierarchy()
+        one = memory.achievable_bandwidth(1)
+        many = memory.achievable_bandwidth(68)
+        assert one == pytest.approx(memory.per_core_bandwidth)
+        assert many == pytest.approx(memory.fast_bandwidth)
+        assert memory.achievable_bandwidth(0) == 0.0
+
+    def test_bandwidth_monotone_in_cores(self):
+        memory = MemoryHierarchy()
+        values = [memory.achievable_bandwidth(n) for n in range(1, 69)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_contended_bandwidth_proportional_split(self):
+        memory = MemoryHierarchy()
+        half = memory.contended_bandwidth(34, 68)
+        assert half == pytest.approx(memory.fast_bandwidth / 2)
+
+    def test_contended_bandwidth_no_contention(self):
+        memory = MemoryHierarchy()
+        alone = memory.contended_bandwidth(4, 4)
+        assert alone == pytest.approx(4 * memory.per_core_bandwidth)
+
+    def test_invalid_inputs(self):
+        memory = MemoryHierarchy()
+        with pytest.raises(ValueError):
+            memory.achievable_bandwidth(-1)
+        with pytest.raises(ValueError):
+            MemoryHierarchy(fast_bandwidth=0)
+
+
+class TestCacheModel:
+    def test_fit_fraction_bounds(self):
+        cache = CacheModel()
+        assert cache.fit_fraction(0) == 1.0
+        assert cache.fit_fraction(cache.l2_size_per_tile) == pytest.approx(1.0)
+        assert 0.0 < cache.fit_fraction(100 * cache.l2_size_per_tile) < 0.1
+
+    def test_reuse_monotone_in_working_set(self):
+        cache = CacheModel()
+        small = cache.reuse_fraction(
+            64 * 1024, siblings_share_tile=False, reuse_potential=0.8
+        )
+        large = cache.reuse_fraction(
+            64 * 1024 * 1024, siblings_share_tile=False, reuse_potential=0.8
+        )
+        assert small > large
+
+    def test_sibling_sharing_increases_reuse(self):
+        cache = CacheModel()
+        alone = cache.reuse_fraction(512 * 1024, siblings_share_tile=False, reuse_potential=0.5)
+        shared = cache.reuse_fraction(512 * 1024, siblings_share_tile=True, reuse_potential=0.5)
+        assert shared > alone
+
+    def test_reuse_never_exceeds_ceiling(self):
+        cache = CacheModel()
+        reuse = cache.reuse_fraction(1024, siblings_share_tile=True, reuse_potential=1.0)
+        assert reuse <= cache.reuse_ceiling
+
+    def test_thrash_penalty(self):
+        cache = CacheModel()
+        assert cache.thrash_penalty(0) == 1.0
+        assert cache.thrash_penalty(4) > cache.thrash_penalty(1)
+        with pytest.raises(ValueError):
+            cache.thrash_penalty(-1)
+
+    def test_invalid_reuse_potential(self):
+        with pytest.raises(ValueError):
+            CacheModel().reuse_fraction(1.0, siblings_share_tile=False, reuse_potential=1.5)
+
+
+class TestSmtModel:
+    def test_throughput_monotone_in_threads(self, knl):
+        smt = knl.smt
+        values = [smt.core_throughput(k) for k in range(0, smt.max_threads_per_core + 1)]
+        assert values[0] == 0.0
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_memory_bound_bonus(self, knl):
+        smt = knl.smt
+        compute = smt.core_throughput(2, memory_bound=0.0)
+        memory = smt.core_throughput(2, memory_bound=1.0)
+        assert memory > compute
+
+    def test_per_thread_throughput_decreases(self, knl):
+        smt = knl.smt
+        assert smt.per_thread_throughput(1) == pytest.approx(1.0)
+        assert smt.per_thread_throughput(2) < 1.0
+        assert smt.per_thread_throughput(0) == 0.0
+
+    def test_corun_share(self, knl):
+        smt = knl.smt
+        full = smt.corun_share(1, 0)
+        shared = smt.corun_share(1, 1)
+        assert full == pytest.approx(1.0)
+        assert 0.4 < shared < 0.7

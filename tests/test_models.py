@@ -1,0 +1,107 @@
+"""Tests for the NN model training-step graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import available_models, build_model, model_batch_size
+from repro.models.registry import PAPER_BATCH_SIZES
+
+
+@pytest.fixture(scope="module")
+def reduced_graphs():
+    """Reduced variants of all four models (cheap to build, same op mix)."""
+    return {
+        "resnet50": build_model("resnet50", stage_blocks=(1, 1, 1, 1)),
+        "dcgan": build_model("dcgan"),
+        "inception_v3": build_model("inception_v3", module_counts=(1, 1, 1)),
+        "lstm": build_model("lstm", num_steps=4),
+    }
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert set(available_models()) == {"resnet50", "dcgan", "inception_v3", "lstm"}
+
+    def test_paper_batch_sizes(self):
+        assert model_batch_size("resnet50") == 64
+        assert model_batch_size("inception_v3") == 16
+        assert model_batch_size("lstm") == 20
+        assert PAPER_BATCH_SIZES["dcgan"] == 64
+
+    def test_aliases(self):
+        graph = build_model("ResNet-50", stage_blocks=(1, 1, 1, 1))
+        assert graph.name.startswith("resnet50")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+
+class TestGraphStructure:
+    def test_all_graphs_are_valid_dags(self, reduced_graphs):
+        for graph in reduced_graphs.values():
+            graph.validate()
+
+    def test_graphs_have_forward_backward_and_optimizer_ops(self, reduced_graphs):
+        for name, graph in reduced_graphs.items():
+            types = graph.op_types()
+            assert "SparseSoftmaxCross" in types, name
+            assert any(t.startswith("Apply") for t in types), name
+            if name != "lstm":
+                assert "Conv2DBackpropFilter" in types, name
+                assert "Conv2DBackpropInput" in types, name
+                assert "InputConversion" in types, name
+                assert "ToTf" in types, name
+
+    def test_table6_op_types_present(self, reduced_graphs):
+        """The op types the paper lists in Table VI exist in our graphs."""
+        resnet = reduced_graphs["resnet50"].op_types()
+        for op_type in ("Conv2DBackpropFilter", "InputConversion", "Tile", "Mul", "ToTf"):
+            assert op_type in resnet
+        dcgan = reduced_graphs["dcgan"].op_types()
+        for op_type in ("Conv2DBackpropInput", "Conv2DBackpropFilter", "ApplyAdam",
+                        "BiasAddGrad", "FusedBatchNorm"):
+            assert op_type in dcgan
+        lstm = reduced_graphs["lstm"].op_types()
+        for op_type in ("SparseSoftmaxCross", "BiasAddGrad", "Mul", "AddN", "MatMul"):
+            assert op_type in lstm
+
+    def test_multiple_instances_with_different_input_sizes(self, reduced_graphs):
+        """Different instances of one op type use different input sizes
+        (the property Table II / Strategy 2 rely on)."""
+        graph = reduced_graphs["resnet50"]
+        signatures = {op.signature for op in graph.instances_of("Conv2DBackpropFilter")}
+        assert len(signatures) > 3
+
+    def test_batch_size_threaded_through(self):
+        graph = build_model("dcgan", batch_size=8)
+        conv = graph.instances_of("Conv2D")[0]
+        assert conv.inputs[0].batch == 8
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("resnet50", batch_size=0)
+
+    def test_lstm_depth_scales_with_steps(self):
+        short = build_model("lstm", num_steps=2)
+        long = build_model("lstm", num_steps=8)
+        assert len(long) > len(short) * 2
+
+
+class TestFullSizeGraphs:
+    def test_full_graphs_have_hundreds_of_ops(self):
+        sizes = {name: len(build_model(name)) for name in ("resnet50", "dcgan")}
+        assert sizes["resnet50"] > 500
+        assert sizes["dcgan"] > 100
+
+    def test_inception_is_the_largest_model(self):
+        inception = len(build_model("inception_v3"))
+        resnet = len(build_model("resnet50"))
+        assert inception > resnet
+
+    def test_inception_has_many_conv_backprop_filter_instances(self):
+        graph = build_model("inception_v3")
+        instances = graph.instances_of("Conv2DBackpropFilter")
+        # The paper reports 42 instances with distinct input sizes.
+        assert len(instances) >= 40

@@ -1,0 +1,131 @@
+"""Tests for repro.utils: units, statistics, seeding and table rendering."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.seeding import SeedSequenceFactory, make_rng
+from repro.utils.stats import (
+    geometric_mean,
+    harmonic_mean,
+    mean_absolute_percentage_error,
+    paper_accuracy,
+    r_squared,
+)
+from repro.utils.tables import TextTable
+from repro.utils.units import GB, KB, MB, format_bytes, format_time
+
+
+class TestUnits:
+    def test_constants_are_powers_of_two(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+    def test_format_time_units(self):
+        assert format_time(2.5) == "2.500 s"
+        assert format_time(0.0032).endswith("ms")
+        assert format_time(3.2e-6).endswith("us")
+        assert format_time(5e-9).endswith("ns")
+
+    def test_format_time_negative(self):
+        assert format_time(-0.5).startswith("-")
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(3 * MB) == "3.00 MiB"
+        assert format_bytes(2 * GB) == "2.00 GiB"
+        assert format_bytes(1536) == "1.50 KiB"
+
+
+class TestStats:
+    def test_geometric_mean_simple(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_mean([2.0, 6.0]) == pytest.approx(3.0)
+
+    def test_mape_and_accuracy(self):
+        true = [1.0, 2.0, 4.0]
+        pred = [1.1, 1.8, 4.0]
+        mape = mean_absolute_percentage_error(true, pred)
+        assert mape == pytest.approx((0.1 + 0.1 + 0.0) / 3)
+        assert paper_accuracy(true, pred) == pytest.approx(1.0 - mape)
+
+    def test_accuracy_clamped_at_zero(self):
+        assert paper_accuracy([1.0, 1.0], [10.0, 10.0]) == 0.0
+
+    def test_mape_rejects_zero_truth(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([0.0, 1.0], [1.0, 1.0])
+
+    def test_r_squared_perfect_and_mean(self):
+        y = [1.0, 2.0, 3.0, 4.0]
+        assert r_squared(y, y) == pytest.approx(1.0)
+        assert r_squared(y, [2.5] * 4) == pytest.approx(0.0)
+
+    def test_r_squared_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            r_squared([1.0, 2.0], [1.0])
+
+
+class TestSeeding:
+    def test_make_rng_deterministic(self):
+        a = make_rng(7).integers(0, 1000, size=5)
+        b = make_rng(7).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_seed_factory_children_are_stable_and_distinct(self):
+        factory = SeedSequenceFactory(42)
+        assert factory.child_seed("counters") == factory.child_seed("counters")
+        assert factory.child_seed("counters") != factory.child_seed("noise")
+
+    def test_seed_factory_rngs_independent_of_order(self):
+        f1 = SeedSequenceFactory(1)
+        f2 = SeedSequenceFactory(1)
+        a_first = f1.rng("a").random()
+        _ = f2.rng("b").random()
+        a_second = f2.rng("a").random()
+        assert a_first == pytest.approx(a_second)
+
+    def test_rngs_list(self):
+        factory = SeedSequenceFactory(3)
+        rngs = factory.rngs(["x", "y"])
+        assert len(rngs) == 2
+
+
+class TestTextTable:
+    def test_render_contains_headers_and_rows(self):
+        table = TextTable(["op", "time"], title="demo")
+        table.add_row(["Conv2D", 4.7])
+        text = table.render()
+        assert "demo" in text
+        assert "Conv2D" in text
+        assert "op" in text and "time" in text
+
+    def test_row_length_mismatch_rejected(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_float_formatting(self):
+        table = TextTable(["v"])
+        table.add_row([0.12345])
+        table.add_row([1234.5])
+        text = table.render()
+        assert "0.1234" in text or "0.1235" in text
+        assert "1234" in text
