@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-full help
+
+help:
+	@echo "make test       - run the tier-1 test suite"
+	@echo "make bench      - quick perf tier: simulator fast-path benchmark,"
+	@echo "                  updates BENCH_simulator.json"
+	@echo "make bench-full - every benchmark (paper tables/figures reproduction)"
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m benchmarks
+
+bench-full:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

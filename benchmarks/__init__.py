@@ -1,0 +1,6 @@
+"""Benchmark harness for the simulated substrate.
+
+``pytest benchmarks/ --benchmark-only`` reproduces the paper's tables
+and figures; ``python -m benchmarks`` runs the quick simulator
+performance tier and updates ``BENCH_simulator.json`` at the repo root.
+"""

@@ -1,0 +1,69 @@
+"""Run the quick simulator benchmark tier: ``python -m benchmarks``.
+
+Writes/updates ``BENCH_simulator.json`` at the repo root and prints the
+scenario table.  Exits non-zero when the equivalence or speedup gates
+fail, so it can serve as a CI step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from benchmarks.simulator_bench import (
+    BENCH_NUM_OPS,
+    BENCH_SEED,
+    EQUIVALENCE_TOLERANCE,
+    SPEEDUP_GATE,
+    format_report,
+    run_simulator_benchmark,
+    write_bench_json,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks",
+        description="Quick simulator perf tier (writes BENCH_simulator.json)",
+    )
+    parser.add_argument("--ops", type=int, default=BENCH_NUM_OPS)
+    parser.add_argument("--seed", type=int, default=BENCH_SEED)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the report without updating BENCH_simulator.json",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    try:
+        report = run_simulator_benchmark(args.ops, seed=args.seed, repeats=args.repeats)
+    except ValueError as exc:
+        parser.error(str(exc))
+    print(format_report(report))
+
+    failures = []
+    for name, scenario in report["scenarios"].items():
+        if scenario["step_time_relative_error"] > EQUIVALENCE_TOLERANCE:
+            failures.append(f"{name}: step_time diverged from the reference path")
+    if report["headline_speedup"] < SPEEDUP_GATE:
+        failures.append(
+            f"headline speedup {report['headline_speedup']}x below the "
+            f"{SPEEDUP_GATE}x gate"
+        )
+    canonical = args.ops == BENCH_NUM_OPS and args.seed == BENCH_SEED
+    if not args.no_write and canonical:
+        path = write_bench_json(report)
+        print(f"wrote {path}")
+    elif not args.no_write:
+        print("non-canonical workload; BENCH_simulator.json left untouched")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

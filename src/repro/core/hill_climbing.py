@@ -18,6 +18,7 @@ regression model.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -38,6 +39,12 @@ class HillClimbingProfile:
     samples: dict[tuple[int, AffinityMode], float] = field(default_factory=dict)
     #: Number of standalone measurements taken.
     measurements: int = 0
+    #: Lazily-built per-affinity ``(counts, times)`` arrays for bisect-based
+    #: interpolation; rebuilt whenever the sample count changes.
+    _tables: dict[AffinityMode, tuple[tuple[int, ...], tuple[float, ...]]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _tables_stamp: int = field(default=-1, init=False, repr=False, compare=False)
 
     def best(self) -> ConfigurationPrediction:
         if not self.samples:
@@ -47,6 +54,39 @@ class HillClimbingProfile:
 
     def sampled_counts(self, affinity: AffinityMode) -> list[int]:
         return sorted(t for (t, a) in self.samples if a is affinity)
+
+    def invalidate_tables(self) -> None:
+        """Drop the cached interpolation tables.
+
+        Call after *replacing* an existing sample's value in place;
+        adding or removing samples is detected automatically (the cache
+        is stamped with the sample count).
+        """
+        self._tables.clear()
+        self._tables_stamp = -1
+
+    def interpolation_table(
+        self, affinity: AffinityMode
+    ) -> tuple[tuple[int, ...], tuple[float, ...]]:
+        """Sorted ``(counts, times)`` arrays of the samples for ``affinity``.
+
+        The prediction hot path binary-searches these instead of
+        rebuilding a dict and linearly scanning for a bracketing interval
+        on every call.  Tables rebuild whenever the sample *count*
+        changes (the way profiling mutates ``samples``); code that
+        overwrites an existing sample's value must call
+        :meth:`invalidate_tables`.
+        """
+        if self._tables_stamp != len(self.samples):
+            self._tables.clear()
+            self._tables_stamp = len(self.samples)
+        table = self._tables.get(affinity)
+        if table is None:
+            counts = tuple(sorted(t for (t, a) in self.samples if a is affinity))
+            times = tuple(self.samples[(c, affinity)] for c in counts)
+            table = (counts, times)
+            self._tables[affinity] = table
+        return table
 
 
 class HillClimbingModel:
@@ -70,6 +110,7 @@ class HillClimbingModel:
         #: prematurely.
         self.stop_tolerance = stop_tolerance
         self._profiles: dict[OpSignature, HillClimbingProfile] = {}
+        self._cases: list[tuple[int, AffinityMode]] | None = None
 
     # -- profiling -----------------------------------------------------------------
 
@@ -169,40 +210,42 @@ class HillClimbingModel:
         profile = self._profiles.get(signature)
         if profile is None:
             raise KeyError(f"signature not profiled: {signature}")
-        counts = profile.sampled_counts(affinity)
+        counts, times = profile.interpolation_table(affinity)
         if not counts:
             raise KeyError(f"no samples for affinity {affinity} of {signature}")
-        times = {c: profile.samples[(c, affinity)] for c in counts}
-        if threads in times:
-            return times[threads]
-        if threads < counts[0]:
-            return times[counts[0]]
-        if threads > counts[-1]:
+        index = bisect_left(counts, threads)
+        if index < len(counts) and counts[index] == threads:
+            return times[index]
+        if index == 0:  # below the smallest sampled count
+            return times[0]
+        if index == len(counts):  # beyond the last sampled count
             if len(counts) == 1:
-                return times[counts[0]]
+                return times[0]
             # Extrapolate past the stopping point with the average slope of
             # the last few samples, clamped to a plausible band: beyond the
             # optimum the true curve rises slowly, so a noisy two-point slope
             # must not be allowed to explode.
-            tail = counts[-3:] if len(counts) >= 3 else counts[-2:]
-            slope = (times[tail[-1]] - times[tail[0]]) / (tail[-1] - tail[0])
+            first = -3 if len(counts) >= 3 else -2
+            slope = (times[-1] - times[first]) / (counts[-1] - counts[first])
             slope = max(slope, 0.0)
-            last = times[counts[-1]]
+            last = times[-1]
             extrapolated = last + slope * (threads - counts[-1])
             return float(min(max(extrapolated, last * 0.8), last * 2.5))
-        # interior: find the bracketing samples
-        for lower, upper in zip(counts, counts[1:]):
-            if lower <= threads <= upper:
-                weight = (threads - lower) / (upper - lower)
-                return times[lower] * (1 - weight) + times[upper] * weight
-        raise AssertionError("unreachable: bracketing interval not found")
+        # interior: counts[index - 1] < threads < counts[index]
+        lower, upper = counts[index - 1], counts[index]
+        weight = (threads - lower) / (upper - lower)
+        return times[index - 1] * (1 - weight) + times[index] * weight
 
     def _all_cases(self) -> list[tuple[int, AffinityMode]]:
-        cases: list[tuple[int, AffinityMode]] = []
-        for affinity in (AffinityMode.SPREAD, AffinityMode.SHARED):
-            for count in ThreadPlacement.feasible_thread_counts(affinity, self.machine.topology):
-                cases.append((count, affinity))
-        return cases
+        if self._cases is None:
+            cases: list[tuple[int, AffinityMode]] = []
+            for affinity in (AffinityMode.SPREAD, AffinityMode.SHARED):
+                for count in ThreadPlacement.feasible_thread_counts(
+                    affinity, self.machine.topology
+                ):
+                    cases.append((count, affinity))
+            self._cases = cases
+        return self._cases
 
     def predict_all(self, signature: OpSignature) -> dict[tuple[int, AffinityMode], float]:
         """Predictions for every feasible (threads, affinity) case."""

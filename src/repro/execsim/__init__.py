@@ -8,9 +8,11 @@ scheduler co-runs several operations on the chip?"
 :mod:`repro.execsim.contention`).
 """
 
+from repro.execsim.contention import ContentionState, RunningOpView, corun_slowdowns
 from repro.execsim.op_runtime import (
     OpTimeBreakdown,
     execution_time,
+    execution_time_cached,
     optimal_configuration,
     sweep_thread_counts,
 )
@@ -28,8 +30,12 @@ from repro.execsim.simulator import (
 from repro.execsim.gpu import GpuKernelModel, GpuLaunchConfig
 
 __all__ = [
+    "ContentionState",
+    "RunningOpView",
+    "corun_slowdowns",
     "OpTimeBreakdown",
     "execution_time",
+    "execution_time_cached",
     "optimal_configuration",
     "sweep_thread_counts",
     "StandaloneRunner",

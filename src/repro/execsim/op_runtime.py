@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.hardware.affinity import AffinityMode, ThreadPlacement
 from repro.hardware.topology import Machine
@@ -147,6 +148,54 @@ def execution_time(
     )
 
 
+@lru_cache(maxsize=262144)
+def _execution_time_cached(
+    chars: OpCharacteristics,
+    machine: Machine,
+    threads: int,
+    affinity: AffinityMode,
+    reconfigured: bool,
+) -> OpTimeBreakdown:
+    return execution_time(chars, machine, threads, affinity, reconfigured=reconfigured)
+
+
+def execution_time_cached(
+    chars: OpCharacteristics,
+    machine: Machine,
+    threads: int,
+    affinity: AffinityMode = AffinityMode.SHARED,
+    *,
+    reconfigured: bool = False,
+) -> OpTimeBreakdown:
+    """Memoised :func:`execution_time`.
+
+    The model is pure, ``OpCharacteristics``/``Machine`` are frozen, and a
+    characteristics value already encodes everything an operation's
+    signature determines — so the cache key
+    ``(chars, machine, threads, affinity, reconfigured)`` is exactly the
+    per-op ``(signature, threads, affinity, reconfigured)`` memoisation
+    the scheduler's inner loop needs, while staying correct for two
+    instances that share a signature but differ in attrs.  Simulation
+    sweeps re-evaluate the same configurations thousands of times, so
+    this avoids recomputing the roofline model on every launch.
+    """
+    try:
+        return _execution_time_cached(chars, machine, threads, affinity, reconfigured)
+    except TypeError:
+        # Unhashable custom machine/characteristics: fall back to uncached.
+        return execution_time(chars, machine, threads, affinity, reconfigured=reconfigured)
+
+
+def execution_time_cache_info():
+    """Hit/miss statistics of the memoised execution-time model."""
+    return _execution_time_cached.cache_info()
+
+
+def clear_execution_time_cache() -> None:
+    """Drop all memoised execution times (tests and long sweeps)."""
+    _execution_time_cached.cache_clear()
+
+
 def sweep_thread_counts(
     chars: OpCharacteristics,
     machine: Machine,
@@ -162,7 +211,7 @@ def sweep_thread_counts(
     results: dict[tuple[int, AffinityMode], OpTimeBreakdown] = {}
     for affinity in affinities:
         for count in ThreadPlacement.feasible_thread_counts(affinity, machine.topology):
-            results[(count, affinity)] = execution_time(chars, machine, count, affinity)
+            results[(count, affinity)] = execution_time_cached(chars, machine, count, affinity)
     return results
 
 

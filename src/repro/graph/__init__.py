@@ -12,6 +12,7 @@ from repro.graph.shapes import TensorShape
 from repro.graph.op import OpInstance, OpSignature
 from repro.graph.dataflow import DataflowGraph
 from repro.graph.builder import GraphBuilder
+from repro.graph.synthetic import synthetic_graph, synthetic_suite
 from repro.graph.traversal import (
     critical_path_length,
     max_width,
@@ -25,6 +26,8 @@ __all__ = [
     "OpSignature",
     "DataflowGraph",
     "GraphBuilder",
+    "synthetic_graph",
+    "synthetic_suite",
     "topological_order",
     "ready_frontier",
     "critical_path_length",

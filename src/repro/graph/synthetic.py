@@ -1,0 +1,201 @@
+"""Seeded generator of synthetic layered/branching dataflow graphs.
+
+The five paper models (ResNet-50, Inception-v3, DCGAN, LSTMs) pin down
+*realistic* graphs; scaling studies and the simulator benchmarks need
+*configurable* ones — graphs whose size, width and branching factor can
+be dialed from a hundred to a few thousand operations while staying
+representative: a mix of heavyweight tensor ops (convolutions, GEMMs)
+and lightweight streaming ops (elementwise, reductions, normalisation),
+arranged in layers with skip connections like real training steps.
+
+Everything is driven by one seed, so a ``(num_ops, seed)`` pair names a
+reproducible workload — benchmarks and tests can reference "the 500-op
+graph" and mean the same DAG everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.op import OpInstance
+from repro.graph.shapes import TensorShape
+from repro.utils.seeding import make_rng
+
+#: Bounds on the generated graph size (the scaling studies' range).
+MIN_OPS = 8
+MAX_OPS = 20000
+
+#: Heavyweight (tunable, MKL-style) operation types the generator mixes in.
+_HEAVY_TYPES = (
+    "Conv2D",
+    "Conv2DBackpropFilter",
+    "Conv2DBackpropInput",
+    "MatMul",
+)
+#: Lightweight streaming operation types (binary and unary elementwise).
+_BINARY_TYPES = ("Mul", "Add", "Sub")
+_UNARY_TYPES = ("Relu", "Tanh", "Sigmoid")
+_LIGHT_TYPES = _BINARY_TYPES + _UNARY_TYPES + ("BiasAdd",)
+#: Reduction-style operation types (occasional joins).
+_REDUCE_TYPES = ("Sum", "Mean", "L2Loss")
+
+_SPATIAL_CHOICES = (4, 8, 16, 32)
+_CHANNEL_CHOICES = (32, 64, 128, 256, 512)
+_MATMUL_DIMS = (128, 256, 512, 1024)
+
+
+def _random_conv_shapes(
+    rng: np.random.Generator, op_type: str, batch: int
+) -> tuple[tuple[TensorShape, ...], TensorShape, dict]:
+    spatial = int(rng.choice(_SPATIAL_CHOICES))
+    c_in = int(rng.choice(_CHANNEL_CHOICES))
+    c_out = int(rng.choice(_CHANNEL_CHOICES))
+    act = TensorShape((batch, spatial, spatial, c_in))
+    out = TensorShape((batch, spatial, spatial, c_out))
+    attrs = {"kernel": (3, 3), "stride": 1}
+    if op_type == "Conv2D":
+        return (act,), out, attrs
+    if op_type == "Conv2DBackpropFilter":
+        return (act, out), TensorShape((3, 3, c_in, c_out)), attrs
+    # Conv2DBackpropInput: gradient w.r.t. the activation.
+    return (act, out), act, attrs
+
+
+def _random_matmul_shapes(
+    rng: np.random.Generator, batch: int
+) -> tuple[tuple[TensorShape, ...], TensorShape]:
+    k = int(rng.choice(_MATMUL_DIMS))
+    n = int(rng.choice(_MATMUL_DIMS))
+    a = TensorShape((batch, k))
+    b = TensorShape((k, n))
+    return (a, b), TensorShape((batch, n))
+
+
+def _random_light_shape(rng: np.random.Generator, batch: int) -> TensorShape:
+    spatial = int(rng.choice(_SPATIAL_CHOICES))
+    channels = int(rng.choice(_CHANNEL_CHOICES))
+    return TensorShape((batch, spatial, spatial, channels))
+
+
+def synthetic_graph(
+    num_ops: int = 500,
+    *,
+    seed: int = 0,
+    width: int = 8,
+    heavy_fraction: float = 0.35,
+    skip_probability: float = 0.15,
+    batch: int = 32,
+    name: str | None = None,
+) -> DataflowGraph:
+    """Generate a layered, branching DAG of ``num_ops`` operation instances.
+
+    Parameters
+    ----------
+    num_ops:
+        Total operation count (the scaling studies use 100-2000).
+    seed:
+        Drives every random choice; the same ``(num_ops, seed, ...)``
+        always yields an identical graph.
+    width:
+        Target number of operations per layer (the graph's parallelism).
+        Actual layer widths vary randomly between 1 and ``2 * width``.
+    heavy_fraction:
+        Fraction of operations drawn from the heavyweight (convolution /
+        GEMM) types; the rest are streaming elementwise or reduction ops.
+    skip_probability:
+        Chance that an operation additionally depends on an op two or
+        more layers back (skip connections / weight-update edges).
+    batch:
+        Batch dimension of every generated tensor.
+    name:
+        Graph name; defaults to ``synthetic-{num_ops}-s{seed}``.
+    """
+    if not MIN_OPS <= num_ops <= MAX_OPS:
+        raise ValueError(f"num_ops must lie in [{MIN_OPS}, {MAX_OPS}], got {num_ops}")
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    if not 0.0 <= heavy_fraction <= 1.0:
+        raise ValueError("heavy_fraction must lie in [0, 1]")
+    if not 0.0 <= skip_probability <= 1.0:
+        raise ValueError("skip_probability must lie in [0, 1]")
+
+    rng = make_rng(seed)
+    builder = GraphBuilder(name or f"synthetic-{num_ops}-s{seed}")
+    previous_layer: list[OpInstance] = []
+    older_ops: list[OpInstance] = []
+    remaining = num_ops
+
+    while remaining > 0:
+        layer_width = int(rng.integers(1, 2 * width + 1))
+        layer_width = min(layer_width, remaining)
+        layer: list[OpInstance] = []
+        for _ in range(layer_width):
+            deps: list[OpInstance] = []
+            if previous_layer:
+                num_deps = min(len(previous_layer), 1 + int(rng.integers(0, 3)))
+                picks = rng.choice(len(previous_layer), size=num_deps, replace=False)
+                deps = [previous_layer[int(i)] for i in sorted(picks)]
+            if older_ops and rng.random() < skip_probability:
+                deps.append(older_ops[int(rng.integers(0, len(older_ops)))])
+
+            draw = rng.random()
+            if draw < heavy_fraction:
+                op_type = str(rng.choice(_HEAVY_TYPES))
+                if op_type == "MatMul":
+                    inputs, output = _random_matmul_shapes(rng, batch)
+                    op = builder.add(
+                        op_type, inputs=inputs, output=output, deps=deps, scope="syn"
+                    )
+                else:
+                    inputs, output, attrs = _random_conv_shapes(rng, op_type, batch)
+                    op = builder.add(
+                        op_type,
+                        inputs=inputs,
+                        output=output,
+                        deps=deps,
+                        attrs=attrs,
+                        scope="syn",
+                    )
+            elif draw < heavy_fraction + 0.1 and previous_layer:
+                op_type = str(rng.choice(_REDUCE_TYPES))
+                shape = _random_light_shape(rng, batch)
+                op = builder.add(
+                    op_type,
+                    inputs=[shape],
+                    output=TensorShape((1,)),
+                    deps=deps,
+                    scope="syn",
+                )
+            else:
+                op_type = str(rng.choice(_LIGHT_TYPES))
+                shape = _random_light_shape(rng, batch)
+                if op_type in _BINARY_TYPES:
+                    inputs: list[TensorShape] = [shape, shape]
+                elif op_type == "BiasAdd":
+                    inputs = [shape, TensorShape((shape.dims[-1],))]
+                else:
+                    inputs = [shape]
+                op = builder.add(
+                    op_type,
+                    inputs=inputs,
+                    output=shape,
+                    deps=deps,
+                    scope="syn",
+                )
+            layer.append(op)
+        older_ops.extend(previous_layer)
+        previous_layer = layer
+        remaining -= layer_width
+
+    return builder.build()
+
+
+def synthetic_suite(
+    sizes: tuple[int, ...] = (100, 500, 2000),
+    *,
+    seed: int = 0,
+) -> dict[int, DataflowGraph]:
+    """A family of synthetic graphs across the scaling-study size range."""
+    return {size: synthetic_graph(size, seed=seed) for size in sizes}

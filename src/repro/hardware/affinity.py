@@ -151,6 +151,15 @@ class CoreAllocator:
         self._free_primary: set[int] = set(range(topology.num_cores))
         #: Cores whose primary slot is busy but secondary slot is free.
         self._free_secondary: set[int] = set()
+        #: Tile -> its core ids, precomputed (allocation is a hot path).
+        self._tile_cores: tuple[tuple[int, ...], ...] = tuple(
+            topology.cores_of_tile(tile) for tile in range(topology.num_tiles)
+        )
+        #: Per-tile count of free primary slots, kept in sync with
+        #: ``_free_primary`` so "is this tile fully free?" is O(1).
+        self._free_per_tile: list[int] = [topology.cores_per_tile] * topology.num_tiles
+        self._cores_per_tile = topology.cores_per_tile
+        self._all_cores: tuple[int, ...] = tuple(range(topology.num_cores))
 
     # -- primary-slot allocation -------------------------------------------------
 
@@ -172,19 +181,28 @@ class CoreAllocator:
             raise RuntimeError(
                 f"requested {num_cores} cores but only {len(self._free_primary)} free"
             )
+        # Whole-chip request on an idle chip (every serial policy's launch).
+        if num_cores == self.topology.num_cores:
+            allocation = CoreAllocation(core_ids=self._all_cores)
+            self._free_primary.clear()
+            self._free_per_tile = [0] * self.topology.num_tiles
+            self._free_secondary = set(self._all_cores)
+            return allocation
         chosen: list[int] = []
         # First take fully-free tiles.
-        for tile in range(self.topology.num_tiles):
+        free_per_tile = self._free_per_tile
+        cores_per_tile = self._cores_per_tile
+        for tile, cores in enumerate(self._tile_cores):
             if len(chosen) >= num_cores:
                 break
-            cores = self.topology.cores_of_tile(tile)
-            if all(c in self._free_primary for c in cores):
+            if free_per_tile[tile] == cores_per_tile:
                 take = min(len(cores), num_cores - len(chosen))
                 chosen.extend(cores[:take])
         # Then stray cores.
         if len(chosen) < num_cores:
+            taken = set(chosen)
             for core in sorted(self._free_primary):
-                if core in chosen:
+                if core in taken:
                     continue
                 chosen.append(core)
                 if len(chosen) >= num_cores:
@@ -210,24 +228,34 @@ class CoreAllocator:
     def release(self, allocation: CoreAllocation) -> None:
         """Return an allocation's slots to the free pools."""
         if allocation.smt_slot == 0:
-            for core in allocation.core_ids:
-                if core in self._free_primary:
-                    raise RuntimeError(f"core {core} released twice")
-                self._free_primary.add(core)
-                # A core whose primary slot is free no longer offers a
-                # meaningful "hyper-thread only" slot.
-                self._free_secondary.discard(core)
+            core_ids = allocation.core_ids
+            free_primary = self._free_primary
+            if not free_primary.isdisjoint(core_ids):
+                core = next(c for c in core_ids if c in free_primary)
+                raise RuntimeError(f"core {core} released twice")
+            free_primary.update(core_ids)
+            free_per_tile = self._free_per_tile
+            cores_per_tile = self._cores_per_tile
+            for core in core_ids:
+                free_per_tile[core // cores_per_tile] += 1
+            # A core whose primary slot is free no longer offers a
+            # meaningful "hyper-thread only" slot.
+            self._free_secondary.difference_update(core_ids)
         else:
-            for core in allocation.core_ids:
-                if core in self._free_primary:
-                    # The primary owner already finished; nothing to do.
-                    continue
-                self._free_secondary.add(core)
+            # Cores whose primary owner already finished offer no slot.
+            self._free_secondary.update(
+                c for c in allocation.core_ids if c not in self._free_primary
+            )
 
     def _mark_busy(self, allocation: CoreAllocation) -> None:
-        for core in allocation.core_ids:
-            self._free_primary.discard(core)
-            self._free_secondary.add(core)
+        core_ids = allocation.core_ids
+        free_per_tile = self._free_per_tile
+        cores_per_tile = self._cores_per_tile
+        # allocate() only picks free cores, so all of them leave the pool.
+        self._free_primary.difference_update(core_ids)
+        for core in core_ids:
+            free_per_tile[core // cores_per_tile] -= 1
+        self._free_secondary.update(core_ids)
 
     def reserve_all(self) -> CoreAllocation:
         """Allocate every free primary slot (used by core-filling operations)."""

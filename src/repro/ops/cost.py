@@ -36,3 +36,44 @@ def characterize_cached(op: OpInstance) -> OpCharacteristics:
     except TypeError:
         # attrs may contain unhashable values; fall back to the uncached path.
         return characterize(op)
+
+
+def clear_characterization_cache() -> None:
+    """Drop the default-registry characterization memo (tests, re-registration)."""
+    _characterize_cached.cache_clear()
+
+
+class CharacterizationCache:
+    """Per-registry memo of ``registry.estimate`` keyed by op instance.
+
+    The process-wide :func:`characterize_cached` only serves the default
+    registry; simulators built around a custom :class:`OpRegistry` used to
+    re-run ``estimate`` for every running operation on every scheduling
+    event.  One cache instance per registry gives those the same
+    amortised O(1) characterization.  Estimators are assumed pure (the
+    registry contract); unhashable instances fall back to direct calls.
+    """
+
+    def __init__(self, registry: OpRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else default_registry()
+        self._memo: dict[OpInstance, OpCharacteristics] = {}
+
+    @property
+    def registry(self) -> OpRegistry:
+        return self._registry
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def __call__(self, op: OpInstance) -> OpCharacteristics:
+        try:
+            chars = self._memo.get(op)
+        except TypeError:
+            return self._registry.estimate(op)
+        if chars is None:
+            chars = self._registry.estimate(op)
+            self._memo[op] = chars
+        return chars
+
+    def clear(self) -> None:
+        self._memo.clear()

@@ -1,0 +1,179 @@
+"""Equivalence of the incremental simulator fast path vs the reference.
+
+``StepSimulator(machine)`` (incremental) and
+``StepSimulator(machine, incremental=False)`` (the original from-scratch
+implementation) must produce the same step times, traces and event
+sequences for every policy family — serial, partitioned co-running,
+hyper-thread packing, oversubscribed pools, forced launches and noisy
+runs alike.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.tf_default import UniformPolicy, default_policy, recommended_policy
+from repro.core.runtime import TrainingRuntime
+from repro.execsim.simulator import LaunchRequest, PlacementKind, StepSimulator
+from repro.graph.synthetic import synthetic_graph
+from repro.hardware.affinity import AffinityMode
+from repro.models import build_model
+
+TOLERANCE = 1e-9
+
+
+class PartitionedPolicy:
+    """Launch up to ``ways`` ready ops on disjoint DEDICATED partitions."""
+
+    def __init__(self, ways: int = 4) -> None:
+        self.ways = ways
+        self.name = f"partitioned({ways})"
+
+    def on_step_begin(self, graph, machine) -> None:
+        self._threads = max(1, machine.num_cores // self.ways)
+
+    def select_launches(self, context):
+        slots = self.ways - len(context.running)
+        if slots <= 0:
+            return []
+        return [
+            LaunchRequest(
+                op_name=op.name,
+                threads=self._threads,
+                affinity=AffinityMode.SHARED,
+                placement=PlacementKind.DEDICATED,
+            )
+            for op in context.ready[:slots]
+        ]
+
+
+class HyperthreadPackingPolicy:
+    """A core-filling op plus small ops packed on free SMT slots."""
+
+    name = "ht-packing"
+
+    def on_step_begin(self, graph, machine) -> None:
+        self._num_cores = machine.num_cores
+
+    def select_launches(self, context):
+        requests = []
+        if not context.any_core_filling_op and context.ready:
+            requests.append(
+                LaunchRequest(
+                    op_name=context.ready[0].name,
+                    threads=self._num_cores,
+                    placement=PlacementKind.DEDICATED,
+                )
+            )
+            remaining = context.ready[1:]
+        else:
+            remaining = context.ready
+        for op in remaining[:2]:
+            if context.free_hyperthread_cores > 0:
+                requests.append(
+                    LaunchRequest(
+                        op_name=op.name,
+                        threads=min(8, max(1, context.free_hyperthread_cores)),
+                        placement=PlacementKind.HYPERTHREAD,
+                    )
+                )
+        return requests
+
+
+class LazyPolicy:
+    name = "lazy"
+
+    def on_step_begin(self, graph, machine) -> None:
+        pass
+
+    def select_launches(self, context):
+        return []
+
+
+def _run_both(machine, graph, make_policy, *, noise_sigma=0.0, seed=0):
+    reference = StepSimulator(
+        machine, incremental=False, noise_sigma=noise_sigma, seed=seed
+    ).run_step(graph, make_policy())
+    fast = StepSimulator(
+        machine, noise_sigma=noise_sigma, seed=seed
+    ).run_step(graph, make_policy())
+    return reference, fast
+
+
+def _assert_same_results(reference, fast):
+    assert fast.step_time == pytest.approx(reference.step_time, rel=TOLERANCE)
+    assert fast.forced_launches == reference.forced_launches
+    ref_records = {r.op_name: r for r in reference.trace.records}
+    fast_records = {r.op_name: r for r in fast.trace.records}
+    assert set(ref_records) == set(fast_records)
+    for name, ref_record in ref_records.items():
+        fast_record = fast_records[name]
+        assert fast_record.start_time == pytest.approx(
+            ref_record.start_time, rel=TOLERANCE, abs=1e-15
+        ), name
+        assert fast_record.finish_time == pytest.approx(
+            ref_record.finish_time, rel=TOLERANCE, abs=1e-15
+        ), name
+        assert fast_record.threads == ref_record.threads
+        assert fast_record.used_hyperthreads == ref_record.used_hyperthreads
+    ref_events = [(e.kind, e.op_name, e.corunning, e.busy_cores) for e in reference.trace.events]
+    fast_events = [(e.kind, e.op_name, e.corunning, e.busy_cores) for e in fast.trace.events]
+    assert fast_events == ref_events
+
+
+POLICIES = {
+    "serial-recommendation": lambda machine: recommended_policy(machine),
+    "uniform-inter2": lambda machine: UniformPolicy(34, 2),
+    "uniform-inter8": lambda machine: UniformPolicy(17, 8),
+    "tf-default": lambda machine: default_policy(machine),
+    "partitioned": lambda machine: PartitionedPolicy(4),
+    "ht-packing": lambda machine: HyperthreadPackingPolicy(),
+}
+
+
+class TestFastPathEquivalence:
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_synthetic_graph_equivalence(self, knl, policy_name):
+        graph = synthetic_graph(150, seed=9)
+        make = POLICIES[policy_name]
+        reference, fast = _run_both(knl, graph, lambda: make(knl))
+        _assert_same_results(reference, fast)
+
+    @pytest.mark.parametrize("policy_name", ["serial-recommendation", "uniform-inter8"])
+    def test_resnet_equivalence(self, knl, policy_name):
+        graph = build_model("resnet50", stage_blocks=(1, 1, 1, 1))
+        make = POLICIES[policy_name]
+        reference, fast = _run_both(knl, graph, lambda: make(knl))
+        _assert_same_results(reference, fast)
+
+    def test_small_machine_equivalence(self, small_machine):
+        graph = synthetic_graph(100, seed=2)
+        reference, fast = _run_both(
+            small_machine, graph, lambda: UniformPolicy(4, 3)
+        )
+        _assert_same_results(reference, fast)
+
+    def test_noisy_equivalence(self, knl):
+        """Same seed => same noise draws => identical noisy results."""
+        graph = synthetic_graph(120, seed=5)
+        reference, fast = _run_both(
+            knl, graph, lambda: UniformPolicy(34, 2), noise_sigma=0.05, seed=17
+        )
+        _assert_same_results(reference, fast)
+
+    def test_forced_launch_equivalence(self, knl):
+        graph = synthetic_graph(100, seed=13)
+        reference, fast = _run_both(knl, graph, LazyPolicy)
+        assert reference.forced_launches == len(graph)
+        _assert_same_results(reference, fast)
+
+    def test_runtime_scheduler_equivalence(self, knl):
+        """The paper's own policy (Strategies 1-4) through both paths."""
+        graph = build_model("resnet50", stage_blocks=(1, 1, 1, 1))
+        runtime = TrainingRuntime(knl)
+        model = runtime.profile(graph)
+        reference = StepSimulator(knl, incremental=False).run_step(
+            graph, runtime.build_policy(model)
+        )
+        fast = StepSimulator(knl).run_step(graph, runtime.build_policy(model))
+        _assert_same_results(reference, fast)

@@ -1,0 +1,94 @@
+"""Tests for the synthetic graph generator and scenario diversity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.tf_default import UniformPolicy, recommended_policy
+from repro.execsim.simulator import StepSimulator
+from repro.graph.synthetic import MAX_OPS, MIN_OPS, synthetic_graph, synthetic_suite
+from repro.graph.traversal import topological_order
+
+
+class TestSyntheticGraph:
+    def test_exact_size(self):
+        for size in (100, 257, 500):
+            assert len(synthetic_graph(size)) == size
+
+    def test_deterministic_per_seed(self):
+        a = synthetic_graph(150, seed=3)
+        b = synthetic_graph(150, seed=3)
+        assert [op.name for op in a] == [op.name for op in b]
+        assert [op.signature for op in a] == [op.signature for op in b]
+        assert sorted(a.to_networkx().edges) == sorted(b.to_networkx().edges)
+
+    def test_seeds_differ(self):
+        a = synthetic_graph(150, seed=0)
+        b = synthetic_graph(150, seed=1)
+        assert [op.signature for op in a] != [op.signature for op in b]
+
+    def test_valid_dag_with_branching(self):
+        graph = synthetic_graph(300, seed=7)
+        graph.validate()
+        order = topological_order(graph)
+        assert len(order) == 300
+        # Layered generation with width > 1 must produce real branching.
+        assert graph.num_edges > len(graph)
+
+    def test_mixes_heavy_and_light_ops(self):
+        graph = synthetic_graph(400, seed=5)
+        types = graph.op_types()
+        assert any(t in types for t in ("Conv2D", "MatMul"))
+        assert any(t in types for t in ("Mul", "Add", "Relu"))
+
+    def test_size_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            synthetic_graph(MIN_OPS - 1)
+        with pytest.raises(ValueError):
+            synthetic_graph(MAX_OPS + 1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_graph(100, width=0)
+        with pytest.raises(ValueError):
+            synthetic_graph(100, heavy_fraction=1.5)
+        with pytest.raises(ValueError):
+            synthetic_graph(100, skip_probability=-0.1)
+
+    def test_suite_covers_scaling_range(self):
+        suite = synthetic_suite((100, 200), seed=1)
+        assert set(suite) == {100, 200}
+        assert all(len(g) == size for size, g in suite.items())
+
+
+class TestSyntheticScenarioDiversity:
+    """The generator's graphs must run under every scheduling scenario."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("size", [100, 250])
+    def test_runs_under_serial_recommendation(self, knl, size, seed):
+        graph = synthetic_graph(size, seed=seed)
+        result = StepSimulator(knl).run_step(graph, recommended_policy(knl))
+        assert result.step_time > 0
+        assert len(result.trace.records) == size
+
+    @pytest.mark.parametrize(
+        "intra,inter", [(34, 2), (17, 4), (272, 272)], ids=["inter2", "inter4", "tfdefault"]
+    )
+    def test_runs_under_corunning_policies(self, knl, intra, inter):
+        graph = synthetic_graph(200, seed=11)
+        result = StepSimulator(knl).run_step(graph, UniformPolicy(intra, inter))
+        assert result.step_time > 0
+        assert len(result.trace.records) == 200
+        if inter > 1:
+            assert max(result.trace.corunning_series()) >= 2
+
+    def test_wide_graphs_corun_more_than_narrow(self, knl):
+        narrow = synthetic_graph(150, seed=4, width=2)
+        wide = synthetic_graph(150, seed=4, width=16)
+        policy = UniformPolicy(17, 8)
+        narrow_result = StepSimulator(knl).run_step(narrow, policy)
+        wide_result = StepSimulator(knl).run_step(wide, UniformPolicy(17, 8))
+        assert max(wide_result.trace.corunning_series()) >= max(
+            narrow_result.trace.corunning_series()
+        )
