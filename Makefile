@@ -1,19 +1,24 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-full help
+.PHONY: test bench experiments bench-full help
 
 help:
-	@echo "make test       - run the tier-1 test suite"
-	@echo "make bench      - quick perf tier: simulator fast-path benchmark,"
-	@echo "                  updates BENCH_simulator.json"
-	@echo "make bench-full - every benchmark (paper tables/figures reproduction)"
+	@echo "make test        - run the tier-1 test suite"
+	@echo "make bench       - quick perf tier: simulator fast-path benchmark,"
+	@echo "                   updates BENCH_simulator.json"
+	@echo "make experiments - quick perf tier: experiment-layer sweep engine,"
+	@echo "                   updates BENCH_experiments.json"
+	@echo "make bench-full  - every benchmark (paper tables/figures reproduction)"
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m benchmarks
+
+experiments:
+	$(PYTHON) -m benchmarks --suite experiments
 
 bench-full:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -1,8 +1,11 @@
-"""Run the quick simulator benchmark tier: ``python -m benchmarks``.
+"""Run the quick benchmark tiers: ``python -m benchmarks``.
 
-Writes/updates ``BENCH_simulator.json`` at the repo root and prints the
-scenario table.  Exits non-zero when the equivalence or speedup gates
-fail, so it can serve as a CI step.
+``--suite simulator`` (the default) runs the simulator fast-path
+benchmark and writes ``BENCH_simulator.json``; ``--suite experiments``
+runs the experiment-layer sweep-engine benchmark and writes
+``BENCH_experiments.json``; ``--suite all`` runs both.  Exits non-zero
+when any equivalence or speedup gate fails, so both tiers can serve as
+CI steps.
 """
 
 from __future__ import annotations
@@ -10,6 +13,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from benchmarks.experiments_bench import main as experiments_main
 from benchmarks.simulator_bench import (
     BENCH_NUM_OPS,
     BENCH_SEED,
@@ -21,23 +25,7 @@ from benchmarks.simulator_bench import (
 )
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m benchmarks",
-        description="Quick simulator perf tier (writes BENCH_simulator.json)",
-    )
-    parser.add_argument("--ops", type=int, default=BENCH_NUM_OPS)
-    parser.add_argument("--seed", type=int, default=BENCH_SEED)
-    parser.add_argument("--repeats", type=int, default=3)
-    parser.add_argument(
-        "--no-write",
-        action="store_true",
-        help="print the report without updating BENCH_simulator.json",
-    )
-    args = parser.parse_args(argv)
-    if args.repeats < 1:
-        parser.error("--repeats must be at least 1")
-
+def _simulator_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     try:
         report = run_simulator_benchmark(args.ops, seed=args.seed, repeats=args.repeats)
     except ValueError as exc:
@@ -63,6 +51,61 @@ def main(argv: list[str] | None = None) -> int:
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks",
+        description="Quick perf tiers (write BENCH_simulator.json / BENCH_experiments.json)",
+    )
+    parser.add_argument(
+        "--suite",
+        choices=("simulator", "experiments", "all"),
+        default="simulator",
+        help="which quick tier to run",
+    )
+    parser.add_argument("--ops", type=int, default=BENCH_NUM_OPS)
+    parser.add_argument("--seed", type=int, default=BENCH_SEED)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--jobs", type=int, default=None, help="experiment-suite worker count")
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the report without updating the BENCH json files",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+
+    # Surface flags that the selected suite will never read.
+    if args.suite == "experiments":
+        ignored = [
+            flag
+            for flag, changed in (
+                ("--ops", args.ops != BENCH_NUM_OPS),
+                ("--seed", args.seed != BENCH_SEED),
+                ("--repeats", args.repeats != 3),
+            )
+            if changed
+        ]
+        if ignored:
+            parser.error(f"{', '.join(ignored)} only apply to --suite simulator/all")
+    if args.suite == "simulator" and args.jobs is not None:
+        parser.error("--jobs only applies to --suite experiments/all")
+
+    status = 0
+    if args.suite in ("simulator", "all"):
+        status = max(status, _simulator_main(args, parser))
+    if args.suite in ("experiments", "all"):
+        experiment_args = []
+        if args.jobs is not None:
+            experiment_args += ["--jobs", str(args.jobs)]
+        if args.no_write:
+            experiment_args += ["--no-write"]
+        status = max(status, experiments_main(experiment_args))
+    return status
 
 
 if __name__ == "__main__":

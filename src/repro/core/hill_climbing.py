@@ -28,6 +28,8 @@ from repro.graph.dataflow import DataflowGraph
 from repro.graph.op import OpInstance, OpSignature
 from repro.hardware.affinity import AffinityMode, ThreadPlacement
 from repro.hardware.topology import Machine
+from repro.sweep.executor import get_default_executor
+from repro.sweep.tasks import op_sweep_totals
 
 
 @dataclass
@@ -306,13 +308,26 @@ class HillClimbingModel:
 def ground_truth_sweeps(
     ops: Iterable[OpInstance],
     runner: StandaloneRunner,
+    *,
+    executor=None,
 ) -> dict[OpSignature, dict[tuple[int, AffinityMode], float]]:
-    """Exhaustive noise-free sweeps for a set of operations (per signature)."""
-    sweeps: dict[OpSignature, dict[tuple[int, AffinityMode], float]] = {}
+    """Exhaustive noise-free sweeps for a set of operations (per signature).
+
+    The per-signature sweeps are independent, so they fan out over the
+    sweep engine (and its cross-run cache); results are assembled in
+    first-encounter order, identical to the original serial loop.
+    """
+    executor = executor or get_default_executor()
+    pending: dict[OpSignature, OpInstance] = {}
     for op in ops:
-        if op.signature in sweeps:
-            continue
-        sweeps[op.signature] = {
-            key: breakdown.total for key, breakdown in runner.sweep(op).items()
-        }
-    return sweeps
+        if op.signature not in pending:
+            pending[op.signature] = op
+    signatures = list(pending)
+    totals = executor.map(
+        op_sweep_totals,
+        [
+            (runner.characteristics(pending[signature]), runner.machine)
+            for signature in signatures
+        ],
+    )
+    return dict(zip(signatures, totals))

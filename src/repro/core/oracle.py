@@ -3,26 +3,58 @@
 Used to measure the accuracy of the hill-climbing and regression models
 (Tables IV and V) and as an upper bound for the scheduler ("what if the
 runtime knew every operation's true time-vs-threads curve?").
+
+The exhaustive sweeps are the oracle's only cost, so they run through
+the sweep engine: :meth:`OraclePerformanceModel.observe_graph` fans the
+per-signature sweeps out over a :class:`~repro.sweep.SweepExecutor`, and
+every sweep is memoised by the executor's on-disk
+:class:`~repro.sweep.SweepCache` across experiments and invocations.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 from repro.core.perf_model import ConfigurationPrediction
-from repro.execsim.op_runtime import sweep_thread_counts
 from repro.graph.op import OpInstance, OpSignature
 from repro.hardware.affinity import AffinityMode
 from repro.hardware.topology import Machine
 from repro.ops.cost import characterize
 from repro.ops.registry import OpRegistry
+from repro.sweep.executor import SweepExecutor, get_default_executor
+from repro.sweep.tasks import cached_call, op_sweep_totals
 
 
 class OraclePerformanceModel:
     """Exact execution times from the analytic model, per signature."""
 
-    def __init__(self, machine: Machine, *, registry: OpRegistry | None = None) -> None:
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        registry: OpRegistry | None = None,
+        sweep_cache=None,
+    ) -> None:
         self.machine = machine
         self.registry = registry
+        #: Optional :class:`repro.sweep.SweepCache` for single observe()
+        #: calls; None computes in-process.  ``observe_graph`` uses its
+        #: executor's cache instead.
+        self.sweep_cache = sweep_cache
         self._sweeps: dict[OpSignature, dict[tuple[int, AffinityMode], float]] = {}
+        #: Per-affinity sorted thread counts of each sweep, precomputed at
+        #: observe time so the predict() fallback is a bisect instead of a
+        #: per-miss sort (mirrors ``HillClimbingModel.predict``).
+        self._sorted_counts: dict[OpSignature, dict[AffinityMode, tuple[int, ...]]] = {}
+
+    def _install(self, signature: OpSignature, sweep: dict[tuple[int, AffinityMode], float]) -> None:
+        self._sweeps[signature] = sweep
+        by_affinity: dict[AffinityMode, list[int]] = {}
+        for threads, affinity in sweep:
+            by_affinity.setdefault(affinity, []).append(threads)
+        self._sorted_counts[signature] = {
+            affinity: tuple(sorted(counts)) for affinity, counts in by_affinity.items()
+        }
 
     def observe(self, op: OpInstance) -> None:
         """Compute (and cache) the exhaustive sweep for ``op``'s signature."""
@@ -30,12 +62,25 @@ class OraclePerformanceModel:
         if signature in self._sweeps:
             return
         chars = characterize(op, self.registry)
-        sweep = sweep_thread_counts(chars, self.machine)
-        self._sweeps[signature] = {key: b.total for key, b in sweep.items()}
+        sweep = cached_call(self.sweep_cache, op_sweep_totals, chars, self.machine)
+        self._install(signature, sweep)
 
-    def observe_graph(self, graph) -> None:
+    def observe_graph(self, graph, *, executor: SweepExecutor | None = None) -> None:
+        """Sweep every new signature in ``graph``, fanned out over ``executor``."""
+        executor = executor or get_default_executor()
+        pending: dict[OpSignature, OpInstance] = {}
         for op in graph:
-            self.observe(op)
+            if op.signature not in self._sweeps and op.signature not in pending:
+                pending[op.signature] = op
+        if not pending:
+            return
+        signatures = list(pending)
+        sweeps = executor.map(
+            op_sweep_totals,
+            [(characterize(pending[s], self.registry), self.machine) for s in signatures],
+        )
+        for signature, sweep in zip(signatures, sweeps):
+            self._install(signature, sweep)
 
     # -- PerformanceModel interface ------------------------------------------------
 
@@ -46,11 +91,20 @@ class OraclePerformanceModel:
         sweep = self._sweeps[signature]
         if (threads, affinity) in sweep:
             return sweep[(threads, affinity)]
-        # Fall back to the nearest feasible thread count of that affinity.
-        counts = sorted(t for (t, a) in sweep if a is affinity)
+        # Fall back to the nearest feasible thread count of that affinity
+        # (binary search over the counts precomputed at observe time; ties
+        # resolve to the smaller count, as the original linear scan did).
+        counts = self._sorted_counts[signature].get(affinity, ())
         if not counts:
             raise KeyError(f"no data for affinity {affinity} of {signature}")
-        nearest = min(counts, key=lambda c: abs(c - threads))
+        index = bisect_left(counts, threads)
+        if index == 0:
+            nearest = counts[0]
+        elif index == len(counts):
+            nearest = counts[-1]
+        else:
+            lower, upper = counts[index - 1], counts[index]
+            nearest = lower if threads - lower <= upper - threads else upper
         return sweep[(nearest, affinity)]
 
     def best_configuration(self, signature: OpSignature) -> ConfigurationPrediction:

@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass
 from functools import lru_cache
 
+import numpy as np
+
 from repro.hardware.affinity import AffinityMode, ThreadPlacement
 from repro.hardware.topology import Machine
 from repro.ops.characteristics import OpCharacteristics
@@ -196,6 +198,118 @@ def clear_execution_time_cache() -> None:
     _execution_time_cached.cache_clear()
 
 
+@dataclass(frozen=True)
+class _AffinityGridTable:
+    """Machine-only, per-thread-count quantities of one affinity's grid.
+
+    Everything an exhaustive sweep needs that does not depend on the
+    operation: placements, bandwidths and the machine part of the
+    overhead term.  Computed once per (machine, affinity) and reused for
+    every signature, so the per-op grid pass is pure array arithmetic
+    plus one cache-model call per thread count.
+    """
+
+    counts: tuple[int, ...]
+    #: Thread counts as float64 (operand of the vector arithmetic).
+    counts_f: np.ndarray
+    tiles_used: np.ndarray
+    siblings: tuple[bool, ...]
+    #: ``achievable_bandwidth(cores_used)`` per count (exact: min/multiply).
+    bandwidth: np.ndarray
+    #: ``dispatch + spawn*threads + sync*log2(threads+1)`` per count,
+    #: accumulated in exactly the scalar expression's association order so
+    #: adding the op's ``per_thread_overhead*threads`` reproduces
+    #: :func:`execution_time` bit-for-bit.
+    overhead_base: np.ndarray
+
+
+@lru_cache(maxsize=64)
+def _affinity_grid_table(machine: Machine, affinity: AffinityMode) -> _AffinityGridTable:
+    topo = machine.topology
+    counts = ThreadPlacement.feasible_thread_counts(affinity, topo)
+    placements = [ThreadPlacement.plan(count, affinity, topo) for count in counts]
+    bandwidth = [machine.memory.achievable_bandwidth(p.cores_used) for p in placements]
+    overhead_base = [
+        machine.op_dispatch_cost
+        + machine.thread_spawn_cost * count
+        + machine.sync_cost * math.log2(count + 1)
+        for count in counts
+    ]
+    return _AffinityGridTable(
+        counts=counts,
+        counts_f=np.array(counts, dtype=np.float64),
+        tiles_used=np.array([p.tiles_used for p in placements], dtype=np.int64),
+        siblings=tuple(p.siblings_share_tile for p in placements),
+        bandwidth=np.array(bandwidth, dtype=np.float64),
+        overhead_base=np.array(overhead_base, dtype=np.float64),
+    )
+
+
+def _grid_breakdowns(
+    chars: OpCharacteristics, machine: Machine, affinity: AffinityMode
+) -> list[OpTimeBreakdown]:
+    """Characterise the whole thread-count grid of one affinity in one pass.
+
+    Every arithmetic step mirrors :func:`execution_time` operand-for-
+    operand with IEEE-exact vector operations (+, -, *, /, min, max), and
+    the two non-trivially-rounded ingredients — ``log2`` in the overhead
+    and ``pow`` inside :meth:`CacheModel.fit_fraction` — go through the
+    very same scalar code paths, so the grid is bit-identical to the
+    per-case model.
+    """
+    table = _affinity_grid_table(machine, affinity)
+    topo = machine.topology
+
+    single_core_seconds = chars.flops / topo.effective_flops_per_core
+    serial = chars.serial_fraction
+    usable = np.minimum(table.counts_f, float(chars.parallel_grains))
+    compute_time = single_core_seconds * (serial + (1.0 - serial) / usable)
+
+    working_set = chars.working_set
+    reuse = np.array(
+        [
+            machine.cache.reuse_fraction(
+                working_set / int(tiles),
+                siblings_share_tile=siblings,
+                reuse_potential=chars.reuse_potential,
+            )
+            for tiles, siblings in zip(table.tiles_used, table.siblings)
+        ],
+        dtype=np.float64,
+    )
+    bytes_from_memory = chars.bytes_touched * (1.0 - reuse)
+    memory_time = bytes_from_memory / table.bandwidth
+
+    overhead = table.overhead_base + chars.per_thread_overhead * table.counts_f
+    total = np.maximum(compute_time, memory_time) + overhead
+
+    return [
+        OpTimeBreakdown(
+            threads=count,
+            affinity=affinity,
+            compute_time=float(compute_time[i]),
+            memory_time=float(memory_time[i]),
+            overhead_time=float(overhead[i]),
+            bytes_from_memory=float(bytes_from_memory[i]),
+            total=float(total[i]),
+        )
+        for i, count in enumerate(table.counts)
+    ]
+
+
+@lru_cache(maxsize=8192)
+def _sweep_grid_cached(
+    chars: OpCharacteristics,
+    machine: Machine,
+    affinities: tuple[AffinityMode, ...],
+) -> tuple[tuple[tuple[int, AffinityMode], OpTimeBreakdown], ...]:
+    items: list[tuple[tuple[int, AffinityMode], OpTimeBreakdown]] = []
+    for affinity in affinities:
+        for breakdown in _grid_breakdowns(chars, machine, affinity):
+            items.append(((breakdown.threads, affinity), breakdown))
+    return tuple(items)
+
+
 def sweep_thread_counts(
     chars: OpCharacteristics,
     machine: Machine,
@@ -206,13 +320,19 @@ def sweep_thread_counts(
 
     On the full KNL machine this is the 68-case space of Section III-B:
     1..34 threads spread one-per-tile plus even counts 2..68 packed
-    two-per-tile.
+    two-per-tile.  The grid is characterised in a single vectorised pass
+    per affinity (see :func:`_grid_breakdowns`) that is bit-identical to
+    calling :func:`execution_time` per case; unhashable custom
+    machines/characteristics fall back to exactly that per-case loop.
     """
-    results: dict[tuple[int, AffinityMode], OpTimeBreakdown] = {}
-    for affinity in affinities:
-        for count in ThreadPlacement.feasible_thread_counts(affinity, machine.topology):
-            results[(count, affinity)] = execution_time_cached(chars, machine, count, affinity)
-    return results
+    try:
+        return dict(_sweep_grid_cached(chars, machine, tuple(affinities)))
+    except TypeError:
+        results: dict[tuple[int, AffinityMode], OpTimeBreakdown] = {}
+        for affinity in affinities:
+            for count in ThreadPlacement.feasible_thread_counts(affinity, machine.topology):
+                results[(count, affinity)] = execution_time_cached(chars, machine, count, affinity)
+        return results
 
 
 def optimal_configuration(

@@ -81,12 +81,19 @@ class StandaloneRunner:
         registry: OpRegistry | None = None,
         noise_sigma: float = 0.0,
         seed: int = 0,
+        sweep_cache=None,
     ) -> None:
         if noise_sigma < 0:
             raise ValueError("noise_sigma must be non-negative")
         self.machine = machine
         self.registry = registry
         self.noise_sigma = noise_sigma
+        #: Optional :class:`repro.sweep.SweepCache` memoising exhaustive
+        #: sweeps.  None (the default) computes them in-process — callers
+        #: that want cross-run persistence opt in explicitly, so cache
+        #: policy always follows the executor/CLI configuration instead
+        #: of ambient global state.
+        self.sweep_cache = sweep_cache
         self._rng = make_rng(seed)
 
     # -- single-op measurements --------------------------------------------------
@@ -125,8 +132,27 @@ class StandaloneRunner:
         return float(base * factors.sum())
 
     def sweep(self, op: OpInstance) -> dict[tuple[int, AffinityMode], OpTimeBreakdown]:
-        """Noise-free sweep over every feasible (threads, affinity) case."""
-        return sweep_thread_counts(self.characteristics(op), self.machine)
+        """Noise-free sweep over every feasible (threads, affinity) case.
+
+        Memoised by ``sweep_cache`` when the runner was built with one
+        (the sweep is a pure function of the op characteristics and the
+        machine); uncached otherwise.
+        """
+        from repro.sweep.tasks import cached_call, op_sweep
+
+        return cached_call(self.sweep_cache, op_sweep, self.characteristics(op), self.machine)
+
+    def sweep_many(
+        self, ops: Sequence[OpInstance], *, executor=None
+    ) -> list[dict[tuple[int, AffinityMode], OpTimeBreakdown]]:
+        """Sweep several operations, fanned out over the sweep engine."""
+        from repro.sweep.executor import get_default_executor
+        from repro.sweep.tasks import op_sweep
+
+        executor = executor or get_default_executor()
+        return executor.map(
+            op_sweep, [(self.characteristics(op), self.machine) for op in ops]
+        )
 
     def best_configuration(self, op: OpInstance) -> tuple[int, AffinityMode, float]:
         """Ground-truth optimal configuration of ``op`` on this machine."""

@@ -3,29 +3,63 @@
 Runs any subset of the paper's experiments (default: the cheap ones) and
 prints their reports.  ``repro-experiments --list`` shows what is
 available; ``repro-experiments all`` runs everything (several minutes).
+
+The experiments execute on the parallel sweep engine: ``--jobs``/
+``--backend`` control the fan-out (``--jobs N`` alone implies the
+process backend) and ``--no-cache``/``--cache-dir`` control the on-disk
+result cache that makes repeated invocations nearly instant.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import Sequence
 
 from repro.experiments import ALL_EXPERIMENTS
+from repro.sweep import BACKENDS, SweepCache, SweepExecutor, get_default_executor
+from repro.sweep.executor import no_cache_requested
 
 #: Experiments cheap enough for a default invocation.
 DEFAULT_SET: tuple[str, ...] = ("fig1", "table2", "table3", "fig5", "table7")
 
 
-def _run_one(name: str, *, reduced: bool) -> str:
+def _run_one(name: str, *, reduced: bool, executor: SweepExecutor | None = None) -> str:
     module = ALL_EXPERIMENTS[name]
+    # Forward only the options the experiment's run() accepts.  Inspect
+    # the signature (not __code__.co_varnames, which breaks on wrapped or
+    # decorated functions) so experiment modules stay free to evolve.
+    parameters = inspect.signature(module.run).parameters
     kwargs = {}
-    # Experiments accepting a `reduced` flag get it forwarded.
-    if "reduced" in module.run.__code__.co_varnames:
+    if "reduced" in parameters:
         kwargs["reduced"] = reduced
+    if "executor" in parameters and executor is not None:
+        kwargs["executor"] = executor
     result = module.run(**kwargs)
     return module.format_report(result)
+
+
+def _build_executor(args: argparse.Namespace) -> SweepExecutor:
+    backend = args.backend
+    if backend is None:
+        # An explicit --jobs asks for real parallelism; otherwise keep
+        # whatever the environment/default configuration says.
+        backend = "process" if args.jobs and args.jobs > 1 else None
+    default = get_default_executor()
+    # The CLI caches by default (under .sweep_cache / $REPRO_SWEEP_CACHE_DIR)
+    # so repeated invocations are nearly instant; --no-cache or the
+    # $REPRO_SWEEP_NO_CACHE env var opt out.
+    if args.no_cache or no_cache_requested():
+        cache = SweepCache(enabled=False)
+    else:
+        cache = SweepCache(args.cache_dir)
+    return SweepExecutor(
+        backend if backend is not None else default.backend,
+        jobs=args.jobs if args.jobs else default.jobs,
+        cache=cache,
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -45,7 +79,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="use the full-size model graphs (slower, closer to the paper's scale)",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan sweep tasks out over N workers (implies --backend process)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="sweep executor backend (default: serial, or $REPRO_SWEEP_BACKEND)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute everything, ignoring the on-disk sweep result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="sweep cache location (default: .sweep_cache, or $REPRO_SWEEP_CACHE_DIR)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be at least 1")
 
     if args.list:
         for name in ALL_EXPERIMENTS:
@@ -61,13 +122,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
 
-    for name in names:
-        start = time.time()
-        report = _run_one(name, reduced=not args.full)
-        elapsed = time.time() - start
-        print(f"=== {name} ({elapsed:.1f}s) ===")
-        print(report)
-        print()
+    executor = _build_executor(args)
+    try:
+        for name in names:
+            start = time.time()
+            report = _run_one(name, reduced=not args.full, executor=executor)
+            elapsed = time.time() - start
+            print(f"=== {name} ({elapsed:.1f}s) ===")
+            print(report)
+            print()
+    finally:
+        executor.close()
     return 0
 
 

@@ -15,6 +15,7 @@ from repro.execsim.standalone import StandaloneRunner
 from repro.experiments.common import default_machine, motivation_conv_op
 from repro.hardware.affinity import AffinityMode
 from repro.hardware.topology import Machine
+from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
 
 #: Optimal thread counts the paper reports for the three operations.
@@ -48,22 +49,38 @@ class Fig1Result:
     variance_vs_max_threads: dict[str, float] = field(default_factory=dict)
 
 
+def _curve_task(
+    op_type: str,
+    input_dims: tuple[int, int, int, int],
+    thread_counts: tuple[int, ...],
+    repeats: int,
+    machine: Machine,
+) -> list[float]:
+    """Noise-free time-vs-threads curve of one operation (one sweep task)."""
+    runner = StandaloneRunner(machine)
+    op = motivation_conv_op(op_type, input_dims)
+    return [
+        runner.run(op, threads, AffinityMode.SHARED, repeats=repeats)
+        for threads in thread_counts
+    ]
+
+
 def run(
     machine: Machine | None = None,
     *,
     thread_counts: tuple[int, ...] = tuple(range(2, 66, 2)),
     repeats: int = 1000,
+    executor: SweepExecutor | None = None,
 ) -> Fig1Result:
     """Sweep the three operations over ``thread_counts`` (shared affinity)."""
     machine = machine or default_machine()
-    runner = StandaloneRunner(machine)
+    executor = executor or get_default_executor()
     result = Fig1Result(thread_counts=thread_counts)
-    for op_type in OPERATIONS:
-        op = motivation_conv_op(op_type, INPUT_DIMS)
-        times = [
-            runner.run(op, threads, AffinityMode.SHARED, repeats=repeats)
-            for threads in thread_counts
-        ]
+    curves = executor.map(
+        _curve_task,
+        [(op_type, INPUT_DIMS, tuple(thread_counts), repeats, machine) for op_type in OPERATIONS],
+    )
+    for op_type, times in zip(OPERATIONS, curves):
         result.curves[op_type] = times
         best_index = min(range(len(times)), key=times.__getitem__)
         result.optima[op_type] = (thread_counts[best_index], times[best_index])

@@ -15,6 +15,7 @@ from repro.baselines.manual_opt import ManualOptimizer
 from repro.core.runtime import StrategyComparison, TrainingRuntime
 from repro.experiments.common import PAPER_MODELS, build_paper_model, default_machine
 from repro.hardware.topology import Machine
+from repro.sweep.executor import SweepExecutor, SweepTask, get_default_executor
 from repro.utils.tables import TextTable
 
 #: Speedups over the recommendation the paper reports in Fig. 3d.
@@ -42,6 +43,47 @@ class Fig3Result:
         return {name: cmp.incremental_speedups() for name, cmp in self.comparisons.items()}
 
 
+def _compare_task(
+    model_name: str,
+    reduced: bool,
+    include_manual: bool,
+    intra_candidates: tuple[int, ...] | None,
+    inter_candidates: tuple[int, ...] | None,
+    machine: Machine,
+) -> StrategyComparison:
+    """Full strategy-ablation ladder of one model (one sweep task)."""
+    graph = build_paper_model(model_name, reduced=reduced)
+    runtime = TrainingRuntime(machine)
+    optimizer = None
+    if include_manual:
+        # The grid the paper's manual search explores (Table I plus the
+        # smaller counts its per-model optima use).
+        optimizer = ManualOptimizer(
+            machine,
+            intra_candidates=intra_candidates or (2, 16, 34, 68, 136),
+            inter_candidates=inter_candidates or (1, 2, 4),
+        )
+    return runtime.compare_strategies(
+        graph,
+        include_manual=include_manual,
+        manual_optimizer=optimizer,
+    )
+
+
+def _compare_with_optimizer(
+    model_name: str,
+    reduced: bool,
+    include_manual: bool,
+    optimizer: ManualOptimizer,
+    machine: Machine,
+) -> StrategyComparison:
+    graph = build_paper_model(model_name, reduced=reduced)
+    runtime = TrainingRuntime(machine)
+    return runtime.compare_strategies(
+        graph, include_manual=include_manual, manual_optimizer=optimizer
+    )
+
+
 def run(
     machine: Machine | None = None,
     *,
@@ -49,24 +91,28 @@ def run(
     include_manual: bool = True,
     reduced: bool = False,
     manual_optimizer: ManualOptimizer | None = None,
+    executor: SweepExecutor | None = None,
 ) -> Fig3Result:
     machine = machine or default_machine()
+    executor = executor or get_default_executor()
     result = Fig3Result()
-    for model_name in models:
-        graph = build_paper_model(model_name, reduced=reduced)
-        runtime = TrainingRuntime(machine)
-        optimizer = manual_optimizer
-        if include_manual and optimizer is None:
-            # The grid the paper's manual search explores (Table I plus the
-            # smaller counts its per-model optima use).
-            optimizer = ManualOptimizer(
-                machine, intra_candidates=(2, 16, 34, 68, 136), inter_candidates=(1, 2, 4)
+    if manual_optimizer is None:
+        tasks = [
+            SweepTask(_compare_task, (name, reduced, include_manual, None, None, machine))
+            for name in models
+        ]
+    else:
+        # A caller-supplied optimizer is shared mutable state: run those
+        # comparisons locally and uncached.
+        tasks = [
+            SweepTask(
+                _compare_with_optimizer,
+                (name, reduced, include_manual, manual_optimizer, machine),
+                cacheable=False,
             )
-        comparison = runtime.compare_strategies(
-            graph,
-            include_manual=include_manual,
-            manual_optimizer=optimizer,
-        )
+            for name in models
+        ]
+    for model_name, comparison in zip(models, executor.run(tasks)):
         result.comparisons[model_name] = comparison
     return result
 

@@ -16,6 +16,7 @@ from repro.core.runtime import TrainingRuntime
 from repro.core.scheduler import RuntimeSchedulerPolicy
 from repro.experiments.common import build_paper_model, default_machine
 from repro.hardware.topology import Machine
+from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
 
 PAPER_REFERENCE = {
@@ -47,31 +48,41 @@ class Fig4Result:
         return out
 
 
+def _series_task(
+    model_name: str, reduced: bool, max_events: int, machine: Machine
+) -> tuple[list[int], list[int]]:
+    """(without S4, with S4) co-running series of one model (one task)."""
+    graph = build_paper_model(model_name, reduced=reduced)
+    runtime = TrainingRuntime(machine)
+    model = runtime.profile(graph)
+
+    def corunning_series(config: RuntimeConfig, label: str) -> list[int]:
+        policy = RuntimeSchedulerPolicy(model, config, label=label)
+        outcome = runtime.simulator.run_step(graph, policy, step_name=label)
+        return outcome.trace.corunning_series()[:max_events]
+
+    without_s4 = corunning_series(RuntimeConfig.strategies_1_2_3(), "without_s4")
+    with_s4 = corunning_series(RuntimeConfig.all_strategies(), "with_s4")
+    return without_s4, with_s4
+
+
 def run(
     machine: Machine | None = None,
     *,
     models: tuple[str, ...] = MODELS,
     max_events: int = 6000,
     reduced: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> Fig4Result:
     machine = machine or default_machine()
+    executor = executor or get_default_executor()
     result = Fig4Result()
-    for model_name in models:
-        graph = build_paper_model(model_name, reduced=reduced)
-        runtime = TrainingRuntime(machine)
-        model = runtime.profile(graph)
-
-        def corunning_series(config: RuntimeConfig, label: str) -> list[int]:
-            policy = RuntimeSchedulerPolicy(model, config, label=label)
-            outcome = runtime.simulator.run_step(graph, policy, step_name=label)
-            return outcome.trace.corunning_series()[:max_events]
-
-        result.without_s4[model_name] = corunning_series(
-            RuntimeConfig.strategies_1_2_3(), "without_s4"
-        )
-        result.with_s4[model_name] = corunning_series(
-            RuntimeConfig.all_strategies(), "with_s4"
-        )
+    series = executor.map(
+        _series_task, [(name, reduced, max_events, machine) for name in models]
+    )
+    for model_name, (without_s4, with_s4) in zip(models, series):
+        result.without_s4[model_name] = without_s4
+        result.with_s4[model_name] = with_s4
     return result
 
 

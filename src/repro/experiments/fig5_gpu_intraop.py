@@ -14,8 +14,9 @@ from dataclasses import dataclass, field
 from repro.execsim.gpu import GpuKernelModel
 from repro.graph.op import OpInstance
 from repro.graph.shapes import TensorShape
-from repro.hardware.gpu import p100_gpu
+from repro.hardware.gpu import GpuSpec, p100_gpu
 from repro.ops.cost import characterize
+from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
 
 PAPER_REFERENCE = {
@@ -68,24 +69,48 @@ class Fig5Result:
         return (sweep[default] - best) / sweep[default]
 
 
+def _op_task(
+    name: str,
+    threads_candidates: tuple[int, ...],
+    block_candidates: tuple[int, ...],
+    repeats: int,
+    spec: GpuSpec,
+) -> tuple[dict[int, float], dict[int, float]]:
+    """Both launch-configuration sweeps of one GPU op (one sweep task)."""
+    gpu = GpuKernelModel(spec)
+    chars = characterize(_gpu_ops()[name])
+    threads_sweep = {
+        tpb: time * repeats
+        for tpb, time in gpu.sweep_threads_per_block(chars, threads_candidates).items()
+    }
+    blocks_sweep = {
+        blocks: time * repeats
+        for blocks, time in gpu.sweep_num_blocks(chars, block_candidates).items()
+    }
+    return threads_sweep, blocks_sweep
+
+
 def run(
     *,
     threads_candidates: tuple[int, ...] = THREADS_PER_BLOCK,
     block_candidates: tuple[int, ...] = NUM_BLOCKS,
     repeats: int = 10000,
+    executor: SweepExecutor | None = None,
 ) -> Fig5Result:
-    gpu = GpuKernelModel(p100_gpu())
+    executor = executor or get_default_executor()
+    spec = p100_gpu()
     result = Fig5Result()
-    for name, op in _gpu_ops().items():
-        chars = characterize(op)
-        result.threads_sweep[name] = {
-            tpb: time * repeats
-            for tpb, time in gpu.sweep_threads_per_block(chars, threads_candidates).items()
-        }
-        result.blocks_sweep[name] = {
-            blocks: time * repeats
-            for blocks, time in gpu.sweep_num_blocks(chars, block_candidates).items()
-        }
+    names = list(_gpu_ops())
+    sweeps = executor.map(
+        _op_task,
+        [
+            (name, tuple(threads_candidates), tuple(block_candidates), repeats, spec)
+            for name in names
+        ],
+    )
+    for name, (threads_sweep, blocks_sweep) in zip(names, sweeps):
+        result.threads_sweep[name] = threads_sweep
+        result.blocks_sweep[name] = blocks_sweep
     return result
 
 

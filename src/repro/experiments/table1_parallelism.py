@@ -15,6 +15,7 @@ from repro.baselines.tf_default import UniformPolicy, recommended_policy
 from repro.execsim.simulator import StepSimulator
 from repro.experiments.common import build_paper_model, default_machine
 from repro.hardware.topology import Machine
+from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
 
 #: Speedups over the recommendation the paper reports (ResNet-50, DCGAN).
@@ -47,23 +48,48 @@ class Table1Result:
         return self.baselines[model] / self.times[(model, inter, intra)]
 
 
+def _step_task(
+    model: str, reduced: bool, inter: int | None, intra: int | None, machine: Machine
+) -> float:
+    """Step time of one (model, inter, intra) cell.
+
+    ``inter is None`` runs the TensorFlow-recommended baseline instead of
+    a uniform policy.  The graph is rebuilt inside the task so the work
+    ships to process workers as a handful of primitives.
+    """
+    graph = build_paper_model(model, reduced=reduced)
+    simulator = StepSimulator(machine)
+    if inter is None:
+        policy = recommended_policy(machine)
+    else:
+        policy = UniformPolicy(intra, inter)
+    return simulator.run_step(graph, policy).step_time
+
+
 def run(
     machine: Machine | None = None,
     *,
     models: tuple[str, ...] = MODELS,
     reduced: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> Table1Result:
     machine = machine or default_machine()
-    simulator = StepSimulator(machine)
+    executor = executor or get_default_executor()
     result = Table1Result()
+    cells: list[tuple[str, int | None, int | None]] = []
     for model in models:
-        graph = build_paper_model(model, reduced=reduced)
-        baseline = simulator.run_step(graph, recommended_policy(machine))
-        result.baselines[model] = baseline.step_time
+        cells.append((model, None, None))
         for inter in INTER_OP:
             for intra in INTRA_OP:
-                outcome = simulator.run_step(graph, UniformPolicy(intra, inter))
-                result.times[(model, inter, intra)] = outcome.step_time
+                cells.append((model, inter, intra))
+    times = executor.map(
+        _step_task, [(model, reduced, inter, intra, machine) for model, inter, intra in cells]
+    )
+    for (model, inter, intra), step_time in zip(cells, times):
+        if inter is None:
+            result.baselines[model] = step_time
+        else:
+            result.times[(model, inter, intra)] = step_time
     return result
 
 

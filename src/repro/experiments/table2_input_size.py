@@ -15,6 +15,7 @@ from repro.execsim.standalone import StandaloneRunner
 from repro.experiments.common import default_machine, motivation_conv_op
 from repro.hardware.affinity import AffinityMode
 from repro.hardware.topology import Machine
+from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
 
 #: (op, input size) -> optimal threads reported by the paper.
@@ -69,30 +70,39 @@ class Table2Result:
         raise KeyError((op_type, input_dims))
 
 
+def _entry_task(
+    op_type: str, dims: tuple[int, int, int, int], machine: Machine
+) -> tuple[int, float, float]:
+    """Best configuration and time-at-max-threads of one (op, size) cell."""
+    runner = StandaloneRunner(machine)
+    op = motivation_conv_op(op_type, dims)
+    best_threads, _, best_time = runner.best_configuration(op)
+    at_max = runner.measure(op, machine.topology.num_cores, AffinityMode.SHARED).total
+    return best_threads, best_time, at_max
+
+
 def run(
     machine: Machine | None = None,
     *,
     operations: tuple[str, ...] = OPERATIONS,
     input_sizes: tuple[tuple[int, int, int, int], ...] = INPUT_SIZES,
+    executor: SweepExecutor | None = None,
 ) -> Table2Result:
     machine = machine or default_machine()
-    runner = StandaloneRunner(machine)
+    executor = executor or get_default_executor()
     result = Table2Result()
-    max_threads = machine.topology.num_cores
-    for op_type in operations:
-        for dims in input_sizes:
-            op = motivation_conv_op(op_type, dims)
-            best_threads, _, best_time = runner.best_configuration(op)
-            at_max = runner.measure(op, max_threads, AffinityMode.SHARED).total
-            result.entries.append(
-                InputSizeEntry(
-                    op_type=op_type,
-                    input_dims=dims,
-                    best_threads=best_threads,
-                    best_time=best_time,
-                    time_at_max_threads=at_max,
-                )
+    cells = [(op_type, dims) for op_type in operations for dims in input_sizes]
+    outcomes = executor.map(_entry_task, [(op_type, dims, machine) for op_type, dims in cells])
+    for (op_type, dims), (best_threads, best_time, at_max) in zip(cells, outcomes):
+        result.entries.append(
+            InputSizeEntry(
+                op_type=op_type,
+                input_dims=dims,
+                best_threads=best_threads,
+                best_time=best_time,
+                time_at_max_threads=at_max,
             )
+        )
     return result
 
 

@@ -15,6 +15,7 @@ from repro.execsim.simulator import PlacementKind
 from repro.execsim.standalone import StandaloneConfig, StandaloneRunner
 from repro.experiments.common import default_machine, motivation_conv_op
 from repro.hardware.topology import Machine
+from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
 
 PAPER_REFERENCE = {
@@ -41,39 +42,57 @@ class Table3Result:
         return self.serial_time / self.split_time
 
 
-def run(machine: Machine | None = None, *, repeats: int = 1000) -> Table3Result:
-    machine = machine or default_machine()
+def _corun_task(strategy: str, machine: Machine) -> float:
+    """Step time of one co-running strategy (serial / hyper / split)."""
     runner = StandaloneRunner(machine)
     cores = machine.topology.num_cores
     filter_op = motivation_conv_op("Conv2DBackpropFilter", INPUT_DIMS, name="filter_grad")
     input_op = motivation_conv_op("Conv2DBackpropInput", INPUT_DIMS, name="input_grad")
+    if strategy == "serial":
+        result = runner.corun(
+            [
+                StandaloneConfig(filter_op, cores),
+                StandaloneConfig(input_op, cores),
+            ],
+            serialize=True,
+        )
+    elif strategy == "hyper":
+        # Hyper-threading co-run: the first op owns the primary SMT slot of
+        # every core, the second rides the secondary slots of the same cores.
+        result = runner.corun(
+            [
+                StandaloneConfig(filter_op, cores, placement=PlacementKind.DEDICATED),
+                StandaloneConfig(input_op, cores, placement=PlacementKind.HYPERTHREAD),
+            ]
+        )
+    elif strategy == "split":
+        result = runner.corun(
+            [
+                StandaloneConfig(filter_op, cores // 2),
+                StandaloneConfig(input_op, cores // 2),
+            ]
+        )
+    else:
+        raise ValueError(f"unknown co-run strategy: {strategy}")
+    return result.step_time
 
-    serial = runner.corun(
-        [
-            StandaloneConfig(filter_op, cores),
-            StandaloneConfig(input_op, cores),
-        ],
-        serialize=True,
-    )
-    # Hyper-threading co-run: the first op owns the primary SMT slot of every
-    # core, the second rides the secondary slots of the same cores.
-    hyper = runner.corun(
-        [
-            StandaloneConfig(filter_op, cores, placement=PlacementKind.DEDICATED),
-            StandaloneConfig(input_op, cores, placement=PlacementKind.HYPERTHREAD),
-        ]
-    )
-    split = runner.corun(
-        [
-            StandaloneConfig(filter_op, cores // 2),
-            StandaloneConfig(input_op, cores // 2),
-        ]
+
+def run(
+    machine: Machine | None = None,
+    *,
+    repeats: int = 1000,
+    executor: SweepExecutor | None = None,
+) -> Table3Result:
+    machine = machine or default_machine()
+    executor = executor or get_default_executor()
+    serial, hyper, split = executor.map(
+        _corun_task, [(strategy, machine) for strategy in ("serial", "hyper", "split")]
     )
     scale = float(repeats)
     return Table3Result(
-        serial_time=serial.step_time * scale,
-        hyperthreading_time=hyper.step_time * scale,
-        split_time=split.step_time * scale,
+        serial_time=serial * scale,
+        hyperthreading_time=hyper * scale,
+        split_time=split * scale,
     )
 
 

@@ -26,6 +26,7 @@ from repro.mlkit import (
     Regressor,
     TheilSenRegression,
 )
+from repro.sweep.executor import SweepExecutor, SweepTask, get_default_executor
 from repro.utils.tables import TextTable
 
 #: Accuracy the paper reports for N=4 (its most favourable setting).
@@ -107,6 +108,51 @@ def _test_ops(reduced: bool, max_ops: int) -> list[OpInstance]:
     return ops
 
 
+def _evaluate_cell(
+    factory: Callable[[], Regressor],
+    num_samples: int,
+    reduced: bool,
+    max_train_ops: int,
+    max_test_ops: int,
+    seed: int,
+    machine: Machine,
+) -> tuple[float, float]:
+    train_ops = _training_ops(reduced, max_train_ops)
+    test_ops = _test_ops(reduced, max_test_ops)
+    runner = StandaloneRunner(machine, noise_sigma=0.02, seed=seed)
+    model = RegressionPerformanceModel(
+        machine,
+        regressor_factory=factory,
+        num_samples=num_samples,
+        seed=seed,
+    )
+    model.train(train_ops, runner)
+    accuracy = model.evaluate(test_ops, runner)
+    return accuracy.accuracy, accuracy.r2
+
+
+def _cell_task(
+    regressor_name: str,
+    num_samples: int,
+    reduced: bool,
+    max_train_ops: int,
+    max_test_ops: int,
+    seed: int,
+    machine: Machine,
+) -> tuple[float, float]:
+    """Train/evaluate one (regressor, N) cell — the parallel/cached unit.
+
+    The regressor is selected by name from the default factories so the
+    task stays picklable and content-hashable; each cell gets its own
+    measurement runner (seeded identically), making the cell a pure
+    function of its arguments regardless of execution order.
+    """
+    factory = default_regressor_factories(seed)[regressor_name]
+    return _evaluate_cell(
+        factory, num_samples, reduced, max_train_ops, max_test_ops, seed, machine
+    )
+
+
 def run(
     machine: Machine | None = None,
     *,
@@ -116,26 +162,56 @@ def run(
     max_train_ops: int = 40,
     max_test_ops: int = 16,
     seed: int = 0,
+    executor: SweepExecutor | None = None,
 ) -> Table4Result:
-    """Train the per-case regressors and evaluate them on DCGAN operations."""
+    """Train the per-case regressors and evaluate them on DCGAN operations.
+
+    With the default regressors every (regressor, N) cell is fanned out
+    as a named, cacheable sweep task.  A custom ``regressors`` mapping
+    (arbitrary factories, typically closures) still works: those cells
+    run locally and uncached, since closures can neither be shipped to
+    process workers nor content-hashed.
+    """
     machine = machine or default_machine()
-    factories = dict(regressors or default_regressor_factories(seed))
+    executor = executor or get_default_executor()
     train_ops = _training_ops(reduced, max_train_ops)
     test_ops = _test_ops(reduced, max_test_ops)
     result = Table4Result(train_signatures=len(train_ops), test_signatures=len(test_ops))
-    runner = StandaloneRunner(machine, noise_sigma=0.02, seed=seed)
-    for name, factory in factories.items():
-        for num_samples in sample_counts:
-            model = RegressionPerformanceModel(
-                machine,
-                regressor_factory=factory,
-                num_samples=num_samples,
-                seed=seed,
+    # An empty/None mapping falls back to the default factories, as the
+    # original `regressors or default_regressor_factories(seed)` did.
+    if not regressors:
+        regressors = None
+    names = list(regressors) if regressors is not None else list(default_regressor_factories(seed))
+    cells = [(name, num_samples) for name in names for num_samples in sample_counts]
+    if regressors is None:
+        tasks = [
+            SweepTask(
+                _cell_task,
+                (name, num_samples, reduced, max_train_ops, max_test_ops, seed, machine),
             )
-            model.train(train_ops, runner)
-            accuracy = model.evaluate(test_ops, runner)
-            result.accuracy[(name, num_samples)] = accuracy.accuracy
-            result.r2[(name, num_samples)] = accuracy.r2
+            for name, num_samples in cells
+        ]
+    else:
+        tasks = [
+            SweepTask(
+                _evaluate_cell,
+                (
+                    regressors[name],
+                    num_samples,
+                    reduced,
+                    max_train_ops,
+                    max_test_ops,
+                    seed,
+                    machine,
+                ),
+                cacheable=False,
+            )
+            for name, num_samples in cells
+        ]
+    outcomes = executor.run(tasks)
+    for (name, num_samples), (accuracy, r2) in zip(cells, outcomes):
+        result.accuracy[(name, num_samples)] = accuracy
+        result.r2[(name, num_samples)] = r2
     return result
 
 

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.hill_climbing import HillClimbingModel, ground_truth_sweeps
+from repro.core.hill_climbing import HillClimbingModel, HillClimbingProfile, ground_truth_sweeps
 from repro.execsim.standalone import StandaloneRunner
 from repro.experiments.common import PAPER_MODELS, build_paper_model, default_machine
 from repro.hardware.topology import Machine
+from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
 
 PAPER_REFERENCE = {
@@ -39,6 +40,32 @@ class Table5Result:
     measurements: dict[tuple[str, int], int] = field(default_factory=dict)
 
 
+def _truth_task(model_name: str, reduced: bool, machine: Machine):
+    """Exhaustive noise-free ground-truth sweeps of one model's signatures."""
+    graph = build_paper_model(model_name, reduced=reduced)
+    # The serial executor keeps the nested fan-out inside this task; the
+    # per-signature sweeps are memoised by the vectorised grid anyway.
+    return ground_truth_sweeps(
+        list(graph), StandaloneRunner(machine), executor=SweepExecutor("serial")
+    )
+
+
+def _profile_task(
+    model_name: str, interval: int, reduced: bool, profiling_noise: float, machine: Machine
+) -> tuple[HillClimbingProfile, ...]:
+    """Hill-climb profiles of one (model, interval) cell.
+
+    Deterministic: the profiling runner is seeded by the interval, so the
+    cell is a pure function of its arguments (which is what makes it
+    cacheable and backend-independent).
+    """
+    graph = build_paper_model(model_name, reduced=reduced)
+    runner = StandaloneRunner(machine, noise_sigma=profiling_noise, seed=interval)
+    model = HillClimbingModel(machine, interval=interval)
+    model.profile_graph(graph, runner)
+    return tuple(model.profile_for(signature) for signature in model.signatures)
+
+
 def run(
     machine: Machine | None = None,
     *,
@@ -46,26 +73,34 @@ def run(
     intervals: tuple[int, ...] = INTERVALS,
     reduced: bool = True,
     profiling_noise: float = 0.01,
+    executor: SweepExecutor | None = None,
 ) -> Table5Result:
     """Profile every model with every interval and score the interpolation.
 
     ``reduced=True`` uses the smaller model variants (same op-type and
     shape mix, fewer layers) so the sweep stays fast; accuracy is computed
     per unique operation signature, so the reduction barely affects it.
+    The per-model ground truths and per-(model, interval) profiles are
+    independent sweep tasks; scoring happens in the parent.
     """
     machine = machine or default_machine()
+    executor = executor or get_default_executor()
     result = Table5Result()
-    for model_name in models:
-        graph = build_paper_model(model_name, reduced=reduced)
-        truth_runner = StandaloneRunner(machine)
-        truth = ground_truth_sweeps(list(graph), truth_runner)
-        for interval in intervals:
-            runner = StandaloneRunner(machine, noise_sigma=profiling_noise, seed=interval)
-            model = HillClimbingModel(machine, interval=interval)
-            model.profile_graph(graph, runner)
-            accuracy = model.accuracy_against(truth)
-            result.accuracy[(model_name, interval)] = accuracy.accuracy
-            result.measurements[(model_name, interval)] = model.total_measurements()
+
+    truths = executor.map(_truth_task, [(name, reduced, machine) for name in models])
+    cells = [(name, interval) for name in models for interval in intervals]
+    profiles = executor.map(
+        _profile_task,
+        [(name, interval, reduced, profiling_noise, machine) for name, interval in cells],
+    )
+    truth_by_model = dict(zip(models, truths))
+    for (model_name, interval), cell_profiles in zip(cells, profiles):
+        model = HillClimbingModel(machine, interval=interval)
+        for profile in cell_profiles:
+            model.add_profile(profile)
+        accuracy = model.accuracy_against(truth_by_model[model_name])
+        result.accuracy[(model_name, interval)] = accuracy.accuracy
+        result.measurements[(model_name, interval)] = model.total_measurements()
     return result
 
 

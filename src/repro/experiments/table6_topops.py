@@ -16,6 +16,7 @@ from repro.core.runtime import TrainingRuntime
 from repro.experiments.common import PAPER_MODELS, build_paper_model, default_machine
 from repro.hardware.topology import Machine
 from repro.profiling.profiler import StepProfiler
+from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
 
 #: A few of the paper's per-op speedups from Strategies 1+2 (Table VI).
@@ -50,33 +51,46 @@ class Table6Result:
         return [e for e in self.entries if e.model == model]
 
 
+def _model_task(
+    model_name: str, reduced: bool, top_n: int, machine: Machine
+) -> tuple[tuple[str, float, float], ...]:
+    """Top-``top_n`` op-type aggregates of one model (one sweep task)."""
+    graph = build_paper_model(model_name, reduced=reduced)
+    runtime = TrainingRuntime(machine, RuntimeConfig.strategies_1_2())
+    model = runtime.profile(graph)
+    policy = runtime.build_policy(model)
+    s12 = runtime.simulator.run_step(graph, policy, step_name="strategies_1_2")
+    recommendation = runtime.simulator.run_step(
+        graph, recommended_policy(machine), step_name="recommendation"
+    )
+    rec_stats = StepProfiler(recommendation.trace)
+    s12_stats = StepProfiler(s12.trace)
+    return tuple(
+        (stats.op_type, stats.total_time, s12_stats.total_time_of(stats.op_type))
+        for stats in rec_stats.top_op_types(top_n)
+    )
+
+
 def run(
     machine: Machine | None = None,
     *,
     models: tuple[str, ...] = PAPER_MODELS,
     top_n: int = 5,
     reduced: bool = False,
+    executor: SweepExecutor | None = None,
 ) -> Table6Result:
     machine = machine or default_machine()
+    executor = executor or get_default_executor()
     result = Table6Result()
-    for model_name in models:
-        graph = build_paper_model(model_name, reduced=reduced)
-        runtime = TrainingRuntime(machine, RuntimeConfig.strategies_1_2())
-        model = runtime.profile(graph)
-        policy = runtime.build_policy(model)
-        s12 = runtime.simulator.run_step(graph, policy, step_name="strategies_1_2")
-        recommendation = runtime.simulator.run_step(
-            graph, recommended_policy(machine), step_name="recommendation"
-        )
-        rec_stats = StepProfiler(recommendation.trace)
-        s12_stats = StepProfiler(s12.trace)
-        for stats in rec_stats.top_op_types(top_n):
+    rows = executor.map(_model_task, [(name, reduced, top_n, machine) for name in models])
+    for model_name, entries in zip(models, rows):
+        for op_type, rec_time, s12_time in entries:
             result.entries.append(
                 TopOpEntry(
                     model=model_name,
-                    op_type=stats.op_type,
-                    recommendation_time=stats.total_time,
-                    strategies_1_2_time=s12_stats.total_time_of(stats.op_type),
+                    op_type=op_type,
+                    recommendation_time=rec_time,
+                    strategies_1_2_time=s12_time,
                 )
             )
     return result

@@ -13,8 +13,9 @@ from dataclasses import dataclass, field
 from repro.execsim.gpu import GpuKernelModel
 from repro.graph.op import OpInstance
 from repro.graph.shapes import TensorShape
-from repro.hardware.gpu import p100_gpu
+from repro.hardware.gpu import GpuSpec, p100_gpu
 from repro.ops.cost import characterize
+from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
 
 PAPER_REFERENCE = {
@@ -62,15 +63,24 @@ class Table7Result:
         return serial / corun
 
 
-def run(*, repeats: int = 10000) -> Table7Result:
-    gpu = GpuKernelModel(p100_gpu())
+def _op_task(name: str, repeats: int, spec: GpuSpec) -> tuple[float, float]:
+    """(serial, co-run) times of one op's two instances (one sweep task)."""
+    gpu = GpuKernelModel(spec)
+    chars = characterize(_gpu_ops()[name])
+    config, _ = gpu.best_config(chars)
+    kernels = ((chars, config), (chars, config))
+    serial = gpu.serial_time(kernels, repeats=repeats)
+    corun = gpu.corun_time(kernels, repeats=repeats)
+    return serial, corun
+
+
+def run(*, repeats: int = 10000, executor: SweepExecutor | None = None) -> Table7Result:
+    executor = executor or get_default_executor()
+    spec = p100_gpu()
     result = Table7Result()
-    for name, op in _gpu_ops().items():
-        chars = characterize(op)
-        config, _ = gpu.best_config(chars)
-        kernels = ((chars, config), (chars, config))
-        serial = gpu.serial_time(kernels, repeats=repeats)
-        corun = gpu.corun_time(kernels, repeats=repeats)
+    names = list(_gpu_ops())
+    times = executor.map(_op_task, [(name, repeats, spec) for name in names])
+    for name, (serial, corun) in zip(names, times):
         result.times[name] = (serial, corun)
     return result
 

@@ -1,0 +1,53 @@
+"""Parallel sweep engine with cross-run result caching.
+
+The experiment layer's hot path is re-running the same exhaustive
+(threads, affinity) characterisations and policy simulations over and
+over — across experiments inside one invocation and across invocations.
+This package provides the two pieces that fix that:
+
+* :class:`SweepExecutor` — fans independent sweep tasks out over a
+  serial / thread / process backend with deterministic, input-ordered
+  results (parallel output is bit-identical to serial);
+* :class:`SweepCache` — an on-disk, content-hash-keyed store that
+  memoises task results across experiments *and* across process
+  invocations, keyed on op characteristics + machine description +
+  package version.
+
+``configure()`` / ``get_default_executor()`` manage the process-wide
+default used by ``repro-experiments`` (see its ``--jobs``, ``--backend``
+and ``--no-cache`` flags).
+"""
+
+from repro.sweep.cache import (
+    CACHE_DIR_ENV,
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE_DIR,
+    SweepCache,
+    UncacheableValue,
+    content_key,
+)
+from repro.sweep.executor import (
+    BACKENDS,
+    SweepExecutor,
+    SweepTask,
+    configure,
+    get_default_executor,
+)
+from repro.sweep.tasks import cached_call, op_sweep, op_sweep_totals
+
+__all__ = [
+    "BACKENDS",
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "SweepCache",
+    "SweepExecutor",
+    "SweepTask",
+    "UncacheableValue",
+    "cached_call",
+    "configure",
+    "content_key",
+    "get_default_executor",
+    "op_sweep",
+    "op_sweep_totals",
+]

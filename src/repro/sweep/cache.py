@@ -1,0 +1,239 @@
+"""Content-addressed, on-disk cache for sweep and experiment task results.
+
+Every cacheable unit of work in the experiment layer — a thread-count
+sweep of one operation signature, a hill-climbing profile, a simulated
+training step under a fixed policy — is a *pure function of its
+arguments*: the op characteristics, the machine description and a few
+plain parameters.  The cache therefore keys each result on a SHA-256
+content hash of
+
+* the task function's fully-qualified name,
+* a canonical encoding of every argument (dataclasses are walked
+  field-by-field, so the machine topology, cache/memory models and op
+  characteristics all land in the key),
+* the package version (``repro.version.__version__``) and a cache schema
+  number.
+
+Bumping the package version — which every PR that changes the analytic
+models does — invalidates every prior entry, so a stale cache can never
+leak results computed by older model code.  Unknown or unstable values
+(lambdas, objects with default ``repr``) refuse to hash: the task then
+simply runs uncached rather than risking a wrong hit.
+
+Entries are pickles stored in a two-level sharded directory layout
+(``<root>/<key[:2]>/<key>.pkl``) and written atomically
+(temp file + ``os.replace``) so concurrent worker processes never
+observe a torn entry.  A corrupt or unreadable entry is treated as a
+miss and rewritten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.version import __version__
+
+#: Bump when the canonical encoding or the pickle layout changes.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
+
+#: Default on-disk location, relative to the working directory (the same
+#: convention as ``.pytest_cache``).
+DEFAULT_CACHE_DIR = ".sweep_cache"
+
+
+class UncacheableValue(TypeError):
+    """Raised when a task argument has no stable content encoding."""
+
+
+def is_module_level_function(value: Any) -> bool:
+    """True when ``value`` is an importable module-level function.
+
+    The single rule shared by the content hash (a stable, state-free
+    identity) and the process backend (pickle-by-reference): bound
+    methods (dotted qualname) carry instance state, lambdas and locals
+    ('<' in qualname) are not importable, and anything that does not
+    resolve back to itself via ``sys.modules`` cannot be reconstructed
+    in a worker.
+    """
+    if not callable(value):
+        return False
+    module = getattr(value, "__module__", None)
+    qualname = getattr(value, "__qualname__", "")
+    if not module or not qualname or "<" in qualname or "." in qualname:
+        return False
+    owner = sys.modules.get(module)
+    return owner is not None and getattr(owner, qualname, None) is value
+
+
+def _canonical(value: Any) -> Any:
+    """A hashable, deterministic encoding of ``value``.
+
+    Only value-like objects are accepted; anything whose identity or
+    address could leak into the encoding raises :class:`UncacheableValue`.
+    """
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        return value
+    if isinstance(value, float):
+        # hex() is exact; repr() would also round-trip but is slower to
+        # compare and subtly version-dependent for exotic values.
+        return ("f", float(value).hex())
+    if isinstance(value, enum.Enum):
+        return ("enum", type(value).__module__, type(value).__qualname__, value.name)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            "dc",
+            type(value).__module__,
+            type(value).__qualname__,
+            tuple(
+                (f.name, _canonical(getattr(value, f.name)))
+                for f in dataclasses.fields(value)
+            ),
+        )
+    if isinstance(value, (tuple, list)):
+        return ("seq", tuple(_canonical(item) for item in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(repr(_canonical(item)) for item in value)))
+    if isinstance(value, Mapping):
+        items = [( _canonical(k), _canonical(v)) for k, v in value.items()]
+        items.sort(key=lambda kv: repr(kv[0]))
+        return ("map", tuple(items))
+    if callable(value):
+        if not is_module_level_function(value):
+            raise UncacheableValue(
+                f"callable {value!r} is not an importable module-level function"
+            )
+        return ("fn", value.__module__, value.__qualname__)
+    raise UncacheableValue(f"no canonical encoding for {type(value).__qualname__}")
+
+
+def content_key(kind: str, *parts: Any) -> str:
+    """SHA-256 content hash of ``parts`` under the ``kind`` namespace.
+
+    Raises :class:`UncacheableValue` when any part has no stable
+    encoding — callers should treat that as "run uncached".
+    """
+    token = repr(
+        (
+            "repro-sweep",
+            CACHE_SCHEMA_VERSION,
+            __version__,
+            kind,
+            tuple(_canonical(part) for part in parts),
+        )
+    )
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`SweepCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.stores = self.errors = 0
+
+
+class SweepCache:
+    """On-disk pickle store addressed by :func:`content_key` hashes."""
+
+    def __init__(self, root: str | os.PathLike | None = None, *, enabled: bool = True) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.enabled = enabled
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def lookup(self, key: str) -> tuple[bool, Any]:
+        """``(hit, value)`` for ``key``; corrupt entries count as misses."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return False, None
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except Exception:
+            # Torn write from a crashed process, disk corruption, or a
+            # pickle from an incompatible interpreter: drop and recompute.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def store(self, key: str, value: Any) -> None:
+        """Atomically persist ``value`` under ``key``."""
+        if not self.enabled:
+            return
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".pkl")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full filesystem must never fail the sweep.
+            self.stats.errors += 1
+            return
+        self.stats.stores += 1
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def _entries(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir():
+                yield from sorted(shard.glob("*.pkl"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def __bool__(self) -> bool:
+        # An empty cache must stay truthy: ``cache or fallback`` would
+        # otherwise silently swap in the fallback once len() == 0.
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,309 @@
+"""Work-stealing sweep executor with pluggable backends.
+
+The experiment layer decomposes every table/figure into *tasks*: pure,
+module-level functions of picklable arguments (one op signature's sweep,
+one (model, interval) profile, one (model, policy) simulated step, ...).
+:class:`SweepExecutor` runs a batch of such tasks
+
+* ``serial``  — in the calling thread (the reference semantics),
+* ``thread``  — on a ``ThreadPoolExecutor`` (cheap, shares memory, but
+  bounded by the GIL for this pure-Python workload),
+* ``process`` — on a ``ProcessPoolExecutor`` (one worker per core; the
+  backend that actually scales the experiment layer),
+
+and always returns results **in task order**, so parallel output is
+bit-identical to serial output regardless of completion order.
+
+Before dispatching, each task's result is looked up in a
+:class:`~repro.sweep.cache.SweepCache` keyed on the task function and a
+content hash of its arguments; hits skip execution entirely, which is
+what makes repeated ``repro-experiments`` invocations (and overlapping
+sweeps *across* experiments) cheap.  Tasks whose function or arguments
+cannot be hashed or pickled degrade gracefully: they run locally in the
+parent process, uncached.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.sweep.cache import (
+    CACHE_DIR_ENV,
+    SweepCache,
+    UncacheableValue,
+    content_key,
+    is_module_level_function,
+)
+
+#: Recognised backend names.
+BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
+
+#: Environment overrides for the process-wide default executor.
+BACKEND_ENV = "REPRO_SWEEP_BACKEND"
+JOBS_ENV = "REPRO_SWEEP_JOBS"
+NO_CACHE_ENV = "REPRO_SWEEP_NO_CACHE"
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work: ``fn(*args)``.
+
+    ``fn`` must be a module-level function for the process backend and
+    for caching; anything else still runs, just locally and uncached.
+    ``cacheable=False`` opts a task out of the result cache (e.g. when
+    the caller knows the function reads ambient state).
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    cacheable: bool = True
+
+
+@dataclass
+class ExecutorStats:
+    """Counters describing how the last/accumulated runs were serviced."""
+
+    submitted: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    executed_local: int = 0
+
+    def reset(self) -> None:
+        self.submitted = self.cache_hits = self.executed = self.executed_local = 0
+
+
+def _args_picklable(args: tuple) -> bool:
+    import pickle
+
+    try:
+        pickle.dumps(args, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return False
+    return True
+
+
+def _call(fn: Callable, args: tuple) -> Any:
+    return fn(*args)
+
+
+class SweepExecutor:
+    """Run batches of sweep tasks with caching and deterministic ordering."""
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        *,
+        jobs: int | None = None,
+        cache: SweepCache | None = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.backend = backend
+        self.jobs = jobs or os.cpu_count() or 1
+        self.cache = cache if cache is not None else SweepCache(enabled=False)
+        self.stats = ExecutorStats()
+        self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+
+    # -- public API ----------------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        arg_tuples: Iterable[tuple],
+        *,
+        cacheable: bool = True,
+    ) -> list:
+        """Apply ``fn`` to every argument tuple; results in input order."""
+        return self.run([SweepTask(fn, tuple(args), cacheable=cacheable) for args in arg_tuples])
+
+    def run(self, tasks: Sequence[SweepTask]) -> list:
+        """Execute ``tasks``, consulting the cache first.
+
+        The returned list is ordered like ``tasks`` for every backend,
+        so downstream assembly is deterministic.
+        """
+        results: list[Any] = [None] * len(tasks)
+        self.stats.submitted += len(tasks)
+
+        keys: list[str | None] = []
+        misses: list[int] = []
+        for index, task in enumerate(tasks):
+            key = self._key_for(task)
+            keys.append(key)
+            if key is not None:
+                hit, value = self.cache.lookup(key)
+                if hit:
+                    results[index] = value
+                    self.stats.cache_hits += 1
+                    continue
+            misses.append(index)
+
+        if misses:
+            self._execute(tasks, misses, results)
+            for index in misses:
+                key = keys[index]
+                if key is not None:
+                    self.cache.store(key, results[index])
+        return results
+
+    # -- internals -----------------------------------------------------------------
+
+    def _key_for(self, task: SweepTask) -> str | None:
+        if not task.cacheable or not self.cache.enabled:
+            return None
+        if not is_module_level_function(task.fn):
+            return None
+        try:
+            return content_key("task", task.fn, task.args)
+        except UncacheableValue:
+            return None
+
+    def _execute(self, tasks: Sequence[SweepTask], misses: list[int], results: list) -> None:
+        if self.backend == "serial" or self.jobs == 1 or len(misses) == 1:
+            for index in misses:
+                results[index] = _call(tasks[index].fn, tasks[index].args)
+                self.stats.executed += 1
+                self.stats.executed_local += 1
+            return
+
+        if self.backend == "thread":
+            pooled, local = misses, []
+        else:
+            # The process backend can only ship module-level functions
+            # (pickle-by-reference) with picklable arguments; everything
+            # else runs in the parent.
+            pooled, local = [], []
+            for i in misses:
+                if is_module_level_function(tasks[i].fn) and _args_picklable(tasks[i].args):
+                    pooled.append(i)
+                else:
+                    local.append(i)
+
+        if pooled:
+            pool = self._get_pool()
+            futures: list[tuple[int, Future]] = [
+                (index, pool.submit(_call, tasks[index].fn, tasks[index].args))
+                for index in pooled
+            ]
+            try:
+                for index, future in futures:
+                    results[index] = future.result()
+                    self.stats.executed += 1
+            except BaseException:
+                # A dead worker leaves the pool broken; drop it so a later
+                # run() can start fresh instead of failing forever.
+                self.close()
+                raise
+
+        for index in local:
+            results[index] = _call(tasks[index].fn, tasks[index].args)
+            self.stats.executed += 1
+            self.stats.executed_local += 1
+
+    def _get_pool(self):
+        """The lazily-created worker pool, reused across run() batches.
+
+        One experiment invocation issues many small batches; re-forking a
+        process pool per batch would put the spawn cost right back on the
+        hot path this executor exists to remove.
+        """
+        if self._pool is None:
+            if self.backend == "thread":
+                self._pool = ThreadPoolExecutor(max_workers=self.jobs)
+            else:
+                import multiprocessing as mp
+
+                # fork reuses the parent's warm interpreter (imports, lru
+                # caches); spawn would re-import repro in every worker.
+                if "fork" in mp.get_all_start_methods():
+                    context = mp.get_context("fork")
+                else:  # pragma: no cover - Windows/macOS default
+                    context = mp.get_context()
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=context)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; the next run() revives it)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- process-wide default executor -------------------------------------------------
+
+_default_executor: SweepExecutor | None = None
+
+
+def no_cache_requested() -> bool:
+    """True when ``$REPRO_SWEEP_NO_CACHE`` asks to skip the result cache."""
+    return os.environ.get(NO_CACHE_ENV, "") in ("1", "true", "yes")
+
+
+def _from_environment() -> SweepExecutor:
+    backend = os.environ.get(BACKEND_ENV, "serial")
+    if backend not in BACKENDS:
+        backend = "serial"
+    jobs_raw = os.environ.get(JOBS_ENV)
+    jobs = None
+    if jobs_raw:
+        try:
+            jobs = max(1, int(jobs_raw))
+        except ValueError:
+            jobs = None
+    # The library default is cache-OFF: persistent state must be opted
+    # into, either by exporting $REPRO_SWEEP_CACHE_DIR, via configure(),
+    # or through the CLI (which defaults to caching under .sweep_cache).
+    # Otherwise a plain `pytest` run would leave pickles behind and could
+    # serve stale results after model-code edits.
+    cache_dir = os.environ.get(CACHE_DIR_ENV)
+    enabled = cache_dir is not None and not no_cache_requested()
+    return SweepExecutor(backend, jobs=jobs, cache=SweepCache(cache_dir, enabled=enabled))
+
+
+def get_default_executor() -> SweepExecutor:
+    """The executor used when an API accepts ``executor=None``.
+
+    Constructed lazily from the environment (``REPRO_SWEEP_BACKEND``,
+    ``REPRO_SWEEP_JOBS``, ``REPRO_SWEEP_NO_CACHE``,
+    ``REPRO_SWEEP_CACHE_DIR``) unless :func:`configure` installed one.
+    """
+    global _default_executor
+    if _default_executor is None:
+        _default_executor = _from_environment()
+    return _default_executor
+
+
+def configure(
+    *,
+    backend: str | None = None,
+    jobs: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    cache_enabled: bool | None = None,
+) -> SweepExecutor:
+    """Install (and return) the process-wide default executor."""
+    current = get_default_executor()
+    cache = current.cache
+    if cache_dir is not None or cache_enabled is not None:
+        cache = SweepCache(
+            cache_dir if cache_dir is not None else current.cache.root,
+            enabled=cache_enabled if cache_enabled is not None else current.cache.enabled,
+        )
+    executor = SweepExecutor(
+        backend if backend is not None else current.backend,
+        jobs=jobs if jobs is not None else current.jobs,
+        cache=cache,
+    )
+    global _default_executor
+    _default_executor = executor
+    return executor

@@ -1,0 +1,52 @@
+"""Shared, cacheable sweep primitives used across the core and experiment layers.
+
+These are the hottest units the :class:`~repro.sweep.executor.SweepExecutor`
+memoises: the exhaustive (threads, affinity) characterisation of one
+operation signature.  They are module-level pure functions of picklable
+arguments, so every backend (and the on-disk cache) can handle them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.execsim.op_runtime import OpTimeBreakdown, sweep_thread_counts
+from repro.hardware.affinity import AffinityMode
+from repro.hardware.topology import Machine
+from repro.ops.characteristics import OpCharacteristics
+from repro.sweep.cache import SweepCache, UncacheableValue, content_key
+
+
+def op_sweep(
+    chars: OpCharacteristics, machine: Machine
+) -> dict[tuple[int, AffinityMode], OpTimeBreakdown]:
+    """Full breakdown sweep of one op's feasible (threads, affinity) grid."""
+    return sweep_thread_counts(chars, machine)
+
+
+def op_sweep_totals(
+    chars: OpCharacteristics, machine: Machine
+) -> dict[tuple[int, AffinityMode], float]:
+    """Total execution times only (what the oracle/ground truth store)."""
+    return {key: breakdown.total for key, breakdown in sweep_thread_counts(chars, machine).items()}
+
+
+def cached_call(cache: SweepCache | None, fn, *args: Any):
+    """Run ``fn(*args)`` through ``cache`` (or uncached when impossible).
+
+    The single-call analogue of ``SweepExecutor.run`` for code paths that
+    need one memoised result without fanning anything out (e.g.
+    ``StandaloneRunner.sweep`` and ``OraclePerformanceModel.observe``).
+    """
+    if cache is None or not cache.enabled:
+        return fn(*args)
+    try:
+        key = content_key("task", fn, args)
+    except UncacheableValue:
+        return fn(*args)
+    hit, value = cache.lookup(key)
+    if hit:
+        return value
+    value = fn(*args)
+    cache.store(key, value)
+    return value

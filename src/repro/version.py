@@ -1,3 +1,9 @@
-"""Single source of truth for the package version."""
+"""Single source of truth for the package version.
 
-__version__ = "0.1.0"
+Bump on every change that can alter computed results (analytic models,
+experiment decomposition, schedulers): the sweep result cache keys every
+entry on this string, so a bump is what invalidates stale on-disk
+results.
+"""
+
+__version__ = "0.2.0"

@@ -151,6 +151,38 @@ class TestOracle:
         assert len(top) == 5
         assert top[0].predicted_time <= top[-1].predicted_time
 
+    def test_bisect_fallback_matches_linear_nearest_scan(self, knl, conv_op):
+        """The precomputed-counts bisect fallback must reproduce the
+        original per-miss ``min(counts, key=|c - threads|)`` exactly,
+        including the smaller-count tie break."""
+        oracle = OraclePerformanceModel(knl)
+        oracle.observe(conv_op)
+        sweep = oracle.sweep(conv_op.signature)
+        for affinity in (AffinityMode.SPREAD, AffinityMode.SHARED):
+            counts = sorted(t for (t, a) in sweep if a is affinity)
+            for threads in (1, 2, 3, 33, 35, 36, 67, 69, 100, 272):
+                nearest = min(counts, key=lambda c: abs(c - threads))
+                assert oracle.predict(conv_op.signature, threads, affinity) == (
+                    sweep[(nearest, affinity)]
+                ), (threads, affinity)
+
+    def test_observe_graph_fans_out_once_per_signature(self, knl, conv_op):
+        from repro.graph.dataflow import DataflowGraph
+        from repro.sweep import SweepExecutor
+
+        graph = DataflowGraph(name="pair")
+        graph.add_op(conv_op)
+        duplicate = make_conv_op("Conv2D", (32, 8, 8, 384), name="dup")
+        graph.add_op(duplicate)
+        oracle = OraclePerformanceModel(knl)
+        executor = SweepExecutor("serial")
+        oracle.observe_graph(graph, executor=executor)
+        assert executor.stats.submitted == 1  # one shared signature
+        assert oracle.knows(conv_op.signature)
+        # A second pass adds nothing.
+        oracle.observe_graph(graph, executor=executor)
+        assert executor.stats.submitted == 1
+
 
 class TestRegressionModel:
     def _train_test_ops(self):

@@ -85,6 +85,15 @@ class TestModelAccuracyExperiments:
         assert result.accuracy[("dcgan", 2)] > 0.85
         assert "x=2" in table5_hillclimb.format_report(result)
 
+    def test_table4_empty_regressor_mapping_uses_defaults(self):
+        result = table4_regression.run(
+            sample_counts=(1,), regressors={}, reduced=True,
+            max_train_ops=4, max_test_ops=2,
+        )
+        assert set(name for name, _ in result.accuracy) == set(
+            table4_regression.default_regressor_factories()
+        )
+
     def test_table4_regression_worse_than_hill_climbing(self):
         regressors = {"ols": table4_regression.default_regressor_factories()["ols"],
                       "k_neighbors": table4_regression.default_regressor_factories()["k_neighbors"]}
@@ -163,7 +172,66 @@ class TestCli:
     def test_unknown_experiment(self, capsys):
         assert cli_main(["nope"]) == 2
 
-    def test_run_single_cheap_experiment(self, capsys):
+    def test_run_single_cheap_experiment(self, capsys, tmp_path, monkeypatch):
+        # Keep the CLI's default-on cache out of the repo's .sweep_cache:
+        # a stale entry there could otherwise mask model-code edits.
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path))
         assert cli_main(["table3"]) == 0
         out = capsys.readouterr().out
         assert "Table III" in out
+
+    def test_jobs_and_cache_flags(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert cli_main(["table3", "--jobs", "2", "--cache-dir", str(cache_dir)]) == 0
+        assert "Table III" in capsys.readouterr().out
+        assert any(cache_dir.rglob("*.pkl"))  # results were persisted
+        assert cli_main(["table3", "--no-cache"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_invalid_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["table3", "--jobs", "0"])
+
+    def test_forwarding_handles_wrapped_run(self, capsys, monkeypatch, tmp_path):
+        """_run_one must inspect signatures, not __code__ (which breaks on
+        functools-wrapped run functions)."""
+        import functools
+        import types
+
+        from repro import experiments as experiments_package
+        from repro.experiments import cli, table3_corun
+
+        @functools.wraps(table3_corun.run)
+        def wrapped_run(*args, **kwargs):
+            wrapped_run.called_with = kwargs
+            return table3_corun.run(*args, **kwargs)
+
+        module = types.SimpleNamespace(
+            run=wrapped_run,
+            format_report=table3_corun.format_report,
+            PAPER_REFERENCE=table3_corun.PAPER_REFERENCE,
+        )
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path))
+        monkeypatch.setitem(experiments_package.ALL_EXPERIMENTS, "wrapped", module)
+        assert cli.main(["wrapped"]) == 0
+        assert "Table III" in capsys.readouterr().out
+        assert "executor" in wrapped_run.called_with
+        assert "reduced" not in wrapped_run.called_with  # run() doesn't take it
+
+
+class TestExperimentsBenchHarness:
+    def test_report_structure_and_gates(self, tmp_path, monkeypatch):
+        from benchmarks import experiments_bench
+
+        report = experiments_bench.run_experiments_benchmark(("table3", "fig5"), jobs=2)
+        assert report["reports_identical"]
+        assert report["phases"]["process-warm"]["tasks_executed"] == 0
+        assert report["phases"]["process-warm"]["cache_hits"] > 0
+        path = experiments_bench.write_bench_json(report, tmp_path / "bench.json")
+        assert path.exists()
+        # The gate checker flags a made-up regression.
+        bad = dict(report, headline_speedup=1.0)
+        assert any("below" in failure for failure in experiments_bench.check_gates(bad))
+        broken = dict(report, reports_identical=False, mismatched_experiments=["table3"])
+        assert any("diverged" in failure for failure in experiments_bench.check_gates(broken))
+        assert "headline speedup" in experiments_bench.format_report(report)

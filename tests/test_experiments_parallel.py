@@ -1,0 +1,108 @@
+"""Serial / thread / process equivalence of the experiment layer.
+
+Every experiment's result object must be *equal* under every executor
+backend (deterministic input-ordered assembly makes parallel output
+bit-identical to serial), and a warm-cache rerun must produce identical
+results without a single simulator invocation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execsim.simulator import StepSimulator
+from repro.execsim.standalone import StandaloneRunner
+from repro.experiments import (
+    fig1_threads,
+    fig3_strategies,
+    fig4_corun_events,
+    fig5_gpu_intraop,
+    table1_parallelism,
+    table2_input_size,
+    table3_corun,
+    table4_regression,
+    table5_hillclimb,
+    table6_topops,
+    table7_gpu_corun,
+)
+from repro.sweep import SweepCache, SweepExecutor
+
+#: name -> (module, reduced kwargs) — the smallest configuration that
+#: still exercises every task family of the experiment.
+CONFIGS: dict = {
+    "fig1": (fig1_threads, dict(thread_counts=tuple(range(2, 66, 8)))),
+    "table1": (table1_parallelism, dict(models=("dcgan",), reduced=True)),
+    "table2": (table2_input_size, dict(operations=("Conv2DBackpropFilter",))),
+    "table3": (table3_corun, {}),
+    "table4": (
+        table4_regression,
+        dict(sample_counts=(1,), reduced=True, max_train_ops=6, max_test_ops=2),
+    ),
+    "table5": (table5_hillclimb, dict(models=("dcgan",), intervals=(2, 16), reduced=True)),
+    "fig3": (fig3_strategies, dict(models=("dcgan",), reduced=True)),
+    "table6": (table6_topops, dict(models=("dcgan",), reduced=True)),
+    "fig4": (fig4_corun_events, dict(models=("dcgan",), reduced=True, max_events=1000)),
+    "fig5": (fig5_gpu_intraop, {}),
+    "table7": (table7_gpu_corun, {}),
+}
+
+
+def _run_all(executor: SweepExecutor) -> dict:
+    return {
+        name: module.run(executor=executor, **kwargs)
+        for name, (module, kwargs) in CONFIGS.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_results() -> dict:
+    return _run_all(SweepExecutor("serial", cache=SweepCache(enabled=False)))
+
+
+class TestBackendEquivalence:
+    def test_thread_backend_equals_serial(self, serial_results):
+        executor = SweepExecutor("thread", jobs=4, cache=SweepCache(enabled=False))
+        for name, result in _run_all(executor).items():
+            assert result == serial_results[name], name
+
+    def test_process_backend_equals_serial(self, serial_results):
+        executor = SweepExecutor("process", jobs=2, cache=SweepCache(enabled=False))
+        for name, result in _run_all(executor).items():
+            assert result == serial_results[name], name
+        assert executor.stats.executed > 0
+
+
+class TestWarmCacheRerun:
+    def test_identical_results_with_zero_simulator_invocations(
+        self, serial_results, tmp_path, monkeypatch
+    ):
+        cold = SweepExecutor("serial", cache=SweepCache(tmp_path))
+        cold_results = _run_all(cold)
+        for name, result in cold_results.items():
+            assert result == serial_results[name], name
+        assert cold.stats.executed > 0
+
+        # Warm rerun: every simulated-execution entry point is booby-trapped;
+        # the cache must satisfy every task without touching the simulator.
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("simulator invoked during a warm-cache rerun")
+
+        monkeypatch.setattr(StepSimulator, "run_step", boom)
+        for method in ("run", "measure", "sweep", "corun", "sweep_many"):
+            monkeypatch.setattr(StandaloneRunner, method, boom)
+
+        warm = SweepExecutor("serial", cache=SweepCache(tmp_path))
+        warm_results = _run_all(warm)
+        for name, result in warm_results.items():
+            assert result == serial_results[name], name
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == cold.stats.executed
+
+    def test_no_cache_flag_recomputes(self, tmp_path):
+        module, kwargs = CONFIGS["table3"]
+        cold = SweepExecutor("serial", cache=SweepCache(tmp_path))
+        module.run(executor=cold, **kwargs)
+        uncached = SweepExecutor("serial", cache=SweepCache(tmp_path, enabled=False))
+        module.run(executor=uncached, **kwargs)
+        assert uncached.stats.executed > 0
+        assert uncached.stats.cache_hits == 0

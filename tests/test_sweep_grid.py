@@ -1,0 +1,90 @@
+"""The vectorised sweep grid must be bit-identical to the scalar model."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.execsim.op_runtime import (
+    execution_time,
+    sweep_thread_counts,
+)
+from repro.hardware.affinity import AffinityMode, ThreadPlacement
+from repro.hardware.knl import knl_machine
+from repro.ops.cost import characterize
+
+from tests.conftest import make_conv_op, make_elementwise_op
+
+
+def _reference_sweep(chars, machine):
+    results = {}
+    for affinity in (AffinityMode.SPREAD, AffinityMode.SHARED):
+        for count in ThreadPlacement.feasible_thread_counts(affinity, machine.topology):
+            results[(count, affinity)] = execution_time(chars, machine, count, affinity)
+    return results
+
+
+@pytest.mark.parametrize(
+    "op",
+    [
+        make_conv_op("Conv2D", (32, 8, 8, 384)),
+        make_conv_op("Conv2DBackpropFilter", (32, 8, 8, 2048)),
+        make_elementwise_op("Mul", (20, 200)),
+        make_elementwise_op("Relu", (64, 112, 112, 64)),
+    ],
+    ids=lambda op: op.name,
+)
+def test_grid_bit_identical_to_scalar_model(knl, op):
+    chars = characterize(op)
+    grid = sweep_thread_counts(chars, knl)
+    reference = _reference_sweep(chars, knl)
+    assert grid.keys() == reference.keys()
+    for key, breakdown in grid.items():
+        # Dataclass equality compares every float field exactly — any ulp
+        # drift between the vectorised pass and the per-case model fails.
+        assert breakdown == reference[key], key
+
+
+def test_grid_on_nonstandard_topology(knl):
+    """A different tile geometry exercises the placement tables."""
+    small = dataclasses.replace(
+        knl,
+        topology=dataclasses.replace(knl.topology, num_cores=12, cores_per_tile=4),
+    )
+    chars = characterize(make_conv_op("Conv2D", (32, 8, 8, 384)))
+    grid = sweep_thread_counts(chars, small)
+    assert grid == _reference_sweep(chars, small)
+    spread = [t for (t, a) in grid if a is AffinityMode.SPREAD]
+    assert max(spread) == small.topology.num_tiles
+
+
+def test_single_affinity_subset(knl):
+    chars = characterize(make_conv_op("Conv2D", (32, 8, 8, 384)))
+    shared_only = sweep_thread_counts(chars, knl, affinities=(AffinityMode.SHARED,))
+    assert set(a for (_, a) in shared_only) == {AffinityMode.SHARED}
+    full = sweep_thread_counts(chars, knl)
+    assert all(full[key] == value for key, value in shared_only.items())
+
+
+def test_unhashable_machine_falls_back_to_scalar_loop(knl):
+    """Custom machines with unhashable parts still sweep correctly."""
+
+    class OddMachine:
+        """Duck-typed machine wrapper that defeats the lru-cached grid."""
+
+        __hash__ = None
+
+        def __init__(self, inner):
+            self._inner = inner
+
+        def __getattr__(self, name):
+            return getattr(self._inner, name)
+
+    chars = characterize(make_conv_op("Conv2D", (32, 8, 8, 384)))
+    odd = OddMachine(knl)
+    sweep = sweep_thread_counts(chars, odd)
+    assert len(sweep) == 68
+    assert sweep[(68, AffinityMode.SHARED)].total == pytest.approx(
+        execution_time(chars, knl, 68, AffinityMode.SHARED).total
+    )
