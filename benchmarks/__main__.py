@@ -15,6 +15,7 @@ import sys
 
 from benchmarks.experiments_bench import main as experiments_main
 from benchmarks.simulator_bench import (
+    BENCH_MACHINE,
     BENCH_NUM_OPS,
     BENCH_SEED,
     EQUIVALENCE_TOLERANCE,
@@ -27,7 +28,11 @@ from benchmarks.simulator_bench import (
 
 def _simulator_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     try:
-        report = run_simulator_benchmark(args.ops, seed=args.seed, repeats=args.repeats)
+        report = run_simulator_benchmark(
+            args.ops, seed=args.seed, repeats=args.repeats, machine=args.machine
+        )
+    except KeyError as exc:  # unknown --machine; str(KeyError) adds repr quotes
+        parser.error(exc.args[0])
     except ValueError as exc:
         parser.error(str(exc))
     print(format_report(report))
@@ -36,12 +41,18 @@ def _simulator_main(args: argparse.Namespace, parser: argparse.ArgumentParser) -
     for name, scenario in report["scenarios"].items():
         if scenario["step_time_relative_error"] > EQUIVALENCE_TOLERANCE:
             failures.append(f"{name}: step_time diverged from the reference path")
-    if report["headline_speedup"] < SPEEDUP_GATE:
+    # The speedup gate was calibrated on the canonical KNL workload; on
+    # other zoo machines the equivalence check is what matters.
+    if report["headline_speedup"] < SPEEDUP_GATE and args.machine == BENCH_MACHINE:
         failures.append(
             f"headline speedup {report['headline_speedup']}x below the "
             f"{SPEEDUP_GATE}x gate"
         )
-    canonical = args.ops == BENCH_NUM_OPS and args.seed == BENCH_SEED
+    canonical = (
+        args.ops == BENCH_NUM_OPS
+        and args.seed == BENCH_SEED
+        and args.machine == BENCH_MACHINE
+    )
     if not args.no_write and canonical:
         path = write_bench_json(report)
         print(f"wrote {path}")
@@ -67,6 +78,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ops", type=int, default=BENCH_NUM_OPS)
     parser.add_argument("--seed", type=int, default=BENCH_SEED)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--machine",
+        default=BENCH_MACHINE,
+        metavar="NAME",
+        help="machine-zoo topology to simulate on (default: the KNL "
+        "baseline; BENCH json is only rewritten for the canonical machine)",
+    )
     parser.add_argument("--jobs", type=int, default=None, help="experiment-suite worker count")
     parser.add_argument(
         "--no-write",
@@ -87,11 +105,16 @@ def main(argv: list[str] | None = None) -> int:
                 ("--ops", args.ops != BENCH_NUM_OPS),
                 ("--seed", args.seed != BENCH_SEED),
                 ("--repeats", args.repeats != 3),
+                ("--machine", args.machine != BENCH_MACHINE),
             )
             if changed
         ]
         if ignored:
             parser.error(f"{', '.join(ignored)} only apply to --suite simulator/all")
+    if args.suite == "all" and args.machine != BENCH_MACHINE:
+        # The experiments tier has no machine knob yet; refusing beats
+        # silently measuring the two tiers on different topologies.
+        parser.error("--machine only applies to --suite simulator")
     if args.suite == "simulator" and args.jobs is not None:
         parser.error("--jobs only applies to --suite experiments/all")
 

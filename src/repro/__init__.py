@@ -35,18 +35,30 @@ from __future__ import annotations
 
 from repro.version import __version__
 from repro.api import (
+    available_machines,
     available_models,
+    available_scenarios,
     build_model_graph,
     default_machine,
+    get_machine,
+    get_scenario,
     quick_schedule,
+    run_scenario,
     ScheduleOutcome,
+    ScenarioOutcome,
 )
 
 __all__ = [
     "__version__",
+    "available_machines",
     "available_models",
+    "available_scenarios",
     "build_model_graph",
     "default_machine",
+    "get_machine",
+    "get_scenario",
     "quick_schedule",
+    "run_scenario",
     "ScheduleOutcome",
+    "ScenarioOutcome",
 ]

@@ -16,8 +16,10 @@ from repro.core.runtime import TrainingRuntime
 from repro.graph.dataflow import DataflowGraph
 from repro.hardware.knl import knl_machine
 from repro.hardware.topology import Machine
+from repro.hardware.zoo import available_machines, get_machine, resolve_machine
 from repro.models.registry import available_models as _available_models
 from repro.models.registry import build_model
+from repro.scenarios import Scenario, available_scenarios, get_scenario
 
 
 @dataclass(frozen=True)
@@ -58,22 +60,94 @@ def default_machine() -> Machine:
 def quick_schedule(
     model: str,
     *,
-    machine: Machine | None = None,
+    machine: str | Machine | None = None,
     config: RuntimeConfig | None = None,
     batch_size: int | None = None,
     **model_kwargs,
 ) -> ScheduleOutcome:
     """Profile and schedule one training step of ``model`` with the runtime.
 
-    Returns the step time together with the speedup over the TensorFlow
-    recommendation (intra-op = physical cores, inter-op = 1).
+    ``machine`` accepts a :class:`Machine` or a machine-zoo name
+    (``"xeon-2s-56c"``, ``"desktop-8c"``, ... — see
+    :func:`repro.hardware.zoo.available_machines`); ``None`` keeps the
+    paper's KNL node.  Returns the step time together with the speedup
+    over the TensorFlow recommendation (intra-op = physical cores,
+    inter-op = number of sockets).
     """
-    machine = machine or knl_machine()
+    machine = resolve_machine(machine)
     graph = build_model(model, batch_size=batch_size, **model_kwargs)
     runtime = TrainingRuntime(machine, config)
     report = runtime.run(graph)
     return ScheduleOutcome(
         model=model,
+        step_time=report.step_time,
+        recommendation_time=report.recommendation_time,
+        speedup_vs_recommendation=report.speedup_vs_recommendation,
+        average_corunning=report.average_corunning,
+        profiling_signatures=report.profiling_signatures,
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Result of running one named scenario end-to-end."""
+
+    scenario: str
+    machine: str
+    graph_name: str
+    num_ops: int
+    step_time: float
+    recommendation_time: float
+    speedup_vs_recommendation: float
+    average_corunning: float
+    profiling_signatures: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.scenario} [{self.machine}] ({self.num_ops} ops): "
+            f"step {self.step_time * 1e3:.1f} ms vs recommendation "
+            f"{self.recommendation_time * 1e3:.1f} ms "
+            f"({self.speedup_vs_recommendation:.2f}x speedup, "
+            f"{self.average_corunning:.2f} ops co-running on average)"
+        )
+
+
+def run_scenario(
+    scenario: str | Scenario,
+    *,
+    machine: str | Machine | None = None,
+    seed: int | None = None,
+) -> ScenarioOutcome:
+    """Run one scenario (by name or value) end-to-end with the runtime.
+
+    ``machine``/``seed`` override the scenario's bindings without
+    re-registering it — handy for sweeping one workload mix across the
+    zoo.  The same scenario and seed always produce the same outcome.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if seed is not None:
+        import dataclasses
+
+        scenario = dataclasses.replace(scenario, seed=seed)
+    resolved = resolve_machine(machine) if machine is not None else scenario.build_machine()
+    # Report the zoo registry key when one was used (a Machine's own name
+    # may be a long description, e.g. the KNL entry), so outcomes compare
+    # cleanly against scenario.machine / available_machines().
+    if isinstance(machine, str):
+        machine_label = machine
+    elif machine is not None:
+        machine_label = machine.name
+    else:
+        machine_label = scenario.machine
+    graph = scenario.build_graph()
+    runtime = TrainingRuntime(resolved, scenario.build_config())
+    report = runtime.run(graph)
+    return ScenarioOutcome(
+        scenario=scenario.name,
+        machine=machine_label,
+        graph_name=graph.name,
+        num_ops=len(graph),
         step_time=report.step_time,
         recommendation_time=report.recommendation_time,
         speedup_vs_recommendation=report.speedup_vs_recommendation,

@@ -78,12 +78,13 @@ def recommended_policy(machine: Machine) -> UniformPolicy:
     """The TensorFlow performance-guide recommendation for ``machine``.
 
     Intra-op = number of physical cores, inter-op = number of sockets
-    (one on the paper's platform).  This is the baseline all speedups in
-    the paper (and in our experiments) are measured against.
+    (one on the paper's platform; the zoo's dual-socket servers get two).
+    This is the baseline all speedups in the paper (and in our
+    experiments) are measured against.
     """
     return UniformPolicy(
         intra_op=machine.topology.num_cores,
-        inter_op=1,
+        inter_op=machine.topology.num_sockets,
         label="recommendation",
     )
 

@@ -4,6 +4,11 @@ Runs any subset of the paper's experiments (default: the cheap ones) and
 prints their reports.  ``repro-experiments --list`` shows what is
 available; ``repro-experiments all`` runs everything (several minutes).
 
+Every experiment accepts an arbitrary hardware topology:
+``--machine <zoo-name>`` picks one from the machine zoo
+(``--list-machines`` enumerates them) and ``--scenario <name>`` reuses a
+registered scenario's machine (``--list-scenarios``).
+
 The experiments execute on the parallel sweep engine: ``--jobs``/
 ``--backend`` control the fan-out (``--jobs N`` alone implies the
 process backend) and ``--no-cache``/``--cache-dir`` control the on-disk
@@ -19,14 +24,22 @@ import time
 from typing import Sequence
 
 from repro.experiments import ALL_EXPERIMENTS
+from repro.hardware.zoo import available_machines, describe_zoo
+from repro.scenarios import describe_scenarios, get_scenario
 from repro.sweep import BACKENDS, SweepCache, SweepExecutor, get_default_executor
-from repro.sweep.executor import no_cache_requested
+from repro.sweep.executor import EnvironmentConfigError, no_cache_requested
 
 #: Experiments cheap enough for a default invocation.
 DEFAULT_SET: tuple[str, ...] = ("fig1", "table2", "table3", "fig5", "table7")
 
 
-def _run_one(name: str, *, reduced: bool, executor: SweepExecutor | None = None) -> str:
+def _run_one(
+    name: str,
+    *,
+    reduced: bool,
+    executor: SweepExecutor | None = None,
+    machine: str | None = None,
+) -> str:
     module = ALL_EXPERIMENTS[name]
     # Forward only the options the experiment's run() accepts.  Inspect
     # the signature (not __code__.co_varnames, which breaks on wrapped or
@@ -37,6 +50,10 @@ def _run_one(name: str, *, reduced: bool, executor: SweepExecutor | None = None)
         kwargs["reduced"] = reduced
     if "executor" in parameters and executor is not None:
         kwargs["executor"] = executor
+    if "machine" in parameters and machine is not None:
+        # Forward the zoo *name*: experiment_machine() resolves it, and a
+        # name stays trivially picklable for the process backend.
+        kwargs["machine"] = machine
     result = module.run(**kwargs)
     return module.format_report(result)
 
@@ -75,6 +92,30 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--list", action="store_true", help="list available experiments")
     parser.add_argument(
+        "--list-machines",
+        action="store_true",
+        help="list the machine zoo (usable with --machine)",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list the registered scenarios (usable with --scenario)",
+    )
+    parser.add_argument(
+        "--machine",
+        default=None,
+        metavar="NAME",
+        help="run the experiments on this machine-zoo topology "
+        "(default: the paper's KNL node; see --list-machines)",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="run the experiments on a registered scenario's machine "
+        "(see --list-scenarios); mutually exclusive with --machine",
+    )
+    parser.add_argument(
         "--full",
         action="store_true",
         help="use the full-size model graphs (slower, closer to the paper's scale)",
@@ -107,11 +148,34 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if args.machine is not None and args.scenario is not None:
+        parser.error("--machine and --scenario are mutually exclusive")
 
     if args.list:
         for name in ALL_EXPERIMENTS:
             print(name)
         return 0
+    if args.list_machines:
+        print(describe_zoo())
+        return 0
+    if args.list_scenarios:
+        print(describe_scenarios())
+        return 0
+
+    machine = args.machine
+    if args.scenario is not None:
+        try:
+            machine = get_scenario(args.scenario).machine
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    if machine is not None and machine not in available_machines():
+        print(
+            f"unknown machine {machine!r}; available: "
+            f"{', '.join(available_machines())}",
+            file=sys.stderr,
+        )
+        return 2
 
     names = list(args.experiments)
     if names == ["all"] or names == ["ALL"]:
@@ -122,13 +186,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
 
-    executor = _build_executor(args)
+    try:
+        executor = _build_executor(args)
+    except EnvironmentConfigError as exc:
+        # A malformed $REPRO_SWEEP_* variable gets the same clean
+        # one-line diagnosis as an unknown --machine, not a traceback.
+        print(str(exc), file=sys.stderr)
+        return 2
     try:
         for name in names:
             start = time.time()
-            report = _run_one(name, reduced=not args.full, executor=executor)
+            report = _run_one(
+                name, reduced=not args.full, executor=executor, machine=machine
+            )
             elapsed = time.time() - start
-            print(f"=== {name} ({elapsed:.1f}s) ===")
+            suffix = f" @ {machine}" if machine is not None else ""
+            print(f"=== {name}{suffix} ({elapsed:.1f}s) ===")
             print(report)
             print()
     finally:

@@ -6,15 +6,27 @@ from repro.graph.op import OpInstance
 from repro.graph.shapes import TensorShape
 from repro.hardware.knl import knl_machine
 from repro.hardware.topology import Machine
-from repro.models.registry import build_model
+from repro.hardware.zoo import resolve_machine
+from repro.models.registry import build_model, build_reduced_model
 
 #: The models the paper evaluates, in its reporting order.
 PAPER_MODELS: tuple[str, ...] = ("resnet50", "dcgan", "inception_v3", "lstm")
 
 
 def default_machine() -> Machine:
-    """The simulated KNL node used by every experiment."""
+    """The simulated KNL node experiments use unless told otherwise."""
     return knl_machine()
+
+
+def experiment_machine(machine: str | Machine | None) -> Machine:
+    """Resolve an experiment's ``machine`` argument.
+
+    Accepts a ready :class:`Machine`, a machine-zoo name (the CLI's
+    ``--machine`` flag forwards the name unresolved so experiment task
+    functions stay picklable either way), or ``None`` for the paper's
+    KNL node.
+    """
+    return resolve_machine(machine)
 
 
 def motivation_conv_op(
@@ -54,10 +66,4 @@ def build_paper_model(name: str, *, reduced: bool = False):
     """
     if not reduced:
         return build_model(name)
-    if name == "inception_v3":
-        return build_model(name, module_counts=(1, 1, 1))
-    if name == "resnet50":
-        return build_model(name, stage_blocks=(1, 1, 1, 1))
-    if name == "lstm":
-        return build_model(name, num_steps=6)
-    return build_model(name)
+    return build_reduced_model(name)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.execsim.standalone import StandaloneRunner
-from repro.experiments.common import default_machine, motivation_conv_op
+from repro.experiments.common import experiment_machine, motivation_conv_op
 from repro.hardware.affinity import AffinityMode
 from repro.hardware.topology import Machine
 from repro.sweep.executor import SweepExecutor, get_default_executor
@@ -66,14 +66,20 @@ def _curve_task(
 
 
 def run(
-    machine: Machine | None = None,
+    machine: str | Machine | None = None,
     *,
-    thread_counts: tuple[int, ...] = tuple(range(2, 66, 2)),
+    thread_counts: tuple[int, ...] | None = None,
     repeats: int = 1000,
     executor: SweepExecutor | None = None,
 ) -> Fig1Result:
-    """Sweep the three operations over ``thread_counts`` (shared affinity)."""
-    machine = machine or default_machine()
+    """Sweep the three operations over ``thread_counts`` (shared affinity).
+
+    ``thread_counts`` defaults to the paper's 2..64 sweep, clipped to the
+    machine's core count on smaller zoo machines.
+    """
+    machine = experiment_machine(machine)
+    if thread_counts is None:
+        thread_counts = tuple(range(2, min(66, machine.topology.num_cores + 2), 2))
     executor = executor or get_default_executor()
     result = Fig1Result(thread_counts=thread_counts)
     curves = executor.map(

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.baselines.manual_opt import ManualOptimizer
 from repro.core.runtime import StrategyComparison, TrainingRuntime
-from repro.experiments.common import PAPER_MODELS, build_paper_model, default_machine
+from repro.experiments.common import PAPER_MODELS, build_paper_model, experiment_machine
 from repro.hardware.topology import Machine
 from repro.sweep.executor import SweepExecutor, SweepTask, get_default_executor
 from repro.utils.tables import TextTable
@@ -57,10 +57,13 @@ def _compare_task(
     optimizer = None
     if include_manual:
         # The grid the paper's manual search explores (Table I plus the
-        # smaller counts its per-model optima use).
+        # smaller counts its per-model optima use), scaled to the
+        # machine's core count — on KNL this is (2, 16, 34, 68, 136).
+        cores = machine.topology.num_cores
+        default_intra = tuple(sorted({2, 16, max(1, cores // 2), cores, cores * 2}))
         optimizer = ManualOptimizer(
             machine,
-            intra_candidates=intra_candidates or (2, 16, 34, 68, 136),
+            intra_candidates=intra_candidates or default_intra,
             inter_candidates=inter_candidates or (1, 2, 4),
         )
     return runtime.compare_strategies(
@@ -85,7 +88,7 @@ def _compare_with_optimizer(
 
 
 def run(
-    machine: Machine | None = None,
+    machine: str | Machine | None = None,
     *,
     models: tuple[str, ...] = PAPER_MODELS,
     include_manual: bool = True,
@@ -93,7 +96,7 @@ def run(
     manual_optimizer: ManualOptimizer | None = None,
     executor: SweepExecutor | None = None,
 ) -> Fig3Result:
-    machine = machine or default_machine()
+    machine = experiment_machine(machine)
     executor = executor or get_default_executor()
     result = Fig3Result()
     if manual_optimizer is None:

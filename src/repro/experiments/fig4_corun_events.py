@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.core.config import RuntimeConfig
 from repro.core.runtime import TrainingRuntime
 from repro.core.scheduler import RuntimeSchedulerPolicy
-from repro.experiments.common import build_paper_model, default_machine
+from repro.experiments.common import build_paper_model, experiment_machine
 from repro.hardware.topology import Machine
 from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
@@ -67,14 +67,14 @@ def _series_task(
 
 
 def run(
-    machine: Machine | None = None,
+    machine: str | Machine | None = None,
     *,
     models: tuple[str, ...] = MODELS,
     max_events: int = 6000,
     reduced: bool = False,
     executor: SweepExecutor | None = None,
 ) -> Fig4Result:
-    machine = machine or default_machine()
+    machine = experiment_machine(machine)
     executor = executor or get_default_executor()
     result = Fig4Result()
     series = executor.map(

@@ -12,9 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.execsim.gpu import GpuKernelModel
+from repro.experiments.common import experiment_machine
 from repro.graph.op import OpInstance
 from repro.graph.shapes import TensorShape
 from repro.hardware.gpu import GpuSpec, p100_gpu
+from repro.hardware.topology import Machine
 from repro.ops.cost import characterize
 from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
@@ -91,14 +93,23 @@ def _op_task(
 
 
 def run(
+    machine: "str | Machine | None" = None,
     *,
     threads_candidates: tuple[int, ...] = THREADS_PER_BLOCK,
     block_candidates: tuple[int, ...] = NUM_BLOCKS,
     repeats: int = 10000,
     executor: SweepExecutor | None = None,
 ) -> Fig5Result:
+    """Launch-configuration sweeps on the simulated GPU.
+
+    ``machine`` selects whose GPU to model: a zoo machine with an
+    attached accelerator (e.g. ``gpu-node-16c``) contributes its
+    :attr:`Machine.gpu` spec; machines without one — including the
+    paper's KNL — fall back to the paper's P100.
+    """
+    machine = experiment_machine(machine)
     executor = executor or get_default_executor()
-    spec = p100_gpu()
+    spec = machine.gpu if machine.gpu is not None else p100_gpu()
     result = Fig5Result()
     names = list(_gpu_ops())
     sweeps = executor.map(

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.baselines.tf_default import UniformPolicy, recommended_policy
 from repro.execsim.simulator import StepSimulator
-from repro.experiments.common import build_paper_model, default_machine
+from repro.experiments.common import build_paper_model, experiment_machine
 from repro.hardware.topology import Machine
 from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
@@ -32,7 +32,16 @@ PAPER_REFERENCE = {
 
 MODELS: tuple[str, ...] = ("resnet50", "dcgan")
 INTER_OP: tuple[int, ...] = (1, 2, 4)
+#: The paper's intra-op grid on the 68-core KNL: half the cores, all the
+#: cores, one thread per pair of logical CPUs.  Other machines use the
+#: same shape relative to their own core count (see :func:`intra_op_grid`).
 INTRA_OP: tuple[int, ...] = (34, 68, 136)
+
+
+def intra_op_grid(machine: Machine) -> tuple[int, ...]:
+    """The (cores/2, cores, 2*cores) grid of Table I for any machine."""
+    cores = machine.topology.num_cores
+    return (max(1, cores // 2), cores, cores * 2)
 
 
 @dataclass
@@ -67,20 +76,23 @@ def _step_task(
 
 
 def run(
-    machine: Machine | None = None,
+    machine: str | Machine | None = None,
     *,
     models: tuple[str, ...] = MODELS,
+    intra_op: tuple[int, ...] | None = None,
     reduced: bool = False,
     executor: SweepExecutor | None = None,
 ) -> Table1Result:
-    machine = machine or default_machine()
+    machine = experiment_machine(machine)
+    if intra_op is None:
+        intra_op = intra_op_grid(machine)
     executor = executor or get_default_executor()
     result = Table1Result()
     cells: list[tuple[str, int | None, int | None]] = []
     for model in models:
         cells.append((model, None, None))
         for inter in INTER_OP:
-            for intra in INTRA_OP:
+            for intra in intra_op:
                 cells.append((model, inter, intra))
     times = executor.map(
         _step_task, [(model, reduced, inter, intra, machine) for model, inter, intra in cells]
@@ -99,11 +111,13 @@ def format_report(result: Table1Result) -> str:
     for model in models:
         headers.extend([f"{model} time (ms)", f"{model} speedup"])
     table = TextTable(headers, title="Table I — uniform inter-op / intra-op parallelism")
-    for inter in INTER_OP:
-        for intra in INTRA_OP:
-            row: list = [inter, intra]
-            for model in models:
-                time = result.times[(model, inter, intra)]
-                row.extend([time * 1e3, result.speedup(model, inter, intra)])
-            table.add_row(row)
+    # The grid is recovered from the result so reports stay correct for
+    # machines whose intra-op candidates differ from the KNL defaults.
+    grid = sorted({(inter, intra) for (_, inter, intra) in result.times})
+    for inter, intra in grid:
+        row: list = [inter, intra]
+        for model in models:
+            time = result.times[(model, inter, intra)]
+            row.extend([time * 1e3, result.speedup(model, inter, intra)])
+        table.add_row(row)
     return table.render()

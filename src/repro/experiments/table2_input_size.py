@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.execsim.standalone import StandaloneRunner
-from repro.experiments.common import default_machine, motivation_conv_op
+from repro.experiments.common import experiment_machine, motivation_conv_op
 from repro.hardware.affinity import AffinityMode
 from repro.hardware.topology import Machine
 from repro.sweep.executor import SweepExecutor, get_default_executor
@@ -82,13 +82,13 @@ def _entry_task(
 
 
 def run(
-    machine: Machine | None = None,
+    machine: str | Machine | None = None,
     *,
     operations: tuple[str, ...] = OPERATIONS,
     input_sizes: tuple[tuple[int, int, int, int], ...] = INPUT_SIZES,
     executor: SweepExecutor | None = None,
 ) -> Table2Result:
-    machine = machine or default_machine()
+    machine = experiment_machine(machine)
     executor = executor or get_default_executor()
     result = Table2Result()
     cells = [(op_type, dims) for op_type in operations for dims in input_sizes]

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.execsim.simulator import PlacementKind
 from repro.execsim.standalone import StandaloneConfig, StandaloneRunner
-from repro.experiments.common import default_machine, motivation_conv_op
+from repro.experiments.common import experiment_machine, motivation_conv_op
 from repro.hardware.topology import Machine
 from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
@@ -32,6 +32,12 @@ class Table3Result:
     serial_time: float
     hyperthreading_time: float
     split_time: float
+    #: Physical cores of the machine the strategies ran on (drives the
+    #: thread counts shown in the report; 68 on the paper's KNL).
+    cores: int = 68
+    #: False on SMT-less machines, where the hyper-threading strategy
+    #: degenerates to serial execution (no secondary slots exist).
+    smt_available: bool = True
 
     @property
     def hyperthreading_speedup(self) -> float:
@@ -48,7 +54,11 @@ def _corun_task(strategy: str, machine: Machine) -> float:
     cores = machine.topology.num_cores
     filter_op = motivation_conv_op("Conv2DBackpropFilter", INPUT_DIMS, name="filter_grad")
     input_op = motivation_conv_op("Conv2DBackpropInput", INPUT_DIMS, name="input_grad")
-    if strategy == "serial":
+    if strategy == "serial" or (
+        strategy == "hyper" and machine.topology.smt_per_core < 2
+    ):
+        # Without SMT there are no secondary slots to ride; the paper's
+        # hyper-threading strategy physically degenerates to serial runs.
         result = runner.corun(
             [
                 StandaloneConfig(filter_op, cores),
@@ -68,8 +78,8 @@ def _corun_task(strategy: str, machine: Machine) -> float:
     elif strategy == "split":
         result = runner.corun(
             [
-                StandaloneConfig(filter_op, cores // 2),
-                StandaloneConfig(input_op, cores // 2),
+                StandaloneConfig(filter_op, max(1, cores // 2)),
+                StandaloneConfig(input_op, max(1, cores // 2)),
             ]
         )
     else:
@@ -78,12 +88,12 @@ def _corun_task(strategy: str, machine: Machine) -> float:
 
 
 def run(
-    machine: Machine | None = None,
+    machine: str | Machine | None = None,
     *,
     repeats: int = 1000,
     executor: SweepExecutor | None = None,
 ) -> Table3Result:
-    machine = machine or default_machine()
+    machine = experiment_machine(machine)
     executor = executor or get_default_executor()
     serial, hyper, split = executor.map(
         _corun_task, [(strategy, machine) for strategy in ("serial", "hyper", "split")]
@@ -93,6 +103,8 @@ def run(
         serial_time=serial * scale,
         hyperthreading_time=hyper * scale,
         split_time=split * scale,
+        cores=machine.topology.num_cores,
+        smt_available=machine.topology.smt_per_core >= 2,
     )
 
 
@@ -101,12 +113,18 @@ def format_report(result: Table3Result) -> str:
         ["strategy", "#threads", "time (s)", "speedup"],
         title="Table III — co-running two operations (total of 1000 runs)",
     )
-    table.add_row(["Serial execution", "68", result.serial_time, 1.0])
+    cores = result.cores
+    half = max(1, cores // 2)
+    ht_label = (
+        f"{cores}+{cores}" if result.smt_available else f"{cores} (no SMT: serial)"
+    )
+    table.add_row(["Serial execution", str(cores), result.serial_time, 1.0])
     table.add_row(
-        ["Co-run with hyper-threading", "68+68", result.hyperthreading_time,
+        ["Co-run with hyper-threading", ht_label, result.hyperthreading_time,
          result.hyperthreading_speedup]
     )
     table.add_row(
-        ["Co-run with threads control", "34+34", result.split_time, result.split_speedup]
+        ["Co-run with threads control", f"{half}+{half}", result.split_time,
+         result.split_speedup]
     )
     return table.render()

@@ -14,7 +14,7 @@ from typing import Callable, Mapping
 
 from repro.core.regression_model import RegressionPerformanceModel
 from repro.execsim.standalone import StandaloneRunner
-from repro.experiments.common import build_paper_model, default_machine
+from repro.experiments.common import build_paper_model, experiment_machine
 from repro.models import build_model
 from repro.graph.op import OpInstance
 from repro.hardware.topology import Machine
@@ -154,7 +154,7 @@ def _cell_task(
 
 
 def run(
-    machine: Machine | None = None,
+    machine: str | Machine | None = None,
     *,
     sample_counts: tuple[int, ...] = SAMPLE_COUNTS,
     regressors: Mapping[str, Callable[[], Regressor]] | None = None,
@@ -172,7 +172,7 @@ def run(
     run locally and uncached, since closures can neither be shipped to
     process workers nor content-hashed.
     """
-    machine = machine or default_machine()
+    machine = experiment_machine(machine)
     executor = executor or get_default_executor()
     train_ops = _training_ops(reduced, max_train_ops)
     test_ops = _test_ops(reduced, max_test_ops)

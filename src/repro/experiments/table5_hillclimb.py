@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.core.hill_climbing import HillClimbingModel, HillClimbingProfile, ground_truth_sweeps
 from repro.execsim.standalone import StandaloneRunner
-from repro.experiments.common import PAPER_MODELS, build_paper_model, default_machine
+from repro.experiments.common import PAPER_MODELS, build_paper_model, experiment_machine
 from repro.hardware.topology import Machine
 from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
@@ -67,7 +67,7 @@ def _profile_task(
 
 
 def run(
-    machine: Machine | None = None,
+    machine: str | Machine | None = None,
     *,
     models: tuple[str, ...] = PAPER_MODELS,
     intervals: tuple[int, ...] = INTERVALS,
@@ -83,7 +83,7 @@ def run(
     The per-model ground truths and per-(model, interval) profiles are
     independent sweep tasks; scoring happens in the parent.
     """
-    machine = machine or default_machine()
+    machine = experiment_machine(machine)
     executor = executor or get_default_executor()
     result = Table5Result()
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from repro.baselines.tf_default import recommended_policy
 from repro.core.config import RuntimeConfig
 from repro.core.runtime import TrainingRuntime
-from repro.experiments.common import PAPER_MODELS, build_paper_model, default_machine
+from repro.experiments.common import PAPER_MODELS, build_paper_model, experiment_machine
 from repro.hardware.topology import Machine
 from repro.profiling.profiler import StepProfiler
 from repro.sweep.executor import SweepExecutor, get_default_executor
@@ -72,14 +72,14 @@ def _model_task(
 
 
 def run(
-    machine: Machine | None = None,
+    machine: str | Machine | None = None,
     *,
     models: tuple[str, ...] = PAPER_MODELS,
     top_n: int = 5,
     reduced: bool = False,
     executor: SweepExecutor | None = None,
 ) -> Table6Result:
-    machine = machine or default_machine()
+    machine = experiment_machine(machine)
     executor = executor or get_default_executor()
     result = Table6Result()
     rows = executor.map(_model_task, [(name, reduced, top_n, machine) for name in models])

@@ -11,9 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.execsim.gpu import GpuKernelModel
+from repro.experiments.common import experiment_machine
 from repro.graph.op import OpInstance
 from repro.graph.shapes import TensorShape
 from repro.hardware.gpu import GpuSpec, p100_gpu
+from repro.hardware.topology import Machine
 from repro.ops.cost import characterize
 from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
@@ -74,9 +76,22 @@ def _op_task(name: str, repeats: int, spec: GpuSpec) -> tuple[float, float]:
     return serial, corun
 
 
-def run(*, repeats: int = 10000, executor: SweepExecutor | None = None) -> Table7Result:
+def run(
+    machine: "str | Machine | None" = None,
+    *,
+    repeats: int = 10000,
+    executor: SweepExecutor | None = None,
+) -> Table7Result:
+    """Serial vs two-stream co-run of five ops on the simulated GPU.
+
+    ``machine`` selects whose GPU to model: a zoo machine with an
+    attached accelerator (e.g. ``gpu-node-16c``) contributes its
+    :attr:`Machine.gpu` spec; machines without one — including the
+    paper's KNL — fall back to the paper's P100.
+    """
+    machine = experiment_machine(machine)
     executor = executor or get_default_executor()
-    spec = p100_gpu()
+    spec = machine.gpu if machine.gpu is not None else p100_gpu()
     result = Table7Result()
     names = list(_gpu_ops())
     times = executor.map(_op_task, [(name, repeats, spec) for name in names])

@@ -31,8 +31,26 @@ from repro.hardware.affinity import (
 from repro.hardware.knl import knl_machine, small_knl_machine
 from repro.hardware.counters import CounterEvent, CounterSimulator, CounterSample
 from repro.hardware.gpu import GpuSpec, p100_gpu
+from repro.hardware.zoo import (
+    MACHINE_ZOO,
+    available_machines,
+    describe_zoo,
+    get_machine,
+    make_machine,
+    register_machine,
+    resolve_machine,
+    zoo_machines,
+)
 
 __all__ = [
+    "MACHINE_ZOO",
+    "available_machines",
+    "describe_zoo",
+    "get_machine",
+    "make_machine",
+    "register_machine",
+    "resolve_machine",
+    "zoo_machines",
     "CoreTopology",
     "Machine",
     "MemoryHierarchy",

@@ -93,12 +93,17 @@ class ThreadPlacement:
     def feasible_thread_counts(mode: AffinityMode, topology: CoreTopology) -> tuple[int, ...]:
         """Thread counts the paper's performance model considers for ``mode``.
 
-        SPREAD: 1..num_tiles.  SHARED: even counts 2..num_cores (odd counts
-        would leave one tile imbalanced, which the paper excludes).
+        SPREAD: 1..num_tiles.  SHARED: tile-filling counts — multiples of
+        ``cores_per_tile`` up to ``num_cores`` (on KNL's two-core tiles
+        these are the even counts 2..68; counts that leave a tile
+        imbalanced are excluded, as in the paper).  Machines with private
+        per-core caches (``cores_per_tile == 1``) degenerate to every
+        count 1..num_cores.
         """
         if mode is AffinityMode.SPREAD:
             return tuple(range(1, topology.num_tiles + 1))
-        return tuple(range(2, topology.num_cores + 1, 2))
+        step = topology.cores_per_tile
+        return tuple(range(step, topology.num_cores + 1, step))
 
 
 def prediction_cases(topology: CoreTopology) -> tuple[tuple[int, AffinityMode], ...]:
@@ -149,6 +154,10 @@ class CoreAllocator:
     def __init__(self, topology: CoreTopology) -> None:
         self.topology = topology
         self._free_primary: set[int] = set(range(topology.num_cores))
+        #: Whether the cores offer a secondary hardware thread at all.
+        #: Without SMT (e.g. the zoo's ARM server shape) no hyper-thread
+        #: slot ever becomes available, and Strategy 4 naturally idles.
+        self._smt_capable: bool = topology.smt_per_core >= 2
         #: Cores whose primary slot is busy but secondary slot is free.
         self._free_secondary: set[int] = set()
         #: Tile -> its core ids, precomputed (allocation is a hot path).
@@ -186,7 +195,8 @@ class CoreAllocator:
             allocation = CoreAllocation(core_ids=self._all_cores)
             self._free_primary.clear()
             self._free_per_tile = [0] * self.topology.num_tiles
-            self._free_secondary = set(self._all_cores)
+            if self._smt_capable:
+                self._free_secondary = set(self._all_cores)
             return allocation
         chosen: list[int] = []
         # First take fully-free tiles.
@@ -243,9 +253,10 @@ class CoreAllocator:
             self._free_secondary.difference_update(core_ids)
         else:
             # Cores whose primary owner already finished offer no slot.
-            self._free_secondary.update(
-                c for c in allocation.core_ids if c not in self._free_primary
-            )
+            if self._smt_capable:
+                self._free_secondary.update(
+                    c for c in allocation.core_ids if c not in self._free_primary
+                )
 
     def _mark_busy(self, allocation: CoreAllocation) -> None:
         core_ids = allocation.core_ids
@@ -255,7 +266,8 @@ class CoreAllocator:
         self._free_primary.difference_update(core_ids)
         for core in core_ids:
             free_per_tile[core // cores_per_tile] -= 1
-        self._free_secondary.update(core_ids)
+        if self._smt_capable:
+            self._free_secondary.update(core_ids)
 
     def reserve_all(self) -> CoreAllocation:
         """Allocate every free primary slot (used by core-filling operations)."""

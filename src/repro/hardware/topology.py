@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.hardware.cache import CacheModel
+from repro.hardware.gpu import GpuSpec
 from repro.hardware.hyperthread import SmtModel
 from repro.hardware.memory import MemoryHierarchy
 
@@ -21,11 +22,15 @@ class CoreTopology:
     Attributes
     ----------
     num_cores:
-        Number of physical cores (68 on KNL).
+        Number of physical cores (68 on KNL), summed over all sockets.
     cores_per_tile:
-        Cores sharing one last-level cache slice (2 on KNL).
+        Cores sharing one last-level cache slice (2 on KNL; 1 models
+        private per-core L2 as on most Xeon/desktop parts).
     smt_per_core:
         Hardware threads per core (4 on KNL; the paper uses at most 2).
+    num_sockets:
+        NUMA sockets.  Tiles never straddle sockets, so ``num_cores``
+        must divide evenly into ``num_sockets`` groups of whole tiles.
     frequency_hz:
         Core clock frequency.
     flops_per_cycle:
@@ -42,6 +47,7 @@ class CoreTopology:
     frequency_hz: float = 1.4e9
     flops_per_cycle: float = 32.0
     compute_efficiency: float = 0.35
+    num_sockets: int = 1
 
     def __post_init__(self) -> None:
         if self.num_cores <= 0:
@@ -54,6 +60,12 @@ class CoreTopology:
             raise ValueError("smt_per_core must be at least 1")
         if not (0 < self.compute_efficiency <= 1):
             raise ValueError("compute_efficiency must lie in (0, 1]")
+        if self.num_sockets < 1:
+            raise ValueError("num_sockets must be at least 1")
+        if self.num_cores % self.num_sockets != 0:
+            raise ValueError("num_cores must be divisible by num_sockets")
+        if (self.num_cores // self.num_sockets) % self.cores_per_tile != 0:
+            raise ValueError("tiles must not straddle sockets")
 
     @property
     def num_tiles(self) -> int:
@@ -88,6 +100,26 @@ class CoreTopology:
         start = tile_id * self.cores_per_tile
         return tuple(range(start, start + self.cores_per_tile))
 
+    @property
+    def cores_per_socket(self) -> int:
+        """Physical cores on each NUMA socket."""
+        return self.num_cores // self.num_sockets
+
+    def socket_of_core(self, core_id: int) -> int:
+        """Socket index owning physical core ``core_id``."""
+        if not 0 <= core_id < self.num_cores:
+            raise ValueError(f"core_id {core_id} out of range [0, {self.num_cores})")
+        return core_id // self.cores_per_socket
+
+    def cores_of_socket(self, socket_id: int) -> tuple[int, ...]:
+        """Physical core ids belonging to ``socket_id``."""
+        if not 0 <= socket_id < self.num_sockets:
+            raise ValueError(
+                f"socket_id {socket_id} out of range [0, {self.num_sockets})"
+            )
+        start = socket_id * self.cores_per_socket
+        return tuple(range(start, start + self.cores_per_socket))
+
 
 @dataclass(frozen=True)
 class Machine:
@@ -109,8 +141,33 @@ class Machine:
     #: count different from its previous launch (cache thrashing and thread
     #: pool resize, the effect Strategy 2 avoids).
     reconfiguration_cost: float = 150e-6
+    #: Attached accelerator, when the machine has one (the GPU experiments
+    #: use it instead of the default P100 when present).
+    gpu: GpuSpec | None = None
 
     def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("machine name must be non-empty")
+        if not isinstance(self.topology, CoreTopology):
+            raise TypeError("topology must be a CoreTopology")
+        if not isinstance(self.memory, MemoryHierarchy):
+            raise TypeError("memory must be a MemoryHierarchy")
+        if not isinstance(self.cache, CacheModel):
+            raise TypeError("cache must be a CacheModel")
+        if not isinstance(self.smt, SmtModel):
+            raise TypeError("smt must be an SmtModel")
+        if self.gpu is not None and not isinstance(self.gpu, GpuSpec):
+            raise TypeError("gpu must be a GpuSpec or None")
+        # The SMT throughput curve must describe every hardware thread the
+        # topology exposes, or the simulator would extrapolate beyond it.
+        if self.smt.max_threads_per_core < self.topology.smt_per_core:
+            raise ValueError(
+                f"SmtModel describes {self.smt.max_threads_per_core} threads/core "
+                f"but the topology exposes {self.topology.smt_per_core}"
+            )
+        # A single core must not out-pull the chip-level ceiling.
+        if self.memory.per_core_bandwidth > self.memory.fast_bandwidth:
+            raise ValueError("per_core_bandwidth exceeds the chip-level ceiling")
         if self.thread_spawn_cost < 0 or self.sync_cost < 0:
             raise ValueError("overhead costs must be non-negative")
         if self.op_dispatch_cost < 0:

@@ -1,0 +1,356 @@
+"""The machine zoo: a parameterized factory and registry of hardware shapes.
+
+The paper evaluates on exactly one machine — a 68-core Knights Landing
+node (:func:`repro.hardware.knl.knl_machine`).  The interesting behaviour
+of concurrency control, however, only shows once topologies vary: the
+optimal intra-op parallelism, the value of cache-sharing affinity and the
+profitability of co-running all shift with core counts, tile sizes,
+hyper-threading and memory bandwidth.  This module provides
+
+* :func:`make_machine` — a parameterized factory covering the shapes the
+  simulator understands (multi-socket NUMA servers, hyper-threaded
+  desktops, cloud VMs, SMT-less ARM servers, accelerator hosts), and
+* a **registry** of named, ready-made machines (:data:`MACHINE_ZOO`)
+  resolvable by :func:`get_machine`, with the paper's KNL as one entry.
+
+Every experiment, the sweep engine and the CLI accept any of these by
+name (``--machine``), and the scenario registry
+(:mod:`repro.scenarios`) binds them to workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.hardware.cache import CacheModel
+from repro.hardware.gpu import GpuSpec, p100_gpu
+from repro.hardware.hyperthread import SmtModel
+from repro.hardware.knl import knl_machine, small_knl_machine
+from repro.hardware.memory import MemoryHierarchy
+from repro.hardware.topology import CoreTopology, Machine
+
+
+def make_machine(
+    name: str,
+    *,
+    num_cores: int,
+    cores_per_tile: int = 1,
+    smt_per_core: int = 2,
+    num_sockets: int = 1,
+    frequency_hz: float = 2.5e9,
+    flops_per_cycle: float = 16.0,
+    compute_efficiency: float = 0.5,
+    fast_bandwidth: float = 100e9,
+    ddr_bandwidth: float | None = None,
+    fast_capacity: int = 64 * 1024**3,
+    per_core_bandwidth: float = 12e9,
+    l1_size_per_core: int = 32 * 1024,
+    l2_size_per_tile: int = 1024 * 1024,
+    sibling_sharing_bonus: float | None = None,
+    reuse_ceiling: float = 0.85,
+    smt_aggregate: tuple[float, ...] | None = None,
+    smt_memory_bound_bonus: float = 0.30,
+    thread_spawn_cost: float = 0.2e-6,
+    sync_cost: float = 1.5e-6,
+    op_dispatch_cost: float = 12e-6,
+    reconfiguration_cost: float = 150e-6,
+    gpu: GpuSpec | None = None,
+) -> Machine:
+    """Build a validated :class:`Machine` from first-order hardware facts.
+
+    Defaults describe a generic contemporary server core; every component
+    dataclass re-validates its own invariants, and
+    :class:`Machine.__post_init__` checks the cross-component ones (SMT
+    curve covering the topology's hardware threads, per-core bandwidth
+    below the chip ceiling, tiles not straddling sockets).
+
+    ``sibling_sharing_bonus`` defaults to 0 for private-cache machines
+    (``cores_per_tile == 1`` — there is no sibling to share with) and to
+    the KNL-calibrated 0.35 otherwise.  ``smt_aggregate`` defaults to a
+    curve of the right length for ``smt_per_core``: the measured KNL curve
+    truncated or extended, normalised as :class:`SmtModel` requires.
+    """
+    if sibling_sharing_bonus is None:
+        sibling_sharing_bonus = 0.0 if cores_per_tile == 1 else 0.35
+    if smt_aggregate is None:
+        reference = [0.0, 1.0, 1.18, 1.24, 1.28]
+        # Extend past the measured curve with diminishing gains so wide-SMT
+        # parts (POWER-style SMT-8) get a valid non-decreasing default.
+        while len(reference) < smt_per_core + 1:
+            reference.append(reference[-1] + 0.02)
+        smt_aggregate = tuple(reference[: smt_per_core + 1])
+    topology = CoreTopology(
+        num_cores=num_cores,
+        cores_per_tile=cores_per_tile,
+        smt_per_core=smt_per_core,
+        frequency_hz=frequency_hz,
+        flops_per_cycle=flops_per_cycle,
+        compute_efficiency=compute_efficiency,
+        num_sockets=num_sockets,
+    )
+    memory = MemoryHierarchy(
+        fast_bandwidth=fast_bandwidth,
+        ddr_bandwidth=ddr_bandwidth if ddr_bandwidth is not None else fast_bandwidth,
+        fast_capacity=fast_capacity,
+        per_core_bandwidth=per_core_bandwidth,
+    )
+    cache = CacheModel(
+        l1_size_per_core=l1_size_per_core,
+        l2_size_per_tile=l2_size_per_tile,
+        sibling_sharing_bonus=sibling_sharing_bonus,
+        reuse_ceiling=reuse_ceiling,
+    )
+    smt = SmtModel(
+        aggregate_throughput=tuple(smt_aggregate),
+        memory_bound_bonus=smt_memory_bound_bonus,
+    )
+    return Machine(
+        name=name,
+        topology=topology,
+        memory=memory,
+        cache=cache,
+        smt=smt,
+        thread_spawn_cost=thread_spawn_cost,
+        sync_cost=sync_cost,
+        op_dispatch_cost=op_dispatch_cost,
+        reconfiguration_cost=reconfiguration_cost,
+        gpu=gpu,
+    )
+
+
+# -- ready-made shapes --------------------------------------------------------------
+
+
+def xeon_2s_56c() -> Machine:
+    """Dual-socket Skylake-SP-like server: 2 x 28 cores, private 1 MB L2,
+    2-way SMT, AVX-512."""
+    return make_machine(
+        "xeon-2s-56c",
+        num_cores=56,
+        num_sockets=2,
+        cores_per_tile=1,
+        smt_per_core=2,
+        frequency_hz=2.5e9,
+        flops_per_cycle=32.0,
+        compute_efficiency=0.55,
+        fast_bandwidth=256e9,
+        per_core_bandwidth=15e9,
+        fast_capacity=384 * 1024**3,
+        l2_size_per_tile=1024 * 1024,
+        smt_aggregate=(0.0, 1.0, 1.22),
+        smt_memory_bound_bonus=0.25,
+        op_dispatch_cost=8e-6,
+        reconfiguration_cost=90e-6,
+    )
+
+
+def epyc_2s_128c() -> Machine:
+    """Dual-socket Zen-2-like server: 2 x 64 cores in four-core complexes
+    sharing a 16 MB L3 slice, 2-way SMT."""
+    return make_machine(
+        "epyc-2s-128c",
+        num_cores=128,
+        num_sockets=2,
+        cores_per_tile=4,
+        smt_per_core=2,
+        frequency_hz=2.25e9,
+        flops_per_cycle=16.0,
+        compute_efficiency=0.55,
+        fast_bandwidth=380e9,
+        per_core_bandwidth=20e9,
+        fast_capacity=512 * 1024**3,
+        l2_size_per_tile=16 * 1024 * 1024,
+        sibling_sharing_bonus=0.25,
+        smt_aggregate=(0.0, 1.0, 1.25),
+        smt_memory_bound_bonus=0.25,
+        op_dispatch_cost=8e-6,
+        reconfiguration_cost=90e-6,
+    )
+
+
+def desktop_8c() -> Machine:
+    """Eight-core hyper-threaded desktop: high clocks, two memory channels."""
+    return make_machine(
+        "desktop-8c",
+        num_cores=8,
+        cores_per_tile=1,
+        smt_per_core=2,
+        frequency_hz=4.2e9,
+        flops_per_cycle=16.0,
+        compute_efficiency=0.6,
+        fast_bandwidth=42e9,
+        per_core_bandwidth=14e9,
+        fast_capacity=32 * 1024**3,
+        l2_size_per_tile=512 * 1024,
+        smt_aggregate=(0.0, 1.0, 1.2),
+        op_dispatch_cost=6e-6,
+        reconfiguration_cost=60e-6,
+    )
+
+
+def laptop_4c() -> Machine:
+    """Four-core mobile part: thermally-limited clocks, one memory channel."""
+    return make_machine(
+        "laptop-4c",
+        num_cores=4,
+        cores_per_tile=1,
+        smt_per_core=2,
+        frequency_hz=2.8e9,
+        flops_per_cycle=16.0,
+        compute_efficiency=0.5,
+        fast_bandwidth=24e9,
+        per_core_bandwidth=10e9,
+        fast_capacity=16 * 1024**3,
+        l2_size_per_tile=512 * 1024,
+        smt_aggregate=(0.0, 1.0, 1.2),
+        op_dispatch_cost=6e-6,
+        reconfiguration_cost=60e-6,
+    )
+
+
+def cloud_vm_16v() -> Machine:
+    """A 16-vCPU cloud instance: 8 physical cores exposing 2-way SMT,
+    with noisy-neighbour-discounted efficiency and bandwidth."""
+    return make_machine(
+        "cloud-vm-16v",
+        num_cores=8,
+        cores_per_tile=1,
+        smt_per_core=2,
+        frequency_hz=3.0e9,
+        flops_per_cycle=16.0,
+        compute_efficiency=0.45,
+        fast_bandwidth=30e9,
+        per_core_bandwidth=9e9,
+        fast_capacity=64 * 1024**3,
+        l2_size_per_tile=1024 * 1024,
+        smt_aggregate=(0.0, 1.0, 1.15),
+        op_dispatch_cost=10e-6,
+        reconfiguration_cost=120e-6,
+    )
+
+
+def arm_server_64c() -> Machine:
+    """Graviton-2-like ARM server: 64 cores, no SMT, private 1 MB L2."""
+    return make_machine(
+        "arm-server-64c",
+        num_cores=64,
+        cores_per_tile=1,
+        smt_per_core=1,
+        frequency_hz=2.5e9,
+        flops_per_cycle=8.0,
+        compute_efficiency=0.6,
+        fast_bandwidth=200e9,
+        per_core_bandwidth=10e9,
+        fast_capacity=256 * 1024**3,
+        l2_size_per_tile=1024 * 1024,
+        smt_aggregate=(0.0, 1.0),
+        smt_memory_bound_bonus=0.0,
+        op_dispatch_cost=8e-6,
+        reconfiguration_cost=80e-6,
+    )
+
+
+def gpu_node_16c() -> Machine:
+    """A 16-core accelerator host with an attached P100 (the GPU
+    experiments read :attr:`Machine.gpu` when present)."""
+    return make_machine(
+        "gpu-node-16c",
+        num_cores=16,
+        cores_per_tile=1,
+        smt_per_core=2,
+        frequency_hz=2.6e9,
+        flops_per_cycle=16.0,
+        compute_efficiency=0.5,
+        fast_bandwidth=76e9,
+        per_core_bandwidth=12e9,
+        fast_capacity=128 * 1024**3,
+        l2_size_per_tile=1024 * 1024,
+        smt_aggregate=(0.0, 1.0, 1.2),
+        gpu=p100_gpu(),
+    )
+
+
+#: Named machine factories.  Factories (not instances) so a registry
+#: lookup can never hand out shared mutable state, and so entries stay
+#: cheap to import.
+MACHINE_ZOO: dict[str, Callable[[], Machine]] = {
+    "knl": knl_machine,
+    "small-knl-8": lambda: small_knl_machine(8),
+    "xeon-2s-56c": xeon_2s_56c,
+    "epyc-2s-128c": epyc_2s_128c,
+    "desktop-8c": desktop_8c,
+    "laptop-4c": laptop_4c,
+    "cloud-vm-16v": cloud_vm_16v,
+    "arm-server-64c": arm_server_64c,
+    "gpu-node-16c": gpu_node_16c,
+}
+
+
+def available_machines() -> tuple[str, ...]:
+    """Names of every registered machine, in registration order."""
+    return tuple(MACHINE_ZOO)
+
+
+def get_machine(name: str) -> Machine:
+    """Build the zoo machine registered under ``name``.
+
+    Raises ``KeyError`` with the available names when ``name`` is unknown.
+    """
+    try:
+        factory = MACHINE_ZOO[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {', '.join(MACHINE_ZOO)}"
+        ) from None
+    return factory()
+
+
+def resolve_machine(machine: str | Machine | None) -> Machine:
+    """Coerce a zoo name, a :class:`Machine` or ``None`` to a machine.
+
+    ``None`` resolves to the paper's KNL node, keeping every existing
+    call site's default behaviour.
+    """
+    if machine is None:
+        return knl_machine()
+    if isinstance(machine, Machine):
+        return machine
+    return get_machine(machine)
+
+
+def register_machine(
+    name: str,
+    factory: Callable[[], Machine],
+    *,
+    overwrite: bool = False,
+) -> None:
+    """Add (or replace, with ``overwrite=True``) a named machine factory.
+
+    The factory is invoked once immediately to validate that it builds a
+    well-formed :class:`Machine`.
+    """
+    if not name:
+        raise ValueError("machine name must be non-empty")
+    if name in MACHINE_ZOO and not overwrite:
+        raise ValueError(f"machine {name!r} is already registered")
+    built = factory()
+    if not isinstance(built, Machine):
+        raise TypeError(f"factory for {name!r} returned {type(built).__qualname__}")
+    MACHINE_ZOO[name] = factory
+
+
+def describe_zoo() -> str:
+    """One line per registered machine (the CLI's ``--list-machines``)."""
+    lines = []
+    for name in MACHINE_ZOO:
+        machine = get_machine(name)
+        suffix = " + GPU" if machine.gpu is not None else ""
+        lines.append(f"{name:>16}  {machine.describe()}{suffix}")
+    return "\n".join(lines)
+
+
+def zoo_machines(names: Iterable[str] | None = None) -> tuple[Machine, ...]:
+    """Build several zoo machines at once (``None``: the whole zoo)."""
+    if names is None:
+        names = MACHINE_ZOO
+    return tuple(get_machine(name) for name in names)

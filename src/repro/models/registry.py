@@ -69,3 +69,18 @@ def build_model(name: str, batch_size: int | None = None, **kwargs) -> DataflowG
     builder = MODEL_BUILDERS[key]
     batch = batch_size if batch_size is not None else PAPER_BATCH_SIZES[key]
     return builder(batch, **kwargs)
+
+
+#: Builder kwargs shrinking the deepest models for fast iteration while
+#: preserving each graph's op-type mix (tests, scenarios, benchmarks).
+REDUCED_MODEL_KWARGS: dict[str, dict] = {
+    "inception_v3": {"module_counts": (1, 1, 1)},
+    "resnet50": {"stage_blocks": (1, 1, 1, 1)},
+    "lstm": {"num_steps": 6},
+}
+
+
+def build_reduced_model(name: str, batch_size: int | None = None) -> DataflowGraph:
+    """Build a shrunk variant of ``name`` (same op mix, far fewer nodes)."""
+    key = _canonical(name)
+    return build_model(key, batch_size=batch_size, **REDUCED_MODEL_KWARGS.get(key, {}))

@@ -1,0 +1,250 @@
+"""Named, seedable scenarios: (machine, workload mix, runtime config).
+
+The ROADMAP's north star asks for "as many scenarios as you can
+imagine"; this module is where they get named.  A :class:`Scenario`
+binds together
+
+* a **machine** from the zoo (:mod:`repro.hardware.zoo`), by name so the
+  scenario itself stays a small hashable value;
+* a **workload mix** — one or more :class:`Workload` entries.  A single
+  workload is a plain training step; several are merged into one
+  dataflow graph whose components share no edges, so the scheduler
+  co-runs them on the same chip (the multi-tenant / co-located-jobs
+  setting the paper's Strategy 3 and 4 target);
+* an optional :class:`~repro.core.config.RuntimeConfig`; and
+* a **seed** driving every stochastic component (synthetic graph
+  structure, profiling noise), so a scenario names a reproducible run.
+
+:func:`repro.api.run_scenario` executes one end-to-end;
+``repro-experiments --scenario <name>`` reuses a scenario's machine for
+any experiment module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.config import RuntimeConfig
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.synthetic import synthetic_graph
+from repro.graph.traversal import topological_order
+from repro.hardware.topology import Machine
+from repro.hardware.zoo import get_machine
+from repro.models.registry import build_model, build_reduced_model
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One graph of a scenario's mix: a paper model or a synthetic DAG.
+
+    Exactly one of ``model`` / ``synthetic_ops`` must be set.  The
+    workload is a value (frozen, hashable): the graph itself is built on
+    demand by :meth:`build`, deterministically from the scenario seed.
+    """
+
+    model: str | None = None
+    #: Shrink deep models to their reduced variants (fast, same op mix).
+    reduced: bool = True
+    batch_size: int | None = None
+    synthetic_ops: int | None = None
+    synthetic_width: int = 8
+    heavy_fraction: float = 0.35
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.model is None) == (self.synthetic_ops is None):
+            raise ValueError("exactly one of model/synthetic_ops must be set")
+        if self.synthetic_ops is not None and self.synthetic_ops < 1:
+            raise ValueError("synthetic_ops must be positive")
+
+    @property
+    def name(self) -> str:
+        if self.label:
+            return self.label
+        if self.model is not None:
+            return self.model
+        return f"synthetic-{self.synthetic_ops}"
+
+    def build(self, seed: int = 0) -> DataflowGraph:
+        """Materialise the workload's dataflow graph."""
+        if self.model is not None:
+            if self.reduced:
+                return build_reduced_model(self.model, batch_size=self.batch_size)
+            return build_model(self.model, batch_size=self.batch_size)
+        return synthetic_graph(
+            self.synthetic_ops,
+            seed=seed,
+            width=self.synthetic_width,
+            heavy_fraction=self.heavy_fraction,
+        )
+
+
+def merge_graphs(graphs: dict[str, DataflowGraph], name: str) -> DataflowGraph:
+    """Disjoint union of several graphs into one schedulable step.
+
+    Node names are prefixed with their graph's label so the mix stays
+    collision-free; no cross-graph edges are added, which leaves the
+    scheduler free to interleave the components (the co-run setting).
+    """
+    merged = DataflowGraph(name)
+    for label, graph in graphs.items():
+        renamed = {op: f"{label}/{op}" for op in (o.name for o in graph.ops)}
+        for op_name in topological_order(graph):
+            op = graph.op(op_name)
+            merged.add_op(
+                dataclasses.replace(op, name=renamed[op_name]),
+                deps=[renamed[dep] for dep in graph.predecessors(op_name)],
+            )
+    return merged
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, reproducible (machine, workload mix, config, seed) binding."""
+
+    name: str
+    machine: str
+    workloads: tuple[Workload, ...]
+    config: RuntimeConfig | None = None
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if not self.workloads:
+            raise ValueError("a scenario needs at least one workload")
+
+    @property
+    def is_corun_mix(self) -> bool:
+        return len(self.workloads) > 1
+
+    def build_machine(self) -> Machine:
+        return get_machine(self.machine)
+
+    def build_config(self) -> RuntimeConfig:
+        """The runtime config, reseeded with the scenario's seed."""
+        config = self.config if self.config is not None else RuntimeConfig()
+        return dataclasses.replace(config, seed=self.seed)
+
+    def build_graph(self) -> DataflowGraph:
+        """The step graph: one workload's graph, or the merged co-run mix."""
+        if not self.is_corun_mix:
+            return self.workloads[0].build(self.seed)
+        graphs: dict[str, DataflowGraph] = {}
+        for index, workload in enumerate(self.workloads):
+            # Distinct per-workload seeds so two synthetic entries differ.
+            graphs[f"{index}-{workload.name}"] = workload.build(self.seed + index)
+        return merge_graphs(graphs, name=f"{self.name}-mix")
+
+
+# -- the registry -------------------------------------------------------------------
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, *, overwrite: bool = False) -> Scenario:
+    """Add ``scenario`` to the registry (``overwrite=True`` to replace)."""
+    if scenario.name in SCENARIOS and not overwrite:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    # Fail fast on dangling machine names; the graph is built lazily.
+    get_machine(scenario.machine)
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Names of every registered scenario, in registration order."""
+    return tuple(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(SCENARIOS)}"
+        ) from None
+
+
+def describe_scenarios() -> str:
+    """One line per registered scenario (the CLI's ``--list-scenarios``)."""
+    lines = []
+    for scenario in SCENARIOS.values():
+        mix = " + ".join(w.name for w in scenario.workloads)
+        lines.append(
+            f"{scenario.name:>24}  [{scenario.machine}] {mix}"
+            f"{' — ' + scenario.description if scenario.description else ''}"
+        )
+    return "\n".join(lines)
+
+
+def _register_defaults() -> None:
+    defaults = [
+        Scenario(
+            "paper-knl",
+            machine="knl",
+            workloads=(Workload(model="resnet50"),),
+            description="the paper's setting: ResNet-50 on the KNL node",
+        ),
+        Scenario(
+            "resnet50-xeon-2s",
+            machine="xeon-2s-56c",
+            workloads=(Workload(model="resnet50"),),
+            description="ResNet-50 on a dual-socket Xeon server",
+        ),
+        Scenario(
+            "dcgan-desktop",
+            machine="desktop-8c",
+            workloads=(Workload(model="dcgan"),),
+            description="DCGAN on an eight-core desktop",
+        ),
+        Scenario(
+            "inception-cloud",
+            machine="cloud-vm-16v",
+            workloads=(Workload(model="inception_v3"),),
+            description="Inception-v3 on a 16-vCPU cloud instance",
+        ),
+        Scenario(
+            "lstm-arm-server",
+            machine="arm-server-64c",
+            workloads=(Workload(model="lstm"),),
+            description="LSTM on an SMT-less ARM server",
+        ),
+        Scenario(
+            "synthetic-500-epyc",
+            machine="epyc-2s-128c",
+            workloads=(Workload(synthetic_ops=500),),
+            seed=7,
+            description="a 500-op synthetic DAG on a 128-core EPYC",
+        ),
+        Scenario(
+            "corun-mix-knl",
+            machine="knl",
+            workloads=(Workload(model="resnet50"), Workload(model="dcgan")),
+            description="two training jobs co-located on one KNL node",
+        ),
+        Scenario(
+            "synthetic-burst-laptop",
+            machine="laptop-4c",
+            workloads=(
+                Workload(synthetic_ops=60, synthetic_width=4),
+                Workload(synthetic_ops=60, synthetic_width=4),
+            ),
+            seed=11,
+            description="two bursty synthetic jobs on a thermally-limited laptop",
+        ),
+        Scenario(
+            "resnet50-gpu-host",
+            machine="gpu-node-16c",
+            workloads=(Workload(model="resnet50"),),
+            description="ResNet-50 on an accelerator host (GPU attached)",
+        ),
+    ]
+    for scenario in defaults:
+        register_scenario(scenario)
+
+
+_register_defaults()

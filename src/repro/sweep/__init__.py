@@ -28,8 +28,10 @@ from repro.sweep.cache import (
 )
 from repro.sweep.executor import (
     BACKENDS,
+    EnvironmentConfigError,
     SweepExecutor,
     SweepTask,
+    available_cpus,
     configure,
     get_default_executor,
 )
@@ -37,6 +39,8 @@ from repro.sweep.tasks import cached_call, op_sweep, op_sweep_totals
 
 __all__ = [
     "BACKENDS",
+    "EnvironmentConfigError",
+    "available_cpus",
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_CACHE_DIR",

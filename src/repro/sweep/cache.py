@@ -42,7 +42,9 @@ from typing import Any, Iterator, Mapping
 from repro.version import __version__
 
 #: Bump when the canonical encoding or the pickle layout changes.
-CACHE_SCHEMA_VERSION = 1
+#: 2: mapping keys sort by (type name, repr) — stable for mixed-type
+#:    keys — and the machine dataclass tree grew sockets and a GPU slot.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
@@ -105,8 +107,11 @@ def _canonical(value: Any) -> Any:
     if isinstance(value, (set, frozenset)):
         return ("set", tuple(sorted(repr(_canonical(item)) for item in value)))
     if isinstance(value, Mapping):
-        items = [( _canonical(k), _canonical(v)) for k, v in value.items()]
-        items.sort(key=lambda kv: repr(kv[0]))
+        items = [(_canonical(k), _canonical(v)) for k, v in value.items()]
+        # Sort by (type name, repr), not repr alone: mixed-type keys whose
+        # reprs interleave (e.g. 1 vs "1", True vs 1) would otherwise
+        # order unstably across values, splitting or colliding keys.
+        items.sort(key=lambda kv: (type(kv[0]).__name__, repr(kv[0])))
         return ("map", tuple(items))
     if callable(value):
         if not is_module_level_function(value):

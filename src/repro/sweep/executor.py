@@ -47,6 +47,20 @@ JOBS_ENV = "REPRO_SWEEP_JOBS"
 NO_CACHE_ENV = "REPRO_SWEEP_NO_CACHE"
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the whole machine, which oversubscribes
+    the worker pool inside containers/CI and under ``taskset``; the
+    scheduler affinity mask is the real budget.  Falls back to
+    ``os.cpu_count()`` on platforms without ``sched_getaffinity``.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - macOS/Windows
+        return os.cpu_count() or 1
+
+
 @dataclass(frozen=True)
 class SweepTask:
     """One unit of sweep work: ``fn(*args)``.
@@ -104,7 +118,7 @@ class SweepExecutor:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.backend = backend
-        self.jobs = jobs or os.cpu_count() or 1
+        self.jobs = jobs or available_cpus()
         self.cache = cache if cache is not None else SweepCache(enabled=False)
         self.stats = ExecutorStats()
         self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
@@ -245,22 +259,52 @@ class SweepExecutor:
 _default_executor: SweepExecutor | None = None
 
 
+#: Spellings accepted by boolean environment switches.
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+_FALSY = frozenset({"", "0", "false", "no", "off"})
+
+
+class EnvironmentConfigError(ValueError):
+    """An ``REPRO_SWEEP_*`` environment variable holds an invalid value."""
+
+
 def no_cache_requested() -> bool:
-    """True when ``$REPRO_SWEEP_NO_CACHE`` asks to skip the result cache."""
-    return os.environ.get(NO_CACHE_ENV, "") in ("1", "true", "yes")
+    """True when ``$REPRO_SWEEP_NO_CACHE`` asks to skip the result cache.
+
+    Values are normalised (``TRUE``, `` yes ``, ``On`` all count), and an
+    unrecognised value raises :class:`EnvironmentConfigError` instead of
+    silently leaving the cache enabled.
+    """
+    raw = os.environ.get(NO_CACHE_ENV, "")
+    value = raw.strip().lower()
+    if value in _TRUTHY:
+        return True
+    if value in _FALSY:
+        return False
+    raise EnvironmentConfigError(
+        f"${NO_CACHE_ENV}={raw!r} is not a boolean; "
+        f"use one of {sorted(_TRUTHY)} or {sorted(_FALSY - {''})}"
+    )
 
 
 def _from_environment() -> SweepExecutor:
-    backend = os.environ.get(BACKEND_ENV, "serial")
+    backend = os.environ.get(BACKEND_ENV, "serial").strip().lower() or "serial"
     if backend not in BACKENDS:
-        backend = "serial"
+        raise EnvironmentConfigError(
+            f"${BACKEND_ENV}={os.environ[BACKEND_ENV]!r} is not a backend; "
+            f"expected one of {BACKENDS}"
+        )
     jobs_raw = os.environ.get(JOBS_ENV)
     jobs = None
-    if jobs_raw:
+    if jobs_raw and jobs_raw.strip():
         try:
-            jobs = max(1, int(jobs_raw))
+            jobs = int(jobs_raw.strip())
         except ValueError:
-            jobs = None
+            raise EnvironmentConfigError(
+                f"${JOBS_ENV}={jobs_raw!r} is not an integer"
+            ) from None
+        if jobs < 1:
+            raise EnvironmentConfigError(f"${JOBS_ENV}={jobs_raw!r} must be >= 1")
     # The library default is cache-OFF: persistent state must be opted
     # into, either by exporting $REPRO_SWEEP_CACHE_DIR, via configure(),
     # or through the CLI (which defaults to caching under .sweep_cache).

@@ -106,3 +106,63 @@ class TestWarmCacheRerun:
         module.run(executor=uncached, **kwargs)
         assert uncached.stats.executed > 0
         assert uncached.stats.cache_hits == 0
+
+
+#: Zoo machines the cross-machine acceptance tests run on (≥4, diverse).
+ZOO_MACHINES = ("xeon-2s-56c", "desktop-8c", "arm-server-64c", "cloud-vm-16v")
+
+
+class TestZooMachineEquivalence:
+    """`--machine <zoo-name>` acceptance: per-machine results must be
+    byte-identical across backends, and the shared cache must key on the
+    machine so two machines never serve each other's entries."""
+
+    @pytest.mark.parametrize("machine", ZOO_MACHINES)
+    def test_backends_identical_per_machine(self, machine):
+        kwargs = dict(machine=machine, thread_counts=(2, 4, 8), repeats=10)
+        serial = fig1_threads.run(
+            executor=SweepExecutor("serial", cache=SweepCache(enabled=False)), **kwargs
+        )
+        threaded = fig1_threads.run(
+            executor=SweepExecutor("thread", jobs=3, cache=SweepCache(enabled=False)),
+            **kwargs,
+        )
+        process = fig1_threads.run(
+            executor=SweepExecutor("process", jobs=2, cache=SweepCache(enabled=False)),
+            **kwargs,
+        )
+        assert serial == threaded == process
+        corun = table3_corun.run(
+            machine=machine,
+            executor=SweepExecutor("process", jobs=2, cache=SweepCache(enabled=False)),
+        )
+        assert corun == table3_corun.run(
+            machine=machine,
+            executor=SweepExecutor("serial", cache=SweepCache(enabled=False)),
+        )
+
+    def test_results_differ_across_machines(self):
+        times = {
+            machine: table3_corun.run(
+                machine=machine,
+                executor=SweepExecutor("serial", cache=SweepCache(enabled=False)),
+            ).serial_time
+            for machine in ZOO_MACHINES
+        }
+        assert len(set(times.values())) == len(ZOO_MACHINES)
+
+    def test_cache_keys_distinct_across_machines(self, tmp_path):
+        """One shared cache dir, two machines: the second machine's run
+        must miss on every task (distinct keys), then hit on a rerun."""
+        kwargs = dict(thread_counts=(2, 4), repeats=10)
+        first = SweepExecutor("serial", cache=SweepCache(tmp_path))
+        fig1_threads.run(machine="desktop-8c", executor=first, **kwargs)
+        assert first.stats.cache_hits == 0
+        second = SweepExecutor("serial", cache=SweepCache(tmp_path))
+        fig1_threads.run(machine="arm-server-64c", executor=second, **kwargs)
+        assert second.stats.cache_hits == 0
+        assert second.stats.executed > 0
+        warm = SweepExecutor("serial", cache=SweepCache(tmp_path))
+        fig1_threads.run(machine="arm-server-64c", executor=warm, **kwargs)
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == warm.stats.submitted

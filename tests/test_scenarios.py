@@ -1,0 +1,162 @@
+"""Scenario registry and the end-to-end ``run_scenario`` API."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api import run_scenario
+from repro.core.config import RuntimeConfig
+from repro.scenarios import (
+    SCENARIOS,
+    Scenario,
+    Workload,
+    available_scenarios,
+    describe_scenarios,
+    get_scenario,
+    merge_graphs,
+    register_scenario,
+)
+from repro.graph.synthetic import synthetic_graph
+from repro.hardware.zoo import available_machines
+
+
+class TestWorkload:
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            Workload()
+        with pytest.raises(ValueError):
+            Workload(model="resnet50", synthetic_ops=100)
+
+    def test_model_workload_builds(self):
+        graph = Workload(model="dcgan").build()
+        assert len(graph) > 0
+
+    def test_synthetic_workload_is_seeded(self):
+        w = Workload(synthetic_ops=40)
+        a, b = w.build(seed=5), w.build(seed=5)
+        assert [op.name for op in a.ops] == [op.name for op in b.ops]
+        c = w.build(seed=6)
+        assert [op.name for op in a.ops] != [op.name for op in c.ops] or (
+            a.num_edges != c.num_edges
+        )
+
+    def test_names(self):
+        assert Workload(model="lstm").name == "lstm"
+        assert Workload(synthetic_ops=40).name == "synthetic-40"
+        assert Workload(synthetic_ops=40, label="burst").name == "burst"
+
+
+class TestMergeGraphs:
+    def test_disjoint_union_preserves_structure(self):
+        a = synthetic_graph(30, seed=0, width=4)
+        b = synthetic_graph(20, seed=1, width=4)
+        merged = merge_graphs({"a": a, "b": b}, name="mix")
+        assert len(merged) == len(a) + len(b)
+        assert merged.num_edges == a.num_edges + b.num_edges
+        for op in a.ops:
+            assert f"a/{op.name}" in merged
+            preds = set(merged.predecessors(f"a/{op.name}"))
+            assert preds == {f"a/{p}" for p in a.predecessors(op.name)}
+        # No cross-component edges: every dependency stays inside its prefix.
+        for op in merged.ops:
+            prefix = op.name.split("/", 1)[0]
+            for dep in merged.predecessors(op.name):
+                assert dep.split("/", 1)[0] == prefix
+
+
+class TestScenarioRegistry:
+    def test_default_registry_populated(self):
+        names = available_scenarios()
+        assert "paper-knl" in names
+        assert len(names) >= 6
+        # Every scenario resolves to a real zoo machine.
+        for name in names:
+            assert get_scenario(name).machine in available_machines()
+
+    def test_scenarios_cover_multiple_machines(self):
+        machines = {get_scenario(n).machine for n in available_scenarios()}
+        assert len(machines) >= 4
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="paper-knl"):
+            get_scenario("nonexistent")
+
+    def test_register_and_overwrite(self):
+        scenario = Scenario(
+            "test-tmp", machine="laptop-4c", workloads=(Workload(model="dcgan"),)
+        )
+        try:
+            register_scenario(scenario)
+            assert get_scenario("test-tmp") is scenario
+            with pytest.raises(ValueError, match="already registered"):
+                register_scenario(scenario)
+            register_scenario(scenario, overwrite=True)
+        finally:
+            SCENARIOS.pop("test-tmp", None)
+
+    def test_register_rejects_dangling_machine(self):
+        bad = Scenario(
+            "test-bad", machine="pdp-11", workloads=(Workload(model="dcgan"),)
+        )
+        with pytest.raises(KeyError):
+            register_scenario(bad)
+        assert "test-bad" not in SCENARIOS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario("", machine="knl", workloads=(Workload(model="dcgan"),))
+        with pytest.raises(ValueError):
+            Scenario("x", machine="knl", workloads=())
+
+    def test_describe_lists_everything(self):
+        text = describe_scenarios()
+        for name in available_scenarios():
+            assert name in text
+
+    def test_config_is_reseeded(self):
+        scenario = Scenario(
+            "test-seeded",
+            machine="knl",
+            workloads=(Workload(model="dcgan"),),
+            config=RuntimeConfig(seed=123),
+            seed=7,
+        )
+        assert scenario.build_config().seed == 7
+
+    def test_corun_mix_merges(self):
+        mix = get_scenario("synthetic-burst-laptop")
+        assert mix.is_corun_mix
+        graph = mix.build_graph()
+        total = sum(w.synthetic_ops for w in mix.workloads)
+        assert len(graph) == total
+        # Per-workload seeds differ, so the two synthetic halves differ.
+        halves = {op.name.split("/", 1)[0] for op in graph.ops}
+        assert len(halves) == 2
+
+
+class TestRunScenario:
+    def test_end_to_end_is_deterministic(self):
+        first = run_scenario("dcgan-desktop")
+        second = run_scenario("dcgan-desktop")
+        assert first == second
+        assert first.machine == "desktop-8c"
+        assert first.step_time > 0
+        assert first.recommendation_time > 0
+        assert first.num_ops > 0
+        assert "desktop-8c" in str(first)
+
+    def test_accepts_scenario_value_and_overrides(self):
+        scenario = get_scenario("dcgan-desktop")
+        base = run_scenario(scenario)
+        moved = run_scenario(scenario, machine="laptop-4c")
+        assert moved.machine == "laptop-4c"
+        assert moved.step_time != base.step_time
+        reseeded = run_scenario(
+            dataclasses.replace(
+                scenario, workloads=(Workload(synthetic_ops=40),)
+            ),
+            seed=3,
+        )
+        assert reseeded.num_ops == 40

@@ -269,3 +269,96 @@ class TestSharedTasks:
     def test_cached_call_without_cache(self):
         machine = knl_machine()
         assert cached_call(None, op_sweep_totals, _CHARS, machine)
+
+
+class TestAvailableCpus:
+    def test_default_jobs_respect_affinity_mask(self):
+        """`jobs=None` must follow the process affinity mask, not the
+        whole machine (containers/CI often restrict the mask)."""
+        assert SweepExecutor("serial").jobs == executor_module.available_cpus()
+
+    def test_available_cpus_matches_sched_getaffinity(self):
+        import os
+
+        if hasattr(os, "sched_getaffinity"):
+            assert executor_module.available_cpus() == len(os.sched_getaffinity(0))
+        else:  # pragma: no cover - macOS/Windows
+            assert executor_module.available_cpus() == (os.cpu_count() or 1)
+
+
+class TestEnvironmentParsing:
+    @pytest.mark.parametrize("raw", ["1", "true", "TRUE", " yes ", "On"])
+    def test_no_cache_truthy_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv(executor_module.NO_CACHE_ENV, raw)
+        assert executor_module.no_cache_requested()
+
+    @pytest.mark.parametrize("raw", ["", "0", "false", "No", " OFF "])
+    def test_no_cache_falsy_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv(executor_module.NO_CACHE_ENV, raw)
+        assert not executor_module.no_cache_requested()
+
+    def test_no_cache_unset_is_false(self, monkeypatch):
+        monkeypatch.delenv(executor_module.NO_CACHE_ENV, raising=False)
+        assert not executor_module.no_cache_requested()
+
+    def test_no_cache_invalid_raises(self, monkeypatch):
+        monkeypatch.setenv(executor_module.NO_CACHE_ENV, "maybe")
+        with pytest.raises(executor_module.EnvironmentConfigError, match="NO_CACHE"):
+            executor_module.no_cache_requested()
+
+    def test_backend_env_is_normalised(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_default_executor", None)
+        monkeypatch.setenv(executor_module.BACKEND_ENV, " Thread ")
+        monkeypatch.delenv(executor_module.JOBS_ENV, raising=False)
+        monkeypatch.delenv(executor_module.NO_CACHE_ENV, raising=False)
+        assert executor_module.get_default_executor().backend == "thread"
+
+    def test_backend_env_invalid_raises(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_default_executor", None)
+        monkeypatch.setenv(executor_module.BACKEND_ENV, "gpu")
+        with pytest.raises(executor_module.EnvironmentConfigError, match="BACKEND"):
+            executor_module.get_default_executor()
+
+    @pytest.mark.parametrize("raw", ["two", "1.5", "0", "-3"])
+    def test_jobs_env_invalid_raises(self, monkeypatch, raw):
+        monkeypatch.setattr(executor_module, "_default_executor", None)
+        monkeypatch.delenv(executor_module.BACKEND_ENV, raising=False)
+        monkeypatch.delenv(executor_module.NO_CACHE_ENV, raising=False)
+        monkeypatch.setenv(executor_module.JOBS_ENV, raw)
+        with pytest.raises(executor_module.EnvironmentConfigError, match="JOBS"):
+            executor_module.get_default_executor()
+
+    def test_jobs_env_valid(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "_default_executor", None)
+        monkeypatch.delenv(executor_module.BACKEND_ENV, raising=False)
+        monkeypatch.delenv(executor_module.NO_CACHE_ENV, raising=False)
+        monkeypatch.setenv(executor_module.JOBS_ENV, " 5 ")
+        assert executor_module.get_default_executor().jobs == 5
+
+
+class TestMixedTypeMapKeys:
+    """Regression: dict canonicalisation sorted by repr(key) alone, which
+    interleaves mixed-type keys unstably (the repr of a str key sorts
+    before or after an int key depending on the digits involved)."""
+
+    def test_sort_groups_by_type(self):
+        from repro.sweep.cache import _canonical
+
+        # With repr-only sorting, "0" (repr `'0'`, starting with a quote)
+        # sorts before 1 but "2" sorts after 1 — the int/str interleaving
+        # depended on the values.  Type-grouped sorting is stable.
+        low = _canonical({1: "a", "0": "b"})
+        high = _canonical({1: "a", "2": "b"})
+        assert [type(k).__name__ for k, _ in low[1]] == ["int", "str"]
+        assert [type(k).__name__ for k, _ in high[1]] == ["int", "str"]
+
+    def test_mixed_keys_do_not_collide(self):
+        assert content_key("t", {1: "a", "1": "b"}) != content_key(
+            "t", {1: "b", "1": "a"}
+        )
+        assert content_key("t", {True: "a"}) != content_key("t", {1: "a"})
+
+    def test_insertion_order_is_irrelevant(self):
+        first = {1: "a", "0": "b", (2,): "c"}
+        second = {(2,): "c", "0": "b", 1: "a"}
+        assert content_key("t", first) == content_key("t", second)
