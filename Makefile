@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench experiments bench-full help
+.PHONY: test bench experiments fleet bench-full help
 
 help:
 	@echo "make test        - run the tier-1 test suite"
@@ -9,6 +9,8 @@ help:
 	@echo "                   updates BENCH_simulator.json"
 	@echo "make experiments - quick perf tier: experiment-layer sweep engine,"
 	@echo "                   updates BENCH_experiments.json"
+	@echo "make fleet       - fleet-scheduling benchmark (policy makespans +"
+	@echo "                   determinism gate), updates BENCH_fleet.json"
 	@echo "make bench-full  - every benchmark (paper tables/figures reproduction)"
 
 test:
@@ -19,6 +21,9 @@ bench:
 
 experiments:
 	$(PYTHON) -m benchmarks --suite experiments
+
+fleet:
+	$(PYTHON) -m benchmarks --suite fleet
 
 bench-full:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

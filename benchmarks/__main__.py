@@ -3,9 +3,10 @@
 ``--suite simulator`` (the default) runs the simulator fast-path
 benchmark and writes ``BENCH_simulator.json``; ``--suite experiments``
 runs the experiment-layer sweep-engine benchmark and writes
-``BENCH_experiments.json``; ``--suite all`` runs both.  Exits non-zero
-when any equivalence or speedup gate fails, so both tiers can serve as
-CI steps.
+``BENCH_experiments.json``; ``--suite fleet`` runs the fleet-scheduling
+benchmark and writes ``BENCH_fleet.json``; ``--suite all`` runs every
+tier.  Exits non-zero when any equivalence, determinism or speedup gate
+fails, so each tier can serve as a CI step.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ import argparse
 import sys
 
 from benchmarks.experiments_bench import main as experiments_main
+from benchmarks.fleet_bench import main as fleet_main
 from benchmarks.simulator_bench import (
     BENCH_MACHINE,
     BENCH_NUM_OPS,
@@ -71,7 +73,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("simulator", "experiments", "all"),
+        choices=("simulator", "experiments", "fleet", "all"),
         default="simulator",
         help="which quick tier to run",
     )
@@ -98,7 +100,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--jobs must be at least 1")
 
     # Surface flags that the selected suite will never read.
-    if args.suite == "experiments":
+    if args.suite in ("experiments", "fleet"):
         ignored = [
             flag
             for flag, changed in (
@@ -112,22 +114,25 @@ def main(argv: list[str] | None = None) -> int:
         if ignored:
             parser.error(f"{', '.join(ignored)} only apply to --suite simulator/all")
     if args.suite == "all" and args.machine != BENCH_MACHINE:
-        # The experiments tier has no machine knob yet; refusing beats
-        # silently measuring the two tiers on different topologies.
+        # The other tiers have no machine knob yet; refusing beats
+        # silently measuring the tiers on different topologies.
         parser.error("--machine only applies to --suite simulator")
     if args.suite == "simulator" and args.jobs is not None:
-        parser.error("--jobs only applies to --suite experiments/all")
+        parser.error("--jobs only applies to --suite experiments/fleet/all")
+
+    passthrough_args = []
+    if args.jobs is not None:
+        passthrough_args += ["--jobs", str(args.jobs)]
+    if args.no_write:
+        passthrough_args += ["--no-write"]
 
     status = 0
     if args.suite in ("simulator", "all"):
         status = max(status, _simulator_main(args, parser))
     if args.suite in ("experiments", "all"):
-        experiment_args = []
-        if args.jobs is not None:
-            experiment_args += ["--jobs", str(args.jobs)]
-        if args.no_write:
-            experiment_args += ["--no-write"]
-        status = max(status, experiments_main(experiment_args))
+        status = max(status, experiments_main(passthrough_args))
+    if args.suite in ("fleet", "all"):
+        status = max(status, fleet_main(passthrough_args))
     return status
 
 

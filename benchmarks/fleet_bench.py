@@ -1,0 +1,210 @@
+"""The fleet-layer benchmark: policy makespans + determinism gate.
+
+Replays the canonical fleet workload — a 50-job trace (arrival seed 42)
+over the five-machine reference fleet — under every placement policy,
+twice each, and enforces two gates:
+
+* **determinism** — the second run of every policy must be byte-identical
+  to the first (SHA-256 over the outcome's deterministic fields; the
+  wall-clock scheduler-overhead figure is reported but excluded);
+* **placement quality** — the interference-aware policy must beat the
+  first-fit baseline's makespan on this trace.
+
+Results are written to ``BENCH_fleet.json`` (makespans, speedups vs
+first-fit, scheduler overhead, estimator traffic) so the repo tracks the
+fleet layer's trajectory the same way ``BENCH_simulator.json`` and
+``BENCH_experiments.json`` track the lower layers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.api import DEFAULT_FLEET
+from repro.fleet import FleetSimulator, generate_trace
+from repro.sweep import SweepCache, SweepExecutor
+from repro.version import __version__
+
+#: The canonical benchmark workload.
+BENCH_NUM_JOBS = 50
+BENCH_ARRIVAL_SEED = 42
+BENCH_MACHINES: tuple[str, ...] = DEFAULT_FLEET
+BENCH_POLICIES: tuple[str, ...] = ("first-fit", "load-balanced", "interference-aware")
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_fleet.json"
+
+
+def _digest(result) -> str:
+    """SHA-256 over the outcome's deterministic fields."""
+    payload = json.dumps(result.to_dict(include_overhead=False), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def run_fleet_benchmark(
+    *,
+    num_jobs: int = BENCH_NUM_JOBS,
+    arrival_seed: int = BENCH_ARRIVAL_SEED,
+    machines: tuple[str, ...] = BENCH_MACHINES,
+    policies: tuple[str, ...] = BENCH_POLICIES,
+    jobs: int | None = None,
+) -> dict:
+    """Run every policy twice and return the benchmark report."""
+    jobs = jobs or os.cpu_count() or 1
+    trace = generate_trace(num_jobs, seed=arrival_seed)
+    report_policies: dict[str, dict] = {}
+    deterministic = True
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-cache-") as cache_dir:
+        for policy in policies:
+            runs = []
+            for _ in range(2):
+                # A fresh executor per run: the second run exercises the
+                # on-disk estimate cache the way a real re-invocation would.
+                executor = SweepExecutor("process", jobs=jobs, cache=SweepCache(cache_dir))
+                simulator = FleetSimulator(machines, policy=policy, executor=executor)
+                start = time.perf_counter()
+                result = simulator.run(trace)
+                seconds = time.perf_counter() - start
+                executor.close()
+                runs.append((result, seconds))
+            first, second = runs[0][0], runs[1][0]
+            identical = _digest(first) == _digest(second)
+            deterministic = deterministic and identical
+            report_policies[policy] = {
+                "makespan": first.makespan,
+                "mean_wait_time": round(first.mean_wait_time, 6),
+                "corun_rounds": sum(m.corun_rounds for m in first.machine_reports),
+                "total_rounds": sum(m.rounds for m in first.machine_reports),
+                "blacklisted_pairs": [list(p) for p in first.blacklisted_pairs],
+                # Cold overhead includes on-demand estimate simulation;
+                # the warm figure is the steady-state decision cost.
+                "scheduler_overhead_seconds": round(
+                    first.scheduler_overhead_seconds, 6
+                ),
+                "warm_scheduler_overhead_seconds": round(
+                    second.scheduler_overhead_seconds, 6
+                ),
+                "estimates_requested": first.estimates_requested,
+                "estimates_computed": first.estimates_computed,
+                "cold_seconds": round(runs[0][1], 4),
+                "warm_seconds": round(runs[1][1], 4),
+                "rerun_identical": identical,
+            }
+
+    first_fit = report_policies.get("first-fit", {}).get("makespan")
+    aware = report_policies.get("interference-aware", {}).get("makespan")
+    return {
+        "benchmark": "fleet-scheduling",
+        "generated": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "version": __version__,
+        "python": platform.python_version(),
+        "workload": {
+            "num_jobs": num_jobs,
+            "arrival_seed": arrival_seed,
+            "machines": list(machines),
+            "jobs": jobs,
+        },
+        "policies": report_policies,
+        "speedups_vs_first_fit": {
+            policy: round(first_fit / phase["makespan"], 4)
+            for policy, phase in report_policies.items()
+            if first_fit is not None
+        },
+        "deterministic": deterministic,
+        "interference_beats_first_fit": (
+            aware < first_fit if aware is not None and first_fit is not None else None
+        ),
+    }
+
+
+def write_bench_json(report: dict, path: Path = BENCH_JSON) -> Path:
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def format_report(report: dict) -> str:
+    workload = report["workload"]
+    lines = [
+        f"fleet scheduling benchmark — {workload['num_jobs']} jobs "
+        f"(arrival seed {workload['arrival_seed']}) over "
+        f"{len(workload['machines'])} machines",
+        f"{'policy':<20} {'makespan':>10} {'speedup':>8} {'corun':>7} "
+        f"{'overhead':>10} {'cold':>7} {'warm':>7} {'rerun=':>7}",
+    ]
+    for policy, phase in report["policies"].items():
+        speedup = report["speedups_vs_first_fit"].get(policy, 1.0)
+        lines.append(
+            f"{policy:<20} {phase['makespan']:>9.2f}s {speedup:>7.2f}x "
+            f"{phase['corun_rounds']:>3}/{phase['total_rounds']:<3} "
+            f"{phase['warm_scheduler_overhead_seconds'] * 1e3:>8.1f}ms "
+            f"{phase['cold_seconds']:>6.2f}s {phase['warm_seconds']:>6.2f}s "
+            f"{str(phase['rerun_identical']):>7}"
+        )
+    lines.append(
+        f"deterministic reruns: {report['deterministic']}; "
+        f"interference-aware beats first-fit: {report['interference_beats_first_fit']}"
+    )
+    return "\n".join(lines)
+
+
+def check_gates(report: dict) -> list[str]:
+    """The failed-gate messages of one benchmark report (empty = pass)."""
+    failures = []
+    if not report["deterministic"]:
+        bad = [
+            policy
+            for policy, phase in report["policies"].items()
+            if not phase["rerun_identical"]
+        ]
+        failures.append(
+            "fleet reruns diverged for a fixed (trace, policy, machines): "
+            + ", ".join(bad)
+        )
+    if report["interference_beats_first_fit"] is False:
+        failures.append(
+            "interference-aware makespan "
+            f"{report['policies']['interference-aware']['makespan']:.2f}s did not "
+            "beat first-fit "
+            f"{report['policies']['first-fit']['makespan']:.2f}s"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.fleet_bench",
+        description="Fleet-layer benchmark (writes BENCH_fleet.json)",
+    )
+    parser.add_argument("--jobs", type=int, default=None, help="sweep-engine worker count")
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the report without updating BENCH_fleet.json",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+
+    report = run_fleet_benchmark(jobs=args.jobs)
+    print(format_report(report))
+    if not args.no_write:
+        path = write_bench_json(report)
+        print(f"wrote {path}")
+
+    failures = check_gates(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,10 @@ The package is organised in layers:
 * :mod:`repro.baselines` — the TensorFlow-recommended configuration and
   exhaustive manual optimisation baselines.
 * :mod:`repro.experiments` — one module per table / figure of the paper.
+* :mod:`repro.fleet` — interference-aware multi-machine job placement:
+  a stream of training jobs over many zoo machines, with pluggable
+  placement policies driven by the same predictions and interference
+  signals as the single-machine runtime.
 
 Typical entry point::
 
@@ -40,9 +44,11 @@ from repro.api import (
     available_scenarios,
     build_model_graph,
     default_machine,
+    FleetOutcome,
     get_machine,
     get_scenario,
     quick_schedule,
+    run_fleet,
     run_scenario,
     ScheduleOutcome,
     ScenarioOutcome,
@@ -58,7 +64,9 @@ __all__ = [
     "get_machine",
     "get_scenario",
     "quick_schedule",
+    "run_fleet",
     "run_scenario",
+    "FleetOutcome",
     "ScheduleOutcome",
     "ScenarioOutcome",
 ]

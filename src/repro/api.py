@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING, Sequence
+
 from repro.core.config import RuntimeConfig
 from repro.core.runtime import TrainingRuntime
 from repro.graph.dataflow import DataflowGraph
@@ -20,6 +22,9 @@ from repro.hardware.zoo import available_machines, get_machine, resolve_machine
 from repro.models.registry import available_models as _available_models
 from repro.models.registry import build_model
 from repro.scenarios import Scenario, available_scenarios, get_scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet import Job
 
 
 @dataclass(frozen=True)
@@ -153,4 +158,95 @@ def run_scenario(
         speedup_vs_recommendation=report.speedup_vs_recommendation,
         average_corunning=report.average_corunning,
         profiling_signatures=report.profiling_signatures,
+    )
+
+
+# -- fleet scheduling ---------------------------------------------------------------
+
+#: The default fleet: five zoo machines spanning fast desktops, a
+#: thermally-limited laptop, a noisy cloud VM and an SMT-less ARM server
+#: — heterogeneous enough that placement quality actually matters.
+DEFAULT_FLEET: tuple[str, ...] = (
+    "desktop-8c",
+    "laptop-4c",
+    "cloud-vm-16v",
+    "desktop-8c",
+    "arm-server-64c",
+)
+
+
+@dataclass(frozen=True)
+class FleetOutcome:
+    """Result of placing one job trace across a fleet of machines."""
+
+    policy: str
+    machines: tuple[str, ...]
+    num_jobs: int
+    makespan: float
+    mean_wait_time: float
+    mean_turnaround_time: float
+    total_rounds: int
+    corun_rounds: int
+    blacklisted_pairs: tuple[tuple[str, str], ...]
+    scheduler_overhead_seconds: float
+    estimates_requested: int
+    estimates_computed: int
+
+    def __str__(self) -> str:
+        return (
+            f"fleet[{self.policy}] on {len(self.machines)} machines: "
+            f"{self.num_jobs} jobs in {self.makespan:.2f} s "
+            f"(mean wait {self.mean_wait_time:.2f} s, "
+            f"{self.corun_rounds}/{self.total_rounds} co-run rounds, "
+            f"{len(self.blacklisted_pairs)} blacklisted pairings, "
+            f"scheduler overhead {self.scheduler_overhead_seconds * 1e3:.1f} ms)"
+        )
+
+
+def run_fleet(
+    jobs: Sequence["Job"] | None = None,
+    *,
+    machines: Sequence[str] = DEFAULT_FLEET,
+    policy: str = "interference-aware",
+    num_jobs: int = 20,
+    arrival_seed: int = 0,
+    max_corun: int | None = None,
+    config: RuntimeConfig | None = None,
+    executor=None,
+) -> FleetOutcome:
+    """Place a stream of training jobs across many zoo machines.
+
+    ``jobs`` defaults to a deterministic generated trace of ``num_jobs``
+    jobs (``arrival_seed`` drives arrivals, kinds and step counts — see
+    :func:`repro.fleet.generate_trace`).  ``policy`` is one of
+    :func:`repro.fleet.available_policies` (``"first-fit"``,
+    ``"load-balanced"``, ``"interference-aware"``).  The same
+    (trace, policy, machine set) always produces the identical outcome.
+    """
+    from repro.fleet import FleetSimulator, generate_trace
+    from repro.fleet.simulator import DEFAULT_MAX_CORUN
+
+    if jobs is None:
+        jobs = generate_trace(num_jobs, seed=arrival_seed)
+    simulator = FleetSimulator(
+        machines,
+        policy=policy,
+        executor=executor,
+        config=config,
+        max_corun=max_corun if max_corun is not None else DEFAULT_MAX_CORUN,
+    )
+    result = simulator.run(jobs)
+    return FleetOutcome(
+        policy=result.policy_name,
+        machines=result.machine_names,
+        num_jobs=result.num_jobs,
+        makespan=result.makespan,
+        mean_wait_time=result.mean_wait_time,
+        mean_turnaround_time=result.mean_turnaround_time,
+        total_rounds=sum(m.rounds for m in result.machine_reports),
+        corun_rounds=sum(m.corun_rounds for m in result.machine_reports),
+        blacklisted_pairs=result.blacklisted_pairs,
+        scheduler_overhead_seconds=result.scheduler_overhead_seconds,
+        estimates_requested=result.estimates_requested,
+        estimates_computed=result.estimates_computed,
     )

@@ -18,6 +18,7 @@ from repro.experiments import (
     fig3_strategies,
     fig4_corun_events,
     fig5_gpu_intraop,
+    fleet_corun,
     table1_parallelism,
     table2_input_size,
     table3_corun,
@@ -39,6 +40,7 @@ ALL_EXPERIMENTS = {
     "fig4": fig4_corun_events,
     "fig5": fig5_gpu_intraop,
     "table7": table7_gpu_corun,
+    "fleet": fleet_corun,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

@@ -19,13 +19,14 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 import time
 from typing import Sequence
 
 from repro.experiments import ALL_EXPERIMENTS
-from repro.hardware.zoo import available_machines, describe_zoo
-from repro.scenarios import describe_scenarios, get_scenario
+from repro.hardware.zoo import available_machines, describe_zoo, machine_specs
+from repro.scenarios import describe_scenarios, get_scenario, scenario_specs
 from repro.sweep import BACKENDS, SweepCache, SweepExecutor, get_default_executor
 from repro.sweep.executor import EnvironmentConfigError, no_cache_requested
 
@@ -39,6 +40,9 @@ def _run_one(
     reduced: bool,
     executor: SweepExecutor | None = None,
     machine: str | None = None,
+    policy: str | None = None,
+    machines: tuple[str, ...] | None = None,
+    arrival_seed: int | None = None,
 ) -> str:
     module = ALL_EXPERIMENTS[name]
     # Forward only the options the experiment's run() accepts.  Inspect
@@ -54,6 +58,13 @@ def _run_one(
         # Forward the zoo *name*: experiment_machine() resolves it, and a
         # name stays trivially picklable for the process backend.
         kwargs["machine"] = machine
+    # Fleet-only options (repro-experiments fleet --policy/--machines/...).
+    if "policies" in parameters and policy is not None:
+        kwargs["policies"] = (policy,)
+    if "machines" in parameters and machines is not None:
+        kwargs["machines"] = machines
+    if "arrival_seed" in parameters and arrival_seed is not None:
+        kwargs["arrival_seed"] = arrival_seed
     result = module.run(**kwargs)
     return module.format_report(result)
 
@@ -116,6 +127,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         "(see --list-scenarios); mutually exclusive with --machine",
     )
     parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit --list-machines / --list-scenarios as sorted JSON specs",
+    )
+    parser.add_argument(
+        "--policy",
+        default=None,
+        metavar="NAME",
+        help="fleet experiment only: restrict the policy comparison to one "
+        "placement policy (first-fit, load-balanced, interference-aware)",
+    )
+    parser.add_argument(
+        "--machines",
+        default=None,
+        metavar="NAMES",
+        help="fleet experiment only: comma-separated zoo machines forming "
+        "the fleet (default: the five-machine reference fleet)",
+    )
+    parser.add_argument(
+        "--arrival-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet experiment only: seed of the generated job trace",
+    )
+    parser.add_argument(
         "--full",
         action="store_true",
         help="use the full-size model graphs (slower, closer to the paper's scale)",
@@ -156,11 +193,44 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(name)
         return 0
     if args.list_machines:
-        print(describe_zoo())
+        if args.json:
+            print(json.dumps(machine_specs(), indent=2, sort_keys=True))
+        else:
+            print(describe_zoo())
         return 0
     if args.list_scenarios:
-        print(describe_scenarios())
+        if args.json:
+            print(json.dumps(scenario_specs(), indent=2, sort_keys=True))
+        else:
+            print(describe_scenarios())
         return 0
+
+    fleet_machines: tuple[str, ...] | None = None
+    if args.machines is not None:
+        fleet_machines = tuple(
+            name.strip() for name in args.machines.split(",") if name.strip()
+        )
+        unknown_machines = [
+            name for name in fleet_machines if name not in available_machines()
+        ]
+        if not fleet_machines or unknown_machines:
+            print(
+                f"--machines must name zoo machines (unknown: "
+                f"{', '.join(unknown_machines) or '<empty>'}); available: "
+                f"{', '.join(available_machines())}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.policy is not None:
+        from repro.fleet import available_policies
+
+        if args.policy not in available_policies():
+            print(
+                f"unknown policy {args.policy!r}; available: "
+                f"{', '.join(available_policies())}",
+                file=sys.stderr,
+            )
+            return 2
 
     machine = args.machine
     if args.scenario is not None:
@@ -197,7 +267,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         for name in names:
             start = time.time()
             report = _run_one(
-                name, reduced=not args.full, executor=executor, machine=machine
+                name,
+                reduced=not args.full,
+                executor=executor,
+                machine=machine,
+                policy=args.policy,
+                machines=fleet_machines,
+                arrival_seed=args.arrival_seed,
             )
             elapsed = time.time() - start
             suffix = f" @ {machine}" if machine is not None else ""

@@ -1,0 +1,59 @@
+"""Interference-aware multi-machine job placement (the fleet layer).
+
+The layer between the single-machine runtime (PR 1), the sweep engine
+(PR 2) and the machine zoo / scenario registry (PR 3): a stream of
+training jobs (:mod:`repro.fleet.job`) is placed across zoo machines by
+a pluggable policy (:mod:`repro.fleet.policies`) and executed by an
+event-driven simulator (:mod:`repro.fleet.simulator`) whose per-machine
+rounds run on the existing merged-graph co-run path with cached
+step-time estimates (:mod:`repro.fleet.estimates`).
+
+Entry points: :func:`repro.api.run_fleet`, the ``fleet`` experiment
+(``python -m repro.experiments fleet``) and ``benchmarks/fleet_bench.py``.
+"""
+
+from repro.fleet.estimates import StepTimeEstimator, canonical_mix, corun_step_time
+from repro.fleet.job import DEFAULT_JOB_MIX, Job, generate_trace, jobs_from_scenario
+from repro.fleet.policies import (
+    POLICIES,
+    FirstFitPolicy,
+    InterferenceAwarePolicy,
+    LoadBalancedPolicy,
+    PlacementPolicy,
+    available_policies,
+    make_policy,
+)
+from repro.fleet.simulator import (
+    DEFAULT_MAX_CORUN,
+    FleetResult,
+    FleetSimulator,
+    JobCompletion,
+    MachineReport,
+)
+from repro.fleet.state import FleetState, MachineState, MachineView, Placement
+
+__all__ = [
+    "DEFAULT_JOB_MIX",
+    "DEFAULT_MAX_CORUN",
+    "FirstFitPolicy",
+    "FleetResult",
+    "FleetSimulator",
+    "FleetState",
+    "InterferenceAwarePolicy",
+    "Job",
+    "JobCompletion",
+    "LoadBalancedPolicy",
+    "MachineReport",
+    "MachineState",
+    "MachineView",
+    "POLICIES",
+    "Placement",
+    "PlacementPolicy",
+    "StepTimeEstimator",
+    "available_policies",
+    "canonical_mix",
+    "corun_step_time",
+    "generate_trace",
+    "jobs_from_scenario",
+    "make_policy",
+]

@@ -1,0 +1,161 @@
+"""Per-(job mix, machine) step-time estimates for the fleet simulator.
+
+The fleet layer's unit of time is the *gang round*: every job resident
+on a machine advances one training step, and the round takes as long as
+one simulated step of the jobs' **merged** graph under the paper's
+runtime — exactly the single-machine co-run path PR 3 built
+(:func:`repro.scenarios.merge_graphs` + profiling +
+:class:`~repro.core.scheduler.RuntimeSchedulerPolicy` on the incremental
+:class:`~repro.execsim.simulator.StepSimulator`).
+
+Because a round's duration is a pure function of ``(machine kind,
+multiset of (workload, graph seed), runtime config)``, the computation
+lives in a module-level task function (:func:`corun_step_time`) that the
+sweep engine can fan out and its on-disk cache can memoise across runs;
+:class:`StepTimeEstimator` adds the canonicalisation and an in-memory
+memo so one fleet simulation never pays for the same mix twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.config import RuntimeConfig
+from repro.fleet.job import Job
+from repro.hardware.zoo import get_machine
+from repro.scenarios import Workload, merge_graphs
+from repro.sweep.executor import SweepExecutor, SweepTask, get_default_executor
+
+#: Canonical co-run mix entry: (label, workload, graph_seed).
+MixEntry = tuple[str, Workload, int]
+
+
+def corun_step_time(
+    entries: tuple[MixEntry, ...],
+    machine_name: str,
+    config: RuntimeConfig,
+) -> float:
+    """Simulated step time of one gang round on ``machine_name``.
+
+    Builds each entry's graph, merges them into one schedulable step,
+    profiles the merged graph with the hill-climbing model and runs one
+    scheduled step under the full runtime policy.  Pure and picklable:
+    the sweep engine's process backend and on-disk cache both apply.
+    """
+    from repro.core.runtime import TrainingRuntime  # local: keeps import cycle-free
+
+    if not entries:
+        raise ValueError("a co-run mix needs at least one entry")
+    machine = get_machine(machine_name)
+    graphs = {
+        label: workload.build(graph_seed) for label, workload, graph_seed in entries
+    }
+    if len(graphs) == 1:
+        graph = next(iter(graphs.values()))
+    else:
+        graph = merge_graphs(graphs, name="fleet-mix")
+    runtime = TrainingRuntime(machine, config)
+    model = runtime.profile(graph)
+    policy = runtime.build_policy(model)
+    return runtime.simulator.run_step(graph, policy, step_name="fleet-round").step_time
+
+
+def canonical_mix(jobs: Sequence[Job]) -> tuple[MixEntry, ...]:
+    """The canonical (order-independent) mix key of a set of resident jobs.
+
+    Jobs are sorted by (kind, graph seed) and labelled by position, so
+    any two rounds running the same multiset of workloads — regardless
+    of job identity or admission order — share one estimate.
+    """
+    ordered = sorted(jobs, key=lambda job: (job.kind, job.graph_seed))
+    return tuple(
+        (f"{index}-{job.kind}", job.workload, job.graph_seed)
+        for index, job in enumerate(ordered)
+    )
+
+
+@dataclass
+class EstimatorStats:
+    """How many estimates were requested vs actually simulated."""
+
+    requests: int = 0
+    computed: int = 0
+
+    @property
+    def memo_hits(self) -> int:
+        return self.requests - self.computed
+
+
+@dataclass
+class StepTimeEstimator:
+    """Memoised access to :func:`corun_step_time` through the sweep engine.
+
+    The in-memory memo serves repeated rounds of one simulation; the
+    executor's :class:`~repro.sweep.cache.SweepCache` (when enabled)
+    persists estimates across simulations, policies and processes —
+    comparing three placement policies on the same trace pays for each
+    distinct (machine, mix) exactly once.
+    """
+
+    executor: SweepExecutor | None = None
+    config: RuntimeConfig = field(default_factory=RuntimeConfig)
+    _memo: dict[tuple, float] = field(default_factory=dict)
+    stats: EstimatorStats = field(default_factory=EstimatorStats)
+
+    def _executor(self) -> SweepExecutor:
+        return self.executor if self.executor is not None else get_default_executor()
+
+    def step_time(self, machine_name: str, jobs: Sequence[Job]) -> float:
+        """Round duration of ``jobs`` gang-stepping on ``machine_name``."""
+        entries = canonical_mix(jobs)
+        key = (machine_name, entries)
+        self.stats.requests += 1
+        value = self._memo.get(key)
+        if value is None:
+            value = self._executor().run(
+                [SweepTask(corun_step_time, (entries, machine_name, self.config))]
+            )[0]
+            self._memo[key] = value
+            self.stats.computed += 1
+        return value
+
+    def solo_time(self, machine_name: str, job: Job) -> float:
+        """The job's isolated (no co-runner) step time on ``machine_name``."""
+        return self.step_time(machine_name, (job,))
+
+    def prewarm(
+        self, machine_names: Sequence[str], jobs: Sequence[Job]
+    ) -> int:
+        """Fan the solo estimates of every (machine kind, job kind) pair out
+        over the sweep engine in one parallel batch.
+
+        Returns the number of estimates computed (post-memo).  Solo
+        estimates dominate a simulation's estimator traffic (every
+        policy consults them for every placement), so prewarming them in
+        parallel is where the sweep engine's fan-out pays off.
+        """
+        tasks: list[SweepTask] = []
+        keys: list[tuple] = []
+        seen: set[tuple] = set(self._memo)
+        for machine_name in dict.fromkeys(machine_names):
+            for job in jobs:
+                entries = canonical_mix((job,))
+                key = (machine_name, entries)
+                if key in seen:
+                    continue
+                seen.add(key)
+                keys.append(key)
+                tasks.append(
+                    SweepTask(corun_step_time, (entries, machine_name, self.config))
+                )
+        if not tasks:
+            return 0
+        results = self._executor().run(tasks)
+        for key, value in zip(keys, results):
+            self._memo[key] = value
+        # Prewarmed estimates are requests too, so ``memo_hits`` (the
+        # requests/computed difference) can never go negative.
+        self.stats.requests += len(tasks)
+        self.stats.computed += len(tasks)
+        return len(tasks)

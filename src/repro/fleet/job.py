@@ -1,0 +1,137 @@
+"""Jobs and job traces: the unit of work the fleet scheduler places.
+
+A :class:`Job` is one training run — a :class:`~repro.scenarios.Workload`
+(one of the paper's models or a seeded synthetic DAG) plus how many
+training steps it needs and when it arrives.  The fleet simulator
+(:mod:`repro.fleet.simulator`) places a *stream* of jobs across zoo
+machines; :func:`generate_trace` produces such streams deterministically
+from a seed, and :func:`jobs_from_scenario` lifts a registered co-run
+scenario's workload mix into jobs (so fleet traces can reference
+scenarios by their stable serialized spec — see
+:meth:`repro.scenarios.Scenario.to_dict`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.scenarios import Scenario, Workload, get_scenario
+from repro.utils.seeding import make_rng
+
+#: The default workload catalog traces draw from.  Mostly synthetic DAGs
+#: (cheap to profile, seeded, diverse op mixes) plus one real reduced
+#: model; each entry's *label* is the job kind the interference tracker
+#: keys on.  Kept small on purpose: distinct co-run sets are multisets
+#: over these kinds, so a small catalog keeps the per-(machine, mix)
+#: step-time estimates highly reusable across rounds and runs.
+DEFAULT_JOB_MIX: tuple[Workload, ...] = (
+    Workload(synthetic_ops=48, synthetic_width=4, heavy_fraction=0.6, label="syn-heavy"),
+    Workload(synthetic_ops=64, synthetic_width=8, heavy_fraction=0.35, label="syn-wide"),
+    Workload(synthetic_ops=56, synthetic_width=4, heavy_fraction=0.1, label="syn-light"),
+    Workload(synthetic_ops=40, synthetic_width=2, heavy_fraction=0.5, label="syn-deep"),
+    Workload(model="dcgan", label="dcgan"),
+)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One training job in a fleet trace.
+
+    The job is a value: its graph is built on demand (deterministically
+    from ``graph_seed``) by the step-time estimator, never stored.
+    """
+
+    name: str
+    workload: Workload
+    num_steps: int
+    arrival_time: float = 0.0
+    #: Seed for synthetic workload graphs.  Traces reuse one seed per
+    #: workload *kind* so identical kinds share graphs — which is what
+    #: keeps the per-(machine, co-run set) estimate cache small.
+    graph_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job name must be non-empty")
+        if self.num_steps < 1:
+            raise ValueError("num_steps must be at least 1")
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+
+    @property
+    def kind(self) -> str:
+        """The workload kind — the interference tracker's pairing key."""
+        return self.workload.name
+
+
+def generate_trace(
+    num_jobs: int,
+    *,
+    seed: int = 0,
+    workloads: Sequence[Workload] = DEFAULT_JOB_MIX,
+    mean_interarrival: float = 2.0,
+    min_steps: int = 3,
+    max_steps: int = 10,
+) -> tuple[Job, ...]:
+    """A deterministic stream of jobs with Poisson arrivals.
+
+    The same ``(num_jobs, seed, workloads, ...)`` always produces the
+    identical trace: workload kinds, step counts and arrival times are
+    all drawn from one seeded generator.  ``mean_interarrival`` is in
+    simulated seconds — against the default catalog's step times it
+    controls how heavily the fleet is loaded (smaller = burstier).
+    """
+    if num_jobs < 1:
+        raise ValueError("num_jobs must be at least 1")
+    if not workloads:
+        raise ValueError("the workload catalog must be non-empty")
+    if not 1 <= min_steps <= max_steps:
+        raise ValueError("need 1 <= min_steps <= max_steps")
+    if mean_interarrival <= 0:
+        raise ValueError("mean_interarrival must be positive")
+    rng = make_rng(seed)
+    jobs: list[Job] = []
+    clock = 0.0
+    for index in range(num_jobs):
+        workload = workloads[int(rng.integers(0, len(workloads)))]
+        steps = int(rng.integers(min_steps, max_steps + 1))
+        clock += float(rng.exponential(mean_interarrival))
+        jobs.append(
+            Job(
+                name=f"job-{index:03d}-{workload.name}",
+                workload=workload,
+                num_steps=steps,
+                arrival_time=clock,
+                # One graph seed per workload kind (not per job): identical
+                # kinds share graphs, keeping estimate cache keys reusable.
+                graph_seed=seed + workloads.index(workload),
+            )
+        )
+    return tuple(jobs)
+
+
+def jobs_from_scenario(
+    scenario: str | Scenario,
+    *,
+    num_steps: int = 5,
+    arrival_time: float = 0.0,
+) -> tuple[Job, ...]:
+    """One job per workload of a registered scenario's mix.
+
+    Turns the single-machine co-run scenarios (``corun-mix-knl``, ...)
+    into fleet inputs: what PR 3 co-located on one chip, the fleet layer
+    is free to spread across machines.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    return tuple(
+        Job(
+            name=f"{scenario.name}-{index}-{workload.name}",
+            workload=workload,
+            num_steps=num_steps,
+            arrival_time=arrival_time,
+            graph_seed=scenario.seed + index,
+        )
+        for index, workload in enumerate(scenario.workloads)
+    )

@@ -1,0 +1,267 @@
+"""Pluggable job-placement policies.
+
+Each policy answers one question — *which machine should this job run
+on, if any?* — from an immutable :class:`~repro.fleet.state.FleetState`.
+The ladder mirrors the paper's single-machine strategy ladder, one level
+up:
+
+* :class:`FirstFitPolicy` — the baseline a naive cluster uses: the first
+  machine with a free slot (jobs pile onto early machines even while
+  later ones idle, like TensorFlow's uniform defaults pile threads onto
+  one pool);
+* :class:`LoadBalancedPolicy` — spreads by *predicted* backlog, using
+  the performance-model-driven solo step-time estimates (Strategy 1/2
+  raised to machines: right-size each machine's load, ignore pairings);
+* :class:`InterferenceAwarePolicy` — additionally consults the
+  generalized :class:`~repro.core.interference.InterferenceTracker`
+  (keyed by workload kind) and the per-mix co-run estimates, placing
+  each job where its model-predicted marginal cost — its own steps plus
+  the slowdown it imposes on residents — is smallest (Strategies 3/4
+  raised to machines: co-locate only when the predictions say the mix
+  is profitable, never on a blacklisted pairing).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.core.interference import InterferenceTracker
+from repro.fleet.estimates import StepTimeEstimator
+from repro.fleet.job import Job
+from repro.fleet.state import DEFAULT_INTERFERENCE_THRESHOLD, FleetState, MachineView
+
+
+class PlacementPolicy(Protocol):
+    """The interface the fleet simulator drives."""
+
+    name: str
+
+    def place(self, job: Job, fleet: FleetState) -> str | None:
+        """The machine id to place ``job`` on, or ``None`` to keep it queued."""
+
+
+class FirstFitPolicy:
+    """Place on the first machine (in fleet order) with a free slot."""
+
+    name = "first-fit"
+
+    def place(self, job: Job, fleet: FleetState) -> str | None:
+        for machine in fleet.machines:
+            if machine.free_slots > 0:
+                return machine.machine_id
+        return None
+
+
+class LoadBalancedPolicy:
+    """Place on the machine with the least predicted backlog.
+
+    Backlog is measured in predicted seconds, not job counts: every
+    member's remaining steps are costed at its *solo* step-time estimate
+    on that machine (the hill-climbing model's prediction), so a slow
+    machine with one job can legitimately lose to a fast machine with
+    two.  Pairing effects are deliberately ignored — that is the
+    interference-aware policy's edge.
+    """
+
+    name = "load-balanced"
+
+    def __init__(self, estimator: StepTimeEstimator) -> None:
+        self.estimator = estimator
+
+    def _backlog(self, machine: MachineView, job: Job, now: float) -> float:
+        seconds = max(0.0, machine.busy_until - now)
+        for member in machine.members:
+            seconds += machine.remaining_of(member.name) * self.estimator.solo_time(
+                machine.machine_name, member
+            )
+        seconds += job.num_steps * self.estimator.solo_time(machine.machine_name, job)
+        return seconds
+
+    def place(self, job: Job, fleet: FleetState) -> str | None:
+        best: tuple[float, int] | None = None
+        chosen: str | None = None
+        for index, machine in enumerate(fleet.machines):
+            if machine.free_slots <= 0:
+                continue
+            score = (self._backlog(machine, job, fleet.time), index)
+            if best is None or score < best:
+                best = score
+                chosen = machine.machine_id
+        return chosen
+
+
+class InterferenceAwarePolicy:
+    """Model-guided placement that avoids harmful co-run pairings.
+
+    Machines whose members include a kind the shared interference
+    tracker has blacklisted against the job's kind are skipped (unless
+    *every* open machine is blacklisted, in which case the least-loaded
+    open machine is used — starving a job is worse than a bad pairing).
+    The remaining candidates are scored by predicted marginal cost:
+
+    ``cost = mix_time * job.steps + (mix_time - current_time) * imposed``
+
+    where ``mix_time`` is the estimated gang-round duration with the job
+    joining, ``current_time`` without it, and ``imposed`` the resident
+    steps that would suffer the slower rounds.  An idle machine scores
+    ``solo_time * job.steps`` — co-location only wins when the model
+    predicts the mix genuinely overlaps well, which is the fleet-level
+    restatement of Strategy 3's "fill idle cores without decreasing
+    system throughput".
+    """
+
+    name = "interference-aware"
+
+    def __init__(
+        self,
+        estimator: StepTimeEstimator,
+        tracker: InterferenceTracker | None = None,
+        *,
+        patience: float = 2.0,
+    ) -> None:
+        if patience < 1.0:
+            raise ValueError("patience must be at least 1.0")
+        self.estimator = estimator
+        self.tracker = (
+            tracker
+            if tracker is not None
+            else InterferenceTracker(threshold=DEFAULT_INTERFERENCE_THRESHOLD)
+        )
+        #: How much cheaper (multiplicatively) waiting for a full machine
+        #: must look before the policy declines an open slot.  Waiting
+        #: competes with the rest of the queue for the freed slot, so the
+        #: prediction is optimistic; demanding a clear margin keeps the
+        #: policy from starving itself on near-ties.
+        self.patience = patience
+
+    def _drain_time(self, machine_name: str, members: list[tuple[Job, int]]) -> float:
+        """Predicted seconds until ``members`` all finish on ``machine_name``.
+
+        Replays the gang-round dynamics symbolically: the current mix
+        runs at its estimated round time until its shortest member
+        drains, then the shrunken mix at *its* estimated rate, and so
+        on.  Every subset estimate comes from the memoised estimator, so
+        the replay costs a handful of dictionary hits.
+        """
+        total = 0.0
+        current = [(job, steps) for job, steps in members if steps > 0]
+        while current:
+            mix_time = self.estimator.step_time(
+                machine_name, [job for job, _ in current]
+            )
+            rounds = min(steps for _, steps in current)
+            total += rounds * mix_time
+            current = [
+                (job, steps - rounds) for job, steps in current if steps - rounds > 0
+            ]
+        return total
+
+    def _cost_after_join(self, machine: MachineView, job: Job, now: float) -> float:
+        """The machine's predicted time-to-drain once ``job`` joins it.
+
+        Minimising this greedily equalises predicted machine finish
+        times (what balances the fleet) *and* penalises bad pairings
+        (a mix whose round time approaches the sum of the solos drains
+        far slower than a complementary one) in a single number.
+        """
+        members = [
+            (member, machine.remaining_of(member.name)) for member in machine.members
+        ]
+        members.append((job, job.num_steps))
+        ready = max(0.0, machine.busy_until - now)
+        return ready + self._drain_time(machine.machine_name, members)
+
+    def _cost_after_wait(self, machine: MachineView, job: Job, now: float) -> float:
+        """Predicted cost of waiting for a slot on a currently full machine.
+
+        A slot frees once the member with the fewest remaining steps
+        drains (rounds until then run at the members' current mix rate);
+        the job then joins whatever is left and the machine drains as in
+        :meth:`_cost_after_join`.
+        """
+        members = [
+            (member, machine.remaining_of(member.name)) for member in machine.members
+        ]
+        current_mix = self.estimator.step_time(
+            machine.machine_name, [member for member, _ in members]
+        )
+        min_remaining = min(steps for _, steps in members)
+        wait = max(0.0, machine.busy_until - now) + (min_remaining - 1) * current_mix
+        survivors = [
+            (member, steps - min_remaining)
+            for member, steps in members
+            if steps > min_remaining
+        ]
+        survivors.append((job, job.num_steps))
+        return wait + self._drain_time(machine.machine_name, survivors)
+
+    def place(self, job: Job, fleet: FleetState) -> str | None:
+        open_machines = [
+            (index, machine)
+            for index, machine in enumerate(fleet.machines)
+            if machine.free_slots > 0
+        ]
+        if not open_machines:
+            return None
+        compatible = [
+            (index, machine)
+            for index, machine in open_machines
+            if self.tracker.allowed_with_all(job.kind, machine.member_kinds)
+        ]
+        if not compatible:
+            # Every open machine pairs badly: fall back to the emptiest one
+            # rather than queueing the job forever.
+            index, machine = min(
+                open_machines, key=lambda im: (len(im[1].members), im[0])
+            )
+            return machine.machine_id
+        best: tuple[float, int] | None = None
+        chosen: str | None = None
+        for index, machine in compatible:
+            score = (self._cost_after_join(machine, job, fleet.time), index)
+            if best is None or score < best:
+                best = score
+                chosen = machine.machine_id
+        assert best is not None
+        # Placing now is not always right.  When every open machine is a
+        # bad fit — say an idle thermally-limited laptop while a fast box
+        # drains its last rounds — it can be cheaper to stay queued and
+        # join the fast box once a slot frees.  Progress is guaranteed: a
+        # full machine always has a pending round end, and the simulator
+        # re-dispatches the queue on every event.
+        for machine in fleet.machines:
+            if machine.free_slots > 0 or not machine.members:
+                continue
+            if self._cost_after_wait(machine, job, fleet.time) * self.patience < best[0]:
+                return None
+        return chosen
+
+
+#: Policy factories by CLI name.  Each takes the simulator's shared
+#: estimator and interference tracker (first-fit needs neither but keeps
+#: the uniform signature).
+POLICIES: dict[str, Callable[[StepTimeEstimator, InterferenceTracker], PlacementPolicy]] = {
+    "first-fit": lambda estimator, tracker: FirstFitPolicy(),
+    "load-balanced": lambda estimator, tracker: LoadBalancedPolicy(estimator),
+    "interference-aware": InterferenceAwarePolicy,
+}
+
+
+def available_policies() -> tuple[str, ...]:
+    return tuple(sorted(POLICIES))
+
+
+def make_policy(
+    name: str,
+    *,
+    estimator: StepTimeEstimator,
+    tracker: InterferenceTracker,
+) -> PlacementPolicy:
+    """Build a registered placement policy by name."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {', '.join(available_policies())}"
+        ) from None
+    return factory(estimator, tracker)

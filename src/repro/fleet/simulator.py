@@ -1,0 +1,422 @@
+"""Event-driven fleet simulator: a stream of jobs over many zoo machines.
+
+This is the paper's co-run question raised one level: instead of *which
+ready ops share one chip's cores* (Strategy 3/4, Tables III/VII), the
+fleet simulator decides *which jobs share one machine* — using the same
+predictions (hill-climbing step-time estimates) and the same generalized
+interference signals.
+
+Execution model
+---------------
+Each machine runs its resident jobs as **gang rounds**: all residents
+advance one training step per round, and the round's duration is the
+simulated step time of their merged graph under the full runtime
+(:mod:`repro.fleet.estimates`).  Jobs join and leave at round
+boundaries; a placement policy (:mod:`repro.fleet.policies`) assigns
+arriving and queued jobs to machines.  After every co-run round the
+machine records the observed pairing slowdowns into its local
+:class:`~repro.core.interference.InterferenceTracker`, and the simulator
+merges that round's delta into the fleet-wide tracker — so a pairing one
+machine found harmful steers placements everywhere.
+
+Everything is deterministic for a fixed (job trace, policy, machine
+set): events are heap-ordered with explicit tie-breakers, estimates are
+pure functions, and wall-clock only appears in the separately reported
+scheduler-overhead figure.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.config import RuntimeConfig
+from repro.core.interference import InterferenceSnapshot, InterferenceTracker
+from repro.fleet.estimates import StepTimeEstimator
+from repro.fleet.job import Job
+from repro.fleet.policies import PlacementPolicy, make_policy
+from repro.fleet.state import (
+    DEFAULT_INTERFERENCE_THRESHOLD,
+    FleetState,
+    MachineState,
+    Placement,
+)
+from repro.hardware.zoo import get_machine
+from repro.sweep.executor import SweepExecutor
+
+#: Default number of jobs allowed to share one machine (the paper's
+#: co-run studies pair two workloads; capacity 2 is the sweet spot where
+#: Strategy 3/4 still have idle resources to fill).
+DEFAULT_MAX_CORUN = 2
+
+
+@dataclass(frozen=True)
+class JobCompletion:
+    """Lifecycle record of one finished job."""
+
+    job: str
+    kind: str
+    machine_id: str
+    arrival_time: float
+    start_time: float
+    finish_time: float
+    num_steps: int
+
+    @property
+    def wait_time(self) -> float:
+        return self.start_time - self.arrival_time
+
+    @property
+    def turnaround_time(self) -> float:
+        return self.finish_time - self.arrival_time
+
+
+@dataclass(frozen=True)
+class MachineReport:
+    """Per-machine aggregate of one fleet simulation."""
+
+    machine_id: str
+    machine_name: str
+    jobs_served: int
+    rounds: int
+    corun_rounds: int
+    busy_time: float
+    utilization: float
+    #: Pairings *this* machine observed crossing the threshold (the
+    #: fleet-wide blacklist is the union of these, shared via
+    #: snapshot()/merge()).
+    local_blacklist: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass
+class FleetResult:
+    """Outcome of simulating one job trace under one placement policy."""
+
+    policy_name: str
+    machine_names: tuple[str, ...]
+    num_jobs: int
+    makespan: float
+    completions: tuple[JobCompletion, ...]
+    placements: tuple[Placement, ...]
+    machine_reports: tuple[MachineReport, ...]
+    blacklisted_pairs: tuple[tuple[str, str], ...]
+    #: Wall-clock seconds spent inside policy decisions (NOT part of the
+    #: deterministic outcome; excluded from determinism digests).
+    scheduler_overhead_seconds: float = 0.0
+    #: Estimator traffic: how many step-time estimates the run requested
+    #: and how many were actually simulated (the rest were memo hits).
+    estimates_requested: int = 0
+    estimates_computed: int = 0
+
+    @property
+    def mean_wait_time(self) -> float:
+        return sum(c.wait_time for c in self.completions) / len(self.completions)
+
+    @property
+    def mean_turnaround_time(self) -> float:
+        return sum(c.turnaround_time for c in self.completions) / len(self.completions)
+
+    def to_dict(self, *, include_overhead: bool = True) -> dict:
+        """JSON-ready summary; ``include_overhead=False`` restricts the
+        dict to the deterministic fields (the determinism-gate digest)."""
+        out = {
+            "policy": self.policy_name,
+            "machines": list(self.machine_names),
+            "num_jobs": self.num_jobs,
+            "makespan": self.makespan,
+            "mean_wait_time": self.mean_wait_time,
+            "mean_turnaround_time": self.mean_turnaround_time,
+            "completions": [
+                {
+                    "job": c.job,
+                    "kind": c.kind,
+                    "machine": c.machine_id,
+                    "arrival": c.arrival_time,
+                    "start": c.start_time,
+                    "finish": c.finish_time,
+                    "steps": c.num_steps,
+                }
+                for c in self.completions
+            ],
+            "machine_reports": [
+                {
+                    "machine": m.machine_id,
+                    "name": m.machine_name,
+                    "jobs_served": m.jobs_served,
+                    "rounds": m.rounds,
+                    "corun_rounds": m.corun_rounds,
+                    "busy_time": m.busy_time,
+                    "utilization": m.utilization,
+                    "local_blacklist": [list(pair) for pair in m.local_blacklist],
+                }
+                for m in self.machine_reports
+            ],
+            "blacklisted_pairs": [list(pair) for pair in self.blacklisted_pairs],
+        }
+        if include_overhead:
+            out["scheduler_overhead_seconds"] = self.scheduler_overhead_seconds
+            out["estimates_requested"] = self.estimates_requested
+            out["estimates_computed"] = self.estimates_computed
+        return out
+
+
+#: Event kinds, ordered: at equal timestamps round boundaries retire
+#: jobs and free slots *before* arrivals are placed.
+_ROUND_END = 0
+_ARRIVAL = 1
+
+
+class FleetSimulator:
+    """Simulate a stream of jobs over a set of zoo machines.
+
+    Parameters
+    ----------
+    machines:
+        Zoo names of the fleet's machines (duplicates welcome — five
+        ``"desktop-8c"`` entries model a homogeneous rack).  Machine ids
+        are ``m0``, ``m1``, ... in the given order.
+    policy:
+        A policy name from :data:`repro.fleet.policies.POLICIES` or a
+        ready :class:`~repro.fleet.policies.PlacementPolicy` instance.
+    executor:
+        Optional :class:`~repro.sweep.executor.SweepExecutor` the
+        step-time estimator fans out over (and whose cache it reuses).
+    config:
+        Runtime configuration for the per-machine co-run simulations.
+    max_corun:
+        Job slots per machine.
+    interference_threshold:
+        Pairing-slowdown blacklist threshold of the fleet-wide tracker.
+    """
+
+    def __init__(
+        self,
+        machines: Sequence[str],
+        *,
+        policy: str | PlacementPolicy = "interference-aware",
+        executor: SweepExecutor | None = None,
+        estimator: StepTimeEstimator | None = None,
+        config: RuntimeConfig | None = None,
+        max_corun: int = DEFAULT_MAX_CORUN,
+        interference_threshold: float = DEFAULT_INTERFERENCE_THRESHOLD,
+    ) -> None:
+        if not machines:
+            raise ValueError("a fleet needs at least one machine")
+        if max_corun < 1:
+            raise ValueError("max_corun must be at least 1")
+        for name in machines:
+            get_machine(name)  # fail fast on dangling zoo names
+        self.machine_names = tuple(machines)
+        self.max_corun = max_corun
+        self.config = config or RuntimeConfig()
+        self.estimator = estimator or StepTimeEstimator(executor=executor, config=self.config)
+        self.tracker = InterferenceTracker(threshold=interference_threshold)
+        if isinstance(policy, str):
+            self.policy = make_policy(
+                policy, estimator=self.estimator, tracker=self.tracker
+            )
+        else:
+            self.policy = policy
+        #: Tracker state at first run entry (pre-seeded knowledge included);
+        #: every later run() resets to it so repeated runs are identical.
+        self._tracker_baseline: "InterferenceSnapshot | None" = None
+
+    # -- the event loop -----------------------------------------------------------
+
+    def run(self, jobs: Sequence[Job], *, prewarm: bool = True) -> FleetResult:
+        """Simulate ``jobs`` arriving and running to completion."""
+        if not jobs:
+            raise ValueError("a fleet simulation needs at least one job")
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError("job names must be unique within a trace")
+        # Same inputs -> same outcome, even on a reused simulator: the
+        # fleet-wide tracker restarts from its first-run baseline (which
+        # keeps any knowledge the caller pre-seeded), and estimator stats
+        # are reported as per-run deltas.
+        if self._tracker_baseline is None:
+            self._tracker_baseline = self.tracker.snapshot()
+        else:
+            self.tracker.clear()
+            self.tracker.merge(self._tracker_baseline)
+        requests_before = self.estimator.stats.requests
+        computed_before = self.estimator.stats.computed
+        if prewarm:
+            # Solo estimates dominate policy traffic; batch them through
+            # the sweep engine up front (parallel under a process backend).
+            self.estimator.prewarm(self.machine_names, jobs)
+
+        machines = [
+            MachineState(
+                machine_id=f"m{index}",
+                machine_name=name,
+                capacity=self.max_corun,
+                tracker=InterferenceTracker(threshold=self.tracker.threshold),
+            )
+            for index, name in enumerate(self.machine_names)
+        ]
+        by_id = {m.machine_id: m for m in machines}
+        queue: list[Job] = []
+        placements: list[Placement] = []
+        completions: list[JobCompletion] = []
+        start_times: dict[str, float] = {}
+        overhead = 0.0
+        now = 0.0
+        seq = 0
+
+        #: (time, kind, seq, payload) — kind orders round-ends before
+        #: arrivals at equal timestamps, seq keeps FIFO among equals.
+        events: list[tuple[float, int, int, object]] = []
+        for job in sorted(jobs, key=lambda j: (j.arrival_time, j.name)):
+            heapq.heappush(events, (job.arrival_time, _ARRIVAL, seq, job))
+            seq += 1
+
+        def fleet_state() -> FleetState:
+            return FleetState(
+                time=now,
+                machines=tuple(m.view() for m in machines),
+                queue=tuple(queue),
+            )
+
+        def start_round(machine: MachineState) -> None:
+            nonlocal seq
+            machine.residents.extend(machine.waiting)
+            machine.waiting.clear()
+            if not machine.residents:
+                return
+            for job in machine.residents:
+                start_times.setdefault(job.name, now)
+            round_time = self.estimator.step_time(
+                machine.machine_name, machine.residents
+            )
+            machine.round_time = round_time
+            machine.busy_until = now + round_time
+            machine.round_active = True
+            machine.busy_time += round_time
+            machine.rounds += 1
+            if len(machine.residents) > 1:
+                machine.corun_rounds += 1
+            heapq.heappush(events, (machine.busy_until, _ROUND_END, seq, machine.machine_id))
+            seq += 1
+
+        def finish_round(machine: MachineState) -> None:
+            machine.round_active = False
+            residents = list(machine.residents)
+            # Observe pairing slowdowns before anyone departs.
+            if len(residents) > 1:
+                duration = machine.round_time
+                delta = InterferenceTracker(threshold=self.tracker.threshold)
+                solos = {
+                    job.name: self.estimator.solo_time(machine.machine_name, job)
+                    for job in residents
+                }
+                for i, job_a in enumerate(residents):
+                    for job_b in residents[i + 1 :]:
+                        baseline = max(solos[job_a.name], solos[job_b.name])
+                        slowdown = duration / baseline - 1.0 if baseline > 0 else 0.0
+                        delta.record(job_a.kind, job_b.kind, slowdown)
+                snapshot = delta.snapshot()
+                machine.tracker.merge(snapshot)
+                self.tracker.merge(snapshot)
+            # Advance every resident by one step; retire the finished.
+            still_running: list[Job] = []
+            for job in residents:
+                remaining = machine.remaining_steps[job.name] - 1
+                machine.remaining_steps[job.name] = remaining
+                if remaining <= 0:
+                    del machine.remaining_steps[job.name]
+                    completions.append(
+                        JobCompletion(
+                            job=job.name,
+                            kind=job.kind,
+                            machine_id=machine.machine_id,
+                            arrival_time=job.arrival_time,
+                            start_time=start_times[job.name],
+                            finish_time=now,
+                            num_steps=job.num_steps,
+                        )
+                    )
+                else:
+                    still_running.append(job)
+            machine.residents = still_running
+
+        def dispatch() -> None:
+            nonlocal overhead
+            # FIFO over the queue; a job the policy declines stays queued
+            # (later jobs may still fit — no head-of-line blocking).
+            for job in list(queue):
+                state = fleet_state()
+                tick = _time.perf_counter()
+                choice = self.policy.place(job, state)
+                overhead += _time.perf_counter() - tick
+                if choice is None:
+                    continue
+                machine = by_id[choice]
+                if machine.free_slots <= 0:
+                    raise RuntimeError(
+                        f"policy {self.policy.name!r} placed {job.name!r} on full "
+                        f"machine {choice!r}"
+                    )
+                queue.remove(job)
+                machine.waiting.append(job)
+                machine.remaining_steps[job.name] = job.num_steps
+                placements.append(
+                    Placement(
+                        job=job.name, kind=job.kind, machine_id=choice, time=now
+                    )
+                )
+                if not machine.round_active:
+                    start_round(machine)
+
+        while events:
+            event_time, kind, _, payload = heapq.heappop(events)
+            now = event_time
+            if kind == _ARRIVAL:
+                queue.append(payload)  # type: ignore[arg-type]
+            else:
+                machine = by_id[payload]  # type: ignore[index]
+                finish_round(machine)
+            dispatch()
+            if kind == _ROUND_END:
+                machine = by_id[payload]  # type: ignore[index]
+                if not machine.round_active:
+                    start_round(machine)
+
+        if queue:
+            raise RuntimeError(
+                f"fleet simulation stalled with {len(queue)} jobs queued "
+                f"(policy {self.policy.name!r} kept declining placements)"
+            )
+
+        makespan = max(c.finish_time for c in completions)
+        served: dict[str, int] = {m.machine_id: 0 for m in machines}
+        for placement in placements:
+            served[placement.machine_id] += 1
+        reports = tuple(
+            MachineReport(
+                machine_id=m.machine_id,
+                machine_name=m.machine_name,
+                jobs_served=served[m.machine_id],
+                rounds=m.rounds,
+                corun_rounds=m.corun_rounds,
+                busy_time=m.busy_time,
+                utilization=m.busy_time / makespan if makespan > 0 else 0.0,
+                local_blacklist=m.tracker.blacklisted_pairs(),
+            )
+            for m in machines
+        )
+        return FleetResult(
+            policy_name=self.policy.name,
+            machine_names=self.machine_names,
+            num_jobs=len(jobs),
+            makespan=makespan,
+            completions=tuple(sorted(completions, key=lambda c: (c.finish_time, c.job))),
+            placements=tuple(placements),
+            machine_reports=reports,
+            blacklisted_pairs=self.tracker.blacklisted_pairs(),
+            scheduler_overhead_seconds=overhead,
+            estimates_requested=self.estimator.stats.requests - requests_before,
+            estimates_computed=self.estimator.stats.computed - computed_before,
+        )

@@ -1,0 +1,127 @@
+"""The fleet's model layer: placements, machine state, fleet state.
+
+Placement policies only ever see the immutable views defined here
+(:class:`MachineView` inside a :class:`FleetState`); the simulator owns
+the mutable :class:`MachineState`.  Keeping the policy-facing surface
+frozen makes policies trivially safe to reuse across simulations and
+keeps the decision inputs explicit — exactly the information a real
+cluster scheduler would have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.interference import InterferenceTracker
+from repro.fleet.job import Job
+
+#: Relative co-run slowdown (vs the slower solo estimate) above which a
+#: workload pairing is blacklisted.  Gang rounds of two jobs land
+#: between max(solo) (perfect overlap) and solo_a + solo_b (none); 0.75
+#: flags pairings that recover almost none of the overlap.  Shared by
+#: the fleet-wide tracker, the per-machine trackers and the policies.
+DEFAULT_INTERFERENCE_THRESHOLD = 0.75
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One placement decision: which machine a job was assigned to, when."""
+
+    job: str
+    kind: str
+    machine_id: str
+    time: float
+
+
+@dataclass(frozen=True)
+class MachineView:
+    """Read-only snapshot of one machine, as exposed to policies."""
+
+    machine_id: str
+    #: Zoo name of the hardware (``"desktop-8c"``, ...).
+    machine_name: str
+    #: Jobs inside the currently executing gang round.
+    residents: tuple[Job, ...]
+    #: Jobs admitted to this machine, joining at the next round boundary.
+    waiting: tuple[Job, ...]
+    #: Remaining training steps per member job name.
+    remaining_steps: tuple[tuple[str, int], ...]
+    #: Placement slots still open (capacity - residents - waiting).
+    free_slots: int
+    #: When the current round ends (== now when the machine is idle).
+    busy_until: float
+
+    @property
+    def members(self) -> tuple[Job, ...]:
+        """Every job currently bound to the machine (running or waiting)."""
+        return self.residents + self.waiting
+
+    @property
+    def member_kinds(self) -> tuple[str, ...]:
+        return tuple(job.kind for job in self.members)
+
+    def remaining_of(self, job_name: str) -> int:
+        for name, remaining in self.remaining_steps:
+            if name == job_name:
+                return remaining
+        raise KeyError(f"{job_name!r} is not bound to {self.machine_id}")
+
+
+@dataclass(frozen=True)
+class FleetState:
+    """Everything a placement policy may look at when placing one job."""
+
+    time: float
+    machines: tuple[MachineView, ...]
+    queue: tuple[Job, ...]
+
+    def machine(self, machine_id: str) -> MachineView:
+        for view in self.machines:
+            if view.machine_id == machine_id:
+                return view
+        raise KeyError(f"unknown machine {machine_id!r}")
+
+
+@dataclass
+class MachineState:
+    """Mutable per-machine bookkeeping owned by the fleet simulator."""
+
+    machine_id: str
+    machine_name: str
+    capacity: int
+    residents: list[Job] = field(default_factory=list)
+    waiting: list[Job] = field(default_factory=list)
+    remaining_steps: dict[str, int] = field(default_factory=dict)
+    busy_until: float = 0.0
+    round_active: bool = False
+    #: Duration of the round currently executing (reused at the round's
+    #: end for interference accounting without re-querying the estimator).
+    round_time: float = 0.0
+    #: Accumulated busy seconds (drives the utilisation report).
+    busy_time: float = 0.0
+    rounds: int = 0
+    corun_rounds: int = 0
+    #: This machine's locally observed co-run interference; the simulator
+    #: merges per-round deltas into the fleet-wide tracker via
+    #: snapshot()/merge() so machines share what they learn, and the
+    #: machine's own report carries what *it* observed.
+    tracker: InterferenceTracker = field(
+        default_factory=lambda: InterferenceTracker(
+            threshold=DEFAULT_INTERFERENCE_THRESHOLD
+        )
+    )
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self.residents) - len(self.waiting)
+
+    def view(self) -> MachineView:
+        return MachineView(
+            machine_id=self.machine_id,
+            machine_name=self.machine_name,
+            residents=tuple(self.residents),
+            waiting=tuple(self.waiting),
+            remaining_steps=tuple(sorted(self.remaining_steps.items())),
+            free_slots=self.free_slots,
+            busy_until=self.busy_until,
+        )

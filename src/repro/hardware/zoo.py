@@ -340,13 +340,38 @@ def register_machine(
 
 
 def describe_zoo() -> str:
-    """One line per registered machine (the CLI's ``--list-machines``)."""
+    """One line per registered machine, sorted by name (the CLI's
+    ``--list-machines``) — deterministic regardless of registration order."""
     lines = []
-    for name in MACHINE_ZOO:
+    for name in sorted(MACHINE_ZOO):
         machine = get_machine(name)
         suffix = " + GPU" if machine.gpu is not None else ""
         lines.append(f"{name:>16}  {machine.describe()}{suffix}")
     return "\n".join(lines)
+
+
+def machine_specs() -> dict[str, dict]:
+    """Every zoo machine's headline facts, sorted by name.
+
+    The machine-readable counterpart of :func:`describe_zoo`
+    (``--list-machines --json``).  First-order topology facts only; the
+    full analytic model stays behind :func:`get_machine`.
+    """
+    specs: dict[str, dict] = {}
+    for name in sorted(MACHINE_ZOO):
+        machine = get_machine(name)
+        topology = machine.topology
+        specs[name] = {
+            "description": machine.describe(),
+            "num_cores": topology.num_cores,
+            "cores_per_tile": topology.cores_per_tile,
+            "smt_per_core": topology.smt_per_core,
+            "num_sockets": topology.num_sockets,
+            "frequency_hz": topology.frequency_hz,
+            "fast_bandwidth": machine.memory.fast_bandwidth,
+            "gpu": machine.gpu.name if machine.gpu is not None else None,
+        }
+    return specs
 
 
 def zoo_machines(names: Iterable[str] | None = None) -> tuple[Machine, ...]:

@@ -138,6 +138,37 @@ class Scenario:
             graphs[f"{index}-{workload.name}"] = workload.build(self.seed + index)
         return merge_graphs(graphs, name=f"{self.name}-mix")
 
+    # -- serialization -----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-ready, stable spec of the scenario.
+
+        Round-trips through :meth:`from_dict` exactly; fleet traces and
+        external tooling reference scenarios by this spec rather than by
+        registry identity.
+        """
+        return {
+            "name": self.name,
+            "machine": self.machine,
+            "workloads": [dataclasses.asdict(workload) for workload in self.workloads],
+            "config": dataclasses.asdict(self.config) if self.config is not None else None,
+            "seed": self.seed,
+            "description": self.description,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output (exact round-trip)."""
+        config = data.get("config")
+        return Scenario(
+            name=data["name"],
+            machine=data["machine"],
+            workloads=tuple(Workload(**workload) for workload in data["workloads"]),
+            config=RuntimeConfig(**config) if config is not None else None,
+            seed=data.get("seed", 0),
+            description=data.get("description", ""),
+        )
+
 
 # -- the registry -------------------------------------------------------------------
 
@@ -170,15 +201,27 @@ def get_scenario(name: str) -> Scenario:
 
 
 def describe_scenarios() -> str:
-    """One line per registered scenario (the CLI's ``--list-scenarios``)."""
+    """One line per registered scenario, sorted by name (the CLI's
+    ``--list-scenarios``) — deterministic regardless of registration order."""
     lines = []
-    for scenario in SCENARIOS.values():
+    for name in sorted(SCENARIOS):
+        scenario = SCENARIOS[name]
         mix = " + ".join(w.name for w in scenario.workloads)
         lines.append(
             f"{scenario.name:>24}  [{scenario.machine}] {mix}"
             f"{' — ' + scenario.description if scenario.description else ''}"
         )
     return "\n".join(lines)
+
+
+def scenario_specs() -> dict[str, dict]:
+    """Every registered scenario's stable spec, sorted by name.
+
+    The machine-readable counterpart of :func:`describe_scenarios`
+    (``--list-scenarios --json``); values round-trip via
+    :meth:`Scenario.from_dict`.
+    """
+    return {name: SCENARIOS[name].to_dict() for name in sorted(SCENARIOS)}
 
 
 def _register_defaults() -> None:

@@ -74,6 +74,68 @@ class TestInterferenceTracker:
         tracker.record("A", "B", -0.5)
         assert tracker.observations("A", "B") == (0.0,)
 
+    def test_history_is_capped(self):
+        tracker = InterferenceTracker(history=4)
+        for value in range(10):
+            tracker.record("A", "B", value / 100.0)
+        observed = tracker.observations("A", "B")
+        assert len(observed) == 4
+        assert observed == (0.06, 0.07, 0.08, 0.09)
+
+    def test_history_validation(self):
+        with pytest.raises(ValueError):
+            InterferenceTracker(history=0)
+        unbounded = InterferenceTracker(history=None)
+        for value in range(300):
+            unbounded.record("A", "B", 0.0)
+        assert len(unbounded.observations("A", "B")) == 300
+
+    def test_snapshot_merge_shares_knowledge(self):
+        left = InterferenceTracker(threshold=0.5)
+        left.record("resnet50", "dcgan", 0.9)  # blacklisted on this machine
+        left.record("resnet50", "lstm", 0.1)
+        right = InterferenceTracker(threshold=0.5)
+        right.merge(left.snapshot())
+        assert not right.allowed("dcgan", "resnet50")
+        assert right.observations("resnet50", "lstm") == (0.1,)
+        # Merging a tracker directly works too, and is additive.
+        third = InterferenceTracker(threshold=0.5)
+        third.record("lstm", "resnet50", 0.2)
+        right.merge(third)
+        assert right.observations("resnet50", "lstm") == (0.1, 0.2)
+
+    def test_snapshot_is_deterministic(self):
+        tracker = InterferenceTracker()
+        tracker.record("B", "A", 0.7)
+        tracker.record("C", "A", 0.8)
+        assert tracker.snapshot() == tracker.snapshot()
+        assert tracker.snapshot().num_observations == 2
+
+    def test_mean_slowdown(self):
+        tracker = InterferenceTracker()
+        assert tracker.mean_slowdown("A", "B") is None
+        tracker.record("A", "B", 0.2)
+        tracker.record("A", "B", 0.4)
+        assert tracker.mean_slowdown("B", "A") == pytest.approx(0.3)
+
+    def test_arbitrary_hashable_keys(self):
+        # The same class serves op-type pairs and e.g. (model, batch) pairs.
+        tracker = InterferenceTracker(threshold=0.5)
+        tracker.record(("resnet50", 32), ("dcgan", 64), 0.9)
+        assert not tracker.allowed(("dcgan", 64), ("resnet50", 32))
+        assert tracker.allowed(("resnet50", 32), ("resnet50", 32))
+
+    def test_partially_ordered_keys_stay_symmetric(self):
+        # frozensets answer False to both a <= b and b <= a: the pair key
+        # must still canonicalise identically for both argument orders.
+        tracker = InterferenceTracker(threshold=0.5)
+        a, b = frozenset({1}), frozenset({2})
+        tracker.record(a, b, 0.9)
+        assert not tracker.allowed(b, a)
+        assert not tracker.allowed(a, b)
+        tracker.record(b, a, 0.1)
+        assert tracker.observations(a, b) == (0.9, 0.1)
+
 
 def _wide_graph():
     """One big conv followed by several independent medium/small ops."""

@@ -30,6 +30,8 @@ class TestExperimentRegistry:
         assert set(ALL_EXPERIMENTS) == {
             "fig1", "fig3", "fig4", "fig5",
             "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+            # beyond the paper: Table III raised to fleet scale
+            "fleet",
         }
 
     def test_every_experiment_declares_paper_reference(self):

@@ -125,6 +125,38 @@ class TestScenarioRegistry:
         )
         assert scenario.build_config().seed == 7
 
+    def test_to_dict_from_dict_round_trip(self):
+        from repro.scenarios import scenario_specs
+
+        for name in available_scenarios():
+            scenario = get_scenario(name)
+            spec = scenario.to_dict()
+            assert Scenario.from_dict(spec) == scenario
+            # The spec is JSON-stable (sortable, serialisable).
+            import json
+
+            assert json.loads(json.dumps(spec)) == spec
+        # scenario_specs is sorted by name.
+        assert list(scenario_specs()) == sorted(available_scenarios())
+
+    def test_round_trip_preserves_config(self):
+        scenario = Scenario(
+            "test-roundtrip",
+            machine="laptop-4c",
+            workloads=(Workload(synthetic_ops=40), Workload(model="dcgan")),
+            config=RuntimeConfig(strategy4_hyperthreading=False, seed=5),
+            seed=9,
+            description="round trip",
+        )
+        rebuilt = Scenario.from_dict(scenario.to_dict())
+        assert rebuilt == scenario
+        assert rebuilt.build_config() == scenario.build_config()
+
+    def test_describe_is_sorted(self):
+        lines = describe_scenarios().splitlines()
+        names = [line.split()[0] for line in lines]
+        assert names == sorted(names)
+
     def test_corun_mix_merges(self):
         mix = get_scenario("synthetic-burst-laptop")
         assert mix.is_corun_mix
