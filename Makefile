@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench experiments fleet bench-full help
+.PHONY: test bench experiments fleet fleet-large bench-full help
 
 help:
 	@echo "make test        - run the tier-1 test suite"
@@ -10,7 +10,9 @@ help:
 	@echo "make experiments - quick perf tier: experiment-layer sweep engine,"
 	@echo "                   updates BENCH_experiments.json"
 	@echo "make fleet       - fleet-scheduling benchmark (policy makespans +"
-	@echo "                   determinism gate), updates BENCH_fleet.json"
+	@echo "                   determinism/compression gates), updates BENCH_fleet.json"
+	@echo "make fleet-large - large-trace fleet benchmark (1,000-job round-"
+	@echo "                   compression speedup gate + 5,000-job smoke)"
 	@echo "make bench-full  - every benchmark (paper tables/figures reproduction)"
 
 test:
@@ -24,6 +26,10 @@ experiments:
 
 fleet:
 	$(PYTHON) -m benchmarks --suite fleet
+
+fleet-large:
+	$(PYTHON) -m benchmarks.fleet_bench --suite large
+	$(PYTHON) -m benchmarks.fleet_bench --suite xl
 
 bench-full:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

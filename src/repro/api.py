@@ -191,6 +191,9 @@ class FleetOutcome:
     scheduler_overhead_seconds: float
     estimates_requested: int
     estimates_computed: int
+    #: Heap events the simulator processed — O(mix changes) on the
+    #: compressed fast path vs O(total steps) on the reference path.
+    events_processed: int = 0
 
     def __str__(self) -> str:
         return (
@@ -210,30 +213,48 @@ def run_fleet(
     policy: str = "interference-aware",
     num_jobs: int = 20,
     arrival_seed: int = 0,
+    min_steps: int = 3,
+    max_steps: int = 10,
     max_corun: int | None = None,
     config: RuntimeConfig | None = None,
     executor=None,
+    compressed: bool = True,
 ) -> FleetOutcome:
     """Place a stream of training jobs across many zoo machines.
 
     ``jobs`` defaults to a deterministic generated trace of ``num_jobs``
-    jobs (``arrival_seed`` drives arrivals, kinds and step counts — see
-    :func:`repro.fleet.generate_trace`).  ``policy`` is one of
+    jobs (``arrival_seed`` drives arrivals, kinds and step counts,
+    ``min_steps``/``max_steps`` bound the per-job training length — see
+    :func:`repro.fleet.generate_trace`; ``num_jobs=0`` yields a
+    well-formed empty outcome).  ``policy`` is one of
     :func:`repro.fleet.available_policies` (``"first-fit"``,
-    ``"load-balanced"``, ``"interference-aware"``).  The same
-    (trace, policy, machine set) always produces the identical outcome.
+    ``"load-balanced"``, ``"interference-aware"``).  ``compressed``
+    selects the round-compression fast path (default) or the one-event-
+    per-round reference loop — both produce the identical deterministic
+    outcome.  The same (trace, policy, machine set) always produces the
+    identical outcome.
     """
     from repro.fleet import FleetSimulator, generate_trace
     from repro.fleet.simulator import DEFAULT_MAX_CORUN
 
     if jobs is None:
-        jobs = generate_trace(num_jobs, seed=arrival_seed)
+        jobs = (
+            generate_trace(
+                num_jobs,
+                seed=arrival_seed,
+                min_steps=min_steps,
+                max_steps=max_steps,
+            )
+            if num_jobs > 0
+            else ()
+        )
     simulator = FleetSimulator(
         machines,
         policy=policy,
         executor=executor,
         config=config,
         max_corun=max_corun if max_corun is not None else DEFAULT_MAX_CORUN,
+        compressed=compressed,
     )
     result = simulator.run(jobs)
     return FleetOutcome(
@@ -249,4 +270,5 @@ def run_fleet(
         scheduler_overhead_seconds=result.scheduler_overhead_seconds,
         estimates_requested=result.estimates_requested,
         estimates_computed=result.estimates_computed,
+        events_processed=result.events_processed,
     )

@@ -105,6 +105,29 @@ class InterferenceTracker:
         if slowdown > self.threshold:
             self._blacklist.add(key)
 
+    def history_for(self, key_a: Key, key_b: Key) -> "deque[float]":
+        """The mutable observation history of a pairing (created if missing).
+
+        A bulk-recording hook for hot loops (the fleet simulator's round
+        compression): resolving the canonical pair key and the deque once
+        per stable co-run segment, then appending per round, is
+        equivalent to calling :meth:`record` per round — minus the
+        per-call key canonicalisation.  Callers are responsible for
+        clamping negative slowdowns to 0.0 and for
+        :meth:`mark_blacklisted` when an observation crosses the
+        threshold, exactly as :meth:`record` would.
+        """
+        key = _pair_key(key_a, key_b)
+        history = self._observations.get(key)
+        if history is None:
+            history = deque(maxlen=self.history)
+            self._observations[key] = history
+        return history
+
+    def mark_blacklisted(self, key_a: Key, key_b: Key) -> None:
+        """Blacklist a pairing directly (see :meth:`history_for`)."""
+        self._blacklist.add(_pair_key(key_a, key_b))
+
     def allowed(self, key_a: Key, key_b: Key) -> bool:
         """Whether the runtime may co-run these kinds."""
         return _pair_key(key_a, key_b) not in self._blacklist

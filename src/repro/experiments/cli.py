@@ -7,7 +7,11 @@ available; ``repro-experiments all`` runs everything (several minutes).
 Every experiment accepts an arbitrary hardware topology:
 ``--machine <zoo-name>`` picks one from the machine zoo
 (``--list-machines`` enumerates them) and ``--scenario <name>`` reuses a
-registered scenario's machine (``--list-scenarios``).
+registered scenario's machine (``--list-scenarios``).  The ``fleet``
+experiment additionally takes ``--policy``, ``--machines``,
+``--trace-seed`` and the trace-scaling knobs ``--num-jobs`` /
+``--steps MIN:MAX`` — reproducible thousand-job traces straight from
+the command line.
 
 The experiments execute on the parallel sweep engine: ``--jobs``/
 ``--backend`` control the fan-out (``--jobs N`` alone implies the
@@ -43,6 +47,8 @@ def _run_one(
     policy: str | None = None,
     machines: tuple[str, ...] | None = None,
     arrival_seed: int | None = None,
+    num_jobs: int | None = None,
+    steps: tuple[int, int] | None = None,
 ) -> str:
     module = ALL_EXPERIMENTS[name]
     # Forward only the options the experiment's run() accepts.  Inspect
@@ -65,8 +71,27 @@ def _run_one(
         kwargs["machines"] = machines
     if "arrival_seed" in parameters and arrival_seed is not None:
         kwargs["arrival_seed"] = arrival_seed
+    if "num_jobs" in parameters and num_jobs is not None:
+        kwargs["num_jobs"] = num_jobs
+    if steps is not None and "min_steps" in parameters and "max_steps" in parameters:
+        kwargs["min_steps"], kwargs["max_steps"] = steps
     result = module.run(**kwargs)
     return module.format_report(result)
+
+
+def _parse_steps(spec: str) -> tuple[int, int]:
+    """Parse ``--steps``: ``"N"`` (fixed) or ``"MIN:MAX"`` (range)."""
+    try:
+        if ":" in spec:
+            low_text, high_text = spec.split(":", 1)
+            low, high = int(low_text), int(high_text)
+        else:
+            low = high = int(spec)
+    except ValueError:
+        raise ValueError(f"--steps expects N or MIN:MAX, got {spec!r}") from None
+    if not 1 <= low <= high:
+        raise ValueError(f"--steps needs 1 <= MIN <= MAX, got {spec!r}")
+    return low, high
 
 
 def _build_executor(args: argparse.Namespace) -> SweepExecutor:
@@ -129,7 +154,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--json",
         action="store_true",
-        help="emit --list-machines / --list-scenarios as sorted JSON specs",
+        help="emit --list / --list-machines / --list-scenarios as sorted "
+        "JSON specs (for --list: experiment name -> accepted run() options)",
     )
     parser.add_argument(
         "--policy",
@@ -146,11 +172,29 @@ def main(argv: Sequence[str] | None = None) -> int:
         "the fleet (default: the five-machine reference fleet)",
     )
     parser.add_argument(
+        "--trace-seed",
         "--arrival-seed",
+        dest="arrival_seed",
         type=int,
         default=None,
         metavar="N",
-        help="fleet experiment only: seed of the generated job trace",
+        help="fleet experiment only: seed of the generated job trace "
+        "(--arrival-seed is an alias)",
+    )
+    parser.add_argument(
+        "--num-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet experiment only: number of jobs in the generated trace "
+        "(large traces stay interactive on the round-compression fast path)",
+    )
+    parser.add_argument(
+        "--steps",
+        default=None,
+        metavar="MIN:MAX",
+        help="fleet experiment only: per-job training-step range of the "
+        "generated trace (a single N fixes every job's length)",
     )
     parser.add_argument(
         "--full",
@@ -185,12 +229,33 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if args.num_jobs is not None and args.num_jobs < 1:
+        parser.error("--num-jobs must be at least 1")
     if args.machine is not None and args.scenario is not None:
         parser.error("--machine and --scenario are mutually exclusive")
+    steps: tuple[int, int] | None = None
+    if args.steps is not None:
+        try:
+            steps = _parse_steps(args.steps)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     if args.list:
-        for name in ALL_EXPERIMENTS:
-            print(name)
+        if args.json:
+            # name -> the run() options each experiment accepts, so tools
+            # can discover e.g. the fleet experiment's trace knobs.
+            listing = {
+                name: sorted(
+                    p
+                    for p in inspect.signature(module.run).parameters
+                    if p != "executor"
+                )
+                for name, module in ALL_EXPERIMENTS.items()
+            }
+            print(json.dumps(listing, indent=2, sort_keys=True))
+        else:
+            for name in ALL_EXPERIMENTS:
+                print(name)
         return 0
     if args.list_machines:
         if args.json:
@@ -274,6 +339,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 policy=args.policy,
                 machines=fleet_machines,
                 arrival_seed=args.arrival_seed,
+                num_jobs=args.num_jobs,
+                steps=steps,
             )
             elapsed = time.time() - start
             suffix = f" @ {machine}" if machine is not None else ""

@@ -10,8 +10,11 @@ the table's three co-running strategies, with first-fit playing the
 "threads control" row.
 
 ``python -m repro.experiments fleet`` runs it; ``--policy`` narrows the
-comparison, ``--machines`` swaps the fleet, ``--arrival-seed`` replays a
-different trace.  Results are deterministic for fixed inputs.
+comparison, ``--machines`` swaps the fleet, ``--trace-seed`` (alias
+``--arrival-seed``) replays a different trace, and ``--num-jobs`` /
+``--steps MIN:MAX`` scale it — the round-compression fast path
+(:class:`~repro.fleet.FleetSimulator`) keeps thousand-job traces
+interactive.  Results are deterministic for fixed inputs.
 """
 
 from __future__ import annotations
@@ -49,6 +52,8 @@ class FleetCorunResult:
     num_jobs: int
     arrival_seed: int
     rows: tuple[FleetPolicyRow, ...]
+    min_steps: int = 3
+    max_steps: int = 10
 
     @property
     def speedups_vs_first_fit(self) -> dict[str, float]:
@@ -65,19 +70,31 @@ def run(
     machines: tuple[str, ...] | None = None,
     num_jobs: int = NUM_JOBS,
     arrival_seed: int = ARRIVAL_SEED,
+    min_steps: int = 3,
+    max_steps: int = 10,
+    compressed: bool = True,
     executor: SweepExecutor | None = None,
 ) -> FleetCorunResult:
-    """Place the same trace under each policy and compare makespans."""
+    """Place the same trace under each policy and compare makespans.
+
+    ``num_jobs``, ``arrival_seed`` and ``min_steps``/``max_steps``
+    parameterise the generated trace, so large reproducible workloads
+    are one CLI flag away (``--num-jobs 1000 --steps 200:600``).
+    """
     policies = policies or available_policies()
     machines = machines or DEFAULT_FLEET
     executor = executor or get_default_executor()
-    jobs = generate_trace(num_jobs, seed=arrival_seed)
+    jobs = generate_trace(
+        num_jobs, seed=arrival_seed, min_steps=min_steps, max_steps=max_steps
+    )
     # One estimator across policies: step times are pure functions of the
     # (machine, mix), so every policy after the first replays from memo.
     estimator = StepTimeEstimator(executor=executor)
     rows = []
     for policy in policies:
-        simulator = FleetSimulator(machines, policy=policy, estimator=estimator)
+        simulator = FleetSimulator(
+            machines, policy=policy, estimator=estimator, compressed=compressed
+        )
         result = simulator.run(jobs)
         rows.append(
             FleetPolicyRow(
@@ -94,6 +111,18 @@ def run(
         num_jobs=num_jobs,
         arrival_seed=arrival_seed,
         rows=tuple(rows),
+        min_steps=min_steps,
+        max_steps=max_steps,
+    )
+
+
+def _describe_fleet(machines: tuple[str, ...]) -> str:
+    """Compact fleet description: duplicates collapse to ``name x count``."""
+    counts: dict[str, int] = {}
+    for name in machines:
+        counts[name] = counts.get(name, 0) + 1
+    return ", ".join(
+        name if count == 1 else f"{name} x{count}" for name, count in counts.items()
     )
 
 
@@ -101,9 +130,10 @@ def format_report(result: FleetCorunResult) -> str:
     table = TextTable(
         ["policy", "makespan (s)", "mean wait (s)", "co-run rounds", "blacklisted", "speedup"],
         title=(
-            f"Fleet co-run — {result.num_jobs} jobs over "
+            f"Fleet co-run — {result.num_jobs} jobs "
+            f"({result.min_steps}-{result.max_steps} steps each) over "
             f"{len(result.machines)} machines "
-            f"({', '.join(result.machines)}; arrival seed {result.arrival_seed})"
+            f"({_describe_fleet(result.machines)}; arrival seed {result.arrival_seed})"
         ),
     )
     speedups = result.speedups_vs_first_fit

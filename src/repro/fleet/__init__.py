@@ -6,7 +6,12 @@ training jobs (:mod:`repro.fleet.job`) is placed across zoo machines by
 a pluggable policy (:mod:`repro.fleet.policies`) and executed by an
 event-driven simulator (:mod:`repro.fleet.simulator`) whose per-machine
 rounds run on the existing merged-graph co-run path with cached
-step-time estimates (:mod:`repro.fleet.estimates`).
+step-time estimates (:mod:`repro.fleet.estimates`).  The simulator's
+round-compression fast path batch-advances stable job mixes in closed
+form — O(mix changes) heap events instead of O(total training steps) —
+and stays byte-identical to the seed loop
+(``FleetSimulator(compressed=False)``), which keeps 1,000-job traces
+interactive and 5,000-job traces feasible.
 
 Entry points: :func:`repro.api.run_fleet`, the ``fleet`` experiment
 (``python -m repro.experiments fleet``) and ``benchmarks/fleet_bench.py``.

@@ -125,22 +125,42 @@ class StepTimeEstimator:
         return self.step_time(machine_name, (job,))
 
     def prewarm(
-        self, machine_names: Sequence[str], jobs: Sequence[Job]
+        self,
+        machine_names: Sequence[str],
+        jobs: Sequence[Job],
+        *,
+        max_corun: int = 1,
     ) -> int:
-        """Fan the solo estimates of every (machine kind, job kind) pair out
-        over the sweep engine in one parallel batch.
+        """Fan estimates for a whole trace out over the sweep engine in one
+        parallel batch, before any event loop starts.
 
-        Returns the number of estimates computed (post-memo).  Solo
-        estimates dominate a simulation's estimator traffic (every
-        policy consults them for every placement), so prewarming them in
-        parallel is where the sweep engine's fan-out pays off.
+        ``max_corun=1`` (default) covers every distinct solo signature —
+        the bulk of a simulation's estimator traffic, since every policy
+        consults solo estimates for every placement.  Larger values cover
+        every distinct :func:`canonical_mix` signature of up to
+        ``max_corun`` members drawn from the trace's job classes, so a
+        compressed fleet run can start every segment on a memo hit.
+        Returns the number of estimates computed (post-memo).
         """
+        from itertools import combinations_with_replacement
+
+        if max_corun < 1:
+            raise ValueError("max_corun must be at least 1")
+        # One representative job per distinct solo signature: jobs sharing
+        # (kind, workload, graph_seed) canonicalise identically.
+        classes: dict[tuple[MixEntry, ...], Job] = {}
+        for job in jobs:
+            classes.setdefault(canonical_mix((job,)), job)
+        representatives = list(classes.values())
+        mixes: list[tuple[MixEntry, ...]] = []
+        for size in range(1, max_corun + 1):
+            for combo in combinations_with_replacement(representatives, size):
+                mixes.append(canonical_mix(combo))
         tasks: list[SweepTask] = []
         keys: list[tuple] = []
         seen: set[tuple] = set(self._memo)
         for machine_name in dict.fromkeys(machine_names):
-            for job in jobs:
-                entries = canonical_mix((job,))
+            for entries in mixes:
                 key = (machine_name, entries)
                 if key in seen:
                     continue

@@ -133,6 +133,18 @@ class InterferenceAwarePolicy:
         #: prediction is optimistic; demanding a clear margin keeps the
         #: policy from starving itself on near-ties.
         self.patience = patience
+        #: Memoised drain replays.  A queued job is re-scored against the
+        #: whole fleet at every event until placed, and the drain of a
+        #: (machine, member multiset) is a pure function of the
+        #: estimator's pure step times — so identical replays are served
+        #: from this dict instead of re-walking the subset ladder.  The
+        #: simulator clears it at every run() entry so per-run estimator
+        #: traffic stays reproducible.
+        self._drain_memo: dict[tuple, float] = {}
+
+    def clear_memo(self) -> None:
+        """Drop memoised drain replays (called at each simulation start)."""
+        self._drain_memo.clear()
 
     def _drain_time(self, machine_name: str, members: list[tuple[Job, int]]) -> float:
         """Predicted seconds until ``members`` all finish on ``machine_name``.
@@ -141,8 +153,25 @@ class InterferenceAwarePolicy:
         runs at its estimated round time until its shortest member
         drains, then the shrunken mix at *its* estimated rate, and so
         on.  Every subset estimate comes from the memoised estimator, so
-        the replay costs a handful of dictionary hits.
+        the replay costs a handful of dictionary hits — and the whole
+        replay is itself memoised by the members' canonical signature.
         """
+        key = (
+            machine_name,
+            tuple(
+                sorted(
+                    (
+                        (job.kind, job.graph_seed, steps, job.workload)
+                        for job, steps in members
+                        if steps > 0
+                    ),
+                    key=lambda entry: entry[:3],
+                )
+            ),
+        )
+        cached = self._drain_memo.get(key)
+        if cached is not None:
+            return cached
         total = 0.0
         current = [(job, steps) for job, steps in members if steps > 0]
         while current:
@@ -154,6 +183,7 @@ class InterferenceAwarePolicy:
             current = [
                 (job, steps - rounds) for job, steps in current if steps - rounds > 0
             ]
+        self._drain_memo[key] = total
         return total
 
     def _cost_after_join(self, machine: MachineView, job: Job, now: float) -> float:

@@ -19,6 +19,33 @@ machine records the observed pairing slowdowns into its local
 merges that round's delta into the fleet-wide tracker — so a pairing one
 machine found harmful steers placements everywhere.
 
+Round compression (the fast path)
+---------------------------------
+While a machine's resident mix is stable, every gang round is identical:
+same duration (one memoised estimate), same interference records, same
+decrements.  The reference loop still pays one heap event per round —
+O(total training steps) events for the whole trace.  The compressed
+path (:class:`FleetSimulator` default) instead advances
+``k = min(remaining steps among residents)`` rounds as one **segment**
+with a single heap event at the segment's end, and replays the
+intermediate round boundaries lazily:
+
+* segment boundaries accumulate ``busy_until += round_time`` exactly as
+  the reference loop does, so every boundary, completion time and
+  utilisation figure is **bit-identical**;
+* before any event is handled, machines with unflushed boundaries at or
+  before ``now`` replay them in global ``(time, push-order)`` order, so
+  the interference trackers ingest the very same observation sequence;
+* a placement onto a mid-segment machine truncates its segment to the
+  current round (the new job joins at the next boundary, as always), and
+  while the queue is non-empty every segment is clamped to one round —
+  the policy then sees the exact per-round ``FleetState`` sequence the
+  reference loop would have shown it.
+
+Event count drops from O(total steps) to O(mix changes); the reference
+implementation is kept verbatim as ``FleetSimulator(compressed=False)``
+and the equivalence is enforced by tests and by the fleet benchmark.
+
 Everything is deterministic for a fixed (job trace, policy, machine
 set): events are heap-ordered with explicit tie-breakers, estimates are
 pure functions, and wall-clock only appears in the separately reported
@@ -29,7 +56,7 @@ from __future__ import annotations
 
 import heapq
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.config import RuntimeConfig
@@ -109,13 +136,21 @@ class FleetResult:
     #: and how many were actually simulated (the rest were memo hits).
     estimates_requested: int = 0
     estimates_computed: int = 0
+    #: Heap events the simulator processed (the compressed path's whole
+    #: point is making this O(mix changes) instead of O(total steps)).
+    #: Diagnostic only — excluded from determinism digests.
+    events_processed: int = 0
 
     @property
     def mean_wait_time(self) -> float:
+        if not self.completions:
+            return 0.0
         return sum(c.wait_time for c in self.completions) / len(self.completions)
 
     @property
     def mean_turnaround_time(self) -> float:
+        if not self.completions:
+            return 0.0
         return sum(c.turnaround_time for c in self.completions) / len(self.completions)
 
     def to_dict(self, *, include_overhead: bool = True) -> dict:
@@ -159,6 +194,7 @@ class FleetResult:
             out["scheduler_overhead_seconds"] = self.scheduler_overhead_seconds
             out["estimates_requested"] = self.estimates_requested
             out["estimates_computed"] = self.estimates_computed
+            out["events_processed"] = self.events_processed
         return out
 
 
@@ -189,6 +225,11 @@ class FleetSimulator:
         Job slots per machine.
     interference_threshold:
         Pairing-slowdown blacklist threshold of the fleet-wide tracker.
+    compressed:
+        ``True`` (default) runs the round-compression fast path;
+        ``False`` keeps the seed one-event-per-round reference loop.
+        Both produce identical deterministic outcomes
+        (``FleetResult.to_dict(include_overhead=False)``).
     """
 
     def __init__(
@@ -201,6 +242,7 @@ class FleetSimulator:
         config: RuntimeConfig | None = None,
         max_corun: int = DEFAULT_MAX_CORUN,
         interference_threshold: float = DEFAULT_INTERFERENCE_THRESHOLD,
+        compressed: bool = True,
     ) -> None:
         if not machines:
             raise ValueError("a fleet needs at least one machine")
@@ -210,6 +252,7 @@ class FleetSimulator:
             get_machine(name)  # fail fast on dangling zoo names
         self.machine_names = tuple(machines)
         self.max_corun = max_corun
+        self.compressed = compressed
         self.config = config or RuntimeConfig()
         self.estimator = estimator or StepTimeEstimator(executor=executor, config=self.config)
         self.tracker = InterferenceTracker(threshold=interference_threshold)
@@ -223,12 +266,18 @@ class FleetSimulator:
         #: every later run() resets to it so repeated runs are identical.
         self._tracker_baseline: "InterferenceSnapshot | None" = None
 
-    # -- the event loop -----------------------------------------------------------
+    # -- shared run scaffolding ----------------------------------------------------
 
-    def run(self, jobs: Sequence[Job], *, prewarm: bool = True) -> FleetResult:
-        """Simulate ``jobs`` arriving and running to completion."""
-        if not jobs:
-            raise ValueError("a fleet simulation needs at least one job")
+    def run(self, jobs: Sequence[Job], *, prewarm: bool | str = True) -> FleetResult:
+        """Simulate ``jobs`` arriving and running to completion.
+
+        ``prewarm`` batches estimates through the sweep engine before the
+        event loop starts: ``True`` / ``"solo"`` fans out every distinct
+        solo signature (the bulk of policy traffic), ``"mixes"``
+        additionally fans out every distinct co-run ``canonical_mix``
+        signature up to ``max_corun`` members, ``False`` skips it.  An
+        empty trace returns a well-formed empty :class:`FleetResult`.
+        """
         names = [job.name for job in jobs]
         if len(set(names)) != len(names):
             raise ValueError("job names must be unique within a trace")
@@ -241,12 +290,22 @@ class FleetSimulator:
         else:
             self.tracker.clear()
             self.tracker.merge(self._tracker_baseline)
+        # Policies may memoise pure per-run computations; reset them so a
+        # rerun reports the identical estimator traffic.
+        clear_memo = getattr(self.policy, "clear_memo", None)
+        if clear_memo is not None:
+            clear_memo()
         requests_before = self.estimator.stats.requests
         computed_before = self.estimator.stats.computed
-        if prewarm:
+        if prewarm and jobs:
             # Solo estimates dominate policy traffic; batch them through
             # the sweep engine up front (parallel under a process backend).
-            self.estimator.prewarm(self.machine_names, jobs)
+            # prewarm="mixes" also covers every possible co-run signature.
+            self.estimator.prewarm(
+                self.machine_names,
+                jobs,
+                max_corun=self.max_corun if prewarm == "mixes" else 1,
+            )
 
         machines = [
             MachineState(
@@ -257,6 +316,71 @@ class FleetSimulator:
             )
             for index, name in enumerate(self.machine_names)
         ]
+        if not jobs:
+            return self._assemble_result(
+                jobs, machines, [], [], 0.0, 0, requests_before, computed_before
+            )
+        runner = self._run_compressed if self.compressed else self._run_reference
+        completions, placements, overhead, events = runner(jobs, machines)
+        return self._assemble_result(
+            jobs,
+            machines,
+            completions,
+            placements,
+            overhead,
+            events,
+            requests_before,
+            computed_before,
+        )
+
+    def _assemble_result(
+        self,
+        jobs: Sequence[Job],
+        machines: list[MachineState],
+        completions: list[JobCompletion],
+        placements: list[Placement],
+        overhead: float,
+        events: int,
+        requests_before: int,
+        computed_before: int,
+    ) -> FleetResult:
+        makespan = max((c.finish_time for c in completions), default=0.0)
+        served: dict[str, int] = {m.machine_id: 0 for m in machines}
+        for placement in placements:
+            served[placement.machine_id] += 1
+        reports = tuple(
+            MachineReport(
+                machine_id=m.machine_id,
+                machine_name=m.machine_name,
+                jobs_served=served[m.machine_id],
+                rounds=m.rounds,
+                corun_rounds=m.corun_rounds,
+                busy_time=m.busy_time,
+                utilization=m.busy_time / makespan if makespan > 0 else 0.0,
+                local_blacklist=m.tracker.blacklisted_pairs(),
+            )
+            for m in machines
+        )
+        return FleetResult(
+            policy_name=self.policy.name,
+            machine_names=self.machine_names,
+            num_jobs=len(jobs),
+            makespan=makespan,
+            completions=tuple(sorted(completions, key=lambda c: (c.finish_time, c.job))),
+            placements=tuple(placements),
+            machine_reports=reports,
+            blacklisted_pairs=self.tracker.blacklisted_pairs(),
+            scheduler_overhead_seconds=overhead,
+            estimates_requested=self.estimator.stats.requests - requests_before,
+            estimates_computed=self.estimator.stats.computed - computed_before,
+            events_processed=events,
+        )
+
+    # -- the reference event loop (the seed path, one event per round) -------------
+
+    def _run_reference(
+        self, jobs: Sequence[Job], machines: list[MachineState]
+    ) -> tuple[list[JobCompletion], list[Placement], float, int]:
         by_id = {m.machine_id: m for m in machines}
         queue: list[Job] = []
         placements: list[Placement] = []
@@ -265,6 +389,7 @@ class FleetSimulator:
         overhead = 0.0
         now = 0.0
         seq = 0
+        events_processed = 0
 
         #: (time, kind, seq, payload) — kind orders round-ends before
         #: arrivals at equal timestamps, seq keeps FIFO among equals.
@@ -284,6 +409,7 @@ class FleetSimulator:
             nonlocal seq
             machine.residents.extend(machine.waiting)
             machine.waiting.clear()
+            machine.touch()
             if not machine.residents:
                 return
             for job in machine.residents:
@@ -341,6 +467,7 @@ class FleetSimulator:
                 else:
                     still_running.append(job)
             machine.residents = still_running
+            machine.touch()
 
         def dispatch() -> None:
             nonlocal overhead
@@ -362,6 +489,7 @@ class FleetSimulator:
                 queue.remove(job)
                 machine.waiting.append(job)
                 machine.remaining_steps[job.name] = job.num_steps
+                machine.touch()
                 placements.append(
                     Placement(
                         job=job.name, kind=job.kind, machine_id=choice, time=now
@@ -373,6 +501,7 @@ class FleetSimulator:
         while events:
             event_time, kind, _, payload = heapq.heappop(events)
             now = event_time
+            events_processed += 1
             if kind == _ARRIVAL:
                 queue.append(payload)  # type: ignore[arg-type]
             else:
@@ -389,34 +518,322 @@ class FleetSimulator:
                 f"fleet simulation stalled with {len(queue)} jobs queued "
                 f"(policy {self.policy.name!r} kept declining placements)"
             )
+        return completions, placements, overhead, events_processed
 
-        makespan = max(c.finish_time for c in completions)
-        served: dict[str, int] = {m.machine_id: 0 for m in machines}
-        for placement in placements:
-            served[placement.machine_id] += 1
-        reports = tuple(
-            MachineReport(
-                machine_id=m.machine_id,
-                machine_name=m.machine_name,
-                jobs_served=served[m.machine_id],
-                rounds=m.rounds,
-                corun_rounds=m.corun_rounds,
-                busy_time=m.busy_time,
-                utilization=m.busy_time / makespan if makespan > 0 else 0.0,
-                local_blacklist=m.tracker.blacklisted_pairs(),
+    # -- the round-compression fast path -------------------------------------------
+
+    def _run_compressed(
+        self, jobs: Sequence[Job], machines: list[MachineState]
+    ) -> tuple[list[JobCompletion], list[Placement], float, int]:
+        by_id = {m.machine_id: m for m in machines}
+        #: Arrival-ordered pending index: insertion order is FIFO arrival
+        #: order, removal is O(1) by job name (the reference path's
+        #: ``list(queue)`` + ``queue.remove`` is O(n^2) per dispatch).
+        pending: dict[str, Job] = {}
+        placements: list[Placement] = []
+        completions: list[JobCompletion] = []
+        start_times: dict[str, float] = {}
+        overhead = 0.0
+        now = 0.0
+        seq = 0
+        events_processed = 0
+        queue_view: tuple[Job, ...] | None = ()
+
+        events: list[tuple[float, int, int, object]] = []
+        for job in sorted(jobs, key=lambda j: (j.arrival_time, j.name)):
+            heapq.heappush(events, (job.arrival_time, _ARRIVAL, seq, job))
+            seq += 1
+
+        def next_seq() -> int:
+            nonlocal seq
+            value = seq
+            seq += 1
+            return value
+
+        def fleet_state() -> FleetState:
+            nonlocal queue_view
+            if queue_view is None:
+                queue_view = tuple(pending.values())
+            return FleetState(
+                time=now,
+                machines=tuple(m.view() for m in machines),
+                queue=queue_view,
             )
-            for m in machines
-        )
-        return FleetResult(
-            policy_name=self.policy.name,
-            machine_names=self.machine_names,
-            num_jobs=len(jobs),
-            makespan=makespan,
-            completions=tuple(sorted(completions, key=lambda c: (c.finish_time, c.job))),
-            placements=tuple(placements),
-            machine_reports=reports,
-            blacklisted_pairs=self.tracker.blacklisted_pairs(),
-            scheduler_overhead_seconds=overhead,
-            estimates_requested=self.estimator.stats.requests - requests_before,
-            estimates_computed=self.estimator.stats.computed - computed_before,
-        )
+
+        def retire_residents(
+            machine: MachineState, decrement: int, finish_time: float
+        ) -> None:
+            """Final-boundary bookkeeping shared by both flush paths:
+            advance every resident ``decrement`` steps, retire the
+            finished ones as :class:`JobCompletion` records."""
+            remaining = machine.remaining_steps
+            still_running: list[Job] = []
+            for job in machine.residents:
+                steps = remaining[job.name] - decrement
+                remaining[job.name] = steps
+                if steps <= 0:
+                    del remaining[job.name]
+                    completions.append(
+                        JobCompletion(
+                            job=job.name,
+                            kind=job.kind,
+                            machine_id=machine.machine_id,
+                            arrival_time=job.arrival_time,
+                            start_time=start_times[job.name],
+                            finish_time=finish_time,
+                            num_steps=job.num_steps,
+                        )
+                    )
+                else:
+                    still_running.append(job)
+            machine.residents = still_running
+            machine.round_active = False
+
+        def flush_round(machine: MachineState, boundary: float) -> None:
+            """Replay one gang-round boundary of the current segment.
+
+            Mirrors the reference path's ``finish_round`` +
+            ``start_round`` accounting for one mid-segment round: the
+            interference records, counters and the bit-exact
+            ``busy_until += round_time`` accumulation.
+            """
+            for machine_history, fleet_history, slowdown in machine.seg_records:
+                machine_history.append(slowdown)
+                fleet_history.append(slowdown)
+            if machine.seg_blacklist:
+                for kind_a, kind_b in machine.seg_blacklist:
+                    machine.tracker.mark_blacklisted(kind_a, kind_b)
+                    self.tracker.mark_blacklisted(kind_a, kind_b)
+                machine.seg_blacklist = ()
+            machine.rounds += 1
+            if len(machine.residents) > 1:
+                machine.corun_rounds += 1
+            machine.busy_time += machine.round_time
+            machine.seg_rounds_left -= 1
+            if machine.seg_rounds_left > 0:
+                remaining = machine.remaining_steps
+                for job in machine.residents:
+                    remaining[job.name] -= 1
+                machine.busy_until = boundary + machine.round_time
+            else:
+                retire_residents(machine, 1, boundary)
+            machine.touch()
+
+        def bulk_flush(
+            machine: MachineState, now_time: float, allow_now: bool
+        ) -> None:
+            """Batch-replay a single-resident segment's due boundaries.
+
+            A segment with no resident pairs never records interference,
+            so its boundaries need no global ordering against other
+            machines — only the bit-exact per-round float accumulation
+            (``busy_until``/``busy_time`` advance by one addition per
+            round, exactly as the reference loop's per-event updates).
+            """
+            round_time = machine.round_time
+            busy_until = machine.busy_until
+            busy_time = machine.busy_time
+            left = machine.seg_rounds_left
+            flushed = 0
+            while left and (
+                busy_until < now_time or (busy_until == now_time and allow_now)
+            ):
+                busy_time += round_time
+                flushed += 1
+                left -= 1
+                if left:
+                    busy_until += round_time
+            if not flushed:
+                return
+            machine.busy_time = busy_time
+            machine.busy_until = busy_until
+            machine.seg_rounds_left = left
+            machine.rounds += flushed
+            if left:
+                remaining = machine.remaining_steps
+                for job in machine.residents:
+                    remaining[job.name] -= flushed
+            else:
+                retire_residents(machine, flushed, busy_until)
+            machine.touch()
+
+        def sync_to(now_time: float, own: MachineState | None = None) -> None:
+            """Flush every unflushed round boundary at or before ``now_time``.
+
+            Boundaries of co-running segments are replayed in global
+            ``(time, tie_seq)`` order — the order the reference loop's
+            heap would have popped them — so shared interference
+            histories evolve identically; pair-free segments batch
+            through :func:`bulk_flush`.  While the queue is non-empty
+            only ``own``'s boundary at exactly ``now_time`` is flushed:
+            every other machine then has its own heap event, and the
+            reference loop dispatches between them.
+            """
+            empty_queue = not pending
+            flushable: list[tuple[float, int, int]] = []
+            for index, machine in enumerate(machines):
+                if not machine.round_active:
+                    continue
+                boundary = machine.busy_until
+                allow_now = empty_queue or machine is own
+                if boundary < now_time or (boundary == now_time and allow_now):
+                    if machine.seg_records:
+                        flushable.append((boundary, machine.tie_seq, index))
+                    else:
+                        bulk_flush(machine, now_time, allow_now)
+            if not flushable:
+                return
+            heapq.heapify(flushable)
+            while flushable:
+                boundary, _, index = heapq.heappop(flushable)
+                machine = machines[index]
+                flush_round(machine, boundary)
+                if machine.round_active:
+                    machine.tie_seq = next_seq()
+                    nxt = machine.busy_until
+                    if nxt < now_time or (
+                        nxt == now_time and (empty_queue or machine is own)
+                    ):
+                        heapq.heappush(flushable, (nxt, machine.tie_seq, index))
+
+        def truncate(machine: MachineState) -> None:
+            """Clamp a running segment to its current round (mix about to
+            change, or per-round policy consultation required)."""
+            if machine.round_active and machine.seg_rounds_left > 1:
+                machine.seg_rounds_left = 1
+                machine.epoch += 1
+                heapq.heappush(
+                    events,
+                    (machine.busy_until, _ROUND_END, next_seq(),
+                     (machine.machine_id, machine.epoch)),
+                )
+
+        def start_segment(machine: MachineState) -> None:
+            """Admit waiting jobs and batch-schedule the next stable-mix run
+            of ``k = min(remaining steps)`` rounds as one heap event."""
+            machine.residents.extend(machine.waiting)
+            machine.waiting.clear()
+            machine.touch()
+            if not machine.residents:
+                return
+            residents = machine.residents
+            for job in residents:
+                start_times.setdefault(job.name, now)
+            round_time = self.estimator.step_time(machine.machine_name, residents)
+            machine.round_time = round_time
+            machine.busy_until = now + round_time
+            machine.round_active = True
+            if len(residents) > 1:
+                solos = {
+                    job.name: self.estimator.solo_time(machine.machine_name, job)
+                    for job in residents
+                }
+                threshold = self.tracker.threshold
+                records = []
+                crossing = []
+                for i, job_a in enumerate(residents):
+                    for job_b in residents[i + 1 :]:
+                        baseline = max(solos[job_a.name], solos[job_b.name])
+                        slowdown = (
+                            round_time / baseline - 1.0 if baseline > 0 else 0.0
+                        )
+                        if slowdown < 0:
+                            slowdown = 0.0
+                        records.append(
+                            (
+                                machine.tracker.history_for(job_a.kind, job_b.kind),
+                                self.tracker.history_for(job_a.kind, job_b.kind),
+                                slowdown,
+                            )
+                        )
+                        if slowdown > threshold:
+                            crossing.append((job_a.kind, job_b.kind))
+                machine.seg_records = tuple(records)
+                machine.seg_blacklist = tuple(crossing)
+            else:
+                machine.seg_records = ()
+                machine.seg_blacklist = ()
+            rounds = min(machine.remaining_steps[job.name] for job in residents)
+            if pending:
+                # Queued jobs are re-dispatched at every round boundary in
+                # the reference loop; clamp to one round so the policy sees
+                # the identical per-round state sequence.
+                rounds = 1
+            machine.seg_rounds_left = rounds
+            machine.tie_seq = next_seq()
+            # The segment-end instant accumulates one addition per round —
+            # the same float sequence the reference loop's per-round
+            # ``now + round_time`` produces.
+            end = machine.busy_until
+            for _ in range(rounds - 1):
+                end += round_time
+            machine.epoch += 1
+            heapq.heappush(
+                events,
+                (end, _ROUND_END, next_seq(), (machine.machine_id, machine.epoch)),
+            )
+
+        def dispatch() -> None:
+            nonlocal overhead, queue_view
+            for job in list(pending.values()):
+                state = fleet_state()
+                tick = _time.perf_counter()
+                choice = self.policy.place(job, state)
+                overhead += _time.perf_counter() - tick
+                if choice is None:
+                    continue
+                machine = by_id[choice]
+                if machine.free_slots <= 0:
+                    raise RuntimeError(
+                        f"policy {self.policy.name!r} placed {job.name!r} on full "
+                        f"machine {choice!r}"
+                    )
+                del pending[job.name]
+                queue_view = None
+                machine.waiting.append(job)
+                machine.remaining_steps[job.name] = job.num_steps
+                machine.touch()
+                placements.append(
+                    Placement(
+                        job=job.name, kind=job.kind, machine_id=choice, time=now
+                    )
+                )
+                if not machine.round_active:
+                    start_segment(machine)
+                else:
+                    # The new member joins at the next boundary: the mix
+                    # changes there, so the segment must end there too.
+                    truncate(machine)
+
+        while events:
+            event_time, kind, event_seq, payload = heapq.heappop(events)
+            now = event_time
+            if kind == _ARRIVAL:
+                events_processed += 1
+                sync_to(now)
+                job: Job = payload  # type: ignore[assignment]
+                pending[job.name] = job
+                queue_view = None
+                dispatch()
+            else:
+                machine_id, epoch = payload  # type: ignore[misc]
+                machine = by_id[machine_id]
+                if epoch != machine.epoch:
+                    continue  # superseded by a truncation or a new segment
+                events_processed += 1
+                sync_to(now, own=machine)
+                dispatch()
+                if not machine.round_active:
+                    start_segment(machine)
+            if pending:
+                # Reference semantics: with jobs queued, every machine's
+                # every round boundary triggers a fresh dispatch.
+                for m in machines:
+                    truncate(m)
+
+        if pending:
+            raise RuntimeError(
+                f"fleet simulation stalled with {len(pending)} jobs queued "
+                f"(policy {self.policy.name!r} kept declining placements)"
+            )
+        return completions, placements, overhead, events_processed

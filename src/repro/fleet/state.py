@@ -6,11 +6,20 @@ the mutable :class:`MachineState`.  Keeping the policy-facing surface
 frozen makes policies trivially safe to reuse across simulations and
 keeps the decision inputs explicit — exactly the information a real
 cluster scheduler would have.
+
+Because one fleet simulation consults the policy thousands of times and
+most machines do not change between consecutive consultations,
+:class:`MachineState` caches its :class:`MachineView` behind a dirty
+flag: the simulator calls :meth:`MachineState.touch` whenever it mutates
+a machine, and :meth:`MachineState.view` rebuilds the frozen snapshot
+only then.  A 50-machine fleet rebuilds one view per mutation instead of
+fifty per policy call.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.core.interference import InterferenceTracker
 from repro.fleet.job import Job
@@ -60,11 +69,15 @@ class MachineView:
     def member_kinds(self) -> tuple[str, ...]:
         return tuple(job.kind for job in self.members)
 
+    @cached_property
+    def _remaining_map(self) -> dict[str, int]:
+        return dict(self.remaining_steps)
+
     def remaining_of(self, job_name: str) -> int:
-        for name, remaining in self.remaining_steps:
-            if name == job_name:
-                return remaining
-        raise KeyError(f"{job_name!r} is not bound to {self.machine_id}")
+        try:
+            return self._remaining_map[job_name]
+        except KeyError:
+            raise KeyError(f"{job_name!r} is not bound to {self.machine_id}") from None
 
 
 @dataclass(frozen=True)
@@ -110,18 +123,49 @@ class MachineState:
             threshold=DEFAULT_INTERFERENCE_THRESHOLD
         )
     )
+    # -- round-compression bookkeeping (compressed fast path only) ---------------
+    #: Gang rounds of the current compressed segment not yet flushed
+    #: (0 when idle or on the reference path).
+    seg_rounds_left: int = 0
+    #: Per-round interference record plan, precomputed at segment start:
+    #: one (machine history deque, fleet history deque, slowdown) per
+    #: resident pair — flushing a round appends to both deques directly.
+    seg_records: tuple = field(default=(), repr=False)
+    #: Threshold-crossing pairs of this segment, applied to both
+    #: blacklists at the first flushed boundary (then cleared).
+    seg_blacklist: tuple[tuple[str, str], ...] = ()
+    #: Invalidation counter for heap events (a truncated segment's stale
+    #: end event is recognised and skipped by its old epoch).
+    epoch: int = 0
+    #: Mirrors the reference path's heap-push sequence for equal-time
+    #: round boundaries: assigned from the simulator's global counter at
+    #: every round start, so same-instant flushes replay in the exact
+    #: order the one-event-per-round loop would have processed them.
+    tie_seq: int = 0
+    #: Dirty-flag cached policy view (see module docstring).
+    _view_cache: MachineView | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def free_slots(self) -> int:
         return self.capacity - len(self.residents) - len(self.waiting)
 
+    def touch(self) -> None:
+        """Invalidate the cached view after any policy-visible mutation."""
+        self._view_cache = None
+
     def view(self) -> MachineView:
-        return MachineView(
-            machine_id=self.machine_id,
-            machine_name=self.machine_name,
-            residents=tuple(self.residents),
-            waiting=tuple(self.waiting),
-            remaining_steps=tuple(sorted(self.remaining_steps.items())),
-            free_slots=self.free_slots,
-            busy_until=self.busy_until,
-        )
+        view = self._view_cache
+        if view is None:
+            view = MachineView(
+                machine_id=self.machine_id,
+                machine_name=self.machine_name,
+                residents=tuple(self.residents),
+                waiting=tuple(self.waiting),
+                remaining_steps=tuple(sorted(self.remaining_steps.items())),
+                free_slots=self.free_slots,
+                busy_until=self.busy_until,
+            )
+            self._view_cache = view
+        return view

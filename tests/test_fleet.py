@@ -69,7 +69,7 @@ class FakeEstimator:
     def solo_time(self, machine_name, job):
         return self.step_time(machine_name, (job,))
 
-    def prewarm(self, machine_names, jobs):
+    def prewarm(self, machine_names, jobs, max_corun=1):
         return 0
 
 
@@ -246,9 +246,30 @@ class TestFleetSimulator:
             FleetSimulator(["laptop-4c"], max_corun=0)
         sim, _ = fake_fleet(["desktop-8c"], "first-fit")
         with pytest.raises(ValueError):
-            sim.run([])
-        with pytest.raises(ValueError):
             sim.run([job("a"), job("a")])
+
+    def test_empty_trace_returns_empty_result(self):
+        # An empty trace must not raise (mean_wait_time used to divide by
+        # zero and makespan's max() blew up on the empty sequence).
+        for compressed in (False, True):
+            sim = FleetSimulator(
+                ["desktop-8c", "laptop-4c"],
+                policy="first-fit",
+                compressed=compressed,
+            )
+            result = sim.run([])
+            assert result.num_jobs == 0
+            assert result.makespan == 0.0
+            assert result.mean_wait_time == 0.0
+            assert result.mean_turnaround_time == 0.0
+            assert result.completions == ()
+            assert result.placements == ()
+            assert len(result.machine_reports) == 2
+            for report in result.machine_reports:
+                assert report.rounds == 0
+                assert report.utilization == 0.0
+            # The dict form round-trips through json unscathed.
+            json.dumps(result.to_dict())
 
     def test_all_jobs_complete_exactly_once(self):
         sim, _ = fake_fleet(["desktop-8c", "laptop-4c"], "load-balanced")

@@ -1,0 +1,351 @@
+"""Round-compression fast path: equivalence, canonical mixes, prewarm.
+
+The compressed fleet simulator batch-advances stable job mixes as
+multi-round segments; these tests pin the contract that it is a pure
+optimisation — ``FleetSimulator(compressed=True)`` and the seed
+``compressed=False`` loop produce byte-identical deterministic outcomes
+(``FleetResult.to_dict(include_overhead=False)``) — plus the satellite
+guarantees around ``canonical_mix`` signature stability and estimator
+memo accounting.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import RuntimeConfig
+from repro.fleet import (
+    FleetSimulator,
+    Job,
+    StepTimeEstimator,
+    canonical_mix,
+    corun_step_time,
+    generate_trace,
+)
+from repro.fleet.estimates import EstimatorStats
+from repro.scenarios import Workload
+from repro.sweep import SweepCache, SweepExecutor
+
+SYN_A = Workload(synthetic_ops=24, synthetic_width=4, label="kind-a")
+SYN_B = Workload(synthetic_ops=24, synthetic_width=4, heavy_fraction=0.6, label="kind-b")
+SYN_C = Workload(synthetic_ops=16, synthetic_width=2, heavy_fraction=0.3, label="kind-c")
+
+
+def job(name, workload=SYN_A, steps=2, arrival=0.0, seed=0):
+    return Job(
+        name=name,
+        workload=workload,
+        num_steps=steps,
+        arrival_time=arrival,
+        graph_seed=seed,
+    )
+
+
+class FakeEstimator:
+    """Deterministic dict-driven estimator (no graph simulation)."""
+
+    def __init__(self, solo, pair_factor=1.5, pair_factors=None):
+        self.solo = solo
+        self.pair_factor = pair_factor
+        self.pair_factors = pair_factors or {}
+        self.stats = EstimatorStats()
+
+    def step_time(self, machine_name, jobs):
+        jobs = list(jobs)
+        self.stats.requests += 1
+        if len(jobs) == 1:
+            return self.solo[(machine_name, jobs[0].kind)]
+        slowest = max(self.solo[(machine_name, j.kind)] for j in jobs)
+        kinds = tuple(sorted(j.kind for j in jobs))
+        return slowest * self.pair_factors.get(kinds, self.pair_factor)
+
+    def solo_time(self, machine_name, job):
+        return self.step_time(machine_name, (job,))
+
+    def prewarm(self, machine_names, jobs, max_corun=1):
+        return 0
+
+
+BASES = {"desktop-8c": 1.0, "laptop-4c": 3.0, "cloud-vm-16v": 2.0, "arm-server-64c": 1.5}
+
+
+def fake_estimator(machines, pair_factor=1.5, pair_factors=None):
+    solo = {}
+    for name in machines:
+        base = BASES[name]
+        solo[(name, "kind-a")] = base
+        solo[(name, "kind-b")] = 1.5 * base
+        solo[(name, "kind-c")] = 0.7 * base
+    return FakeEstimator(solo, pair_factor, pair_factors)
+
+
+def deterministic_dict(result):
+    return json.dumps(result.to_dict(include_overhead=False), sort_keys=True)
+
+
+def run_both_paths(machines, policy, jobs, *, estimator_kwargs=None, preseed=None):
+    """Run one trace through both simulator paths; return the two results."""
+    results = []
+    for compressed in (False, True):
+        sim = FleetSimulator(
+            machines,
+            policy=policy,
+            estimator=fake_estimator(machines, **(estimator_kwargs or {})),
+            compressed=compressed,
+        )
+        if preseed:
+            for pair in preseed:
+                sim.tracker.record(*pair)
+        results.append(sim.run(jobs, prewarm=False))
+    return results
+
+
+class TestCompressionEquivalence:
+    @pytest.mark.parametrize(
+        "policy", ["first-fit", "load-balanced", "interference-aware"]
+    )
+    @pytest.mark.parametrize("pair_factor", [1.1, 1.5, 2.5])
+    def test_generated_traces_byte_identical(self, policy, pair_factor):
+        machines = ["desktop-8c", "laptop-4c", "desktop-8c"]
+        for seed in range(4):
+            jobs = generate_trace(
+                12,
+                seed=seed,
+                workloads=(SYN_A, SYN_B, SYN_C),
+                min_steps=2,
+                max_steps=25,
+                mean_interarrival=1.5,
+            )
+            reference, compressed = run_both_paths(
+                machines, policy, jobs, estimator_kwargs={"pair_factor": pair_factor}
+            )
+            assert deterministic_dict(reference) == deterministic_dict(compressed)
+
+    @pytest.mark.parametrize(
+        "policy", ["first-fit", "load-balanced", "interference-aware"]
+    )
+    def test_simultaneous_arrivals_byte_identical(self, policy):
+        # Many jobs at t=0 on identical machines keep round boundaries
+        # exactly tied across machines for the whole simulation — the
+        # worst case for the compressed path's global flush ordering.
+        machines = ["desktop-8c"] * 4
+        jobs = [
+            job(
+                f"j{i}",
+                workload=(SYN_A if i % 3 else SYN_B),
+                steps=4 + (i % 9),
+                arrival=0.0,
+            )
+            for i in range(10)
+        ]
+        reference, compressed = run_both_paths(
+            machines, policy, jobs, estimator_kwargs={"pair_factor": 2.5}
+        )
+        assert deterministic_dict(reference) == deterministic_dict(compressed)
+
+    def test_long_jobs_compress_to_few_events(self):
+        # The whole point: O(total steps) reference events collapse to
+        # O(mix changes) while the outcome stays byte-identical.
+        # Lightly loaded on purpose: a saturated fleet re-consults the
+        # policy every round (queued jobs), which compression must not
+        # skip — the fast path pays off on sanely provisioned fleets.
+        machines = ["desktop-8c", "laptop-4c", "cloud-vm-16v", "desktop-8c"]
+        jobs = generate_trace(
+            30,
+            seed=3,
+            workloads=(SYN_A, SYN_B),
+            min_steps=50,
+            max_steps=150,
+            mean_interarrival=100.0,
+        )
+        reference, compressed = run_both_paths(machines, "load-balanced", jobs)
+        assert deterministic_dict(reference) == deterministic_dict(compressed)
+        total_rounds = sum(m.rounds for m in reference.machine_reports)
+        assert reference.events_processed > total_rounds  # one per round + arrivals
+        assert compressed.events_processed < total_rounds / 5
+
+    def test_preseeded_blacklist_byte_identical(self):
+        machines = ["desktop-8c", "laptop-4c"]
+        jobs = [
+            job("a", steps=6),
+            job("b", workload=SYN_B, steps=6),
+            job("c", workload=SYN_C, steps=3, arrival=0.5),
+        ]
+        reference, compressed = run_both_paths(
+            machines,
+            "interference-aware",
+            jobs,
+            preseed=[("kind-a", "kind-b", 2.0)],
+        )
+        assert deterministic_dict(reference) == deterministic_dict(compressed)
+
+    def test_max_corun_three_byte_identical(self):
+        # Larger gangs: three residents, pairwise interference records.
+        machines = ["desktop-8c", "laptop-4c"]
+        jobs = generate_trace(
+            10,
+            seed=1,
+            workloads=(SYN_A, SYN_B, SYN_C),
+            min_steps=3,
+            max_steps=20,
+            mean_interarrival=1.0,
+        )
+        results = []
+        for compressed in (False, True):
+            sim = FleetSimulator(
+                machines,
+                policy="first-fit",
+                estimator=fake_estimator(machines, pair_factor=1.3),
+                max_corun=3,
+                compressed=compressed,
+            )
+            results.append(sim.run(jobs, prewarm=False))
+        assert deterministic_dict(results[0]) == deterministic_dict(results[1])
+
+    def test_real_estimator_pr4_trace_all_policies(self):
+        # The acceptance gate: the PR 4 benchmark trace (50 jobs, arrival
+        # seed 42, five-machine reference fleet) through the real
+        # merged-graph estimator, byte-identical under every policy.
+        from repro.api import DEFAULT_FLEET
+
+        jobs = generate_trace(50, seed=42)
+        estimator = StepTimeEstimator()  # shared memo across all six runs
+        for policy in ("first-fit", "load-balanced", "interference-aware"):
+            outcomes = []
+            for compressed in (False, True):
+                sim = FleetSimulator(
+                    DEFAULT_FLEET,
+                    policy=policy,
+                    estimator=estimator,
+                    compressed=compressed,
+                )
+                outcomes.append(deterministic_dict(sim.run(jobs)))
+            assert outcomes[0] == outcomes[1], policy
+
+    def test_compressed_interference_observations_match(self):
+        # Not just the blacklist: the full per-pair observation history
+        # of the fleet-wide tracker matches the reference loop's.
+        machines = ["desktop-8c", "laptop-4c"]
+        jobs = generate_trace(
+            12,
+            seed=5,
+            workloads=(SYN_A, SYN_B),
+            min_steps=4,
+            max_steps=30,
+            mean_interarrival=1.0,
+        )
+        trackers = []
+        for compressed in (False, True):
+            sim = FleetSimulator(
+                machines,
+                policy="first-fit",
+                estimator=fake_estimator(machines, pair_factor=1.8),
+                compressed=compressed,
+            )
+            sim.run(jobs, prewarm=False)
+            trackers.append(sim.tracker.snapshot())
+        assert trackers[0] == trackers[1]
+
+
+class TestCanonicalMixStability:
+    def test_ordering_invariance(self):
+        jobs = [
+            job("a", SYN_A, seed=1),
+            job("b", SYN_B, seed=2),
+            job("c", SYN_C, seed=3),
+        ]
+        import itertools
+
+        signatures = {
+            canonical_mix(perm) for perm in itertools.permutations(jobs)
+        }
+        assert len(signatures) == 1
+
+    def test_job_identity_does_not_leak_into_signature(self):
+        # Different names, arrivals and step counts, same workload class:
+        # one signature (that is what makes estimates reusable).
+        first = canonical_mix(
+            [job("x", SYN_A, steps=3, arrival=0.0), job("y", SYN_B, steps=9)]
+        )
+        second = canonical_mix(
+            [job("p", SYN_B, steps=1, arrival=7.5), job("q", SYN_A, steps=2)]
+        )
+        assert first == second
+
+    def test_cross_process_cache_key_equality(self, tmp_path):
+        # The signature must hash identically through the sweep cache
+        # regardless of construction order and across a process boundary:
+        # the second (process-backend) run must be all cache hits.
+        entries_fwd = canonical_mix([job("a", SYN_A), job("b", SYN_B)])
+        entries_rev = canonical_mix([job("b", SYN_B), job("a", SYN_A)])
+        assert entries_fwd == entries_rev
+        config = RuntimeConfig()
+        cache_dir = tmp_path / "cache"
+        with SweepExecutor("serial", cache=SweepCache(cache_dir)) as executor:
+            first = executor.map(
+                corun_step_time, [(entries_fwd, "laptop-4c", config)]
+            )[0]
+        with SweepExecutor(
+            "process", jobs=1, cache=SweepCache(cache_dir)
+        ) as executor:
+            second = executor.map(
+                corun_step_time, [(entries_rev, "laptop-4c", config)]
+            )[0]
+            assert executor.stats.cache_hits == 1
+        assert first == second
+
+    def test_memo_hits_equal_requested_minus_computed(self):
+        # Regression: the estimator traffic reported on a FleetResult
+        # must satisfy memo_hits == estimates_requested - estimates_computed,
+        # including prewarmed estimates (which count as both).
+        machines = ("laptop-4c", "desktop-8c")
+        jobs = generate_trace(6, seed=2)
+        estimator = StepTimeEstimator()
+        sim = FleetSimulator(machines, policy="load-balanced", estimator=estimator)
+        result = sim.run(jobs)
+        assert result.estimates_requested - result.estimates_computed >= 0
+        assert (
+            estimator.stats.memo_hits
+            == estimator.stats.requests - estimator.stats.computed
+        )
+        # A rerun is served entirely from the memo: zero new simulations.
+        rerun = sim.run(jobs)
+        assert rerun.estimates_computed == 0
+        assert rerun.estimates_requested - rerun.estimates_computed == (
+            rerun.estimates_requested
+        )
+
+
+class TestMixPrewarm:
+    def test_prewarm_mixes_covers_every_corun_signature(self):
+        estimator = StepTimeEstimator()
+        jobs = [job("a", SYN_A), job("b", SYN_B), job("c", SYN_A)]
+        # Two distinct classes on one machine: 2 solos + 3 pair multisets.
+        computed = estimator.prewarm(["laptop-4c"], jobs, max_corun=2)
+        assert computed == 5
+        # Every pair estimate is now a memo hit.
+        before = estimator.stats.computed
+        estimator.step_time("laptop-4c", [jobs[0], jobs[1]])
+        estimator.step_time("laptop-4c", [jobs[0], jobs[2]])
+        estimator.step_time("laptop-4c", [jobs[1], jobs[1]])
+        assert estimator.stats.computed == before
+
+    def test_prewarm_mixes_keeps_simulation_memo_only(self):
+        machines = ("laptop-4c", "desktop-8c")
+        jobs = generate_trace(8, seed=4, workloads=(SYN_A, SYN_B))
+        estimator = StepTimeEstimator()
+        sim = FleetSimulator(
+            machines, policy="first-fit", estimator=estimator, max_corun=2
+        )
+        result = sim.run(jobs, prewarm="mixes")
+        # Everything the event loop needed was prewarmed: computed equals
+        # the full mix closure (2 classes -> 2 solos + 3 pairs, per kind).
+        assert result.estimates_requested > result.estimates_computed
+        rerun = sim.run(jobs, prewarm="mixes")
+        assert rerun.estimates_computed == 0
+
+    def test_prewarm_rejects_bad_max_corun(self):
+        with pytest.raises(ValueError):
+            StepTimeEstimator().prewarm(["laptop-4c"], [job("a")], max_corun=0)
