@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench experiments fleet fleet-large bench-full help
+.PHONY: test bench experiments fleet fleet-faults fleet-large bench-full help
 
 help:
 	@echo "make test        - run the tier-1 test suite"
@@ -13,6 +13,8 @@ help:
 	@echo "                   determinism/compression gates), updates BENCH_fleet.json"
 	@echo "make fleet-large - large-trace fleet benchmark (1,000-job round-"
 	@echo "                   compression speedup gate + 5,000-job smoke)"
+	@echo "make fleet-faults- fault-injection benchmark (canonical fault plan:"
+	@echo "                   equivalence + monotonicity gates)"
 	@echo "make bench-full  - every benchmark (paper tables/figures reproduction)"
 
 test:
@@ -26,6 +28,9 @@ experiments:
 
 fleet:
 	$(PYTHON) -m benchmarks --suite fleet
+
+fleet-faults:
+	$(PYTHON) -m benchmarks.fleet_bench --suite faults
 
 fleet-large:
 	$(PYTHON) -m benchmarks.fleet_bench --suite large

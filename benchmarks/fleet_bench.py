@@ -31,6 +31,20 @@ Three suites, all writing into ``BENCH_fleet.json``:
   compressed-only smoke proving datacenter-scale traces stay
   interactive; records wall time, no reference baseline (the seed path
   would take minutes).
+
+* ``faults`` (``make fleet-faults``) — replays the canonical 50-job
+  trace under a fixed fault plan (a straggler window, a preemption, a
+  crash and a graceful drain) for every policy, enforcing:
+
+  - **fault equivalence** — the compressed path must stay byte-identical
+    to the reference loop under faults;
+  - **fault determinism** — the faulted rerun must be byte-identical;
+  - **makespan monotonicity** — the faulted makespan must be >= the
+    fault-free makespan for every policy (faults destroy work, they
+    never create it).
+
+  Results land in the ``fault_injection`` section of
+  ``BENCH_fleet.json``.
 """
 
 from __future__ import annotations
@@ -87,6 +101,21 @@ LARGE_SPEEDUP_GATE = 10.0
 XL_NUM_JOBS = 5000
 XL_MACHINES: tuple[str, ...] = DEFAULT_FLEET * 20
 XL_INTERARRIVAL = 54.0
+
+#: The canonical fault plan for the ``faults`` suite: one event of every
+#: destructive kind, timed inside the seed-42 trace's arrival span
+#: (~4.7 s to ~85.8 s) so each one lands on a busy fleet.  Joins are
+#: deliberately absent — extra capacity could legitimately *shrink* the
+#: makespan, which would invalidate the monotonicity gate.
+BENCH_FAULT_PLAN: dict = {
+    "max_retries": 3,
+    "events": [
+        {"kind": "straggler", "time": 20.0, "machine": "m0", "factor": 2.0, "duration": 40.0},
+        {"kind": "leave", "time": 50.0, "machine": "m2"},
+        {"kind": "crash", "time": 70.0, "machine": "m1"},
+        {"kind": "preempt", "time": 80.0, "job": "job-040-dcgan"},
+    ],
+}
 
 #: Trend gate: warm reruns must not get more than 2x slower than the
 #: committed baseline.  The committed numbers come from whatever
@@ -310,6 +339,127 @@ def run_xl_smoke(
     }
 
 
+def run_faults_benchmark(
+    *,
+    num_jobs: int = BENCH_NUM_JOBS,
+    arrival_seed: int = BENCH_ARRIVAL_SEED,
+    machines: tuple[str, ...] = BENCH_MACHINES,
+    policies: tuple[str, ...] = BENCH_POLICIES,
+    fault_plan: dict | None = None,
+) -> dict:
+    """Replay the canonical trace under the canonical fault plan.
+
+    Per policy: one fault-free compressed run (the monotonicity
+    baseline), two faulted compressed runs (determinism) and one faulted
+    reference run (equivalence).  One estimator is shared across all
+    runs — faults must not pollute the step-time cache, so sharing it is
+    itself part of the test surface.
+    """
+    from repro.fleet.faults import FaultPlan, resolve_fault_plan
+
+    plan = resolve_fault_plan(fault_plan or BENCH_FAULT_PLAN)
+    empty_plan = FaultPlan(events=())
+    trace = generate_trace(num_jobs, seed=arrival_seed)
+    estimator = StepTimeEstimator()
+    policy_reports: dict[str, dict] = {}
+    equivalent = deterministic = monotone = True
+    for policy in policies:
+        def simulate(*, compressed: bool, faults):
+            simulator = FleetSimulator(
+                machines, policy=policy, estimator=estimator, compressed=compressed
+            )
+            start = time.perf_counter()
+            result = simulator.run(trace, faults=faults)
+            return result, time.perf_counter() - start
+
+        clean, _ = simulate(compressed=True, faults=empty_plan)
+        faulted, seconds = simulate(compressed=True, faults=plan)
+        rerun, _ = simulate(compressed=True, faults=plan)
+        reference, reference_seconds = simulate(compressed=False, faults=plan)
+        identical = _digest(faulted) == _digest(reference)
+        rerun_identical = _digest(faulted) == _digest(rerun)
+        monotonic = faulted.makespan >= clean.makespan
+        equivalent = equivalent and identical
+        deterministic = deterministic and rerun_identical
+        monotone = monotone and monotonic
+        policy_reports[policy] = {
+            "makespan": faulted.makespan,
+            "fault_free_makespan": clean.makespan,
+            "makespan_monotone": monotonic,
+            "retries": faulted.retries,
+            "preemptions": faulted.preemptions,
+            "lost_steps": faulted.lost_steps,
+            "failed_jobs": [f.job for f in faulted.failures],
+            "events_processed": faulted.events_processed,
+            "reference_events_processed": reference.events_processed,
+            "cold_seconds": round(seconds, 4),
+            "reference_seconds": round(reference_seconds, 4),
+            "compressed_equals_reference": identical,
+            "rerun_identical": rerun_identical,
+        }
+    return {
+        "workload": {
+            "num_jobs": num_jobs,
+            "arrival_seed": arrival_seed,
+            "machines": list(machines),
+        },
+        "fault_plan": plan.to_dict(),
+        "policies": policy_reports,
+        "compression_equivalent": equivalent,
+        "deterministic": deterministic,
+        "makespan_monotone": monotone,
+    }
+
+
+def format_faults_report(report: dict) -> str:
+    workload = report["workload"]
+    plan = report["fault_plan"]
+    lines = [
+        f"fleet fault-injection benchmark — {workload['num_jobs']} jobs "
+        f"(arrival seed {workload['arrival_seed']}) over "
+        f"{len(workload['machines'])} machines, "
+        f"{len(plan['events'])} fault events",
+        f"{'policy':<20} {'makespan':>10} {'clean':>9} {'retry':>6} "
+        f"{'preempt':>8} {'lost':>5} {'failed':>7} {'=ref':>5} {'mono':>5}",
+    ]
+    for policy, phase in report["policies"].items():
+        lines.append(
+            f"{policy:<20} {phase['makespan']:>9.2f}s "
+            f"{phase['fault_free_makespan']:>8.2f}s "
+            f"{phase['retries']:>6} {phase['preemptions']:>8} "
+            f"{phase['lost_steps']:>5} {len(phase['failed_jobs']):>7} "
+            f"{str(phase['compressed_equals_reference']):>5} "
+            f"{str(phase['makespan_monotone']):>5}"
+        )
+    lines.append(
+        f"compressed == reference under faults: {report['compression_equivalent']}; "
+        f"deterministic: {report['deterministic']}; "
+        f"makespan monotone: {report['makespan_monotone']}"
+    )
+    return "\n".join(lines)
+
+
+def check_faults_gates(report: dict) -> list[str]:
+    """The failed-gate messages of one faults-suite report (empty = pass)."""
+    failures = []
+    for policy, phase in report["policies"].items():
+        if not phase["compressed_equals_reference"]:
+            failures.append(
+                f"fault injection ({policy}): compressed and reference outcomes diverged"
+            )
+        if not phase["rerun_identical"]:
+            failures.append(
+                f"fault injection ({policy}): faulted rerun diverged for a fixed plan"
+            )
+        if not phase["makespan_monotone"]:
+            failures.append(
+                f"fault injection ({policy}): faulted makespan "
+                f"{phase['makespan']:.2f}s fell below the fault-free "
+                f"{phase['fault_free_makespan']:.2f}s"
+            )
+    return failures
+
+
 def check_trend(report: dict, baseline_path: Path = BENCH_JSON) -> list[str]:
     """Warm-time regressions vs the committed baseline (empty = pass).
 
@@ -487,10 +637,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("smoke", "large", "xl", "all"),
+        choices=("smoke", "large", "xl", "faults", "all"),
         default="smoke",
         help="smoke: canonical 50-job gates; large: 1,000-job round-"
-        "compression speedup gate; xl: 5,000-job compressed smoke",
+        "compression speedup gate; xl: 5,000-job compressed smoke; "
+        "faults: canonical-fault-plan equivalence gates",
     )
     parser.add_argument("--jobs", type=int, default=None, help="sweep-engine worker count")
     parser.add_argument(
@@ -519,6 +670,11 @@ def main(argv: list[str] | None = None) -> int:
         xl = run_xl_smoke()
         print(format_xl_report(xl))
         payload.setdefault("round_compression", {})["xl_smoke"] = xl
+    if args.suite in ("faults", "all"):
+        faults_report = run_faults_benchmark()
+        print(format_faults_report(faults_report))
+        failures += check_faults_gates(faults_report)
+        payload["fault_injection"] = faults_report
 
     if not args.no_write:
         if failures:

@@ -194,9 +194,18 @@ class FleetOutcome:
     #: Heap events the simulator processed — O(mix changes) on the
     #: compressed fast path vs O(total steps) on the reference path.
     events_processed: int = 0
+    # -- fault accounting (all zero on a fault-free run) -------------------------
+    #: Jobs that exhausted their retry budget (names, sorted by failure time).
+    failed_jobs: tuple[str, ...] = ()
+    #: Crash-requeues across the fleet.
+    retries: int = 0
+    #: Preemptions applied across the fleet.
+    preemptions: int = 0
+    #: Training steps destroyed by aborted in-flight rounds.
+    lost_steps: int = 0
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"fleet[{self.policy}] on {len(self.machines)} machines: "
             f"{self.num_jobs} jobs in {self.makespan:.2f} s "
             f"(mean wait {self.mean_wait_time:.2f} s, "
@@ -204,6 +213,12 @@ class FleetOutcome:
             f"{len(self.blacklisted_pairs)} blacklisted pairings, "
             f"scheduler overhead {self.scheduler_overhead_seconds * 1e3:.1f} ms)"
         )
+        if self.retries or self.preemptions or self.lost_steps or self.failed_jobs:
+            text += (
+                f" [faults: {self.retries} retries, {self.preemptions} preemptions, "
+                f"{self.lost_steps} lost steps, {len(self.failed_jobs)} failed]"
+            )
+        return text
 
 
 def run_fleet(
@@ -219,6 +234,7 @@ def run_fleet(
     config: RuntimeConfig | None = None,
     executor=None,
     compressed: bool = True,
+    faults=None,
 ) -> FleetOutcome:
     """Place a stream of training jobs across many zoo machines.
 
@@ -231,8 +247,13 @@ def run_fleet(
     ``"load-balanced"``, ``"interference-aware"``).  ``compressed``
     selects the round-compression fast path (default) or the one-event-
     per-round reference loop — both produce the identical deterministic
-    outcome.  The same (trace, policy, machine set) always produces the
-    identical outcome.
+    outcome.  ``faults`` injects a deterministic fault plan (machine
+    crashes, joins, drains, stragglers, preemptions): a
+    :class:`~repro.fleet.FaultPlan`, a registered fault-spec name
+    (:func:`repro.scenarios.available_fault_specs`), a spec dict or a
+    JSON string/path — see :mod:`repro.fleet.faults`.  The same (trace,
+    policy, machine set, fault plan) always produces the identical
+    outcome.
     """
     from repro.fleet import FleetSimulator, generate_trace
     from repro.fleet.simulator import DEFAULT_MAX_CORUN
@@ -255,6 +276,7 @@ def run_fleet(
         config=config,
         max_corun=max_corun if max_corun is not None else DEFAULT_MAX_CORUN,
         compressed=compressed,
+        faults=faults,
     )
     result = simulator.run(jobs)
     return FleetOutcome(
@@ -271,4 +293,8 @@ def run_fleet(
         estimates_requested=result.estimates_requested,
         estimates_computed=result.estimates_computed,
         events_processed=result.events_processed,
+        failed_jobs=tuple(f.job for f in result.failures),
+        retries=result.retries,
+        preemptions=result.preemptions,
+        lost_steps=result.lost_steps,
     )

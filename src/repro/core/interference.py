@@ -156,11 +156,22 @@ class InterferenceTracker:
     # -- sharing across trackers ---------------------------------------------------
 
     def snapshot(self) -> InterferenceSnapshot:
-        """Freeze the current state into an immutable, picklable value."""
+        """Freeze the current state into an immutable, picklable value.
+
+        Pairs with zero recorded observations are omitted: they carry no
+        information, and whether one exists is an artifact of *how* a
+        caller recorded (:meth:`history_for` pre-creates the history, so
+        a co-run segment aborted by a fault before its first round would
+        otherwise leave a spurious empty entry behind).
+        """
         return InterferenceSnapshot(
             observations=tuple(
                 sorted(
-                    ((key, tuple(values)) for key, values in self._observations.items()),
+                    (
+                        (key, tuple(values))
+                        for key, values in self._observations.items()
+                        if values
+                    ),
                     key=lambda kv: repr(kv[0]),
                 )
             ),

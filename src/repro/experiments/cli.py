@@ -49,6 +49,10 @@ def _run_one(
     arrival_seed: int | None = None,
     num_jobs: int | None = None,
     steps: tuple[int, int] | None = None,
+    fault_plan: str | None = None,
+    fault_seed: int | None = None,
+    crash_rate: float | None = None,
+    straggler_rate: float | None = None,
 ) -> str:
     module = ALL_EXPERIMENTS[name]
     # Forward only the options the experiment's run() accepts.  Inspect
@@ -75,6 +79,14 @@ def _run_one(
         kwargs["num_jobs"] = num_jobs
     if steps is not None and "min_steps" in parameters and "max_steps" in parameters:
         kwargs["min_steps"], kwargs["max_steps"] = steps
+    if "fault_plan" in parameters and fault_plan is not None:
+        kwargs["fault_plan"] = fault_plan
+    if "fault_seed" in parameters and fault_seed is not None:
+        kwargs["fault_seed"] = fault_seed
+    if "crash_rate" in parameters and crash_rate is not None:
+        kwargs["crash_rate"] = crash_rate
+    if "straggler_rate" in parameters and straggler_rate is not None:
+        kwargs["straggler_rate"] = straggler_rate
     result = module.run(**kwargs)
     return module.format_report(result)
 
@@ -197,6 +209,43 @@ def main(argv: Sequence[str] | None = None) -> int:
         "generated trace (a single N fixes every job's length)",
     )
     parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="fleet experiment only: inject a deterministic fault plan — a "
+        "registered fault-spec name (see --list-fault-plans), a JSON object, "
+        "or a path to a JSON file",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet experiment only: seed of a generated random fault plan "
+        "(combine with --crash-rate / --straggler-rate)",
+    )
+    parser.add_argument(
+        "--crash-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="fleet experiment only: per-machine crash probability of the "
+        "generated fault plan (0..1)",
+    )
+    parser.add_argument(
+        "--straggler-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="fleet experiment only: per-machine straggler-window probability "
+        "of the generated fault plan (0..1)",
+    )
+    parser.add_argument(
+        "--list-fault-plans",
+        action="store_true",
+        help="list the registered fault-plan specs (usable with --fault-plan)",
+    )
+    parser.add_argument(
         "--full",
         action="store_true",
         help="use the full-size model graphs (slower, closer to the paper's scale)",
@@ -231,6 +280,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--jobs must be at least 1")
     if args.num_jobs is not None and args.num_jobs < 1:
         parser.error("--num-jobs must be at least 1")
+    for rate_flag, rate_value in (
+        ("--crash-rate", args.crash_rate),
+        ("--straggler-rate", args.straggler_rate),
+    ):
+        if rate_value is not None and not 0.0 <= rate_value <= 1.0:
+            parser.error(f"{rate_flag} must be in [0, 1]")
     if args.machine is not None and args.scenario is not None:
         parser.error("--machine and --scenario are mutually exclusive")
     steps: tuple[int, int] | None = None
@@ -268,6 +323,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(json.dumps(scenario_specs(), indent=2, sort_keys=True))
         else:
             print(describe_scenarios())
+        return 0
+    if args.list_fault_plans:
+        from repro.scenarios import FAULT_SPECS, describe_fault_specs
+
+        if args.json:
+            print(json.dumps(FAULT_SPECS, indent=2, sort_keys=True))
+        else:
+            print(describe_fault_specs())
         return 0
 
     fleet_machines: tuple[str, ...] | None = None
@@ -341,6 +404,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 arrival_seed=args.arrival_seed,
                 num_jobs=args.num_jobs,
                 steps=steps,
+                fault_plan=args.fault_plan,
+                fault_seed=args.fault_seed,
+                crash_rate=args.crash_rate,
+                straggler_rate=args.straggler_rate,
             )
             elapsed = time.time() - start
             suffix = f" @ {machine}" if machine is not None else ""

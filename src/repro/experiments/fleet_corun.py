@@ -44,6 +44,11 @@ class FleetPolicyRow:
     corun_rounds: int
     total_rounds: int
     blacklisted_pairs: int
+    # -- fault accounting (all zero on fault-free runs) --------------------------
+    retries: int = 0
+    preemptions: int = 0
+    lost_steps: int = 0
+    failed_jobs: int = 0
 
 
 @dataclass(frozen=True)
@@ -54,6 +59,8 @@ class FleetCorunResult:
     rows: tuple[FleetPolicyRow, ...]
     min_steps: int = 3
     max_steps: int = 10
+    #: The fault plan spec in effect (None for fault-free runs).
+    fault_spec: dict | None = None
 
     @property
     def speedups_vs_first_fit(self) -> dict[str, float]:
@@ -74,19 +81,46 @@ def run(
     max_steps: int = 10,
     compressed: bool = True,
     executor: SweepExecutor | None = None,
+    fault_plan: str | dict | None = None,
+    fault_seed: int | None = None,
+    crash_rate: float | None = None,
+    straggler_rate: float | None = None,
 ) -> FleetCorunResult:
     """Place the same trace under each policy and compare makespans.
 
     ``num_jobs``, ``arrival_seed`` and ``min_steps``/``max_steps``
     parameterise the generated trace, so large reproducible workloads
     are one CLI flag away (``--num-jobs 1000 --steps 200:600``).
+
+    Faults: ``fault_plan`` names a registered fault spec or carries a
+    JSON spec directly (``--fault-plan``); alternatively ``fault_seed``
+    with ``crash_rate``/``straggler_rate`` generates a seeded random
+    plan over the trace's span (``--fault-seed --crash-rate
+    --straggler-rate``).  Every policy replays the identical plan.
     """
+    from repro.fleet.faults import generate_fault_plan, resolve_fault_plan
+
     policies = policies or available_policies()
     machines = machines or DEFAULT_FLEET
     executor = executor or get_default_executor()
     jobs = generate_trace(
         num_jobs, seed=arrival_seed, min_steps=min_steps, max_steps=max_steps
     )
+    if fault_plan is not None:
+        plan = resolve_fault_plan(fault_plan)
+    elif fault_seed is not None or crash_rate or straggler_rate:
+        # Fault window: 1.5x the arrival span, so late faults still land
+        # while the tail of the trace is draining.
+        horizon = max(1.0, jobs[-1].arrival_time * 1.5)
+        plan = generate_fault_plan(
+            [f"m{i}" for i in range(len(machines))],
+            horizon=horizon,
+            seed=fault_seed or 0,
+            crash_rate=crash_rate or 0.0,
+            straggler_rate=straggler_rate or 0.0,
+        )
+    else:
+        plan = None
     # One estimator across policies: step times are pure functions of the
     # (machine, mix), so every policy after the first replays from memo.
     estimator = StepTimeEstimator(executor=executor)
@@ -95,7 +129,7 @@ def run(
         simulator = FleetSimulator(
             machines, policy=policy, estimator=estimator, compressed=compressed
         )
-        result = simulator.run(jobs)
+        result = simulator.run(jobs, faults=plan)
         rows.append(
             FleetPolicyRow(
                 policy=policy,
@@ -104,6 +138,10 @@ def run(
                 corun_rounds=sum(m.corun_rounds for m in result.machine_reports),
                 total_rounds=sum(m.rounds for m in result.machine_reports),
                 blacklisted_pairs=len(result.blacklisted_pairs),
+                retries=result.retries,
+                preemptions=result.preemptions,
+                lost_steps=result.lost_steps,
+                failed_jobs=len(result.failures),
             )
         )
     return FleetCorunResult(
@@ -113,6 +151,7 @@ def run(
         rows=tuple(rows),
         min_steps=min_steps,
         max_steps=max_steps,
+        fault_spec=plan.to_dict() if plan is not None else None,
     )
 
 
@@ -127,25 +166,35 @@ def _describe_fleet(machines: tuple[str, ...]) -> str:
 
 
 def format_report(result: FleetCorunResult) -> str:
-    table = TextTable(
-        ["policy", "makespan (s)", "mean wait (s)", "co-run rounds", "blacklisted", "speedup"],
-        title=(
-            f"Fleet co-run — {result.num_jobs} jobs "
-            f"({result.min_steps}-{result.max_steps} steps each) over "
-            f"{len(result.machines)} machines "
-            f"({_describe_fleet(result.machines)}; arrival seed {result.arrival_seed})"
-        ),
+    faulted = result.fault_spec is not None
+    columns = ["policy", "makespan (s)", "mean wait (s)", "co-run rounds", "blacklisted", "speedup"]
+    if faulted:
+        columns += ["retries", "preempted", "lost steps", "failed"]
+    title = (
+        f"Fleet co-run — {result.num_jobs} jobs "
+        f"({result.min_steps}-{result.max_steps} steps each) over "
+        f"{len(result.machines)} machines "
+        f"({_describe_fleet(result.machines)}; arrival seed {result.arrival_seed})"
     )
+    if faulted:
+        title += f" under {len(result.fault_spec['events'])} fault events"
+    table = TextTable(columns, title=title)
     speedups = result.speedups_vs_first_fit
     for row in result.rows:
-        table.add_row(
-            [
-                row.policy,
-                row.makespan,
-                row.mean_wait_time,
-                f"{row.corun_rounds}/{row.total_rounds}",
-                str(row.blacklisted_pairs),
-                speedups[row.policy],
+        cells = [
+            row.policy,
+            row.makespan,
+            row.mean_wait_time,
+            f"{row.corun_rounds}/{row.total_rounds}",
+            str(row.blacklisted_pairs),
+            speedups[row.policy],
+        ]
+        if faulted:
+            cells += [
+                str(row.retries),
+                str(row.preemptions),
+                str(row.lost_steps),
+                str(row.failed_jobs),
             ]
-        )
+        table.add_row(cells)
     return table.render()

@@ -13,12 +13,41 @@ and stays byte-identical to the seed loop
 (``FleetSimulator(compressed=False)``), which keeps 1,000-job traces
 interactive and 5,000-job traces feasible.
 
+Deterministic fault injection (:mod:`repro.fleet.faults`) layers machine
+churn, graceful drains, straggler windows and job preemption over any
+trace as a declarative seeded :class:`~repro.fleet.faults.FaultPlan` —
+consulted by both simulator loops, with the compressed path still
+byte-identical to the reference loop under faults.
+
 Entry points: :func:`repro.api.run_fleet`, the ``fleet`` experiment
 (``python -m repro.experiments fleet``) and ``benchmarks/fleet_bench.py``.
 """
 
-from repro.fleet.estimates import StepTimeEstimator, canonical_mix, corun_step_time
-from repro.fleet.job import DEFAULT_JOB_MIX, Job, generate_trace, jobs_from_scenario
+from repro.fleet.estimates import (
+    StepTimeEstimator,
+    canonical_mix,
+    corun_step_time,
+    scale_step_time,
+)
+from repro.fleet.faults import (
+    DEFAULT_MAX_RETRIES,
+    FaultInjector,
+    FaultPlan,
+    JobPreempt,
+    MachineCrash,
+    MachineJoin,
+    MachineLeave,
+    Straggler,
+    generate_fault_plan,
+    resolve_fault_plan,
+)
+from repro.fleet.job import (
+    DEFAULT_JOB_MIX,
+    Job,
+    generate_trace,
+    jobs_from_scenario,
+    validate_trace,
+)
 from repro.fleet.policies import (
     POLICIES,
     FirstFitPolicy,
@@ -32,7 +61,9 @@ from repro.fleet.simulator import (
     DEFAULT_MAX_CORUN,
     FleetResult,
     FleetSimulator,
+    FleetStalled,
     JobCompletion,
+    JobFailure,
     MachineReport,
 )
 from repro.fleet.state import FleetState, MachineState, MachineView, Placement
@@ -40,14 +71,23 @@ from repro.fleet.state import FleetState, MachineState, MachineView, Placement
 __all__ = [
     "DEFAULT_JOB_MIX",
     "DEFAULT_MAX_CORUN",
+    "DEFAULT_MAX_RETRIES",
+    "FaultInjector",
+    "FaultPlan",
     "FirstFitPolicy",
     "FleetResult",
     "FleetSimulator",
+    "FleetStalled",
     "FleetState",
     "InterferenceAwarePolicy",
     "Job",
     "JobCompletion",
+    "JobFailure",
+    "JobPreempt",
     "LoadBalancedPolicy",
+    "MachineCrash",
+    "MachineJoin",
+    "MachineLeave",
     "MachineReport",
     "MachineState",
     "MachineView",
@@ -55,10 +95,15 @@ __all__ = [
     "Placement",
     "PlacementPolicy",
     "StepTimeEstimator",
+    "Straggler",
     "available_policies",
     "canonical_mix",
     "corun_step_time",
+    "generate_fault_plan",
     "generate_trace",
     "jobs_from_scenario",
     "make_policy",
+    "resolve_fault_plan",
+    "scale_step_time",
+    "validate_trace",
 ]

@@ -61,6 +61,20 @@ def corun_step_time(
     return runtime.simulator.run_step(graph, policy, step_name="fleet-round").step_time
 
 
+def scale_step_time(base: float, factors: Sequence[float]) -> float:
+    """Apply active straggler factors to an estimator step time.
+
+    Faults scale *results*, never the estimator's memo or the on-disk
+    sweep cache — those stay pure functions of (machine, mix, config).
+    The loop multiplies factors one at a time in window-open order so the
+    reference and compressed fleet loops produce bit-identical floats.
+    """
+    time = base
+    for factor in factors:
+        time = time * factor
+    return time
+
+
 def canonical_mix(jobs: Sequence[Job]) -> tuple[MixEntry, ...]:
     """The canonical (order-independent) mix key of a set of resident jobs.
 

@@ -1,0 +1,415 @@
+"""Deterministic fault injection for the fleet simulator.
+
+Production fleets are not the healthy static machine zoo the benchmark
+traces assume: machines crash and join mid-trace, operators drain hosts
+for maintenance, co-tenants turn a box into a straggler, and higher
+priority work preempts running jobs.  This module models all of that as
+a **declarative, seeded plan** — a :class:`FaultPlan` of timestamped
+events — that the :class:`~repro.fleet.simulator.FleetSimulator`
+consults through a :class:`FaultInjector` in *both* of its loops, so the
+round-compression fast path stays byte-identical to the reference loop
+even while faults interrupt segments asynchronously.
+
+Event types
+-----------
+* :class:`MachineCrash` — the machine dies instantly and permanently.
+  Its in-flight gang round is aborted (each resident loses the step in
+  progress — the ``lost_steps`` accounting), and every resident and
+  admitted-but-waiting job is requeued with its progress restored to the
+  last completed round boundary.  Each crash-requeue burns one entry of
+  the job's retry budget: a job whose ``attempts`` would exceed
+  ``FaultPlan.max_retries`` is marked **failed** instead of requeued.
+* :class:`MachineJoin` — a new zoo machine enters the fleet mid-trace
+  (ids continue the ``m0, m1, ...`` numbering in application order).
+* :class:`MachineLeave` — graceful drain: the machine stops accepting
+  placements immediately, runs its current members to completion, then
+  leaves the fleet.
+* :class:`Straggler` — the machine's gang rounds run ``factor`` times
+  slower for ``duration`` simulated seconds.  The scaling is applied by
+  the simulator *on top of* the estimator's step times (see
+  :func:`repro.fleet.estimates.scale_step_time`), so the shared
+  step-time cache never sees a polluted value, and interference records
+  keep using the unscaled duration (a slow machine is not a bad
+  pairing).  Rounds already in flight when a window opens or closes keep
+  the duration they started with.
+* :class:`JobPreempt` — the named job is yanked back to the queue at the
+  given instant.  The machine's in-flight round is aborted (all its
+  residents lose the step in progress) and the survivors restart
+  immediately; the preempted job keeps its completed-round progress and
+  does **not** burn retry budget.  Preempting a queued, finished or
+  unknown job is a no-op.
+
+Determinism
+-----------
+A plan is a value: the same ``(trace, policy, machines, plan)`` always
+produces the identical outcome, fault events at equal instants apply in
+plan order, and a fault instant always applies *after* any gang round
+completing at that exact instant (and before any job arriving at it).
+:func:`generate_fault_plan` derives random-but-seeded plans from churn /
+straggler / preemption rates, and :meth:`FaultPlan.to_dict` /
+:meth:`FaultPlan.from_dict` round-trip plans through JSON exactly —
+which is what the scenario registry's fault specs
+(:func:`repro.scenarios.register_fault_spec`) and the CLI's
+``--fault-plan`` flag carry.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.hardware.zoo import get_machine
+from repro.utils.seeding import make_rng
+
+
+def _check_time(time: float, what: str) -> None:
+    if not math.isfinite(time) or time < 0:
+        raise ValueError(f"{what} time must be finite and non-negative, got {time!r}")
+
+
+@dataclass(frozen=True)
+class MachineCrash:
+    """Machine ``machine`` dies permanently at ``time``."""
+
+    time: float
+    machine: str
+
+    def __post_init__(self) -> None:
+        _check_time(self.time, "crash")
+        if not self.machine:
+            raise ValueError("crash needs a machine id")
+
+
+@dataclass(frozen=True)
+class MachineJoin:
+    """A new ``machine_name`` zoo machine enters the fleet at ``time``."""
+
+    time: float
+    machine_name: str
+
+    def __post_init__(self) -> None:
+        _check_time(self.time, "join")
+        get_machine(self.machine_name)  # fail fast on dangling zoo names
+
+
+@dataclass(frozen=True)
+class MachineLeave:
+    """Machine ``machine`` drains gracefully starting at ``time``."""
+
+    time: float
+    machine: str
+
+    def __post_init__(self) -> None:
+        _check_time(self.time, "leave")
+        if not self.machine:
+            raise ValueError("leave needs a machine id")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Machine ``machine`` runs ``factor`` x slower in
+    ``[time, time + duration)``."""
+
+    time: float
+    machine: str
+    factor: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        _check_time(self.time, "straggler")
+        if not self.machine:
+            raise ValueError("straggler needs a machine id")
+        if not math.isfinite(self.factor) or self.factor <= 0:
+            raise ValueError(f"straggler factor must be positive, got {self.factor!r}")
+        if not math.isfinite(self.duration) or self.duration <= 0:
+            raise ValueError(
+                f"straggler duration must be positive, got {self.duration!r}"
+            )
+
+
+@dataclass(frozen=True)
+class JobPreempt:
+    """Job ``job`` is yanked back to the queue at ``time``."""
+
+    time: float
+    job: str
+
+    def __post_init__(self) -> None:
+        _check_time(self.time, "preempt")
+        if not self.job:
+            raise ValueError("preempt needs a job name")
+
+
+FaultEvent = Union[MachineCrash, MachineJoin, MachineLeave, Straggler, JobPreempt]
+
+#: Serialization tags, one per event type.
+_EVENT_KINDS: dict[type, str] = {
+    MachineCrash: "crash",
+    MachineJoin: "join",
+    MachineLeave: "leave",
+    Straggler: "straggler",
+    JobPreempt: "preempt",
+}
+_KIND_TYPES = {kind: cls for cls, kind in _EVENT_KINDS.items()}
+
+#: Timeline actions the simulator dispatches on.  A :class:`Straggler`
+#: expands into two instants (window open / window close); every other
+#: event is a single instant.
+CRASH = "crash"
+JOIN = "join"
+LEAVE = "leave"
+STRAGGLER_START = "straggler-start"
+STRAGGLER_END = "straggler-end"
+PREEMPT = "preempt"
+
+
+@dataclass(frozen=True)
+class FaultInstant:
+    """One timestamped action of an expanded fault timeline."""
+
+    time: float
+    action: str
+    event: FaultEvent
+
+
+#: Default per-job execution-attempt budget: a job may be started up to
+#: this many times before a crash marks it failed.
+DEFAULT_MAX_RETRIES = 3
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, ordered set of fault events plus the retry budget.
+
+    ``max_retries`` is the maximum number of execution attempts per job
+    (first placement included): a job whose machine crashes after its
+    ``max_retries``-th attempt is marked failed instead of requeued, and
+    a job abandoned because no machine can ever accept it is charged the
+    full budget (``attempts == max_retries``).
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    max_retries: int = DEFAULT_MAX_RETRIES
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if type(event) not in _EVENT_KINDS:
+                raise TypeError(f"not a fault event: {event!r}")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be at least 1")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def timeline(self) -> tuple[FaultInstant, ...]:
+        """The plan expanded into sorted instants.
+
+        Stragglers contribute a window-open and a window-close instant;
+        ties at equal times resolve by plan order, so a plan is a total
+        order of actions.
+        """
+        keyed: list[tuple[float, int, int, FaultInstant]] = []
+        for index, event in enumerate(self.events):
+            if isinstance(event, Straggler):
+                keyed.append(
+                    (event.time, index, 0, FaultInstant(event.time, STRAGGLER_START, event))
+                )
+                end = event.time + event.duration
+                keyed.append((end, index, 1, FaultInstant(end, STRAGGLER_END, event)))
+            else:
+                action = _EVENT_KINDS[type(event)]
+                keyed.append((event.time, index, 0, FaultInstant(event.time, action, event)))
+        keyed.sort(key=lambda entry: entry[:3])
+        return tuple(instant for _, _, _, instant in keyed)
+
+    def machine_ids(self) -> tuple[str, ...]:
+        """Every machine id the plan references (crash/leave/straggler)."""
+        ids = []
+        for event in self.events:
+            machine = getattr(event, "machine", None)
+            if machine is not None and machine not in ids:
+                ids.append(machine)
+        return tuple(ids)
+
+    @property
+    def num_joins(self) -> int:
+        return sum(1 for event in self.events if isinstance(event, MachineJoin))
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-ready spec; round-trips through :meth:`from_dict` exactly."""
+        events = []
+        for event in self.events:
+            entry: dict = {"kind": _EVENT_KINDS[type(event)], "time": event.time}
+            if isinstance(event, MachineJoin):
+                entry["machine_name"] = event.machine_name
+            elif isinstance(event, JobPreempt):
+                entry["job"] = event.job
+            else:
+                entry["machine"] = event.machine
+                if isinstance(event, Straggler):
+                    entry["factor"] = event.factor
+                    entry["duration"] = event.duration
+            events.append(entry)
+        return {"max_retries": self.max_retries, "events": events}
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (exact round-trip)."""
+        events: list[FaultEvent] = []
+        for entry in data.get("events", ()):
+            kind = entry.get("kind")
+            cls = _KIND_TYPES.get(kind)
+            if cls is None:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; expected one of "
+                    f"{', '.join(sorted(_KIND_TYPES))}"
+                )
+            fields = {key: value for key, value in entry.items() if key != "kind"}
+            events.append(cls(**fields))
+        return FaultPlan(
+            events=tuple(events),
+            max_retries=data.get("max_retries", DEFAULT_MAX_RETRIES),
+        )
+
+
+class FaultInjector:
+    """The simulator-facing view of one :class:`FaultPlan`.
+
+    Stateless across runs — all per-run accounting (attempts, requeues,
+    straggle windows) lives inside the simulation — so one injector can
+    drive any number of runs, policies and simulator paths and always
+    reproduce the identical outcome.  An injector with an empty plan is
+    free: the simulator pushes no fault events and behaves byte-
+    identically to a run with no injector at all.
+    """
+
+    def __init__(self, plan: FaultPlan | None = None) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self._timeline: tuple[FaultInstant, ...] | None = None
+
+    def __bool__(self) -> bool:
+        return bool(self.plan)
+
+    @property
+    def max_retries(self) -> int:
+        return self.plan.max_retries
+
+    def timeline(self) -> tuple[FaultInstant, ...]:
+        if self._timeline is None:
+            self._timeline = self.plan.timeline()
+        return self._timeline
+
+    def validate_for(self, num_machines: int) -> None:
+        """Fail fast when the plan targets machine ids the fleet can never
+        have (initial machines plus joins, in ``m0, m1, ...`` order)."""
+        known = {f"m{i}" for i in range(num_machines + self.plan.num_joins)}
+        unknown = [mid for mid in self.plan.machine_ids() if mid not in known]
+        if unknown:
+            raise ValueError(
+                f"fault plan targets unknown machine ids {', '.join(unknown)}; "
+                f"a {num_machines}-machine fleet with {self.plan.num_joins} "
+                f"join(s) only ever has ids m0..m{num_machines + self.plan.num_joins - 1}"
+            )
+
+
+def resolve_fault_plan(
+    value: "FaultPlan | FaultInjector | dict | str | None",
+) -> FaultPlan | None:
+    """Coerce any user-facing fault spec into a :class:`FaultPlan`.
+
+    Accepts a ready plan or injector, a :meth:`FaultPlan.to_dict` dict, a
+    registered fault-spec name (:func:`repro.scenarios.get_fault_spec`),
+    a JSON object string, or a path to a JSON file.  ``None`` passes
+    through (no faults).
+    """
+    if value is None:
+        return None
+    if isinstance(value, FaultPlan):
+        return value
+    if isinstance(value, FaultInjector):
+        return value.plan
+    if isinstance(value, dict):
+        return FaultPlan.from_dict(value)
+    if isinstance(value, str):
+        from repro.scenarios import FAULT_SPECS
+
+        if value in FAULT_SPECS:
+            return FaultPlan.from_dict(FAULT_SPECS[value])
+        text = value
+        if not text.lstrip().startswith("{") and os.path.exists(text):
+            with open(text, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"--fault-plan expects a registered fault-spec name "
+                f"({', '.join(sorted(FAULT_SPECS)) or 'none registered'}), a JSON "
+                f"object, or a JSON file path; got {value!r} ({exc})"
+            ) from None
+        if not isinstance(data, dict):
+            raise ValueError(f"fault plan JSON must be an object, got {type(data).__name__}")
+        return FaultPlan.from_dict(data)
+    raise TypeError(f"cannot build a FaultPlan from {type(value).__name__}")
+
+
+def generate_fault_plan(
+    machine_ids: Sequence[str],
+    *,
+    horizon: float,
+    seed: int = 0,
+    crash_rate: float = 0.0,
+    straggler_rate: float = 0.0,
+    preempt_rate: float = 0.0,
+    job_names: Sequence[str] = (),
+    join_machines: Sequence[str] = (),
+    max_retries: int = DEFAULT_MAX_RETRIES,
+) -> FaultPlan:
+    """A seeded random plan: the CLI's ``--crash-rate`` / ``--straggler-rate``.
+
+    ``crash_rate`` / ``straggler_rate`` are per-machine probabilities of
+    (one) crash / straggler window over ``[0, horizon)``;
+    ``preempt_rate`` is the per-job probability of one preemption.
+    Straggler factors draw uniformly from ``[1.5, 3.5]`` and windows
+    cover 10–40% of the horizon.  The same arguments always produce the
+    identical plan.
+    """
+    if not math.isfinite(horizon) or horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon!r}")
+    for name, rate in (
+        ("crash_rate", crash_rate),
+        ("straggler_rate", straggler_rate),
+        ("preempt_rate", preempt_rate),
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+    rng = make_rng(seed)
+    events: list[FaultEvent] = []
+    for machine_id in machine_ids:
+        if float(rng.random()) < crash_rate:
+            events.append(MachineCrash(time=float(rng.uniform(0.0, horizon)), machine=machine_id))
+    for machine_id in machine_ids:
+        if float(rng.random()) < straggler_rate:
+            events.append(
+                Straggler(
+                    time=float(rng.uniform(0.0, 0.8 * horizon)),
+                    machine=machine_id,
+                    factor=float(rng.uniform(1.5, 3.5)),
+                    duration=float(rng.uniform(0.1 * horizon, 0.4 * horizon)),
+                )
+            )
+    for job_name in job_names:
+        if float(rng.random()) < preempt_rate:
+            events.append(JobPreempt(time=float(rng.uniform(0.0, horizon)), job=job_name))
+    for machine_name in join_machines:
+        events.append(MachineJoin(time=float(rng.uniform(0.0, horizon)), machine_name=machine_name))
+    return FaultPlan(events=tuple(events), max_retries=max_retries)

@@ -65,6 +65,36 @@ class Job:
         return self.workload.name
 
 
+def validate_trace(jobs: Sequence[Job]) -> None:
+    """Reject malformed traces before they corrupt simulator state.
+
+    :class:`Job` validates its own fields, but traces built by external
+    tooling (or dataclasses constructed via ``__new__`` / replace tricks)
+    can still smuggle in duplicate names, non-positive step counts or
+    negative arrivals — each of which would silently corrupt the
+    simulator's remaining-steps map or the event heap.  Raises a
+    :class:`ValueError` naming the offending job(s).
+    """
+    seen: set[str] = set()
+    duplicates: list[str] = []
+    for job in jobs:
+        if job.name in seen:
+            duplicates.append(job.name)
+        seen.add(job.name)
+        if job.num_steps < 1:
+            raise ValueError(
+                f"job {job.name!r} has non-positive num_steps ({job.num_steps})"
+            )
+        if job.arrival_time < 0:
+            raise ValueError(
+                f"job {job.name!r} has negative arrival_time ({job.arrival_time})"
+            )
+    if duplicates:
+        raise ValueError(
+            "duplicate job names in trace: " + ", ".join(sorted(set(duplicates)))
+        )
+
+
 def generate_trace(
     num_jobs: int,
     *,
@@ -108,6 +138,7 @@ def generate_trace(
                 graph_seed=seed + workloads.index(workload),
             )
         )
+    validate_trace(jobs)
     return tuple(jobs)
 
 

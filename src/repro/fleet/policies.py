@@ -47,7 +47,9 @@ class FirstFitPolicy:
 
     def place(self, job: Job, fleet: FleetState) -> str | None:
         for machine in fleet.machines:
-            if machine.free_slots > 0:
+            # A dead/draining machine reports zero free slots, but the
+            # guard stays explicit: never place on a non-accepting box.
+            if machine.accepting and machine.free_slots > 0:
                 return machine.machine_id
         return None
 
@@ -81,7 +83,7 @@ class LoadBalancedPolicy:
         best: tuple[float, int] | None = None
         chosen: str | None = None
         for index, machine in enumerate(fleet.machines):
-            if machine.free_slots <= 0:
+            if not machine.accepting or machine.free_slots <= 0:
                 continue
             score = (self._backlog(machine, job, fleet.time), index)
             if best is None or score < best:
@@ -229,7 +231,7 @@ class InterferenceAwarePolicy:
         open_machines = [
             (index, machine)
             for index, machine in enumerate(fleet.machines)
-            if machine.free_slots > 0
+            if machine.accepting and machine.free_slots > 0
         ]
         if not open_machines:
             return None
@@ -260,7 +262,10 @@ class InterferenceAwarePolicy:
         # full machine always has a pending round end, and the simulator
         # re-dispatches the queue on every event.
         for machine in fleet.machines:
-            if machine.free_slots > 0 or not machine.members:
+            # Never wait on a non-accepting machine: a draining box's
+            # slots open for nobody, so the predicted wait is a mirage
+            # (and declining for it forever would stall the fleet).
+            if machine.free_slots > 0 or not machine.members or not machine.accepting:
                 continue
             if self._cost_after_wait(machine, job, fleet.time) * self.patience < best[0]:
                 return None

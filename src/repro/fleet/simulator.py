@@ -43,13 +43,26 @@ intermediate round boundaries lazily:
   reference loop would have shown it.
 
 Event count drops from O(total steps) to O(mix changes); the reference
-implementation is kept verbatim as ``FleetSimulator(compressed=False)``
-and the equivalence is enforced by tests and by the fleet benchmark.
+implementation is kept as ``FleetSimulator(compressed=False)`` and the
+equivalence is enforced by tests and by the fleet benchmark.
+
+Fault injection
+---------------
+Both loops consult a :class:`~repro.fleet.faults.FaultInjector`
+(``run(jobs, faults=...)``): crashes, graceful drains, mid-trace joins,
+straggler windows and job preemptions are heap events of their own kind,
+ordered *after* round boundaries and *before* arrivals at equal
+timestamps.  In the compressed path every fault instant is a mandatory
+segment boundary — the handler lazily replays all due boundaries through
+the global heap first, applies the fault (aborting any in-flight round),
+and truncates surviving segments, so interference histories and every
+float stay bit-identical to the reference loop even mid-fault-storm.  An
+empty plan pushes no events and costs nothing.
 
 Everything is deterministic for a fixed (job trace, policy, machine
-set): events are heap-ordered with explicit tie-breakers, estimates are
-pure functions, and wall-clock only appears in the separately reported
-scheduler-overhead figure.
+set, fault plan): events are heap-ordered with explicit tie-breakers,
+estimates are pure functions, and wall-clock only appears in the
+separately reported scheduler-overhead figure.
 """
 
 from __future__ import annotations
@@ -61,8 +74,10 @@ from typing import Sequence
 
 from repro.core.config import RuntimeConfig
 from repro.core.interference import InterferenceSnapshot, InterferenceTracker
-from repro.fleet.estimates import StepTimeEstimator
-from repro.fleet.job import Job
+from repro.fleet import faults as faultlib
+from repro.fleet.estimates import StepTimeEstimator, scale_step_time
+from repro.fleet.faults import FaultInjector, FaultInstant, FaultPlan, resolve_fault_plan
+from repro.fleet.job import Job, validate_trace
 from repro.fleet.policies import PlacementPolicy, make_policy
 from repro.fleet.state import (
     DEFAULT_INTERFERENCE_THRESHOLD,
@@ -79,6 +94,21 @@ from repro.sweep.executor import SweepExecutor
 DEFAULT_MAX_CORUN = 2
 
 
+class FleetStalled(RuntimeError):
+    """The simulation can make no further progress with jobs still queued.
+
+    Raised when the event heap drains while the policy keeps declining
+    every queued job and at least one machine could still accept work —
+    a policy livelock, as opposed to a dead fleet (which terminates
+    normally with the stranded jobs marked failed).  ``jobs`` names the
+    stuck jobs.
+    """
+
+    def __init__(self, message: str, jobs: Sequence[str] = ()) -> None:
+        super().__init__(message)
+        self.jobs = tuple(jobs)
+
+
 @dataclass(frozen=True)
 class JobCompletion:
     """Lifecycle record of one finished job."""
@@ -90,6 +120,8 @@ class JobCompletion:
     start_time: float
     finish_time: float
     num_steps: int
+    #: Execution attempts this job needed (1 unless crash-requeued).
+    attempts: int = 1
 
     @property
     def wait_time(self) -> float:
@@ -98,6 +130,23 @@ class JobCompletion:
     @property
     def turnaround_time(self) -> float:
         return self.finish_time - self.arrival_time
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Lifecycle record of a job that exhausted its retry budget.
+
+    A job fails when a machine crash strikes its ``max_retries``-th
+    attempt, or when it is abandoned because no machine can ever accept
+    it again (dead fleet) — in both cases ``attempts`` equals the plan's
+    ``max_retries``.
+    """
+
+    job: str
+    kind: str
+    arrival_time: float
+    attempts: int
+    failed_time: float
 
 
 @dataclass(frozen=True)
@@ -115,6 +164,16 @@ class MachineReport:
     #: fleet-wide blacklist is the union of these, shared via
     #: snapshot()/merge()).
     local_blacklist: tuple[tuple[str, str], ...] = ()
+    # -- fault accounting (all zero on a fault-free run) -------------------------
+    #: Jobs this machine's crash sent back to the queue.
+    retries: int = 0
+    #: JobPreempt events applied on this machine.
+    preemptions: int = 0
+    #: Training steps destroyed by aborted in-flight rounds.
+    lost_steps: int = 0
+    #: Simulated seconds between the machine leaving the fleet (crash or
+    #: drain completion) and the end of the trace (0.0 while alive).
+    downtime: float = 0.0
 
 
 @dataclass
@@ -129,6 +188,13 @@ class FleetResult:
     placements: tuple[Placement, ...]
     machine_reports: tuple[MachineReport, ...]
     blacklisted_pairs: tuple[tuple[str, str], ...]
+    #: Jobs that exhausted their retry budget (empty on fault-free runs;
+    #: every job of a trace is exactly one completion or one failure).
+    failures: tuple[JobFailure, ...] = ()
+    #: Fleet-wide fault accounting (sums of the per-machine figures).
+    retries: int = 0
+    preemptions: int = 0
+    lost_steps: int = 0
     #: Wall-clock seconds spent inside policy decisions (NOT part of the
     #: deterministic outcome; excluded from determinism digests).
     scheduler_overhead_seconds: float = 0.0
@@ -172,9 +238,23 @@ class FleetResult:
                     "start": c.start_time,
                     "finish": c.finish_time,
                     "steps": c.num_steps,
+                    "attempts": c.attempts,
                 }
                 for c in self.completions
             ],
+            "failures": [
+                {
+                    "job": f.job,
+                    "kind": f.kind,
+                    "arrival": f.arrival_time,
+                    "attempts": f.attempts,
+                    "failed": f.failed_time,
+                }
+                for f in self.failures
+            ],
+            "retries": self.retries,
+            "preemptions": self.preemptions,
+            "lost_steps": self.lost_steps,
             "machine_reports": [
                 {
                     "machine": m.machine_id,
@@ -185,6 +265,10 @@ class FleetResult:
                     "busy_time": m.busy_time,
                     "utilization": m.utilization,
                     "local_blacklist": [list(pair) for pair in m.local_blacklist],
+                    "retries": m.retries,
+                    "preemptions": m.preemptions,
+                    "lost_steps": m.lost_steps,
+                    "downtime": m.downtime,
                 }
                 for m in self.machine_reports
             ],
@@ -199,9 +283,12 @@ class FleetResult:
 
 
 #: Event kinds, ordered: at equal timestamps round boundaries retire
-#: jobs and free slots *before* arrivals are placed.
+#: jobs and free slots *before* faults apply, and faults apply *before*
+#: arrivals are placed (a round completing at a crash instant completes;
+#: a job arriving at it never sees the dead machine accepting).
 _ROUND_END = 0
-_ARRIVAL = 1
+_FAULT = 1
+_ARRIVAL = 2
 
 
 class FleetSimulator:
@@ -230,6 +317,12 @@ class FleetSimulator:
         ``False`` keeps the seed one-event-per-round reference loop.
         Both produce identical deterministic outcomes
         (``FleetResult.to_dict(include_overhead=False)``).
+    faults:
+        Default fault plan for every :meth:`run` — a
+        :class:`~repro.fleet.faults.FaultPlan`, injector, spec dict,
+        registered fault-spec name or JSON string (see
+        :func:`~repro.fleet.faults.resolve_fault_plan`).  ``run``'s own
+        ``faults=`` argument overrides it per run.
     """
 
     def __init__(
@@ -243,6 +336,7 @@ class FleetSimulator:
         max_corun: int = DEFAULT_MAX_CORUN,
         interference_threshold: float = DEFAULT_INTERFERENCE_THRESHOLD,
         compressed: bool = True,
+        faults: "FaultPlan | FaultInjector | dict | str | None" = None,
     ) -> None:
         if not machines:
             raise ValueError("a fleet needs at least one machine")
@@ -253,6 +347,7 @@ class FleetSimulator:
         self.machine_names = tuple(machines)
         self.max_corun = max_corun
         self.compressed = compressed
+        self.faults = resolve_fault_plan(faults)
         self.config = config or RuntimeConfig()
         self.estimator = estimator or StepTimeEstimator(executor=executor, config=self.config)
         self.tracker = InterferenceTracker(threshold=interference_threshold)
@@ -268,7 +363,13 @@ class FleetSimulator:
 
     # -- shared run scaffolding ----------------------------------------------------
 
-    def run(self, jobs: Sequence[Job], *, prewarm: bool | str = True) -> FleetResult:
+    def run(
+        self,
+        jobs: Sequence[Job],
+        *,
+        prewarm: bool | str = True,
+        faults: "FaultPlan | FaultInjector | dict | str | None" = None,
+    ) -> FleetResult:
         """Simulate ``jobs`` arriving and running to completion.
 
         ``prewarm`` batches estimates through the sweep engine before the
@@ -277,10 +378,15 @@ class FleetSimulator:
         additionally fans out every distinct co-run ``canonical_mix``
         signature up to ``max_corun`` members, ``False`` skips it.  An
         empty trace returns a well-formed empty :class:`FleetResult`.
+
+        ``faults`` injects a :class:`~repro.fleet.faults.FaultPlan` into
+        this run (overriding the constructor's default plan); every job
+        then ends as exactly one completion or one failure.
         """
-        names = [job.name for job in jobs]
-        if len(set(names)) != len(names):
-            raise ValueError("job names must be unique within a trace")
+        validate_trace(jobs)
+        plan = resolve_fault_plan(faults) if faults is not None else self.faults
+        injector = FaultInjector(plan)
+        injector.validate_for(len(self.machine_names))
         # Same inputs -> same outcome, even on a reused simulator: the
         # fleet-wide tracker restarts from its first-run baseline (which
         # keeps any knowledge the caller pre-seeded), and estimator stats
@@ -318,15 +424,18 @@ class FleetSimulator:
         ]
         if not jobs:
             return self._assemble_result(
-                jobs, machines, [], [], 0.0, 0, requests_before, computed_before
+                jobs, machines, [], [], [], 0.0, 0, requests_before, computed_before
             )
         runner = self._run_compressed if self.compressed else self._run_reference
-        completions, placements, overhead, events = runner(jobs, machines)
+        completions, placements, failures, overhead, events = runner(
+            jobs, machines, injector
+        )
         return self._assemble_result(
             jobs,
             machines,
             completions,
             placements,
+            failures,
             overhead,
             events,
             requests_before,
@@ -339,6 +448,7 @@ class FleetSimulator:
         machines: list[MachineState],
         completions: list[JobCompletion],
         placements: list[Placement],
+        failures: list[JobFailure],
         overhead: float,
         events: int,
         requests_before: int,
@@ -358,6 +468,14 @@ class FleetSimulator:
                 busy_time=m.busy_time,
                 utilization=m.busy_time / makespan if makespan > 0 else 0.0,
                 local_blacklist=m.tracker.blacklisted_pairs(),
+                retries=m.retries,
+                preemptions=m.preemptions,
+                lost_steps=m.lost_steps,
+                downtime=(
+                    max(0.0, makespan - m.dead_since)
+                    if m.dead_since is not None
+                    else 0.0
+                ),
             )
             for m in machines
         )
@@ -370,6 +488,10 @@ class FleetSimulator:
             placements=tuple(placements),
             machine_reports=reports,
             blacklisted_pairs=self.tracker.blacklisted_pairs(),
+            failures=tuple(sorted(failures, key=lambda f: (f.failed_time, f.job))),
+            retries=sum(m.retries for m in machines),
+            preemptions=sum(m.preemptions for m in machines),
+            lost_steps=sum(m.lost_steps for m in machines),
             scheduler_overhead_seconds=overhead,
             estimates_requested=self.estimator.stats.requests - requests_before,
             estimates_computed=self.estimator.stats.computed - computed_before,
@@ -379,23 +501,35 @@ class FleetSimulator:
     # -- the reference event loop (the seed path, one event per round) -------------
 
     def _run_reference(
-        self, jobs: Sequence[Job], machines: list[MachineState]
-    ) -> tuple[list[JobCompletion], list[Placement], float, int]:
+        self, jobs: Sequence[Job], machines: list[MachineState], injector: FaultInjector
+    ) -> tuple[list[JobCompletion], list[Placement], list[JobFailure], float, int]:
         by_id = {m.machine_id: m for m in machines}
         queue: list[Job] = []
         placements: list[Placement] = []
         completions: list[JobCompletion] = []
+        failures: list[JobFailure] = []
         start_times: dict[str, float] = {}
+        #: Execution attempts per job (set to 1 at first placement).
+        attempts: dict[str, int] = {}
+        #: Remaining steps of requeued jobs: a crash/preempt restores the
+        #: job's progress to the last completed round boundary, and its
+        #: next placement resumes from here instead of ``num_steps``.
+        remaining_override: dict[str, int] = {}
+        max_retries = injector.max_retries
         overhead = 0.0
         now = 0.0
         seq = 0
         events_processed = 0
 
         #: (time, kind, seq, payload) — kind orders round-ends before
-        #: arrivals at equal timestamps, seq keeps FIFO among equals.
+        #: faults before arrivals at equal timestamps, seq keeps FIFO
+        #: among equals (fault instants replay in plan order).
         events: list[tuple[float, int, int, object]] = []
         for job in sorted(jobs, key=lambda j: (j.arrival_time, j.name)):
             heapq.heappush(events, (job.arrival_time, _ARRIVAL, seq, job))
+            seq += 1
+        for instant in injector.timeline():
+            heapq.heappush(events, (instant.time, _FAULT, seq, instant))
             seq += 1
 
         def fleet_state() -> FleetState:
@@ -414,25 +548,33 @@ class FleetSimulator:
                 return
             for job in machine.residents:
                 start_times.setdefault(job.name, now)
-            round_time = self.estimator.step_time(
-                machine.machine_name, machine.residents
-            )
+            base = self.estimator.step_time(machine.machine_name, machine.residents)
+            machine.round_base = base
+            round_time = scale_step_time(base, machine.straggle)
             machine.round_time = round_time
             machine.busy_until = now + round_time
             machine.round_active = True
-            machine.busy_time += round_time
-            machine.rounds += 1
-            if len(machine.residents) > 1:
-                machine.corun_rounds += 1
-            heapq.heappush(events, (machine.busy_until, _ROUND_END, seq, machine.machine_id))
+            heapq.heappush(
+                events,
+                (machine.busy_until, _ROUND_END, seq,
+                 (machine.machine_id, machine.epoch)),
+            )
             seq += 1
 
         def finish_round(machine: MachineState) -> None:
             machine.round_active = False
             residents = list(machine.residents)
-            # Observe pairing slowdowns before anyone departs.
+            # The round completed: only now does it count (an aborted
+            # round contributes to lost_steps instead).
+            machine.busy_time += machine.round_time
+            machine.rounds += 1
             if len(residents) > 1:
-                duration = machine.round_time
+                machine.corun_rounds += 1
+            # Observe pairing slowdowns before anyone departs.  The
+            # *unscaled* duration is compared against the solo estimates:
+            # a straggling machine is uniformly slow, not a bad pairing.
+            if len(residents) > 1:
+                duration = machine.round_base
                 delta = InterferenceTracker(threshold=self.tracker.threshold)
                 solos = {
                     job.name: self.estimator.solo_time(machine.machine_name, job)
@@ -462,12 +604,17 @@ class FleetSimulator:
                             start_time=start_times[job.name],
                             finish_time=now,
                             num_steps=job.num_steps,
+                            attempts=attempts.get(job.name, 1),
                         )
                     )
                 else:
                     still_running.append(job)
             machine.residents = still_running
             machine.touch()
+            if machine.draining and not machine.residents and not machine.waiting:
+                machine.alive = False
+                machine.draining = False
+                machine.dead_since = now
 
         def dispatch() -> None:
             nonlocal overhead
@@ -488,7 +635,11 @@ class FleetSimulator:
                     )
                 queue.remove(job)
                 machine.waiting.append(job)
-                machine.remaining_steps[job.name] = job.num_steps
+                machine.remaining_steps[job.name] = remaining_override.pop(
+                    job.name, job.num_steps
+                )
+                if job.name not in attempts:
+                    attempts[job.name] = 1
                 machine.touch()
                 placements.append(
                     Placement(
@@ -498,33 +649,180 @@ class FleetSimulator:
                 if not machine.round_active:
                     start_round(machine)
 
+        def fail_job(job: Job, time: float, count: int) -> None:
+            attempts[job.name] = count
+            remaining_override.pop(job.name, None)
+            failures.append(
+                JobFailure(
+                    job=job.name,
+                    kind=job.kind,
+                    arrival_time=job.arrival_time,
+                    attempts=count,
+                    failed_time=time,
+                )
+            )
+
+        def abort_round(machine: MachineState) -> None:
+            """Discard an in-flight round: every resident loses the step
+            in progress, and the pending round-end event goes stale."""
+            if machine.round_active:
+                machine.lost_steps += len(machine.residents)
+                machine.round_active = False
+                machine.epoch += 1
+                machine.busy_until = now
+                machine.touch()
+
+        def check_drained(machine: MachineState) -> None:
+            if machine.draining and not machine.residents and not machine.waiting:
+                machine.alive = False
+                machine.draining = False
+                machine.dead_since = now
+                machine.touch()
+
+        def requeue(job: Job, machine: MachineState) -> None:
+            """Crash path: send the job back with retry budget burned,
+            or fail it if the budget is gone."""
+            count = attempts.get(job.name, 1)
+            if count >= max_retries:
+                fail_job(job, now, count)
+            else:
+                attempts[job.name] = count + 1
+                machine.retries += 1
+                queue.append(job)
+
+        def apply_fault(instant: FaultInstant) -> list[MachineState]:
+            """Apply one fault instant; returns machines whose surviving
+            residents must restart a round (after the dispatch pass)."""
+            event = instant.event
+            action = instant.action
+            restart: list[MachineState] = []
+            if action == faultlib.JOIN:
+                new = MachineState(
+                    machine_id=f"m{len(machines)}",
+                    machine_name=event.machine_name,
+                    capacity=self.max_corun,
+                    tracker=InterferenceTracker(threshold=self.tracker.threshold),
+                    joined_at=now,
+                )
+                machines.append(new)
+                by_id[new.machine_id] = new
+                return restart
+            if action == faultlib.PREEMPT:
+                for machine in machines:
+                    if not machine.alive:
+                        continue
+                    resident = next(
+                        (j for j in machine.residents if j.name == event.job), None
+                    )
+                    if resident is not None:
+                        abort_round(machine)
+                        machine.residents.remove(resident)
+                        remaining_override[resident.name] = machine.remaining_steps.pop(
+                            resident.name
+                        )
+                        machine.preemptions += 1
+                        machine.touch()
+                        queue.append(resident)
+                        check_drained(machine)
+                        if machine.alive:
+                            restart.append(machine)
+                        return restart
+                    waiter = next(
+                        (j for j in machine.waiting if j.name == event.job), None
+                    )
+                    if waiter is not None:
+                        machine.waiting.remove(waiter)
+                        remaining_override[waiter.name] = machine.remaining_steps.pop(
+                            waiter.name
+                        )
+                        machine.preemptions += 1
+                        machine.touch()
+                        queue.append(waiter)
+                        check_drained(machine)
+                        return restart
+                return restart  # queued / finished / unknown job: no-op
+            machine = by_id[event.machine]
+            if not machine.alive:
+                return restart  # faults on dead machines are no-ops
+            if action == faultlib.CRASH:
+                abort_round(machine)
+                members = machine.residents + machine.waiting
+                machine.residents = []
+                machine.waiting = []
+                for job in members:
+                    remaining_override[job.name] = machine.remaining_steps.pop(job.name)
+                    requeue(job, machine)
+                machine.alive = False
+                machine.accepting = False
+                machine.draining = False
+                machine.dead_since = now
+                machine.touch()
+            elif action == faultlib.LEAVE:
+                machine.accepting = False
+                if not machine.residents and not machine.waiting:
+                    machine.alive = False
+                    machine.dead_since = now
+                else:
+                    machine.draining = True
+                machine.touch()
+            elif action == faultlib.STRAGGLER_START:
+                machine.straggle = machine.straggle + (event.factor,)
+            elif action == faultlib.STRAGGLER_END:
+                factors = list(machine.straggle)
+                if event.factor in factors:
+                    factors.remove(event.factor)
+                machine.straggle = tuple(factors)
+            return restart
+
         while events:
             event_time, kind, _, payload = heapq.heappop(events)
             now = event_time
-            events_processed += 1
             if kind == _ARRIVAL:
+                events_processed += 1
                 queue.append(payload)  # type: ignore[arg-type]
+                dispatch()
+            elif kind == _FAULT:
+                events_processed += 1
+                restart = apply_fault(payload)  # type: ignore[arg-type]
+                dispatch()
+                for machine in restart:
+                    if not machine.round_active and (
+                        machine.residents or machine.waiting
+                    ):
+                        start_round(machine)
             else:
-                machine = by_id[payload]  # type: ignore[index]
+                machine_id, epoch = payload  # type: ignore[misc]
+                machine = by_id[machine_id]
+                if epoch != machine.epoch:
+                    continue  # round aborted by a fault: event is stale
+                events_processed += 1
                 finish_round(machine)
-            dispatch()
-            if kind == _ROUND_END:
-                machine = by_id[payload]  # type: ignore[index]
+                dispatch()
                 if not machine.round_active:
                     start_round(machine)
 
         if queue:
-            raise RuntimeError(
-                f"fleet simulation stalled with {len(queue)} jobs queued "
-                f"(policy {self.policy.name!r} kept declining placements)"
-            )
-        return completions, placements, overhead, events_processed
+            if any(m.accepting for m in machines):
+                stuck = [job.name for job in queue]
+                raise FleetStalled(
+                    f"fleet simulation stalled with {len(queue)} jobs queued "
+                    f"(policy {self.policy.name!r} kept declining placements): "
+                    + ", ".join(stuck),
+                    stuck,
+                )
+            # Dead fleet: no machine can ever accept again.  Abandon the
+            # stranded jobs as failures (charged their full retry budget)
+            # instead of spinning or deadlocking.
+            for job in queue:
+                fail_job(job, now, max_retries)
+            queue.clear()
+        return completions, placements, failures, overhead, events_processed
 
     # -- the round-compression fast path -------------------------------------------
 
     def _run_compressed(
-        self, jobs: Sequence[Job], machines: list[MachineState]
-    ) -> tuple[list[JobCompletion], list[Placement], float, int]:
+        self, jobs: Sequence[Job], machines: list[MachineState], injector: FaultInjector
+    ) -> tuple[list[JobCompletion], list[Placement], list[JobFailure], float, int]:
         by_id = {m.machine_id: m for m in machines}
         #: Arrival-ordered pending index: insertion order is FIFO arrival
         #: order, removal is O(1) by job name (the reference path's
@@ -532,7 +830,13 @@ class FleetSimulator:
         pending: dict[str, Job] = {}
         placements: list[Placement] = []
         completions: list[JobCompletion] = []
+        failures: list[JobFailure] = []
         start_times: dict[str, float] = {}
+        #: Execution attempts / restored progress of requeued jobs —
+        #: mirrors the reference loop exactly (see _run_reference).
+        attempts: dict[str, int] = {}
+        remaining_override: dict[str, int] = {}
+        max_retries = injector.max_retries
         overhead = 0.0
         now = 0.0
         seq = 0
@@ -542,6 +846,9 @@ class FleetSimulator:
         events: list[tuple[float, int, int, object]] = []
         for job in sorted(jobs, key=lambda j: (j.arrival_time, j.name)):
             heapq.heappush(events, (job.arrival_time, _ARRIVAL, seq, job))
+            seq += 1
+        for instant in injector.timeline():
+            heapq.heappush(events, (instant.time, _FAULT, seq, instant))
             seq += 1
 
         def next_seq() -> int:
@@ -582,12 +889,17 @@ class FleetSimulator:
                             start_time=start_times[job.name],
                             finish_time=finish_time,
                             num_steps=job.num_steps,
+                            attempts=attempts.get(job.name, 1),
                         )
                     )
                 else:
                     still_running.append(job)
             machine.residents = still_running
             machine.round_active = False
+            if machine.draining and not machine.residents and not machine.waiting:
+                machine.alive = False
+                machine.draining = False
+                machine.dead_since = finish_time
 
         def flush_round(machine: MachineState, boundary: float) -> None:
             """Replay one gang-round boundary of the current segment.
@@ -719,7 +1031,9 @@ class FleetSimulator:
             residents = machine.residents
             for job in residents:
                 start_times.setdefault(job.name, now)
-            round_time = self.estimator.step_time(machine.machine_name, residents)
+            base = self.estimator.step_time(machine.machine_name, residents)
+            machine.round_base = base
+            round_time = scale_step_time(base, machine.straggle)
             machine.round_time = round_time
             machine.busy_until = now + round_time
             machine.round_active = True
@@ -734,8 +1048,10 @@ class FleetSimulator:
                 for i, job_a in enumerate(residents):
                     for job_b in residents[i + 1 :]:
                         baseline = max(solos[job_a.name], solos[job_b.name])
+                        # Slowdowns compare the *unscaled* duration: a
+                        # straggling machine is slow, not a bad pairing.
                         slowdown = (
-                            round_time / baseline - 1.0 if baseline > 0 else 0.0
+                            base / baseline - 1.0 if baseline > 0 else 0.0
                         )
                         if slowdown < 0:
                             slowdown = 0.0
@@ -791,7 +1107,11 @@ class FleetSimulator:
                 del pending[job.name]
                 queue_view = None
                 machine.waiting.append(job)
-                machine.remaining_steps[job.name] = job.num_steps
+                machine.remaining_steps[job.name] = remaining_override.pop(
+                    job.name, job.num_steps
+                )
+                if job.name not in attempts:
+                    attempts[job.name] = 1
                 machine.touch()
                 placements.append(
                     Placement(
@@ -805,6 +1125,145 @@ class FleetSimulator:
                     # changes there, so the segment must end there too.
                     truncate(machine)
 
+        def fail_job(job: Job, time: float, count: int) -> None:
+            attempts[job.name] = count
+            remaining_override.pop(job.name, None)
+            failures.append(
+                JobFailure(
+                    job=job.name,
+                    kind=job.kind,
+                    arrival_time=job.arrival_time,
+                    attempts=count,
+                    failed_time=time,
+                )
+            )
+
+        def abort_segment(machine: MachineState) -> None:
+            """Discard an in-flight round and the rest of its segment.
+
+            Every boundary up to ``now`` was already flushed by the
+            handler's ``sync_to``, so only the partial round between the
+            last boundary and ``busy_until`` is destroyed — exactly the
+            round the reference loop's ``abort_round`` discards."""
+            if machine.round_active:
+                machine.lost_steps += len(machine.residents)
+                machine.round_active = False
+                machine.seg_rounds_left = 0
+                machine.seg_records = ()
+                machine.seg_blacklist = ()
+                machine.epoch += 1
+                machine.busy_until = now
+                machine.touch()
+
+        def check_drained(machine: MachineState) -> None:
+            if machine.draining and not machine.residents and not machine.waiting:
+                machine.alive = False
+                machine.draining = False
+                machine.dead_since = now
+                machine.touch()
+
+        def requeue(job: Job, machine: MachineState) -> None:
+            nonlocal queue_view
+            count = attempts.get(job.name, 1)
+            if count >= max_retries:
+                fail_job(job, now, count)
+            else:
+                attempts[job.name] = count + 1
+                machine.retries += 1
+                pending[job.name] = job
+                queue_view = None
+
+        def apply_fault(instant: FaultInstant) -> list[MachineState]:
+            """Mirror of the reference loop's fault application; the
+            caller has already flushed every boundary due at ``now``."""
+            nonlocal queue_view
+            event = instant.event
+            action = instant.action
+            restart: list[MachineState] = []
+            if action == faultlib.JOIN:
+                new = MachineState(
+                    machine_id=f"m{len(machines)}",
+                    machine_name=event.machine_name,
+                    capacity=self.max_corun,
+                    tracker=InterferenceTracker(threshold=self.tracker.threshold),
+                    joined_at=now,
+                )
+                machines.append(new)
+                by_id[new.machine_id] = new
+                return restart
+            if action == faultlib.PREEMPT:
+                for machine in machines:
+                    if not machine.alive:
+                        continue
+                    resident = next(
+                        (j for j in machine.residents if j.name == event.job), None
+                    )
+                    if resident is not None:
+                        abort_segment(machine)
+                        machine.residents.remove(resident)
+                        remaining_override[resident.name] = machine.remaining_steps.pop(
+                            resident.name
+                        )
+                        machine.preemptions += 1
+                        machine.touch()
+                        pending[resident.name] = resident
+                        queue_view = None
+                        check_drained(machine)
+                        if machine.alive:
+                            restart.append(machine)
+                        return restart
+                    waiter = next(
+                        (j for j in machine.waiting if j.name == event.job), None
+                    )
+                    if waiter is not None:
+                        machine.waiting.remove(waiter)
+                        remaining_override[waiter.name] = machine.remaining_steps.pop(
+                            waiter.name
+                        )
+                        machine.preemptions += 1
+                        machine.touch()
+                        pending[waiter.name] = waiter
+                        queue_view = None
+                        check_drained(machine)
+                        return restart
+                return restart  # queued / finished / unknown job: no-op
+            machine = by_id[event.machine]
+            if not machine.alive:
+                return restart  # faults on dead machines are no-ops
+            if action == faultlib.CRASH:
+                abort_segment(machine)
+                members = machine.residents + machine.waiting
+                machine.residents = []
+                machine.waiting = []
+                for job in members:
+                    remaining_override[job.name] = machine.remaining_steps.pop(job.name)
+                    requeue(job, machine)
+                machine.alive = False
+                machine.accepting = False
+                machine.draining = False
+                machine.dead_since = now
+                machine.touch()
+            elif action == faultlib.LEAVE:
+                machine.accepting = False
+                if not machine.residents and not machine.waiting:
+                    machine.alive = False
+                    machine.dead_since = now
+                else:
+                    machine.draining = True
+                machine.touch()
+            elif action == faultlib.STRAGGLER_START:
+                machine.straggle = machine.straggle + (event.factor,)
+                # Rounds past this instant run at the new speed, so the
+                # current segment may not extend beyond its current round.
+                truncate(machine)
+            elif action == faultlib.STRAGGLER_END:
+                factors = list(machine.straggle)
+                if event.factor in factors:
+                    factors.remove(event.factor)
+                machine.straggle = tuple(factors)
+                truncate(machine)
+            return restart
+
         while events:
             event_time, kind, event_seq, payload = heapq.heappop(events)
             now = event_time
@@ -815,6 +1274,19 @@ class FleetSimulator:
                 pending[job.name] = job
                 queue_view = None
                 dispatch()
+            elif kind == _FAULT:
+                events_processed += 1
+                # Every fault instant is a mandatory segment boundary:
+                # replay all due rounds through the global order first,
+                # then mutate the fleet.
+                sync_to(now)
+                restart = apply_fault(payload)  # type: ignore[arg-type]
+                dispatch()
+                for machine in restart:
+                    if not machine.round_active and (
+                        machine.residents or machine.waiting
+                    ):
+                        start_segment(machine)
             else:
                 machine_id, epoch = payload  # type: ignore[misc]
                 machine = by_id[machine_id]
@@ -832,8 +1304,16 @@ class FleetSimulator:
                     truncate(m)
 
         if pending:
-            raise RuntimeError(
-                f"fleet simulation stalled with {len(pending)} jobs queued "
-                f"(policy {self.policy.name!r} kept declining placements)"
-            )
-        return completions, placements, overhead, events_processed
+            if any(m.accepting for m in machines):
+                stuck = list(pending)
+                raise FleetStalled(
+                    f"fleet simulation stalled with {len(pending)} jobs queued "
+                    f"(policy {self.policy.name!r} kept declining placements): "
+                    + ", ".join(stuck),
+                    stuck,
+                )
+            for job in list(pending.values()):
+                fail_job(job, now, max_retries)
+            pending.clear()
+            queue_view = None
+        return completions, placements, failures, overhead, events_processed

@@ -55,10 +55,17 @@ class MachineView:
     waiting: tuple[Job, ...]
     #: Remaining training steps per member job name.
     remaining_steps: tuple[tuple[str, int], ...]
-    #: Placement slots still open (capacity - residents - waiting).
+    #: Placement slots still open (capacity - residents - waiting; always
+    #: 0 on a machine that is not accepting).
     free_slots: int
     #: When the current round ends (== now when the machine is idle).
     busy_until: float
+    #: False once the machine has crashed or finished draining.  Policies
+    #: must never score a dead machine; its ``free_slots`` is 0.
+    alive: bool = True
+    #: False while crashed, dead, or gracefully draining — no new
+    #: placements, but a draining machine still runs its members.
+    accepting: bool = True
 
     @property
     def members(self) -> tuple[Job, ...]:
@@ -142,6 +149,34 @@ class MachineState:
     #: every round start, so same-instant flushes replay in the exact
     #: order the one-event-per-round loop would have processed them.
     tie_seq: int = 0
+    # -- fault-injection bookkeeping (see repro.fleet.faults) --------------------
+    #: False once the machine crashed or finished a graceful drain.
+    alive: bool = True
+    #: False while crashed, dead, or draining: no new placements land.
+    accepting: bool = True
+    #: True between a MachineLeave instant and the retirement of the
+    #: machine's last member (then the machine dies).
+    draining: bool = False
+    #: Simulated instant the machine left the fleet (None while alive).
+    dead_since: float | None = None
+    #: Simulated instant the machine entered the fleet (0.0 for the
+    #: initial zoo; the MachineJoin time for mid-trace joins).
+    joined_at: float = 0.0
+    #: Active straggler factors, in window-open order; the effective
+    #: round duration is the estimator base scaled by their product.
+    straggle: tuple[float, ...] = ()
+    #: Unscaled estimator round duration of the round/segment currently
+    #: executing — interference records use this (a straggling machine is
+    #: slow, not a bad pairing), busy accounting uses ``round_time``.
+    round_base: float = 0.0
+    #: Crash-requeues charged to this machine (jobs sent back to the
+    #: queue with retry budget burned).
+    retries: int = 0
+    #: JobPreempt events applied on this machine.
+    preemptions: int = 0
+    #: Training steps of progress destroyed by aborted in-flight rounds
+    #: (one per resident per aborted round).
+    lost_steps: int = 0
     #: Dirty-flag cached policy view (see module docstring).
     _view_cache: MachineView | None = field(
         default=None, repr=False, compare=False
@@ -149,6 +184,8 @@ class MachineState:
 
     @property
     def free_slots(self) -> int:
+        if not self.accepting:
+            return 0
         return self.capacity - len(self.residents) - len(self.waiting)
 
     def touch(self) -> None:
@@ -166,6 +203,8 @@ class MachineState:
                 remaining_steps=tuple(sorted(self.remaining_steps.items())),
                 free_slots=self.free_slots,
                 busy_until=self.busy_until,
+                alive=self.alive,
+                accepting=self.accepting,
             )
             self._view_cache = view
         return view

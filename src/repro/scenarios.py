@@ -224,6 +224,140 @@ def scenario_specs() -> dict[str, dict]:
     return {name: SCENARIOS[name].to_dict() for name in sorted(SCENARIOS)}
 
 
+# -- the fault-spec registry --------------------------------------------------------
+#
+# Named fault plans for the fleet simulator, stored as the plain JSON
+# specs of :meth:`repro.fleet.faults.FaultPlan.to_dict` (keeping this
+# module import-free of the fleet layer).  ``run_fleet(faults="name")``
+# and the CLI's ``--fault-plan name`` resolve through here.  The default
+# plans are tuned to the default 5-machine fleet (machine ids m0..m4,
+# see :data:`repro.api.DEFAULT_FLEET`) and the default 50-job trace
+# scale (~100 simulated seconds).
+
+FAULT_SPECS: dict[str, dict] = {}
+
+#: Descriptions shown by :func:`describe_fault_specs`.
+_FAULT_SPEC_DESCRIPTIONS: dict[str, str] = {}
+
+
+def register_fault_spec(
+    name: str, spec: dict, *, description: str = "", overwrite: bool = False
+) -> dict:
+    """Register a named fault plan spec (``overwrite=True`` to replace).
+
+    ``spec`` must be a :meth:`repro.fleet.faults.FaultPlan.to_dict`-shaped
+    dict (``{"events": [...], "max_retries": ...}``); it is stored by
+    value so later mutation of the caller's dict cannot corrupt the
+    registry.
+    """
+    if not name:
+        raise ValueError("fault spec name must be non-empty")
+    if not isinstance(spec, dict) or not isinstance(spec.get("events", None), list):
+        raise ValueError(
+            "a fault spec must be a dict with an 'events' list "
+            "(see FaultPlan.to_dict)"
+        )
+    if name in FAULT_SPECS and not overwrite:
+        raise ValueError(f"fault spec {name!r} is already registered")
+    FAULT_SPECS[name] = {
+        "max_retries": spec.get("max_retries", 3),
+        "events": [dict(event) for event in spec["events"]],
+    }
+    _FAULT_SPEC_DESCRIPTIONS[name] = description
+    return FAULT_SPECS[name]
+
+
+def available_fault_specs() -> tuple[str, ...]:
+    """Names of every registered fault spec, in registration order."""
+    return tuple(FAULT_SPECS)
+
+
+def get_fault_spec(name: str) -> dict:
+    """Look up a registered fault spec by name (a deep-enough copy)."""
+    try:
+        spec = FAULT_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault spec {name!r}; available: {', '.join(FAULT_SPECS)}"
+        ) from None
+    return {
+        "max_retries": spec["max_retries"],
+        "events": [dict(event) for event in spec["events"]],
+    }
+
+
+def describe_fault_specs() -> str:
+    """One line per registered fault spec, sorted by name."""
+    lines = []
+    for name in sorted(FAULT_SPECS):
+        spec = FAULT_SPECS[name]
+        description = _FAULT_SPEC_DESCRIPTIONS.get(name, "")
+        lines.append(
+            f"{name:>24}  {len(spec['events'])} events"
+            f"{' — ' + description if description else ''}"
+        )
+    return "\n".join(lines)
+
+
+def _register_default_fault_specs() -> None:
+    register_fault_spec(
+        "single-crash",
+        {
+            "events": [{"kind": "crash", "time": 25.0, "machine": "m0"}],
+        },
+        description="one early crash of the first machine",
+    )
+    register_fault_spec(
+        "rolling-churn",
+        {
+            "events": [
+                {"kind": "crash", "time": 20.0, "machine": "m1"},
+                {"kind": "join", "time": 30.0, "machine_name": "desktop-8c"},
+                {"kind": "leave", "time": 45.0, "machine": "m2"},
+                {"kind": "join", "time": 60.0, "machine_name": "cloud-vm-16v"},
+                {"kind": "crash", "time": 70.0, "machine": "m0"},
+            ],
+        },
+        description="machines crash, drain and join throughout the trace",
+    )
+    register_fault_spec(
+        "straggler-tail",
+        {
+            "events": [
+                {
+                    "kind": "straggler",
+                    "time": 10.0,
+                    "machine": "m0",
+                    "factor": 2.5,
+                    "duration": 50.0,
+                },
+                {
+                    "kind": "straggler",
+                    "time": 40.0,
+                    "machine": "m3",
+                    "factor": 1.8,
+                    "duration": 40.0,
+                },
+            ],
+        },
+        description="two overlapping straggler windows on the fast desktops",
+    )
+    register_fault_spec(
+        "preempt-wave",
+        {
+            "events": [
+                {"kind": "preempt", "time": 3.0, "job": "job-000-dcgan"},
+                {"kind": "preempt", "time": 6.5, "job": "job-002-syn-heavy"},
+                {"kind": "preempt", "time": 20.0, "job": "job-004-syn-deep"},
+            ],
+        },
+        description="bursts of preemptions against the default seed-0 trace",
+    )
+
+
+_register_default_fault_specs()
+
+
 def _register_defaults() -> None:
     defaults = [
         Scenario(
