@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench experiments fleet fleet-faults fleet-large bench-full help
+.PHONY: test bench experiments fleet fleet-faults fleet-large fleet-stream bench-full help
 
 help:
 	@echo "make test        - run the tier-1 test suite"
@@ -15,6 +15,8 @@ help:
 	@echo "                   compression speedup gate + 5,000-job smoke)"
 	@echo "make fleet-faults- fault-injection benchmark (canonical fault plan:"
 	@echo "                   equivalence + monotonicity gates)"
+	@echo "make fleet-stream- open-loop streaming benchmark (overload/admission"
+	@echo "                   gates + the 1,000,000-job compressed smoke)"
 	@echo "make bench-full  - every benchmark (paper tables/figures reproduction)"
 
 test:
@@ -35,6 +37,9 @@ fleet-faults:
 fleet-large:
 	$(PYTHON) -m benchmarks.fleet_bench --suite large
 	$(PYTHON) -m benchmarks.fleet_bench --suite xl
+
+fleet-stream:
+	$(PYTHON) -m benchmarks.fleet_bench --suite stream
 
 bench-full:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

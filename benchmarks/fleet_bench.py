@@ -45,6 +45,24 @@ Three suites, all writing into ``BENCH_fleet.json``:
 
   Results land in the ``fault_injection`` section of
   ``BENCH_fleet.json``.
+
+* ``stream`` (``make fleet-stream``) — the open-loop admission suite,
+  writing the ``streaming`` section:
+
+  - **sustained overload** — a 600-job Poisson stream offered ~6x the
+    fleet's service rate with a bounded queue, enforcing that the
+    queue depth never exceeds the limit, that every offered job is
+    accounted for (``completions + failures + rejections == offered``),
+    that the controller actually shed work, and that the rerun is
+    byte-identical;
+  - **streamed == materialised** — the same overload trace run four
+    ways (compressed/reference x streamed/pre-materialised), with and
+    without a fault plan, must produce byte-identical outcomes;
+  - **million-job smoke** — a 1,000,000-job stream through the
+    compressed path with admission control, proving the lazy pull
+    never materialises the trace and completes in bounded memory;
+  - **trend** — the overload leg's wall time must not regress more
+    than 2x against the committed baseline (same floor as ``smoke``).
 """
 
 from __future__ import annotations
@@ -101,6 +119,36 @@ LARGE_SPEEDUP_GATE = 10.0
 XL_NUM_JOBS = 5000
 XL_MACHINES: tuple[str, ...] = DEFAULT_FLEET * 20
 XL_INTERARRIVAL = 54.0
+
+#: The ``stream`` suite's sustained-overload leg: a Poisson stream
+#: offered well past the five-machine fleet's service rate (the smoke
+#: trace drains at ~2 s mean interarrival; 0.35 s is ~6x that), with a
+#: bounded queue so the backlog sheds instead of growing without bound.
+#: Synthetic job mix, like ``large``: the suite measures the streaming
+#: event loop and admission path, not graph profiling.
+STREAM_NUM_JOBS = 600
+STREAM_SEED = 42
+STREAM_INTERARRIVAL = 0.35
+STREAM_QUEUE_LIMIT = 24
+STREAM_MIN_STEPS, STREAM_MAX_STEPS = 3, 10
+#: The equivalence leg replays a shorter stream four ways (compressed /
+#: reference x streamed / pre-materialised), with and without faults.
+STREAM_EQ_NUM_JOBS = 150
+#: Machine-only fault plan for the equivalence leg (no job references:
+#: streamed job names depend on the workload mix).
+STREAM_FAULT_PLAN: dict = {
+    "events": [
+        {"kind": "straggler", "time": 10.0, "machine": "m0", "factor": 2.0, "duration": 30.0},
+        {"kind": "leave", "time": 25.0, "machine": "m2"},
+        {"kind": "crash", "time": 40.0, "machine": "m1"},
+    ],
+}
+#: The million-job smoke: short jobs, heavy overload, tight queue — the
+#: regime where almost every arrival is shed at the door, so the run is
+#: dominated by the lazy arrival pull itself.
+MILLION_NUM_JOBS = 1_000_000
+MILLION_INTERARRIVAL = 0.02
+MILLION_QUEUE_LIMIT = 16
 
 #: The canonical fault plan for the ``faults`` suite: one event of every
 #: destructive kind, timed inside the seed-42 trace's arrival span
@@ -460,6 +508,219 @@ def check_faults_gates(report: dict) -> list[str]:
     return failures
 
 
+def run_stream_benchmark(
+    *,
+    num_jobs: int = STREAM_NUM_JOBS,
+    seed: int = STREAM_SEED,
+    machines: tuple[str, ...] = BENCH_MACHINES,
+    million_jobs: int = MILLION_NUM_JOBS,
+) -> dict:
+    """The open-loop admission suite: overload, equivalence, 1M smoke."""
+    from repro.fleet import AdmissionController, PoissonArrivals
+    from repro.fleet.faults import resolve_fault_plan
+
+    def overload_process(n=num_jobs):
+        return PoissonArrivals(
+            num_jobs=n,
+            seed=seed,
+            mean_interarrival=STREAM_INTERARRIVAL,
+            workloads=LARGE_JOB_MIX,
+            min_steps=STREAM_MIN_STEPS,
+            max_steps=STREAM_MAX_STEPS,
+        )
+
+    admission = AdmissionController(queue_limit=STREAM_QUEUE_LIMIT)
+    estimator = StepTimeEstimator()
+
+    # -- sustained overload: bounded queue, full accounting, determinism --
+    overload_runs = []
+    for _ in range(2):
+        simulator = FleetSimulator(
+            machines,
+            policy="first-fit",
+            estimator=estimator,
+            compressed=True,
+            admission=admission,
+        )
+        start = time.perf_counter()
+        result = simulator.run(overload_process())
+        overload_runs.append((result, time.perf_counter() - start))
+    first, seconds = overload_runs[0]
+    rerun_identical = _digest(first) == _digest(overload_runs[1][0])
+    accounted = (
+        len(first.completions) + len(first.failures) + len(first.rejections)
+        == first.num_jobs
+    )
+    overload_report = {
+        "offered": first.num_jobs,
+        "completions": len(first.completions),
+        "failures": len(first.failures),
+        "rejections": len(first.rejections),
+        "shed_rate": round(first.shed_rate, 4),
+        "queue_limit": STREAM_QUEUE_LIMIT,
+        "peak_queue_depth": first.peak_queue_depth,
+        "p50_wait": first.wait_percentiles["p50"],
+        "p95_wait": first.wait_percentiles["p95"],
+        "p99_wait": first.wait_percentiles["p99"],
+        "p99_turnaround": first.turnaround_percentiles["p99"],
+        "makespan": first.makespan,
+        "events_processed": first.events_processed,
+        "seconds": round(seconds, 4),
+        "warm_seconds": round(overload_runs[1][1], 4),
+        "rerun_identical": rerun_identical,
+        "accounting_exact": accounted,
+        "depth_bounded": first.peak_queue_depth <= STREAM_QUEUE_LIMIT,
+        "shed_nonzero": len(first.rejections) > 0,
+    }
+
+    # -- streamed == materialised, both paths, with and without faults ----
+    trace = overload_process(STREAM_EQ_NUM_JOBS).materialize()
+    plan = resolve_fault_plan(STREAM_FAULT_PLAN)
+    equivalence: dict[str, bool] = {}
+    for fault_label, faults in (("fault-free", None), ("faulted", plan)):
+        digests = set()
+        for compressed in (False, True):
+            for streamed in (False, True):
+                simulator = FleetSimulator(
+                    machines,
+                    policy="first-fit",
+                    estimator=estimator,
+                    compressed=compressed,
+                    admission=admission,
+                )
+                source = overload_process(STREAM_EQ_NUM_JOBS) if streamed else trace
+                digests.add(_digest(simulator.run(source, faults=faults)))
+        equivalence[fault_label] = len(digests) == 1
+
+    # -- the million-job smoke: compressed only, never materialised ------
+    simulator = FleetSimulator(
+        machines,
+        policy="first-fit",
+        estimator=estimator,
+        compressed=True,
+        admission=AdmissionController(queue_limit=MILLION_QUEUE_LIMIT),
+    )
+    start = time.perf_counter()
+    million = simulator.run(
+        PoissonArrivals(
+            num_jobs=million_jobs,
+            seed=seed,
+            mean_interarrival=MILLION_INTERARRIVAL,
+            workloads=LARGE_JOB_MIX,
+            min_steps=1,
+            max_steps=2,
+        )
+    )
+    million_seconds = time.perf_counter() - start
+    million_report = {
+        "offered": million.num_jobs,
+        "completions": len(million.completions),
+        "rejections": len(million.rejections),
+        "shed_rate": round(million.shed_rate, 4),
+        "peak_queue_depth": million.peak_queue_depth,
+        "makespan": round(million.makespan, 2),
+        "events_processed": million.events_processed,
+        "seconds": round(million_seconds, 2),
+        "accounting_exact": (
+            len(million.completions)
+            + len(million.failures)
+            + len(million.rejections)
+            == million.num_jobs
+        ),
+    }
+
+    return {
+        "workload": {
+            "num_jobs": num_jobs,
+            "seed": seed,
+            "mean_interarrival": STREAM_INTERARRIVAL,
+            "machines": list(machines),
+            "policy": "first-fit",
+        },
+        "overload": overload_report,
+        "equivalence": equivalence,
+        "million_smoke": million_report,
+    }
+
+
+def format_stream_report(report: dict) -> str:
+    overload = report["overload"]
+    million = report["million_smoke"]
+    lines = [
+        f"fleet streaming benchmark — {overload['offered']} jobs offered at "
+        f"{report['workload']['mean_interarrival']}s mean interarrival over "
+        f"{len(report['workload']['machines'])} machines "
+        f"(queue limit {overload['queue_limit']})",
+        f"  overload : {overload['completions']} done, "
+        f"{overload['rejections']} shed ({overload['shed_rate']:.0%}), "
+        f"peak queue {overload['peak_queue_depth']}, "
+        f"p99 wait {overload['p99_wait']:.2f}s, "
+        f"{overload['seconds']:.2f}s wall",
+        f"  gates    : depth bounded {overload['depth_bounded']}, "
+        f"accounting exact {overload['accounting_exact']}, "
+        f"shed nonzero {overload['shed_nonzero']}, "
+        f"rerun identical {overload['rerun_identical']}",
+        f"  equivalence (4-way, streamed x compressed): "
+        f"fault-free {report['equivalence']['fault-free']}, "
+        f"faulted {report['equivalence']['faulted']}",
+        f"  1M smoke : {million['offered']} offered, "
+        f"{million['completions']} done, {million['rejections']} shed "
+        f"({million['shed_rate']:.0%}), {million['seconds']:.1f}s wall, "
+        f"accounting exact {million['accounting_exact']}",
+    ]
+    return "\n".join(lines)
+
+
+def check_stream_gates(report: dict) -> list[str]:
+    """The failed-gate messages of one stream-suite report (empty = pass)."""
+    failures = []
+    overload = report["overload"]
+    if not overload["depth_bounded"]:
+        failures.append(
+            f"streaming: peak queue depth {overload['peak_queue_depth']} "
+            f"exceeded the admission limit {overload['queue_limit']}"
+        )
+    if not overload["accounting_exact"]:
+        failures.append(
+            "streaming: completions + failures + rejections != offered jobs"
+        )
+    if not overload["shed_nonzero"]:
+        failures.append(
+            "streaming: sustained overload shed nothing (admission inert?)"
+        )
+    if not overload["rerun_identical"]:
+        failures.append("streaming: overload rerun diverged for fixed inputs")
+    for label, identical in report["equivalence"].items():
+        if not identical:
+            failures.append(
+                f"streaming ({label}): streamed/materialised x compressed/"
+                "reference outcomes diverged"
+            )
+    if not report["million_smoke"]["accounting_exact"]:
+        failures.append("streaming: million-job smoke lost jobs")
+    return failures
+
+
+def check_stream_trend(report: dict, baseline_path: Path = BENCH_JSON) -> list[str]:
+    """Wall-time regressions of the overload leg vs the committed baseline."""
+    if not baseline_path.exists():
+        return []
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    old = baseline.get("streaming", {}).get("overload", {}).get("warm_seconds")
+    new = report.get("overload", {}).get("warm_seconds")
+    if old is None or new is None:
+        return []
+    if new > TREND_FLOOR_SECONDS and new > TREND_FACTOR * old:
+        return [
+            f"streaming overload warm_seconds regressed {old:.4f}s -> {new:.4f}s "
+            f"(more than {TREND_FACTOR:g}x the committed baseline)"
+        ]
+    return []
+
+
 def check_trend(report: dict, baseline_path: Path = BENCH_JSON) -> list[str]:
     """Warm-time regressions vs the committed baseline (empty = pass).
 
@@ -637,11 +898,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("smoke", "large", "xl", "faults", "all"),
+        choices=("smoke", "large", "xl", "faults", "stream", "all"),
         default="smoke",
         help="smoke: canonical 50-job gates; large: 1,000-job round-"
         "compression speedup gate; xl: 5,000-job compressed smoke; "
-        "faults: canonical-fault-plan equivalence gates",
+        "faults: canonical-fault-plan equivalence gates; stream: "
+        "open-loop overload/admission gates incl. the 1M-job smoke",
     )
     parser.add_argument("--jobs", type=int, default=None, help="sweep-engine worker count")
     parser.add_argument(
@@ -675,6 +937,12 @@ def main(argv: list[str] | None = None) -> int:
         print(format_faults_report(faults_report))
         failures += check_faults_gates(faults_report)
         payload["fault_injection"] = faults_report
+    if args.suite in ("stream", "all"):
+        stream_report = run_stream_benchmark()
+        print(format_stream_report(stream_report))
+        failures += check_stream_gates(stream_report)
+        failures += check_stream_trend(stream_report)
+        payload["streaming"] = stream_report
 
     if not args.no_write:
         if failures:

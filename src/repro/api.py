@@ -203,6 +203,22 @@ class FleetOutcome:
     preemptions: int = 0
     #: Training steps destroyed by aborted in-flight rounds.
     lost_steps: int = 0
+    # -- admission / SLO accounting (all zero without admission control) ---------
+    #: Jobs shed by the admission controller (never placed).
+    rejections: int = 0
+    #: rejections / offered jobs (0.0 when everything was admitted).
+    shed_rate: float = 0.0
+    #: Deepest the central queue ever got (bounded by ``queue_limit``
+    #: whenever an admission controller is active).
+    peak_queue_depth: int = 0
+    #: Exact nearest-rank wait-time percentiles: (("p50", ...), ("p95", ...),
+    #: ("p99", ...)).
+    wait_percentiles: tuple[tuple[str, float], ...] = ()
+
+    @property
+    def p99_wait_time(self) -> float:
+        """The p99 wait — the headline SLO number under overload."""
+        return dict(self.wait_percentiles).get("p99", 0.0)
 
     def __str__(self) -> str:
         text = (
@@ -218,6 +234,12 @@ class FleetOutcome:
                 f" [faults: {self.retries} retries, {self.preemptions} preemptions, "
                 f"{self.lost_steps} lost steps, {len(self.failed_jobs)} failed]"
             )
+        if self.rejections:
+            text += (
+                f" [admission: {self.rejections} shed "
+                f"({self.shed_rate:.0%}), peak queue {self.peak_queue_depth}, "
+                f"p99 wait {self.p99_wait_time:.2f} s]"
+            )
         return text
 
 
@@ -228,8 +250,13 @@ def run_fleet(
     policy: str = "interference-aware",
     num_jobs: int = 20,
     arrival_seed: int = 0,
+    mean_interarrival: float = 2.0,
     min_steps: int = 3,
     max_steps: int = 10,
+    arrival_process=None,
+    queue_limit: int | None = None,
+    deadline: float | None = None,
+    shed_policy: str = "reject-at-arrival",
     max_corun: int | None = None,
     config: RuntimeConfig | None = None,
     executor=None,
@@ -240,9 +267,20 @@ def run_fleet(
 
     ``jobs`` defaults to a deterministic generated trace of ``num_jobs``
     jobs (``arrival_seed`` drives arrivals, kinds and step counts,
+    ``mean_interarrival`` sets the offered load,
     ``min_steps``/``max_steps`` bound the per-job training length — see
     :func:`repro.fleet.generate_trace`; ``num_jobs=0`` yields a
-    well-formed empty outcome).  ``policy`` is one of
+    well-formed empty outcome).  ``arrival_process`` instead streams an
+    open-loop arrival process (an
+    :class:`~repro.fleet.ArrivalProcess`, a registered arrival-spec name
+    such as ``"overload"`` — see
+    :func:`repro.scenarios.available_arrival_specs` — a spec dict or a
+    JSON string/path); the trace is pulled lazily, never materialised.
+    ``queue_limit`` / ``deadline`` / ``shed_policy`` activate admission
+    control (:class:`~repro.fleet.AdmissionController`): under overload
+    the fleet sheds work instead of growing the queue without bound, and
+    the outcome reports rejections, shed rate, peak queue depth and
+    exact wait percentiles.  ``policy`` is one of
     :func:`repro.fleet.available_policies` (``"first-fit"``,
     ``"load-balanced"``, ``"interference-aware"``).  ``compressed``
     selects the round-compression fast path (default) or the one-event-
@@ -252,22 +290,44 @@ def run_fleet(
     :class:`~repro.fleet.FaultPlan`, a registered fault-spec name
     (:func:`repro.scenarios.available_fault_specs`), a spec dict or a
     JSON string/path — see :mod:`repro.fleet.faults`.  The same (trace,
-    policy, machine set, fault plan) always produces the identical
-    outcome.
+    policy, machine set, fault plan, admission settings) always produces
+    the identical outcome.
     """
-    from repro.fleet import FleetSimulator, generate_trace
+    from repro.fleet import (
+        AdmissionController,
+        FleetSimulator,
+        generate_trace,
+        resolve_arrivals,
+    )
     from repro.fleet.simulator import DEFAULT_MAX_CORUN
 
-    if jobs is None:
+    if arrival_process is not None:
+        if jobs is not None:
+            raise ValueError("pass either jobs or arrival_process, not both")
+        jobs = resolve_arrivals(
+            arrival_process,
+            num_jobs=num_jobs,
+            seed=arrival_seed,
+            mean_interarrival=mean_interarrival,
+            min_steps=min_steps,
+            max_steps=max_steps,
+        )
+    elif jobs is None:
         jobs = (
             generate_trace(
                 num_jobs,
                 seed=arrival_seed,
+                mean_interarrival=mean_interarrival,
                 min_steps=min_steps,
                 max_steps=max_steps,
             )
             if num_jobs > 0
             else ()
+        )
+    admission = None
+    if queue_limit is not None or deadline is not None:
+        admission = AdmissionController(
+            queue_limit=queue_limit, deadline=deadline, shed_policy=shed_policy
         )
     simulator = FleetSimulator(
         machines,
@@ -277,6 +337,7 @@ def run_fleet(
         max_corun=max_corun if max_corun is not None else DEFAULT_MAX_CORUN,
         compressed=compressed,
         faults=faults,
+        admission=admission,
     )
     result = simulator.run(jobs)
     return FleetOutcome(
@@ -297,4 +358,8 @@ def run_fleet(
         retries=result.retries,
         preemptions=result.preemptions,
         lost_steps=result.lost_steps,
+        rejections=len(result.rejections),
+        shed_rate=result.shed_rate,
+        peak_queue_depth=result.peak_queue_depth,
+        wait_percentiles=tuple(sorted(result.wait_percentiles.items())),
     )

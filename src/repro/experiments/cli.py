@@ -10,8 +10,11 @@ Every experiment accepts an arbitrary hardware topology:
 registered scenario's machine (``--list-scenarios``).  The ``fleet``
 experiment additionally takes ``--policy``, ``--machines``,
 ``--trace-seed`` and the trace-scaling knobs ``--num-jobs`` /
-``--steps MIN:MAX`` — reproducible thousand-job traces straight from
-the command line.
+``--steps MIN:MAX`` / ``--mean-interarrival`` — reproducible
+thousand-job traces straight from the command line — plus the open-loop
+knobs ``--arrival-process`` (``--list-arrival-specs``) and the
+admission-control trio ``--queue-limit`` / ``--deadline`` /
+``--shed-policy``.
 
 The experiments execute on the parallel sweep engine: ``--jobs``/
 ``--backend`` control the fan-out (``--jobs N`` alone implies the
@@ -53,6 +56,11 @@ def _run_one(
     fault_seed: int | None = None,
     crash_rate: float | None = None,
     straggler_rate: float | None = None,
+    mean_interarrival: float | None = None,
+    arrival_process: str | None = None,
+    queue_limit: int | None = None,
+    deadline: float | None = None,
+    shed_policy: str | None = None,
 ) -> str:
     module = ALL_EXPERIMENTS[name]
     # Forward only the options the experiment's run() accepts.  Inspect
@@ -87,6 +95,16 @@ def _run_one(
         kwargs["crash_rate"] = crash_rate
     if "straggler_rate" in parameters and straggler_rate is not None:
         kwargs["straggler_rate"] = straggler_rate
+    if "mean_interarrival" in parameters and mean_interarrival is not None:
+        kwargs["mean_interarrival"] = mean_interarrival
+    if "arrival_process" in parameters and arrival_process is not None:
+        kwargs["arrival_process"] = arrival_process
+    if "queue_limit" in parameters and queue_limit is not None:
+        kwargs["queue_limit"] = queue_limit
+    if "deadline" in parameters and deadline is not None:
+        kwargs["deadline"] = deadline
+    if "shed_policy" in parameters and shed_policy is not None:
+        kwargs["shed_policy"] = shed_policy
     result = module.run(**kwargs)
     return module.format_report(result)
 
@@ -246,6 +264,51 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="list the registered fault-plan specs (usable with --fault-plan)",
     )
     parser.add_argument(
+        "--mean-interarrival",
+        type=float,
+        default=None,
+        metavar="S",
+        help="fleet experiment only: mean seconds between job arrivals "
+        "(smaller = heavier offered load)",
+    )
+    parser.add_argument(
+        "--arrival-process",
+        default=None,
+        metavar="SPEC",
+        help="fleet experiment only: stream an open-loop arrival process — a "
+        "registered arrival-spec name (see --list-arrival-specs), a JSON "
+        "object, or a path to a JSON file; the trace is never materialised",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet experiment only: admission control — bound the central "
+        "queue at N jobs and shed the overflow",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="fleet experiment only: admission control — shed jobs still "
+        "queued S seconds after arrival (with --shed-policy deadline-expire)",
+    )
+    parser.add_argument(
+        "--shed-policy",
+        choices=("reject-at-arrival", "drop-oldest", "deadline-expire"),
+        default=None,
+        help="fleet experiment only: how admission control sheds under "
+        "overload (default: reject-at-arrival)",
+    )
+    parser.add_argument(
+        "--list-arrival-specs",
+        action="store_true",
+        help="list the registered arrival-process specs (usable with "
+        "--arrival-process)",
+    )
+    parser.add_argument(
         "--full",
         action="store_true",
         help="use the full-size model graphs (slower, closer to the paper's scale)",
@@ -278,8 +341,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be at least 1")
-    if args.num_jobs is not None and args.num_jobs < 1:
-        parser.error("--num-jobs must be at least 1")
+    if args.num_jobs is not None and args.num_jobs < 0:
+        parser.error("--num-jobs must be non-negative")
+    if args.mean_interarrival is not None and args.mean_interarrival <= 0:
+        parser.error("--mean-interarrival must be positive")
+    if args.queue_limit is not None and args.queue_limit < 1:
+        parser.error("--queue-limit must be at least 1")
+    if args.deadline is not None and args.deadline <= 0:
+        parser.error("--deadline must be positive")
     for rate_flag, rate_value in (
         ("--crash-rate", args.crash_rate),
         ("--straggler-rate", args.straggler_rate),
@@ -331,6 +400,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(json.dumps(FAULT_SPECS, indent=2, sort_keys=True))
         else:
             print(describe_fault_specs())
+        return 0
+    if args.list_arrival_specs:
+        from repro.scenarios import ARRIVAL_SPECS, describe_arrival_specs
+
+        if args.json:
+            print(json.dumps(ARRIVAL_SPECS, indent=2, sort_keys=True))
+        else:
+            print(describe_arrival_specs())
         return 0
 
     fleet_machines: tuple[str, ...] | None = None
@@ -408,6 +485,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                 fault_seed=args.fault_seed,
                 crash_rate=args.crash_rate,
                 straggler_rate=args.straggler_rate,
+                mean_interarrival=args.mean_interarrival,
+                arrival_process=args.arrival_process,
+                queue_limit=args.queue_limit,
+                deadline=args.deadline,
+                shed_policy=args.shed_policy,
             )
             elapsed = time.time() - start
             suffix = f" @ {machine}" if machine is not None else ""

@@ -12,9 +12,14 @@ the table's three co-running strategies, with first-fit playing the
 ``python -m repro.experiments fleet`` runs it; ``--policy`` narrows the
 comparison, ``--machines`` swaps the fleet, ``--trace-seed`` (alias
 ``--arrival-seed``) replays a different trace, and ``--num-jobs`` /
-``--steps MIN:MAX`` scale it — the round-compression fast path
-(:class:`~repro.fleet.FleetSimulator`) keeps thousand-job traces
-interactive.  Results are deterministic for fixed inputs.
+``--steps MIN:MAX`` / ``--mean-interarrival`` scale it — the
+round-compression fast path (:class:`~repro.fleet.FleetSimulator`)
+keeps thousand-job traces interactive.  ``--arrival-process`` swaps the
+default Poisson trace for a registered open-loop arrival spec
+(``overload``, ``rush-hour``, ``flash-crowd``, ...), streamed lazily;
+``--queue-limit`` / ``--deadline`` / ``--shed-policy`` activate
+admission control, adding shed/p99-wait/peak-depth columns.  Results
+are deterministic for fixed inputs.
 """
 
 from __future__ import annotations
@@ -49,6 +54,10 @@ class FleetPolicyRow:
     preemptions: int = 0
     lost_steps: int = 0
     failed_jobs: int = 0
+    # -- admission accounting (all zero without admission control) ---------------
+    rejections: int = 0
+    peak_queue_depth: int = 0
+    p99_wait: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -61,6 +70,10 @@ class FleetCorunResult:
     max_steps: int = 10
     #: The fault plan spec in effect (None for fault-free runs).
     fault_spec: dict | None = None
+    #: The arrival-process spec in effect (None for materialised traces).
+    arrival_spec: dict | None = None
+    #: The admission controller in effect (None when everything admits).
+    admission_spec: dict | None = None
 
     @property
     def speedups_vs_first_fit(self) -> dict[str, float]:
@@ -77,8 +90,13 @@ def run(
     machines: tuple[str, ...] | None = None,
     num_jobs: int = NUM_JOBS,
     arrival_seed: int = ARRIVAL_SEED,
+    mean_interarrival: float = 2.0,
     min_steps: int = 3,
     max_steps: int = 10,
+    arrival_process: str | dict | None = None,
+    queue_limit: int | None = None,
+    deadline: float | None = None,
+    shed_policy: str = "reject-at-arrival",
     compressed: bool = True,
     executor: SweepExecutor | None = None,
     fault_plan: str | dict | None = None,
@@ -88,9 +106,16 @@ def run(
 ) -> FleetCorunResult:
     """Place the same trace under each policy and compare makespans.
 
-    ``num_jobs``, ``arrival_seed`` and ``min_steps``/``max_steps``
-    parameterise the generated trace, so large reproducible workloads
-    are one CLI flag away (``--num-jobs 1000 --steps 200:600``).
+    ``num_jobs``, ``arrival_seed``, ``mean_interarrival`` and
+    ``min_steps``/``max_steps`` parameterise the generated trace, so
+    large reproducible workloads are one CLI flag away (``--num-jobs
+    1000 --steps 200:600``).
+
+    Open loop: ``arrival_process`` names a registered arrival spec
+    (``--arrival-process overload``) or carries a spec dict; the stream
+    is pulled lazily and every policy replays the identical arrivals.
+    ``queue_limit`` / ``deadline`` / ``shed_policy`` activate admission
+    control so overload sheds instead of queueing without bound.
 
     Faults: ``fault_plan`` names a registered fault spec or carries a
     JSON spec directly (``--fault-plan``); alternatively ``fault_seed``
@@ -98,20 +123,48 @@ def run(
     plan over the trace's span (``--fault-seed --crash-rate
     --straggler-rate``).  Every policy replays the identical plan.
     """
+    from repro.fleet.arrivals import AdmissionController, resolve_arrivals
     from repro.fleet.faults import generate_fault_plan, resolve_fault_plan
 
     policies = policies or available_policies()
     machines = machines or DEFAULT_FLEET
     executor = executor or get_default_executor()
-    jobs = generate_trace(
-        num_jobs, seed=arrival_seed, min_steps=min_steps, max_steps=max_steps
-    )
+    process = None
+    if arrival_process is not None:
+        process = resolve_arrivals(
+            arrival_process,
+            num_jobs=num_jobs,
+            seed=arrival_seed,
+            mean_interarrival=mean_interarrival,
+            min_steps=min_steps,
+            max_steps=max_steps,
+        )
+        jobs = process
+        # The arrival span without materialising the stream: the
+        # expected span of the process (num_jobs * mean gap).
+        arrival_span = num_jobs * getattr(
+            process, "mean_interarrival", mean_interarrival
+        )
+    else:
+        jobs = generate_trace(
+            num_jobs,
+            seed=arrival_seed,
+            mean_interarrival=mean_interarrival,
+            min_steps=min_steps,
+            max_steps=max_steps,
+        )
+        arrival_span = jobs[-1].arrival_time if jobs else 0.0
+    admission = None
+    if queue_limit is not None or deadline is not None:
+        admission = AdmissionController(
+            queue_limit=queue_limit, deadline=deadline, shed_policy=shed_policy
+        )
     if fault_plan is not None:
         plan = resolve_fault_plan(fault_plan)
     elif fault_seed is not None or crash_rate or straggler_rate:
         # Fault window: 1.5x the arrival span, so late faults still land
         # while the tail of the trace is draining.
-        horizon = max(1.0, jobs[-1].arrival_time * 1.5)
+        horizon = max(1.0, arrival_span * 1.5)
         plan = generate_fault_plan(
             [f"m{i}" for i in range(len(machines))],
             horizon=horizon,
@@ -127,7 +180,11 @@ def run(
     rows = []
     for policy in policies:
         simulator = FleetSimulator(
-            machines, policy=policy, estimator=estimator, compressed=compressed
+            machines,
+            policy=policy,
+            estimator=estimator,
+            compressed=compressed,
+            admission=admission,
         )
         result = simulator.run(jobs, faults=plan)
         rows.append(
@@ -142,8 +199,17 @@ def run(
                 preemptions=result.preemptions,
                 lost_steps=result.lost_steps,
                 failed_jobs=len(result.failures),
+                rejections=len(result.rejections),
+                peak_queue_depth=result.peak_queue_depth,
+                p99_wait=result.wait_percentiles["p99"],
             )
         )
+    arrival_spec = None
+    if process is not None:
+        try:
+            arrival_spec = process.to_dict()
+        except TypeError:  # replay traces have no compact spec
+            arrival_spec = {"kind": process.kind, "num_jobs": process.num_jobs}
     return FleetCorunResult(
         machines=tuple(machines),
         num_jobs=num_jobs,
@@ -152,6 +218,8 @@ def run(
         min_steps=min_steps,
         max_steps=max_steps,
         fault_spec=plan.to_dict() if plan is not None else None,
+        arrival_spec=arrival_spec,
+        admission_spec=admission.to_dict() if admission is not None else None,
     )
 
 
@@ -167,17 +235,24 @@ def _describe_fleet(machines: tuple[str, ...]) -> str:
 
 def format_report(result: FleetCorunResult) -> str:
     faulted = result.fault_spec is not None
+    admitted = result.admission_spec is not None
     columns = ["policy", "makespan (s)", "mean wait (s)", "co-run rounds", "blacklisted", "speedup"]
     if faulted:
         columns += ["retries", "preempted", "lost steps", "failed"]
+    if admitted:
+        columns += ["shed", "peak queue", "p99 wait (s)"]
     title = (
         f"Fleet co-run — {result.num_jobs} jobs "
         f"({result.min_steps}-{result.max_steps} steps each) over "
         f"{len(result.machines)} machines "
         f"({_describe_fleet(result.machines)}; arrival seed {result.arrival_seed})"
     )
+    if result.arrival_spec is not None:
+        title += f" [{result.arrival_spec['kind']} arrivals]"
     if faulted:
         title += f" under {len(result.fault_spec['events'])} fault events"
+    if admitted:
+        title += f" with admission {result.admission_spec['shed_policy']}"
     table = TextTable(columns, title=title)
     speedups = result.speedups_vs_first_fit
     for row in result.rows:
@@ -195,6 +270,12 @@ def format_report(result: FleetCorunResult) -> str:
                 str(row.preemptions),
                 str(row.lost_steps),
                 str(row.failed_jobs),
+            ]
+        if admitted:
+            cells += [
+                str(row.rejections),
+                str(row.peak_queue_depth),
+                row.p99_wait,
             ]
         table.add_row(cells)
     return table.render()

@@ -19,10 +19,29 @@ trace as a declarative seeded :class:`~repro.fleet.faults.FaultPlan` —
 consulted by both simulator loops, with the compressed path still
 byte-identical to the reference loop under faults.
 
+Open-loop service (:mod:`repro.fleet.arrivals`): seeded lazy arrival
+processes (Poisson, diurnal, bursty heavy-tail, replay) stream jobs
+into the simulator event-by-event — a million-job trace never
+materialises — and an :class:`~repro.fleet.arrivals.AdmissionController`
+(bounded queue, per-job deadlines, shed policies) turns overload into
+explicit :class:`~repro.fleet.simulator.JobRejection` records, SLO
+percentiles and windowed backlog/throughput series on the result.
+
 Entry points: :func:`repro.api.run_fleet`, the ``fleet`` experiment
 (``python -m repro.experiments fleet``) and ``benchmarks/fleet_bench.py``.
 """
 
+from repro.fleet.arrivals import (
+    ARRIVAL_KINDS,
+    AdmissionController,
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    ReplayArrivals,
+    build_arrivals,
+    resolve_arrivals,
+)
 from repro.fleet.estimates import (
     StepTimeEstimator,
     canonical_mix,
@@ -64,14 +83,21 @@ from repro.fleet.simulator import (
     FleetStalled,
     JobCompletion,
     JobFailure,
+    JobRejection,
     MachineReport,
+    exact_percentiles,
 )
 from repro.fleet.state import FleetState, MachineState, MachineView, Placement
 
 __all__ = [
+    "ARRIVAL_KINDS",
+    "AdmissionController",
+    "ArrivalProcess",
+    "BurstyArrivals",
     "DEFAULT_JOB_MIX",
     "DEFAULT_MAX_CORUN",
     "DEFAULT_MAX_RETRIES",
+    "DiurnalArrivals",
     "FaultInjector",
     "FaultPlan",
     "FirstFitPolicy",
@@ -84,6 +110,7 @@ __all__ = [
     "JobCompletion",
     "JobFailure",
     "JobPreempt",
+    "JobRejection",
     "LoadBalancedPolicy",
     "MachineCrash",
     "MachineJoin",
@@ -94,15 +121,20 @@ __all__ = [
     "POLICIES",
     "Placement",
     "PlacementPolicy",
+    "PoissonArrivals",
+    "ReplayArrivals",
     "StepTimeEstimator",
     "Straggler",
     "available_policies",
+    "build_arrivals",
     "canonical_mix",
     "corun_step_time",
+    "exact_percentiles",
     "generate_fault_plan",
     "generate_trace",
     "jobs_from_scenario",
     "make_policy",
+    "resolve_arrivals",
     "resolve_fault_plan",
     "scale_step_time",
     "validate_trace",

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.scenarios import Scenario, Workload, get_scenario
-from repro.utils.seeding import make_rng
 
 #: The default workload catalog traces draw from.  Mostly synthetic DAGs
 #: (cheap to profile, seeded, diverse op mixes) plus one real reduced
@@ -34,12 +33,13 @@ DEFAULT_JOB_MIX: tuple[Workload, ...] = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Job:
     """One training job in a fleet trace.
 
     The job is a value: its graph is built on demand (deterministically
     from ``graph_seed``) by the step-time estimator, never stored.
+    Slotted: open-loop runs stream millions of these.
     """
 
     name: str
@@ -111,35 +111,31 @@ def generate_trace(
     all drawn from one seeded generator.  ``mean_interarrival`` is in
     simulated seconds — against the default catalog's step times it
     controls how heavily the fleet is loaded (smaller = burstier).
+
+    This is the materialised form of
+    :class:`repro.fleet.arrivals.PoissonArrivals` (to which it
+    delegates): job names zero-pad to the trace length (at least 3
+    digits, so they always sort lexically in arrival order), graph seeds
+    are assigned per workload *kind* via a precomputed first-index map
+    (identical kinds share graphs, keeping estimate cache keys
+    reusable), and ``num_jobs=0`` returns an empty trace for symmetry
+    with ``FleetSimulator.run([])``.
     """
-    if num_jobs < 1:
-        raise ValueError("num_jobs must be at least 1")
-    if not workloads:
-        raise ValueError("the workload catalog must be non-empty")
-    if not 1 <= min_steps <= max_steps:
-        raise ValueError("need 1 <= min_steps <= max_steps")
-    if mean_interarrival <= 0:
-        raise ValueError("mean_interarrival must be positive")
-    rng = make_rng(seed)
-    jobs: list[Job] = []
-    clock = 0.0
-    for index in range(num_jobs):
-        workload = workloads[int(rng.integers(0, len(workloads)))]
-        steps = int(rng.integers(min_steps, max_steps + 1))
-        clock += float(rng.exponential(mean_interarrival))
-        jobs.append(
-            Job(
-                name=f"job-{index:03d}-{workload.name}",
-                workload=workload,
-                num_steps=steps,
-                arrival_time=clock,
-                # One graph seed per workload kind (not per job): identical
-                # kinds share graphs, keeping estimate cache keys reusable.
-                graph_seed=seed + workloads.index(workload),
-            )
-        )
+    from repro.fleet.arrivals import PoissonArrivals  # deferred: avoids cycle
+
+    if num_jobs == 0:
+        return ()
+    process = PoissonArrivals(
+        num_jobs=num_jobs,
+        seed=seed,
+        mean_interarrival=mean_interarrival,
+        workloads=tuple(workloads),
+        min_steps=min_steps,
+        max_steps=max_steps,
+    )
+    jobs = process.materialize()
     validate_trace(jobs)
-    return tuple(jobs)
+    return jobs
 
 
 def jobs_from_scenario(

@@ -59,22 +59,56 @@ and truncates surviving segments, so interference histories and every
 float stay bit-identical to the reference loop even mid-fault-storm.  An
 empty plan pushes no events and costs nothing.
 
-Everything is deterministic for a fixed (job trace, policy, machine
-set, fault plan): events are heap-ordered with explicit tie-breakers,
-estimates are pure functions, and wall-clock only appears in the
-separately reported scheduler-overhead figure.
+Open-loop arrivals & admission control
+--------------------------------------
+``run`` accepts either a pre-built job sequence or a lazy
+:class:`~repro.fleet.arrivals.ArrivalProcess`.  Both are consumed as a
+*stream*: exactly one future arrival lives in the heap at a time, and
+popping it pulls the next from the generator — a million-job open-loop
+run never materialises its trace, and streaming a process is
+byte-identical to replaying ``process.materialize()`` (arrival pushes
+interleave with other seq allocations, but heap order is decided by
+``(time, kind)`` before ``seq``, and relative seq order among equal-time
+arrivals is preserved).  An
+:class:`~repro.fleet.arrivals.AdmissionController` turns unbounded
+queueing into explicit shedding: arrivals that find the queue at its
+``queue_limit`` are rejected (or evict the oldest queued job), and
+admitted jobs still queued past their ``deadline`` expire via
+``_EXPIRE`` timer events.  Every shed becomes a
+:class:`JobRejection` on the result, so
+``completions + failures + rejections == offered`` always holds, and
+:class:`FleetResult` reports exact-method p50/p95/p99 wait/turnaround
+percentiles plus windowed queue-depth/throughput/goodput series — all
+inside the determinism digest.  On the compressed path every admission
+decision and shed instant is a mandatory segment boundary (the PR 6
+fault playbook): the handler replays due boundaries first, and a
+non-empty queue keeps segments clamped to one round, so both loops see
+identical queue states at identical instants.
+
+Everything is deterministic for a fixed (arrival process, policy,
+machine set, fault plan, admission controller): events are heap-ordered
+with explicit tie-breakers, estimates are pure functions, and
+wall-clock only appears in the separately reported scheduler-overhead
+figure.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 import time as _time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.config import RuntimeConfig
 from repro.core.interference import InterferenceSnapshot, InterferenceTracker
 from repro.fleet import faults as faultlib
+from repro.fleet.arrivals import (
+    AdmissionController,
+    ArrivalProcess,
+    resolve_admission,
+    validated_stream,
+)
 from repro.fleet.estimates import StepTimeEstimator, scale_step_time
 from repro.fleet.faults import FaultInjector, FaultInstant, FaultPlan, resolve_fault_plan
 from repro.fleet.job import Job, validate_trace
@@ -109,7 +143,7 @@ class FleetStalled(RuntimeError):
         self.jobs = tuple(jobs)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobCompletion:
     """Lifecycle record of one finished job."""
 
@@ -132,7 +166,7 @@ class JobCompletion:
         return self.finish_time - self.arrival_time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobFailure:
     """Lifecycle record of a job that exhausted its retry budget.
 
@@ -147,6 +181,112 @@ class JobFailure:
     arrival_time: float
     attempts: int
     failed_time: float
+
+
+@dataclass(frozen=True, slots=True)
+class JobRejection:
+    """Lifecycle record of a job shed by admission control.
+
+    ``reason`` names the shed policy that fired: ``"reject-at-arrival"``
+    (the queue was full when the job arrived), ``"drop-oldest"`` (a
+    newer arrival evicted this queued job) or ``"deadline-expire"`` (the
+    job waited past its deadline).  A rejected job consumed no machine
+    time; every offered job ends as exactly one completion, failure or
+    rejection.
+    """
+
+    job: str
+    kind: str
+    arrival_time: float
+    rejected_time: float
+    reason: str
+
+    @property
+    def wait_time(self) -> float:
+        """How long the job sat in the queue before being shed (0.0 for
+        arrivals rejected on the spot)."""
+        return self.rejected_time - self.arrival_time
+
+
+def exact_percentiles(
+    values: Iterable[float], percentiles: Sequence[int] = (50, 95, 99)
+) -> dict[str, float]:
+    """Nearest-rank percentiles — the exact method, no interpolation.
+
+    ``p`` maps to the value at 1-based rank ``ceil(p/100 * n)`` of the
+    sorted sample: an actual observed value, deterministic, and stable
+    under the streaming/materialised and compressed/reference
+    equivalences the fleet gates on.  An empty sample yields 0.0.
+    """
+    ordered = sorted(values)
+    n = len(ordered)
+    out: dict[str, float] = {}
+    for p in percentiles:
+        if n == 0:
+            out[f"p{p}"] = 0.0
+        else:
+            rank = math.ceil(p * n / 100)
+            out[f"p{p}"] = ordered[min(max(rank, 1), n) - 1]
+    return out
+
+
+class _QueueDepthLog:
+    """Windowed maximum of the central queue depth, built in-loop.
+
+    Both loops call :meth:`record` after every queue mutation — the
+    identical ``(time, depth)`` sequence, so the series lands in the
+    determinism digest.  Depth is piecewise constant between records;
+    window ``i`` covers ``[i*window, (i+1)*window)`` simulated seconds
+    and carries the running depth in from the previous window, so a
+    quiet window under a standing backlog still reports that backlog.
+    O(windows) memory regardless of trace length.
+    """
+
+    __slots__ = ("window", "_depth", "_index", "_max", "_series", "_touched")
+
+    def __init__(self, window: float) -> None:
+        self.window = window
+        self._depth = 0
+        self._index = 0
+        self._max = 0
+        self._series: list[int] = []
+        self._touched = False
+
+    def record(self, time: float, depth: int) -> None:
+        self._touched = True
+        index = int(time // self.window)
+        while self._index < index:
+            self._series.append(self._max)
+            self._index += 1
+            self._max = self._depth
+        self._depth = depth
+        if depth > self._max:
+            self._max = depth
+
+    def finish(self) -> tuple[int, ...]:
+        """Close the in-progress window and return the series."""
+        if not self._touched:
+            return ()
+        self._series.append(self._max)
+        return tuple(self._series)
+
+
+def _windowed_completions(
+    completions: Sequence[JobCompletion], window: float
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Per-window completed jobs (throughput) and completed training
+    steps (goodput), derived from the completion records post-hoc —
+    trivially identical across both loops."""
+    if not completions:
+        return (), ()
+    spans = int(max(c.finish_time for c in completions) // window) + 1
+    throughput = [0] * spans
+    goodput = [0] * spans
+    for c in completions:
+        index = int(c.finish_time // window)
+        throughput[index] += 1
+        goodput[index] += c.num_steps
+    return tuple(throughput), tuple(goodput)
 
 
 @dataclass(frozen=True)
@@ -191,10 +331,21 @@ class FleetResult:
     #: Jobs that exhausted their retry budget (empty on fault-free runs;
     #: every job of a trace is exactly one completion or one failure).
     failures: tuple[JobFailure, ...] = ()
+    #: Jobs shed by admission control (empty without a controller);
+    #: ``completions + failures + rejections`` partition the offered jobs.
+    rejections: tuple[JobRejection, ...] = ()
     #: Fleet-wide fault accounting (sums of the per-machine figures).
     retries: int = 0
     preemptions: int = 0
     lost_steps: int = 0
+    #: Width, in simulated seconds, of the windowed time series below.
+    series_window: float = 25.0
+    #: Per-window maximum central-queue depth (in-loop, carries standing
+    #: backlog across quiet windows).
+    queue_depth_series: tuple[int, ...] = ()
+    #: Per-window completed jobs / completed training steps.
+    throughput_series: tuple[int, ...] = ()
+    goodput_series: tuple[int, ...] = ()
     #: Wall-clock seconds spent inside policy decisions (NOT part of the
     #: deterministic outcome; excluded from determinism digests).
     scheduler_overhead_seconds: float = 0.0
@@ -218,6 +369,27 @@ class FleetResult:
         if not self.completions:
             return 0.0
         return sum(c.turnaround_time for c in self.completions) / len(self.completions)
+
+    @property
+    def wait_percentiles(self) -> dict[str, float]:
+        """Exact p50/p95/p99 of completed jobs' queue wait times."""
+        return exact_percentiles(c.wait_time for c in self.completions)
+
+    @property
+    def turnaround_percentiles(self) -> dict[str, float]:
+        """Exact p50/p95/p99 of completed jobs' arrival-to-finish times."""
+        return exact_percentiles(c.turnaround_time for c in self.completions)
+
+    @property
+    def peak_queue_depth(self) -> int:
+        return max(self.queue_depth_series, default=0)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered jobs shed by admission control."""
+        if not self.num_jobs:
+            return 0.0
+        return len(self.rejections) / self.num_jobs
 
     def to_dict(self, *, include_overhead: bool = True) -> dict:
         """JSON-ready summary; ``include_overhead=False`` restricts the
@@ -252,6 +424,24 @@ class FleetResult:
                 }
                 for f in self.failures
             ],
+            "rejections": [
+                {
+                    "job": r.job,
+                    "kind": r.kind,
+                    "arrival": r.arrival_time,
+                    "rejected": r.rejected_time,
+                    "reason": r.reason,
+                }
+                for r in self.rejections
+            ],
+            "shed_rate": self.shed_rate,
+            "wait_percentiles": self.wait_percentiles,
+            "turnaround_percentiles": self.turnaround_percentiles,
+            "series_window": self.series_window,
+            "queue_depth_series": list(self.queue_depth_series),
+            "throughput_series": list(self.throughput_series),
+            "goodput_series": list(self.goodput_series),
+            "peak_queue_depth": self.peak_queue_depth,
             "retries": self.retries,
             "preemptions": self.preemptions,
             "lost_steps": self.lost_steps,
@@ -283,12 +473,15 @@ class FleetResult:
 
 
 #: Event kinds, ordered: at equal timestamps round boundaries retire
-#: jobs and free slots *before* faults apply, and faults apply *before*
-#: arrivals are placed (a round completing at a crash instant completes;
-#: a job arriving at it never sees the dead machine accepting).
+#: jobs and free slots *before* faults apply, faults apply *before*
+#: deadline timers fire (a round completing at a crash instant
+#: completes; a requeue at the deadline instant exempts the job), and
+#: timers fire *before* arrivals are admitted (an expiring job frees
+#: its queue slot for a job arriving at the same instant).
 _ROUND_END = 0
 _FAULT = 1
-_ARRIVAL = 2
+_EXPIRE = 2
+_ARRIVAL = 3
 
 
 class FleetSimulator:
@@ -323,6 +516,13 @@ class FleetSimulator:
         registered fault-spec name or JSON string (see
         :func:`~repro.fleet.faults.resolve_fault_plan`).  ``run``'s own
         ``faults=`` argument overrides it per run.
+    admission:
+        Default :class:`~repro.fleet.arrivals.AdmissionController` (or
+        spec dict) applied to every :meth:`run`; ``None`` admits
+        everything.  ``run``'s own ``admission=`` overrides it per run.
+    series_window:
+        Width, in simulated seconds, of the windowed queue-depth /
+        throughput / goodput series on :class:`FleetResult`.
     """
 
     def __init__(
@@ -337,17 +537,23 @@ class FleetSimulator:
         interference_threshold: float = DEFAULT_INTERFERENCE_THRESHOLD,
         compressed: bool = True,
         faults: "FaultPlan | FaultInjector | dict | str | None" = None,
+        admission: "AdmissionController | dict | None" = None,
+        series_window: float = 25.0,
     ) -> None:
         if not machines:
             raise ValueError("a fleet needs at least one machine")
         if max_corun < 1:
             raise ValueError("max_corun must be at least 1")
+        if series_window <= 0:
+            raise ValueError("series_window must be positive")
         for name in machines:
             get_machine(name)  # fail fast on dangling zoo names
         self.machine_names = tuple(machines)
         self.max_corun = max_corun
         self.compressed = compressed
         self.faults = resolve_fault_plan(faults)
+        self.admission = resolve_admission(admission)
+        self.series_window = float(series_window)
         self.config = config or RuntimeConfig()
         self.estimator = estimator or StepTimeEstimator(executor=executor, config=self.config)
         self.tracker = InterferenceTracker(threshold=interference_threshold)
@@ -365,28 +571,51 @@ class FleetSimulator:
 
     def run(
         self,
-        jobs: Sequence[Job],
+        jobs: "Sequence[Job] | ArrivalProcess",
         *,
         prewarm: bool | str = True,
         faults: "FaultPlan | FaultInjector | dict | str | None" = None,
+        admission: "AdmissionController | dict | None" = None,
     ) -> FleetResult:
         """Simulate ``jobs`` arriving and running to completion.
+
+        ``jobs`` is a pre-built sequence or a lazy
+        :class:`~repro.fleet.arrivals.ArrivalProcess`; both are consumed
+        as a stream (a process is never materialised — see the module
+        docstring), and streaming a process is byte-identical to
+        replaying ``process.materialize()``.
 
         ``prewarm`` batches estimates through the sweep engine before the
         event loop starts: ``True`` / ``"solo"`` fans out every distinct
         solo signature (the bulk of policy traffic), ``"mixes"``
         additionally fans out every distinct co-run ``canonical_mix``
-        signature up to ``max_corun`` members, ``False`` skips it.  An
-        empty trace returns a well-formed empty :class:`FleetResult`.
+        signature up to ``max_corun`` members, ``False`` skips it.  For a
+        process, one representative job per workload kind
+        (``prewarm_jobs()``) stands in for the trace.  An empty trace
+        returns a well-formed empty :class:`FleetResult`.
 
         ``faults`` injects a :class:`~repro.fleet.faults.FaultPlan` into
-        this run (overriding the constructor's default plan); every job
-        then ends as exactly one completion or one failure.
+        this run and ``admission`` applies an
+        :class:`~repro.fleet.arrivals.AdmissionController` (each
+        overriding the constructor's default); every offered job then
+        ends as exactly one completion, failure or rejection.
         """
-        validate_trace(jobs)
+        if isinstance(jobs, ArrivalProcess):
+            expected = jobs.num_jobs
+            stream: Iterator[Job] = validated_stream(jobs.jobs())
+            prewarm_jobs: Sequence[Job] = jobs.prewarm_jobs()
+        else:
+            validate_trace(jobs)
+            ordered = sorted(jobs, key=lambda j: (j.arrival_time, j.name))
+            expected = len(ordered)
+            stream = iter(ordered)
+            prewarm_jobs = ordered
         plan = resolve_fault_plan(faults) if faults is not None else self.faults
         injector = FaultInjector(plan)
         injector.validate_for(len(self.machine_names))
+        controller = (
+            resolve_admission(admission) if admission is not None else self.admission
+        )
         # Same inputs -> same outcome, even on a reused simulator: the
         # fleet-wide tracker restarts from its first-run baseline (which
         # keeps any knowledge the caller pre-seeded), and estimator stats
@@ -403,13 +632,13 @@ class FleetSimulator:
             clear_memo()
         requests_before = self.estimator.stats.requests
         computed_before = self.estimator.stats.computed
-        if prewarm and jobs:
+        if prewarm and expected and prewarm_jobs:
             # Solo estimates dominate policy traffic; batch them through
             # the sweep engine up front (parallel under a process backend).
             # prewarm="mixes" also covers every possible co-run signature.
             self.estimator.prewarm(
                 self.machine_names,
-                jobs,
+                prewarm_jobs,
                 max_corun=self.max_corun if prewarm == "mixes" else 1,
             )
 
@@ -422,20 +651,30 @@ class FleetSimulator:
             )
             for index, name in enumerate(self.machine_names)
         ]
-        if not jobs:
+        if not expected:
             return self._assemble_result(
-                jobs, machines, [], [], [], 0.0, 0, requests_before, computed_before
+                machines, [], [], [], [], (), 0, 0.0, 0,
+                requests_before, computed_before,
             )
         runner = self._run_compressed if self.compressed else self._run_reference
-        completions, placements, failures, overhead, events = runner(
-            jobs, machines, injector
-        )
+        (
+            completions,
+            placements,
+            failures,
+            rejections,
+            depth_series,
+            offered,
+            overhead,
+            events,
+        ) = runner(stream, machines, injector, controller)
         return self._assemble_result(
-            jobs,
             machines,
             completions,
             placements,
             failures,
+            rejections,
+            depth_series,
+            offered,
             overhead,
             events,
             requests_before,
@@ -444,17 +683,27 @@ class FleetSimulator:
 
     def _assemble_result(
         self,
-        jobs: Sequence[Job],
         machines: list[MachineState],
         completions: list[JobCompletion],
         placements: list[Placement],
         failures: list[JobFailure],
+        rejections: list[JobRejection],
+        depth_series: tuple[int, ...],
+        offered: int,
         overhead: float,
         events: int,
         requests_before: int,
         computed_before: int,
     ) -> FleetResult:
+        accounted = len(completions) + len(failures) + len(rejections)
+        if accounted != offered:
+            raise RuntimeError(
+                "job accounting broken: "
+                f"{len(completions)} completions + {len(failures)} failures + "
+                f"{len(rejections)} rejections != {offered} offered"
+            )
         makespan = max((c.finish_time for c in completions), default=0.0)
+        throughput, goodput = _windowed_completions(completions, self.series_window)
         served: dict[str, int] = {m.machine_id: 0 for m in machines}
         for placement in placements:
             served[placement.machine_id] += 1
@@ -482,13 +731,20 @@ class FleetSimulator:
         return FleetResult(
             policy_name=self.policy.name,
             machine_names=self.machine_names,
-            num_jobs=len(jobs),
+            num_jobs=offered,
             makespan=makespan,
             completions=tuple(sorted(completions, key=lambda c: (c.finish_time, c.job))),
             placements=tuple(placements),
             machine_reports=reports,
             blacklisted_pairs=self.tracker.blacklisted_pairs(),
             failures=tuple(sorted(failures, key=lambda f: (f.failed_time, f.job))),
+            rejections=tuple(
+                sorted(rejections, key=lambda r: (r.rejected_time, r.job))
+            ),
+            series_window=self.series_window,
+            queue_depth_series=depth_series,
+            throughput_series=throughput,
+            goodput_series=goodput,
             retries=sum(m.retries for m in machines),
             preemptions=sum(m.preemptions for m in machines),
             lost_steps=sum(m.lost_steps for m in machines),
@@ -501,15 +757,28 @@ class FleetSimulator:
     # -- the reference event loop (the seed path, one event per round) -------------
 
     def _run_reference(
-        self, jobs: Sequence[Job], machines: list[MachineState], injector: FaultInjector
-    ) -> tuple[list[JobCompletion], list[Placement], list[JobFailure], float, int]:
+        self,
+        stream: Iterator[Job],
+        machines: list[MachineState],
+        injector: FaultInjector,
+        controller: AdmissionController,
+    ) -> tuple:
         by_id = {m.machine_id: m for m in machines}
         queue: list[Job] = []
         placements: list[Placement] = []
         completions: list[JobCompletion] = []
         failures: list[JobFailure] = []
+        rejections: list[JobRejection] = []
+        depth_log = _QueueDepthLog(self.series_window)
+        queue_limit = controller.queue_limit
+        drop_oldest = controller.drop_oldest
+        deadline = controller.deadline
+        offered = 0
         start_times: dict[str, float] = {}
-        #: Execution attempts per job (set to 1 at first placement).
+        #: Execution attempts per job.  Entries exist only for jobs a
+        #: crash has requeued (or failed): completions read
+        #: ``attempts.get(name, 1)``, and a *missing* entry marks the job
+        #: still deadline-eligible (a retried job is exempt).
         attempts: dict[str, int] = {}
         #: Remaining steps of requeued jobs: a crash/preempt restores the
         #: job's progress to the last completed round boundary, and its
@@ -522,21 +791,51 @@ class FleetSimulator:
         events_processed = 0
 
         #: (time, kind, seq, payload) — kind orders round-ends before
-        #: faults before arrivals at equal timestamps, seq keeps FIFO
-        #: among equals (fault instants replay in plan order).
+        #: faults before deadline expiries before arrivals at equal
+        #: timestamps, seq keeps FIFO among equals (fault instants replay
+        #: in plan order).  Arrivals are pulled lazily: exactly one
+        #: future arrival lives in the heap, and popping it pushes the
+        #: next — heap order is decided by (time, kind) before seq, and
+        #: equal-time arrivals keep their relative push order, so the
+        #: outcome is byte-identical to pushing the whole trace up front.
         events: list[tuple[float, int, int, object]] = []
-        for job in sorted(jobs, key=lambda j: (j.arrival_time, j.name)):
-            heapq.heappush(events, (job.arrival_time, _ARRIVAL, seq, job))
-            seq += 1
+
+        def push_next_arrival() -> None:
+            nonlocal seq
+            job = next(stream, None)
+            if job is not None:
+                heapq.heappush(events, (job.arrival_time, _ARRIVAL, seq, job))
+                seq += 1
+
+        push_next_arrival()
         for instant in injector.timeline():
             heapq.heappush(events, (instant.time, _FAULT, seq, instant))
             seq += 1
+
+        def reject(job: Job, reason: str) -> None:
+            rejections.append(
+                JobRejection(
+                    job=job.name,
+                    kind=job.kind,
+                    arrival_time=job.arrival_time,
+                    rejected_time=now,
+                    reason=reason,
+                )
+            )
+
+        def shed(job: Job, reason: str) -> None:
+            # The job just left the central queue unserved; any progress
+            # restored from an earlier preemption dies with it.
+            remaining_override.pop(job.name, None)
+            reject(job, reason)
+            depth_log.record(now, len(queue))
 
         def fleet_state() -> FleetState:
             return FleetState(
                 time=now,
                 machines=tuple(m.view() for m in machines),
                 queue=tuple(queue),
+                queue_limit=queue_limit,
             )
 
         def start_round(machine: MachineState) -> None:
@@ -601,7 +900,7 @@ class FleetSimulator:
                             kind=job.kind,
                             machine_id=machine.machine_id,
                             arrival_time=job.arrival_time,
-                            start_time=start_times[job.name],
+                            start_time=start_times.pop(job.name),
                             finish_time=now,
                             num_steps=job.num_steps,
                             attempts=attempts.get(job.name, 1),
@@ -634,12 +933,11 @@ class FleetSimulator:
                         f"machine {choice!r}"
                     )
                 queue.remove(job)
+                depth_log.record(now, len(queue))
                 machine.waiting.append(job)
                 machine.remaining_steps[job.name] = remaining_override.pop(
                     job.name, job.num_steps
                 )
-                if job.name not in attempts:
-                    attempts[job.name] = 1
                 machine.touch()
                 placements.append(
                     Placement(
@@ -689,6 +987,7 @@ class FleetSimulator:
                 attempts[job.name] = count + 1
                 machine.retries += 1
                 queue.append(job)
+                depth_log.record(now, len(queue))
 
         def apply_fault(instant: FaultInstant) -> list[MachineState]:
             """Apply one fault instant; returns machines whose surviving
@@ -723,6 +1022,7 @@ class FleetSimulator:
                         machine.preemptions += 1
                         machine.touch()
                         queue.append(resident)
+                        depth_log.record(now, len(queue))
                         check_drained(machine)
                         if machine.alive:
                             restart.append(machine)
@@ -738,6 +1038,7 @@ class FleetSimulator:
                         machine.preemptions += 1
                         machine.touch()
                         queue.append(waiter)
+                        depth_log.record(now, len(queue))
                         check_drained(machine)
                         return restart
                 return restart  # queued / finished / unknown job: no-op
@@ -779,7 +1080,22 @@ class FleetSimulator:
             now = event_time
             if kind == _ARRIVAL:
                 events_processed += 1
-                queue.append(payload)  # type: ignore[arg-type]
+                push_next_arrival()
+                job: Job = payload  # type: ignore[assignment]
+                offered += 1
+                if queue_limit is not None and len(queue) >= queue_limit:
+                    if drop_oldest:
+                        shed(queue.pop(0), "drop-oldest")
+                    else:
+                        # The queue is untouched, so nothing to dispatch
+                        # and no deadline timer to arm.
+                        reject(job, "reject-at-arrival")
+                        continue
+                queue.append(job)
+                depth_log.record(now, len(queue))
+                if deadline is not None:
+                    heapq.heappush(events, (now + deadline, _EXPIRE, seq, job))
+                    seq += 1
                 dispatch()
             elif kind == _FAULT:
                 events_processed += 1
@@ -790,6 +1106,17 @@ class FleetSimulator:
                         machine.residents or machine.waiting
                     ):
                         start_round(machine)
+            elif kind == _EXPIRE:
+                job = payload  # type: ignore[assignment]
+                # Stale timer: the job left the queue (placed, finished,
+                # shed) or bought a retry — crash-requeued jobs are
+                # exempt from their original deadline.
+                if job.name in attempts or job not in queue:
+                    continue
+                events_processed += 1
+                queue.remove(job)
+                shed(job, "deadline-expire")
+                dispatch()
             else:
                 machine_id, epoch = payload  # type: ignore[misc]
                 machine = by_id[machine_id]
@@ -816,13 +1143,27 @@ class FleetSimulator:
             for job in queue:
                 fail_job(job, now, max_retries)
             queue.clear()
-        return completions, placements, failures, overhead, events_processed
+            depth_log.record(now, 0)
+        return (
+            completions,
+            placements,
+            failures,
+            rejections,
+            depth_log.finish(),
+            offered,
+            overhead,
+            events_processed,
+        )
 
     # -- the round-compression fast path -------------------------------------------
 
     def _run_compressed(
-        self, jobs: Sequence[Job], machines: list[MachineState], injector: FaultInjector
-    ) -> tuple[list[JobCompletion], list[Placement], list[JobFailure], float, int]:
+        self,
+        stream: Iterator[Job],
+        machines: list[MachineState],
+        injector: FaultInjector,
+        controller: AdmissionController,
+    ) -> tuple:
         by_id = {m.machine_id: m for m in machines}
         #: Arrival-ordered pending index: insertion order is FIFO arrival
         #: order, removal is O(1) by job name (the reference path's
@@ -831,9 +1172,17 @@ class FleetSimulator:
         placements: list[Placement] = []
         completions: list[JobCompletion] = []
         failures: list[JobFailure] = []
+        rejections: list[JobRejection] = []
+        depth_log = _QueueDepthLog(self.series_window)
+        queue_limit = controller.queue_limit
+        drop_oldest = controller.drop_oldest
+        deadline = controller.deadline
+        offered = 0
         start_times: dict[str, float] = {}
         #: Execution attempts / restored progress of requeued jobs —
-        #: mirrors the reference loop exactly (see _run_reference).
+        #: mirrors the reference loop exactly (see _run_reference; an
+        #: attempts entry exists only for crash-requeued/failed jobs and
+        #: doubles as the deadline exemption).
         attempts: dict[str, int] = {}
         remaining_override: dict[str, int] = {}
         max_retries = injector.max_retries
@@ -843,10 +1192,18 @@ class FleetSimulator:
         events_processed = 0
         queue_view: tuple[Job, ...] | None = ()
 
+        #: Lazy arrival pull — see _run_reference: one future arrival in
+        #: the heap, byte-identical to pushing the trace up front.
         events: list[tuple[float, int, int, object]] = []
-        for job in sorted(jobs, key=lambda j: (j.arrival_time, j.name)):
-            heapq.heappush(events, (job.arrival_time, _ARRIVAL, seq, job))
-            seq += 1
+
+        def push_next_arrival() -> None:
+            nonlocal seq
+            job = next(stream, None)
+            if job is not None:
+                heapq.heappush(events, (job.arrival_time, _ARRIVAL, seq, job))
+                seq += 1
+
+        push_next_arrival()
         for instant in injector.timeline():
             heapq.heappush(events, (instant.time, _FAULT, seq, instant))
             seq += 1
@@ -857,6 +1214,22 @@ class FleetSimulator:
             seq += 1
             return value
 
+        def reject(job: Job, reason: str) -> None:
+            rejections.append(
+                JobRejection(
+                    job=job.name,
+                    kind=job.kind,
+                    arrival_time=job.arrival_time,
+                    rejected_time=now,
+                    reason=reason,
+                )
+            )
+
+        def shed(job: Job, reason: str) -> None:
+            remaining_override.pop(job.name, None)
+            reject(job, reason)
+            depth_log.record(now, len(pending))
+
         def fleet_state() -> FleetState:
             nonlocal queue_view
             if queue_view is None:
@@ -865,6 +1238,7 @@ class FleetSimulator:
                 time=now,
                 machines=tuple(m.view() for m in machines),
                 queue=queue_view,
+                queue_limit=queue_limit,
             )
 
         def retire_residents(
@@ -886,7 +1260,7 @@ class FleetSimulator:
                             kind=job.kind,
                             machine_id=machine.machine_id,
                             arrival_time=job.arrival_time,
-                            start_time=start_times[job.name],
+                            start_time=start_times.pop(job.name),
                             finish_time=finish_time,
                             num_steps=job.num_steps,
                             attempts=attempts.get(job.name, 1),
@@ -1106,12 +1480,11 @@ class FleetSimulator:
                     )
                 del pending[job.name]
                 queue_view = None
+                depth_log.record(now, len(pending))
                 machine.waiting.append(job)
                 machine.remaining_steps[job.name] = remaining_override.pop(
                     job.name, job.num_steps
                 )
-                if job.name not in attempts:
-                    attempts[job.name] = 1
                 machine.touch()
                 placements.append(
                     Placement(
@@ -1172,6 +1545,7 @@ class FleetSimulator:
                 machine.retries += 1
                 pending[job.name] = job
                 queue_view = None
+                depth_log.record(now, len(pending))
 
         def apply_fault(instant: FaultInstant) -> list[MachineState]:
             """Mirror of the reference loop's fault application; the
@@ -1208,6 +1582,7 @@ class FleetSimulator:
                         machine.touch()
                         pending[resident.name] = resident
                         queue_view = None
+                        depth_log.record(now, len(pending))
                         check_drained(machine)
                         if machine.alive:
                             restart.append(machine)
@@ -1224,6 +1599,7 @@ class FleetSimulator:
                         machine.touch()
                         pending[waiter.name] = waiter
                         queue_view = None
+                        depth_log.record(now, len(pending))
                         check_drained(machine)
                         return restart
                 return restart  # queued / finished / unknown job: no-op
@@ -1269,11 +1645,32 @@ class FleetSimulator:
             now = event_time
             if kind == _ARRIVAL:
                 events_processed += 1
+                push_next_arrival()
+                # Every admission decision is a mandatory boundary:
+                # replay due rounds first (the queue-emptiness gate must
+                # be read *before* this arrival joins).
                 sync_to(now)
                 job: Job = payload  # type: ignore[assignment]
-                pending[job.name] = job
-                queue_view = None
-                dispatch()
+                offered += 1
+                admitted = True
+                if queue_limit is not None and len(pending) >= queue_limit:
+                    if drop_oldest:
+                        oldest = next(iter(pending))
+                        victim = pending.pop(oldest)
+                        queue_view = None
+                        shed(victim, "drop-oldest")
+                    else:
+                        reject(job, "reject-at-arrival")
+                        admitted = False
+                if admitted:
+                    pending[job.name] = job
+                    queue_view = None
+                    depth_log.record(now, len(pending))
+                    if deadline is not None:
+                        heapq.heappush(
+                            events, (now + deadline, _EXPIRE, next_seq(), job)
+                        )
+                    dispatch()
             elif kind == _FAULT:
                 events_processed += 1
                 # Every fault instant is a mandatory segment boundary:
@@ -1287,6 +1684,22 @@ class FleetSimulator:
                         machine.residents or machine.waiting
                     ):
                         start_segment(machine)
+            elif kind == _EXPIRE:
+                job = payload  # type: ignore[assignment]
+                # Stale timer — mirrors the reference loop's check; no
+                # state changed, so no boundary needs flushing.
+                if job.name in attempts or job.name not in pending:
+                    continue
+                events_processed += 1
+                # A live expiry sheds from a non-empty queue, so every
+                # segment is already clamped: boundaries *at* now had
+                # their own heap events (processed first by kind order),
+                # and sync_to replays the strictly earlier ones.
+                sync_to(now)
+                del pending[job.name]
+                queue_view = None
+                shed(job, "deadline-expire")
+                dispatch()
             else:
                 machine_id, epoch = payload  # type: ignore[misc]
                 machine = by_id[machine_id]
@@ -1316,4 +1729,14 @@ class FleetSimulator:
                 fail_job(job, now, max_retries)
             pending.clear()
             queue_view = None
-        return completions, placements, failures, overhead, events_processed
+            depth_log.record(now, 0)
+        return (
+            completions,
+            placements,
+            failures,
+            rejections,
+            depth_log.finish(),
+            offered,
+            overhead,
+            events_processed,
+        )

@@ -94,6 +94,15 @@ class FleetState:
     time: float
     machines: tuple[MachineView, ...]
     queue: tuple[Job, ...]
+    #: Admission controller's bound on the central queue (None when the
+    #: fleet admits everything).  Policies can read
+    #: ``queue_depth / queue_limit`` as a backpressure signal — a fleet
+    #: near its limit is about to shed work.
+    queue_limit: int | None = None
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
 
     def machine(self, machine_id: str) -> MachineView:
         for view in self.machines:

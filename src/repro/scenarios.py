@@ -358,6 +358,109 @@ def _register_default_fault_specs() -> None:
 _register_default_fault_specs()
 
 
+# -- the arrival-spec registry ------------------------------------------------------
+#
+# Named open-loop load shapes for the fleet simulator, stored as the
+# plain spec dicts of :meth:`repro.fleet.arrivals.ArrivalProcess.to_dict`
+# minus the caller-side fields (``num_jobs``/``seed``/step bounds are
+# filled in by ``resolve_arrivals(..., num_jobs=...)`` at use time, so
+# one shape serves any trace length).  ``run_fleet(arrival_process=
+# "name")`` and the CLI's ``--arrival-process name`` resolve through
+# here; like the fault registry this keeps the module import-free of the
+# fleet layer.
+
+ARRIVAL_SPECS: dict[str, dict] = {}
+
+#: Descriptions shown by :func:`describe_arrival_specs`.
+_ARRIVAL_SPEC_DESCRIPTIONS: dict[str, str] = {}
+
+
+def register_arrival_spec(
+    name: str, spec: dict, *, description: str = "", overwrite: bool = False
+) -> dict:
+    """Register a named arrival-process spec (``overwrite=True`` to replace).
+
+    ``spec`` must carry a ``"kind"`` naming a process
+    (:data:`repro.fleet.arrivals.ARRIVAL_KINDS`: ``poisson``,
+    ``diurnal``, ``bursty``) plus any shape parameters; it is stored by
+    value so later mutation of the caller's dict cannot corrupt the
+    registry.
+    """
+    if not name:
+        raise ValueError("arrival spec name must be non-empty")
+    if not isinstance(spec, dict) or not isinstance(spec.get("kind", None), str):
+        raise ValueError(
+            "an arrival spec must be a dict with a 'kind' string "
+            "(see repro.fleet.arrivals.ARRIVAL_KINDS)"
+        )
+    if name in ARRIVAL_SPECS and not overwrite:
+        raise ValueError(f"arrival spec {name!r} is already registered")
+    ARRIVAL_SPECS[name] = dict(spec)
+    _ARRIVAL_SPEC_DESCRIPTIONS[name] = description
+    return ARRIVAL_SPECS[name]
+
+
+def available_arrival_specs() -> tuple[str, ...]:
+    """Names of every registered arrival spec, in registration order."""
+    return tuple(ARRIVAL_SPECS)
+
+
+def get_arrival_spec(name: str) -> dict:
+    """Look up a registered arrival spec by name (a copy)."""
+    try:
+        spec = ARRIVAL_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown arrival spec {name!r}; available: {', '.join(ARRIVAL_SPECS)}"
+        ) from None
+    return dict(spec)
+
+
+def describe_arrival_specs() -> str:
+    """One line per registered arrival spec, sorted by name."""
+    lines = []
+    for name in sorted(ARRIVAL_SPECS):
+        spec = ARRIVAL_SPECS[name]
+        description = _ARRIVAL_SPEC_DESCRIPTIONS.get(name, "")
+        lines.append(
+            f"{name:>24}  {spec['kind']}"
+            f"{' — ' + description if description else ''}"
+        )
+    return "\n".join(lines)
+
+
+def _register_default_arrival_specs() -> None:
+    register_arrival_spec(
+        "steady-poisson",
+        {"kind": "poisson", "mean_interarrival": 2.0},
+        description="the classic memoryless trace (generate_trace's shape)",
+    )
+    register_arrival_spec(
+        "rush-hour",
+        {"kind": "diurnal", "mean_interarrival": 2.0, "period": 120.0, "amplitude": 0.8},
+        description="sinusoidal day/night load, peaking 1.8x the mean rate",
+    )
+    register_arrival_spec(
+        "flash-crowd",
+        {
+            "kind": "bursty",
+            "mean_interarrival": 2.5,
+            "burst_size": 6,
+            "intra_burst_gap": 0.05,
+            "tail_alpha": 1.3,
+        },
+        description="heavy-tailed bursts: tight crowds separated by long lulls",
+    )
+    register_arrival_spec(
+        "overload",
+        {"kind": "poisson", "mean_interarrival": 0.4},
+        description="sustained ~5x overload of the default 5-machine fleet",
+    )
+
+
+_register_default_arrival_specs()
+
+
 def _register_defaults() -> None:
     defaults = [
         Scenario(

@@ -17,6 +17,7 @@ import json
 import pytest
 
 from repro.fleet import (
+    AdmissionController,
     FaultInjector,
     FaultPlan,
     FleetSimulator,
@@ -92,7 +93,7 @@ def deterministic_dict(result):
     return json.dumps(result.to_dict(include_overhead=False), sort_keys=True)
 
 
-def run_both_paths(machines, policy, jobs, faults, *, pair_factor=1.5):
+def run_both_paths(machines, policy, jobs, faults, *, pair_factor=1.5, admission=None):
     """One trace + plan through both simulator paths; returns results and
     tracker snapshots."""
     results, trackers = [], []
@@ -102,10 +103,21 @@ def run_both_paths(machines, policy, jobs, faults, *, pair_factor=1.5):
             policy=policy,
             estimator=fake_estimator(machines, pair_factor),
             compressed=compressed,
+            admission=admission,
         )
         results.append(sim.run(jobs, prewarm=False, faults=faults))
         trackers.append(sim.tracker.snapshot())
     return results, trackers
+
+
+#: Admission configurations the sweep cycles through (by seed index):
+#: faults and backpressure must compose without breaking equivalence.
+SWEEP_ADMISSIONS = (
+    None,
+    AdmissionController(queue_limit=3),
+    AdmissionController(queue_limit=2, shed_policy="drop-oldest"),
+    AdmissionController(deadline=4.0, shed_policy="deadline-expire"),
+)
 
 
 class TestFaultEquivalenceSweep:
@@ -137,13 +149,21 @@ class TestFaultEquivalenceSweep:
                 max_retries=2 + seed % 3,
             )
             assert plan.events, f"seed {seed} produced an empty plan"
+            admission = SWEEP_ADMISSIONS[seed % len(SWEEP_ADMISSIONS)]
             (reference, compressed), (tracker_ref, tracker_fast) = run_both_paths(
-                machines, policy, jobs, plan
+                machines, policy, jobs, plan, admission=admission
             )
             assert deterministic_dict(reference) == deterministic_dict(compressed), (
-                f"paths diverged under plan seed {seed}"
+                f"paths diverged under plan seed {seed} (admission {admission})"
             )
             assert tracker_ref == tracker_fast
+            offered = reference.num_jobs
+            assert (
+                len(reference.completions)
+                + len(reference.failures)
+                + len(reference.rejections)
+                == offered
+            )
             plans_checked += 1
         assert plans_checked == 20
 
