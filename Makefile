@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench experiments fleet fleet-faults fleet-large fleet-stream bench-full help
+.PHONY: test bench experiments fleet fleet-faults fleet-large fleet-stream report bench-full help
 
 help:
 	@echo "make test        - run the tier-1 test suite"
@@ -17,6 +17,9 @@ help:
 	@echo "                   equivalence + monotonicity gates)"
 	@echo "make fleet-stream- open-loop streaming benchmark (overload/admission"
 	@echo "                   gates + the 1,000,000-job compressed smoke)"
+	@echo "make report      - fleet smoke benchmark recorded into .run_store, then"
+	@echo "                   regenerate the BENCH_fleet.json section from the store"
+	@echo "                   and fail on drift"
 	@echo "make bench-full  - every benchmark (paper tables/figures reproduction)"
 
 test:
@@ -40,6 +43,11 @@ fleet-large:
 
 fleet-stream:
 	$(PYTHON) -m benchmarks.fleet_bench --suite stream
+
+report:
+	REPRO_STORE_DIR=.run_store $(PYTHON) -m benchmarks.fleet_bench --suite smoke
+	REPRO_STORE_DIR=.run_store $(PYTHON) -m repro report bench fleet-smoke --check
+	REPRO_STORE_DIR=.run_store $(PYTHON) -m repro report list
 
 bench-full:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

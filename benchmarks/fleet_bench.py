@@ -78,7 +78,10 @@ from pathlib import Path
 
 from repro.api import DEFAULT_FLEET
 from repro.fleet import FleetSimulator, StepTimeEstimator, generate_trace
+from repro.fleet.simulator import OVERHEAD_KEYS
 from repro.scenarios import Workload
+from repro.store import record_run, resolve_store
+from repro.store.reporting import merge_bench_report, render_bench_json
 from repro.sweep import SweepCache, SweepExecutor
 from repro.version import __version__
 
@@ -190,12 +193,24 @@ def run_fleet_benchmark(
     machines: tuple[str, ...] = BENCH_MACHINES,
     policies: tuple[str, ...] = BENCH_POLICIES,
     jobs: int | None = None,
+    store=None,
 ) -> dict:
     """Run every policy twice (plus one reference-path run) and return the
-    smoke-suite benchmark report."""
+    smoke-suite benchmark report.
+
+    With a run store active (``store=``, or ``$REPRO_STORE_DIR``), each
+    policy's first run is recorded as a ``fleet`` record (full history,
+    digest excluding overhead) plus one ``bench``/``fleet-smoke`` section
+    record linking them — ``python -m repro report bench fleet-smoke``
+    regenerates the committed section from these without re-simulating.
+    Recording happens whether or not the gates pass; the stored section
+    always describes the *latest* run, the committed file the last one
+    that passed.
+    """
     jobs = jobs or os.cpu_count() or 1
     trace = generate_trace(num_jobs, seed=arrival_seed)
     report_policies: dict[str, dict] = {}
+    first_results: dict[str, object] = {}
     deterministic = True
     compression_equivalent = True
     with tempfile.TemporaryDirectory(prefix="repro-fleet-cache-") as cache_dir:
@@ -222,6 +237,7 @@ def run_fleet_benchmark(
             reference_seconds = time.perf_counter() - start
             executor.close()
             first, second = runs[0][0], runs[1][0]
+            first_results[policy] = first
             identical = _digest(first) == _digest(second)
             deterministic = deterministic and identical
             paths_identical = _digest(first) == _digest(reference_result)
@@ -253,7 +269,7 @@ def run_fleet_benchmark(
 
     first_fit = report_policies.get("first-fit", {}).get("makespan")
     aware = report_policies.get("interference-aware", {}).get("makespan")
-    return {
+    report = {
         "benchmark": "fleet-scheduling",
         "generated": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
         "version": __version__,
@@ -276,6 +292,36 @@ def run_fleet_benchmark(
             aware < first_fit if aware is not None and first_fit is not None else None
         ),
     }
+    resolved = resolve_store(store)
+    if resolved is not None:
+        workload_config = {
+            "suite": "smoke",
+            "num_jobs": num_jobs,
+            "arrival_seed": arrival_seed,
+            "machines": list(machines),
+        }
+        run_ids: dict[str, str] = {}
+        for policy in policies:
+            run_id = record_run(
+                resolved,
+                "fleet",
+                f"bench-smoke/{policy}",
+                config={**workload_config, "policy": policy},
+                payload=first_results[policy],
+                digest_excludes=OVERHEAD_KEYS,
+                extras={"bench_row": report_policies[policy]},
+            )
+            if run_id is not None:
+                run_ids[policy] = run_id
+        record_run(
+            resolved,
+            "bench",
+            "fleet-smoke",
+            config={**workload_config, "policies": list(policies)},
+            payload=report,
+            extras={"runs": run_ids},
+        )
+    return report
 
 
 def run_large_benchmark(
@@ -748,6 +794,18 @@ def check_trend(report: dict, baseline_path: Path = BENCH_JSON) -> list[str]:
     return failures
 
 
+def _record_section(store, name: str, payload: dict) -> None:
+    """Record a non-smoke suite's BENCH section under a constant identity.
+
+    The config is just the section name, so re-running a suite overwrites
+    its stored section and ``python -m repro report bench <name>`` always
+    regenerates from the latest run.
+    """
+    if store is None:
+        return
+    record_run(store, "bench", name, config={"section": name}, payload=payload)
+
+
 def write_bench_json(report: dict, path: Path = BENCH_JSON) -> Path:
     """Write (or merge) a benchmark report into ``BENCH_fleet.json``.
 
@@ -756,20 +814,15 @@ def write_bench_json(report: dict, path: Path = BENCH_JSON) -> Path:
     ``round_compression`` section merges per sub-report too, so the
     ``large`` suite does not clobber a committed ``xl_smoke``).
     """
-    merged = {}
+    existing = {}
     if path.exists():
         try:
-            merged = json.loads(path.read_text())
+            existing = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
-            merged = {}
-    nested = {
-        **merged.get("round_compression", {}),
-        **report.get("round_compression", {}),
-    }
-    merged.update(report)
-    if nested:
-        merged["round_compression"] = nested
-    path.write_text(json.dumps(merged, indent=2, sort_keys=False) + "\n")
+            existing = {}
+    # The merge/render semantics live in repro.store.reporting so that
+    # `python -m repro report bench` regenerates byte-identical files.
+    path.write_text(render_bench_json(merge_bench_report(report, existing)))
     return path
 
 
@@ -911,14 +964,23 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the report without updating BENCH_fleet.json",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="record runs into this run store (default: $REPRO_STORE_DIR when set)",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    # --store DIR forces recording there; otherwise $REPRO_STORE_DIR (when
+    # set and not disabled) provides the store, and None disables recording.
+    store = resolve_store(args.store)
 
     failures: list[str] = []
     payload: dict = {}
     if args.suite in ("smoke", "all"):
-        report = run_fleet_benchmark(jobs=args.jobs)
+        report = run_fleet_benchmark(jobs=args.jobs, store=store)
         print(format_report(report))
         failures += check_gates(report)
         failures += check_trend(report)
@@ -928,21 +990,25 @@ def main(argv: list[str] | None = None) -> int:
         print(format_large_report(large))
         failures += check_large_gates(large)
         payload["round_compression"] = {"large": large}
+        _record_section(store, "fleet-large", {"round_compression": {"large": large}})
     if args.suite in ("xl", "all"):
         xl = run_xl_smoke()
         print(format_xl_report(xl))
         payload.setdefault("round_compression", {})["xl_smoke"] = xl
+        _record_section(store, "fleet-xl", {"round_compression": {"xl_smoke": xl}})
     if args.suite in ("faults", "all"):
         faults_report = run_faults_benchmark()
         print(format_faults_report(faults_report))
         failures += check_faults_gates(faults_report)
         payload["fault_injection"] = faults_report
+        _record_section(store, "fleet-faults", {"fault_injection": faults_report})
     if args.suite in ("stream", "all"):
         stream_report = run_stream_benchmark()
         print(format_stream_report(stream_report))
         failures += check_stream_gates(stream_report)
         failures += check_stream_trend(stream_report)
         payload["streaming"] = stream_report
+        _record_section(store, "fleet-stream", {"streaming": stream_report})
 
     if not args.no_write:
         if failures:

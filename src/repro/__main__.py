@@ -1,0 +1,34 @@
+"""``python -m repro`` — the package-level command line.
+
+One subsystem today: ``python -m repro report ...`` drives the run
+store (:mod:`repro.store.cli`).  The experiments CLI stays at
+``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+_USAGE = """usage: python -m repro <command> ...
+
+commands:
+  report   inspect, diff and replay stored runs (see: python -m repro report -h)
+"""
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "report":
+        from repro.store.cli import main as report_main
+
+        return report_main(rest)
+    print(f"unknown command {command!r}\n\n{_USAGE}", file=sys.stderr, end="")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

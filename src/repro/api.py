@@ -9,6 +9,7 @@ to assemble the pieces by hand.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from typing import TYPE_CHECKING, Sequence
@@ -27,6 +28,28 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fleet import Job
 
 
+def _record_outcome(store, kind: str, name: str, *, config, outcome) -> str | None:
+    """Record an API outcome in the run store, best-effort.
+
+    ``store`` is the caller's ``store=`` argument (None → process
+    default, which records only when ``$REPRO_STORE_DIR`` is set).
+    Returns the run id or ``None``; never raises for encoding/I/O
+    problems (strict env-var errors do propagate — they are user
+    configuration mistakes, not recording failures).
+    """
+    from repro.store import record_run, resolve_store
+
+    resolved = resolve_store(store)
+    if resolved is None:
+        return None
+    payload = {
+        key: value
+        for key, value in dataclasses.asdict(outcome).items()
+        if key != "run_id"
+    }
+    return record_run(resolved, kind, name, config=config, payload=payload)
+
+
 @dataclass(frozen=True)
 class ScheduleOutcome:
     """Result of scheduling one model with the paper's runtime."""
@@ -37,6 +60,8 @@ class ScheduleOutcome:
     speedup_vs_recommendation: float
     average_corunning: float
     profiling_signatures: int
+    #: Identity of this run's record in the run store (None when not recorded).
+    run_id: str | None = None
 
     def __str__(self) -> str:
         return (
@@ -68,6 +93,7 @@ def quick_schedule(
     machine: str | Machine | None = None,
     config: RuntimeConfig | None = None,
     batch_size: int | None = None,
+    store=None,
     **model_kwargs,
 ) -> ScheduleOutcome:
     """Profile and schedule one training step of ``model`` with the runtime.
@@ -77,13 +103,16 @@ def quick_schedule(
     :func:`repro.hardware.zoo.available_machines`); ``None`` keeps the
     paper's KNL node.  Returns the step time together with the speedup
     over the TensorFlow recommendation (intra-op = physical cores,
-    inter-op = number of sockets).
+    inter-op = number of sockets).  ``store`` selects the run store the
+    outcome is recorded in (see :func:`repro.store.resolve_store`;
+    default: record only when ``$REPRO_STORE_DIR`` is set).
     """
+    machine_label = machine if isinstance(machine, str) or machine is None else machine.name
     machine = resolve_machine(machine)
     graph = build_model(model, batch_size=batch_size, **model_kwargs)
     runtime = TrainingRuntime(machine, config)
     report = runtime.run(graph)
-    return ScheduleOutcome(
+    outcome = ScheduleOutcome(
         model=model,
         step_time=report.step_time,
         recommendation_time=report.recommendation_time,
@@ -91,6 +120,22 @@ def quick_schedule(
         average_corunning=report.average_corunning,
         profiling_signatures=report.profiling_signatures,
     )
+    run_id = _record_outcome(
+        store,
+        "schedule",
+        model,
+        config={
+            "model": model,
+            "machine": machine_label,
+            "batch_size": batch_size,
+            "config": config,
+            "model_kwargs": model_kwargs,
+        },
+        outcome=outcome,
+    )
+    if run_id is not None:
+        outcome = dataclasses.replace(outcome, run_id=run_id)
+    return outcome
 
 
 @dataclass(frozen=True)
@@ -106,6 +151,8 @@ class ScenarioOutcome:
     speedup_vs_recommendation: float
     average_corunning: float
     profiling_signatures: int
+    #: Identity of this run's record in the run store (None when not recorded).
+    run_id: str | None = None
 
     def __str__(self) -> str:
         return (
@@ -122,18 +169,20 @@ def run_scenario(
     *,
     machine: str | Machine | None = None,
     seed: int | None = None,
+    store=None,
 ) -> ScenarioOutcome:
     """Run one scenario (by name or value) end-to-end with the runtime.
 
     ``machine``/``seed`` override the scenario's bindings without
     re-registering it — handy for sweeping one workload mix across the
     zoo.  The same scenario and seed always produce the same outcome.
+    ``store`` selects the run store the outcome is recorded in (see
+    :func:`repro.store.resolve_store`; default: record only when
+    ``$REPRO_STORE_DIR`` is set).
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     if seed is not None:
-        import dataclasses
-
         scenario = dataclasses.replace(scenario, seed=seed)
     resolved = resolve_machine(machine) if machine is not None else scenario.build_machine()
     # Report the zoo registry key when one was used (a Machine's own name
@@ -148,7 +197,7 @@ def run_scenario(
     graph = scenario.build_graph()
     runtime = TrainingRuntime(resolved, scenario.build_config())
     report = runtime.run(graph)
-    return ScenarioOutcome(
+    outcome = ScenarioOutcome(
         scenario=scenario.name,
         machine=machine_label,
         graph_name=graph.name,
@@ -159,6 +208,20 @@ def run_scenario(
         average_corunning=report.average_corunning,
         profiling_signatures=report.profiling_signatures,
     )
+    run_id = _record_outcome(
+        store,
+        "scenario",
+        scenario.name,
+        config={
+            "scenario": scenario.to_dict(),
+            "machine": machine_label,
+            "seed": scenario.seed,
+        },
+        outcome=outcome,
+    )
+    if run_id is not None:
+        outcome = dataclasses.replace(outcome, run_id=run_id)
+    return outcome
 
 
 # -- fleet scheduling ---------------------------------------------------------------
@@ -214,6 +277,8 @@ class FleetOutcome:
     #: Exact nearest-rank wait-time percentiles: (("p50", ...), ("p95", ...),
     #: ("p99", ...)).
     wait_percentiles: tuple[tuple[str, float], ...] = ()
+    #: Identity of this run's record in the run store (None when not recorded).
+    run_id: str | None = None
 
     @property
     def p99_wait_time(self) -> float:
@@ -262,6 +327,7 @@ def run_fleet(
     executor=None,
     compressed: bool = True,
     faults=None,
+    store=None,
 ) -> FleetOutcome:
     """Place a stream of training jobs across many zoo machines.
 
@@ -291,16 +357,23 @@ def run_fleet(
     (:func:`repro.scenarios.available_fault_specs`), a spec dict or a
     JSON string/path — see :mod:`repro.fleet.faults`.  The same (trace,
     policy, machine set, fault plan, admission settings) always produces
-    the identical outcome.
+    the identical outcome.  ``store`` selects the run store the full
+    result history is recorded in (see :func:`repro.store.resolve_store`;
+    default: record only when ``$REPRO_STORE_DIR`` is set) — stored runs
+    replay their reports via ``python -m repro report`` without
+    re-simulating.
     """
     from repro.fleet import (
         AdmissionController,
+        ArrivalProcess,
         FleetSimulator,
+        ReplayArrivals,
         generate_trace,
         resolve_arrivals,
     )
     from repro.fleet.simulator import DEFAULT_MAX_CORUN
 
+    generated_spec = None
     if arrival_process is not None:
         if jobs is not None:
             raise ValueError("pass either jobs or arrival_process, not both")
@@ -324,6 +397,16 @@ def run_fleet(
             if num_jobs > 0
             else ()
         )
+        # The generated default is exactly a seeded Poisson process; keep
+        # its spec so the stored config reproduces the trace.
+        generated_spec = {
+            "kind": "poisson",
+            "num_jobs": num_jobs,
+            "seed": arrival_seed,
+            "mean_interarrival": mean_interarrival,
+            "min_steps": min_steps,
+            "max_steps": max_steps,
+        }
     admission = None
     if queue_limit is not None or deadline is not None:
         admission = AdmissionController(
@@ -340,7 +423,7 @@ def run_fleet(
         admission=admission,
     )
     result = simulator.run(jobs)
-    return FleetOutcome(
+    outcome = FleetOutcome(
         policy=result.policy_name,
         machines=result.machine_names,
         num_jobs=result.num_jobs,
@@ -362,4 +445,86 @@ def run_fleet(
         shed_rate=result.shed_rate,
         peak_queue_depth=result.peak_queue_depth,
         wait_percentiles=tuple(sorted(result.wait_percentiles.items())),
+    )
+    run_id = _record_fleet_result(
+        store,
+        result,
+        machines=machines,
+        max_corun=max_corun if max_corun is not None else DEFAULT_MAX_CORUN,
+        compressed=compressed,
+        admission=admission,
+        faults=faults,
+        generated_spec=generated_spec,
+        jobs=jobs,
+        arrival_process_cls=ArrivalProcess,
+        replay_cls=ReplayArrivals,
+    )
+    if run_id is not None:
+        outcome = dataclasses.replace(outcome, run_id=run_id)
+    return outcome
+
+
+def _record_fleet_result(
+    store,
+    result,
+    *,
+    machines,
+    max_corun,
+    compressed,
+    admission,
+    faults,
+    generated_spec,
+    jobs,
+    arrival_process_cls,
+    replay_cls,
+) -> str | None:
+    """Record a fleet run's full history, best-effort.
+
+    The payload is the complete :meth:`FleetResult.to_dict` (with
+    overhead); the digest excludes
+    :data:`~repro.fleet.simulator.OVERHEAD_KEYS`, making the stored
+    digest byte-compatible with the benchmark determinism gate.  Spec
+    capture (arrival/fault) is defensive: an unserialisable custom
+    process or plan degrades the stored config, never the run.
+    """
+    from repro.store import record_run, resolve_store
+
+    resolved = resolve_store(store)
+    if resolved is None:
+        return None
+    from repro.fleet.faults import resolve_fault_plan
+    from repro.fleet.simulator import OVERHEAD_KEYS
+
+    arrival_spec = generated_spec
+    if arrival_spec is None:
+        try:
+            process = (
+                jobs
+                if isinstance(jobs, arrival_process_cls)
+                else replay_cls(trace=tuple(jobs))
+            )
+            arrival_spec = process.to_dict()
+        except Exception:
+            arrival_spec = None
+    fault_spec = None
+    if faults is not None:
+        try:
+            fault_spec = resolve_fault_plan(faults).to_dict()
+        except Exception:
+            fault_spec = None
+    return record_run(
+        resolved,
+        "fleet",
+        "run_fleet",
+        config={
+            "machines": list(machines),
+            "policy": result.policy_name,
+            "max_corun": max_corun,
+            "compressed": compressed,
+            "admission": admission.to_dict() if admission is not None else None,
+            "faults": fault_spec,
+            "arrivals": arrival_spec,
+        },
+        payload=result,
+        digest_excludes=OVERHEAD_KEYS,
     )

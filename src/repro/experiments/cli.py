@@ -20,6 +20,9 @@ The experiments execute on the parallel sweep engine: ``--jobs``/
 ``--backend`` control the fan-out (``--jobs N`` alone implies the
 process backend) and ``--no-cache``/``--cache-dir`` control the on-disk
 result cache that makes repeated invocations nearly instant.
+``--no-store``/``--store-dir`` control the persistent run store every
+invocation is recorded in (replay stored runs with
+``python -m repro report``).
 """
 
 from __future__ import annotations
@@ -338,6 +341,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="DIR",
         help="sweep cache location (default: .sweep_cache, or $REPRO_SWEEP_CACHE_DIR)",
     )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not record runs in the persistent run store",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="run-store location (default: .run_store, or $REPRO_STORE_DIR)",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be at least 1")
@@ -463,9 +477,20 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     try:
         executor = _build_executor(args)
+        # Like the cache, the CLI records runs by default (under
+        # .run_store / $REPRO_STORE_DIR) so every invocation is
+        # replayable via `python -m repro report`; --no-store or
+        # $REPRO_STORE_DISABLE opt out.
+        from repro.store import configure_store, store_disabled
+
+        if args.no_store or store_disabled():
+            configure_store(enabled=False)
+        else:
+            configure_store(args.store_dir, enabled=True)
     except EnvironmentConfigError as exc:
-        # A malformed $REPRO_SWEEP_* variable gets the same clean
-        # one-line diagnosis as an unknown --machine, not a traceback.
+        # A malformed $REPRO_SWEEP_* / $REPRO_STORE_* variable gets the
+        # same clean one-line diagnosis as an unknown --machine, not a
+        # traceback.
         print(str(exc), file=sys.stderr)
         return 2
     try:

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import functools
+import inspect
+import sys
+
 from repro.graph.op import OpInstance
 from repro.graph.shapes import TensorShape
 from repro.hardware.knl import knl_machine
@@ -67,3 +71,77 @@ def build_paper_model(name: str, *, reduced: bool = False):
     if not reduced:
         return build_model(name)
     return build_reduced_model(name)
+
+
+def recorded(name: str):
+    """Decorate an experiment's ``run`` to record it in the run store.
+
+    After a successful run, the call's bound arguments become the
+    record's config (identity), the result dataclass becomes the
+    payload, and the rendered ``format_report`` text rides along in
+    extras so ``python -m repro report table <id>`` can replay the
+    table without re-simulating.  A no-op unless the process-default
+    store records (``$REPRO_STORE_DIR`` set, or the CLI's
+    ``configure_store``); recording problems never fail the experiment.
+    ``functools.wraps`` preserves the signature the CLI forwards
+    options by.
+    """
+
+    def decorate(func):
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            result = func(*args, **kwargs)
+            _record_experiment(name, func, args, kwargs, result)
+            return result
+
+        return wrapper
+
+    return decorate
+
+
+def _record_experiment(name: str, func, args, kwargs, result) -> None:
+    from repro.sweep.executor import EnvironmentConfigError
+
+    try:
+        from repro.store import (
+            RecordingError,
+            default_store,
+            jsonify,
+            record_run,
+            store_disabled,
+        )
+
+        store = default_store()
+        if not store.enabled or store_disabled():
+            return
+        bound = inspect.signature(func).bind(*args, **kwargs)
+        bound.apply_defaults()
+        config: dict = {}
+        skipped: list[str] = []
+        for key, value in bound.arguments.items():
+            if key == "executor":
+                continue  # runtime plumbing, not experiment configuration
+            try:
+                config[key] = jsonify(value)
+            except RecordingError:
+                skipped.append(key)
+        try:
+            payload = jsonify(result)
+        except RecordingError:
+            return
+        if not isinstance(payload, dict):
+            payload = {"result": payload}
+        extras: dict = {}
+        if skipped:
+            extras["skipped_args"] = sorted(skipped)
+        formatter = getattr(sys.modules.get(func.__module__), "format_report", None)
+        if formatter is not None:
+            try:
+                extras["report"] = formatter(result)
+            except Exception:
+                pass
+        record_run(store, "experiment", name, config=config, payload=payload, extras=extras)
+    except EnvironmentConfigError:
+        raise  # a garbage $REPRO_STORE_* value is a user error, surface it
+    except Exception:
+        pass  # recording is a side channel; never fail the experiment

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.baselines.manual_opt import ManualOptimizer
 from repro.core.runtime import StrategyComparison, TrainingRuntime
-from repro.experiments.common import PAPER_MODELS, build_paper_model, experiment_machine
+from repro.experiments.common import PAPER_MODELS, build_paper_model, experiment_machine, recorded
 from repro.hardware.topology import Machine
 from repro.sweep.executor import SweepExecutor, SweepTask, get_default_executor
 from repro.utils.tables import TextTable
@@ -87,6 +87,7 @@ def _compare_with_optimizer(
     )
 
 
+@recorded("fig3")
 def run(
     machine: str | Machine | None = None,
     *,

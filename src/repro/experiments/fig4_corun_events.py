@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.core.config import RuntimeConfig
 from repro.core.runtime import TrainingRuntime
 from repro.core.scheduler import RuntimeSchedulerPolicy
-from repro.experiments.common import build_paper_model, experiment_machine
+from repro.experiments.common import build_paper_model, experiment_machine, recorded
 from repro.hardware.topology import Machine
 from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
@@ -66,6 +66,7 @@ def _series_task(
     return without_s4, with_s4
 
 
+@recorded("fig4")
 def run(
     machine: str | Machine | None = None,
     *,

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.execsim.gpu import GpuKernelModel
-from repro.experiments.common import experiment_machine
+from repro.experiments.common import experiment_machine, recorded
 from repro.graph.op import OpInstance
 from repro.graph.shapes import TensorShape
 from repro.hardware.gpu import GpuSpec, p100_gpu
@@ -92,6 +92,7 @@ def _op_task(
     return threads_sweep, blocks_sweep
 
 
+@recorded("fig5")
 def run(
     machine: "str | Machine | None" = None,
     *,

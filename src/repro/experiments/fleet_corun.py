@@ -30,6 +30,7 @@ from repro.api import DEFAULT_FLEET
 from repro.fleet import FleetSimulator, StepTimeEstimator, available_policies, generate_trace
 from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
+from repro.experiments.common import recorded
 
 #: What the single-machine Table III achieved (split cores vs serial);
 #: the fleet-scale question is whether placement recovers the same kind
@@ -84,6 +85,7 @@ class FleetCorunResult:
         return {row.policy: baseline / row.makespan for row in self.rows}
 
 
+@recorded("fleet")
 def run(
     *,
     policies: tuple[str, ...] | None = None,

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.baselines.tf_default import UniformPolicy, recommended_policy
 from repro.execsim.simulator import StepSimulator
-from repro.experiments.common import build_paper_model, experiment_machine
+from repro.experiments.common import build_paper_model, experiment_machine, recorded
 from repro.hardware.topology import Machine
 from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
@@ -75,6 +75,7 @@ def _step_task(
     return simulator.run_step(graph, policy).step_time
 
 
+@recorded("table1")
 def run(
     machine: str | Machine | None = None,
     *,

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.execsim.standalone import StandaloneRunner
-from repro.experiments.common import experiment_machine, motivation_conv_op
+from repro.experiments.common import experiment_machine, motivation_conv_op, recorded
 from repro.hardware.affinity import AffinityMode
 from repro.hardware.topology import Machine
 from repro.sweep.executor import SweepExecutor, get_default_executor
@@ -81,6 +81,7 @@ def _entry_task(
     return best_threads, best_time, at_max
 
 
+@recorded("table2")
 def run(
     machine: str | Machine | None = None,
     *,

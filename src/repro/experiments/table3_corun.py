@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.execsim.simulator import PlacementKind
 from repro.execsim.standalone import StandaloneConfig, StandaloneRunner
-from repro.experiments.common import experiment_machine, motivation_conv_op
+from repro.experiments.common import experiment_machine, motivation_conv_op, recorded
 from repro.hardware.topology import Machine
 from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
@@ -87,6 +87,7 @@ def _corun_task(strategy: str, machine: Machine) -> float:
     return result.step_time
 
 
+@recorded("table3")
 def run(
     machine: str | Machine | None = None,
     *,

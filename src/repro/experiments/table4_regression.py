@@ -14,7 +14,7 @@ from typing import Callable, Mapping
 
 from repro.core.regression_model import RegressionPerformanceModel
 from repro.execsim.standalone import StandaloneRunner
-from repro.experiments.common import build_paper_model, experiment_machine
+from repro.experiments.common import build_paper_model, experiment_machine, recorded
 from repro.models import build_model
 from repro.graph.op import OpInstance
 from repro.hardware.topology import Machine
@@ -153,6 +153,7 @@ def _cell_task(
     )
 
 
+@recorded("table4")
 def run(
     machine: str | Machine | None = None,
     *,

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.core.hill_climbing import HillClimbingModel, HillClimbingProfile, ground_truth_sweeps
 from repro.execsim.standalone import StandaloneRunner
-from repro.experiments.common import PAPER_MODELS, build_paper_model, experiment_machine
+from repro.experiments.common import PAPER_MODELS, build_paper_model, experiment_machine, recorded
 from repro.hardware.topology import Machine
 from repro.sweep.executor import SweepExecutor, get_default_executor
 from repro.utils.tables import TextTable
@@ -66,6 +66,7 @@ def _profile_task(
     return tuple(model.profile_for(signature) for signature in model.signatures)
 
 
+@recorded("table5")
 def run(
     machine: str | Machine | None = None,
     *,

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from repro.baselines.tf_default import recommended_policy
 from repro.core.config import RuntimeConfig
 from repro.core.runtime import TrainingRuntime
-from repro.experiments.common import PAPER_MODELS, build_paper_model, experiment_machine
+from repro.experiments.common import PAPER_MODELS, build_paper_model, experiment_machine, recorded
 from repro.hardware.topology import Machine
 from repro.profiling.profiler import StepProfiler
 from repro.sweep.executor import SweepExecutor, get_default_executor
@@ -71,6 +71,7 @@ def _model_task(
     )
 
 
+@recorded("table6")
 def run(
     machine: str | Machine | None = None,
     *,

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.execsim.gpu import GpuKernelModel
-from repro.experiments.common import experiment_machine
+from repro.experiments.common import experiment_machine, recorded
 from repro.graph.op import OpInstance
 from repro.graph.shapes import TensorShape
 from repro.hardware.gpu import GpuSpec, p100_gpu
@@ -76,6 +76,7 @@ def _op_task(name: str, repeats: int, spec: GpuSpec) -> tuple[float, float]:
     return serial, corun
 
 
+@recorded("table7")
 def run(
     machine: "str | Machine | None" = None,
     *,

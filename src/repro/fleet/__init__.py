@@ -39,6 +39,7 @@ from repro.fleet.arrivals import (
     DiurnalArrivals,
     PoissonArrivals,
     ReplayArrivals,
+    arrival_from_dict,
     build_arrivals,
     resolve_arrivals,
 )
@@ -78,6 +79,7 @@ from repro.fleet.policies import (
 )
 from repro.fleet.simulator import (
     DEFAULT_MAX_CORUN,
+    OVERHEAD_KEYS,
     FleetResult,
     FleetSimulator,
     FleetStalled,
@@ -118,6 +120,7 @@ __all__ = [
     "MachineReport",
     "MachineState",
     "MachineView",
+    "OVERHEAD_KEYS",
     "POLICIES",
     "Placement",
     "PlacementPolicy",
@@ -125,6 +128,7 @@ __all__ = [
     "ReplayArrivals",
     "StepTimeEstimator",
     "Straggler",
+    "arrival_from_dict",
     "available_policies",
     "build_arrivals",
     "canonical_mix",

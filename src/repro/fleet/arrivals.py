@@ -26,6 +26,7 @@ boundary and stays byte-identical to ``FleetSimulator(compressed=False)``.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import math
 from dataclasses import dataclass, fields
@@ -275,7 +276,13 @@ class _GeneratedArrivals(ArrivalProcess):
         spec: dict = {"kind": self.kind}
         for f in fields(self):
             if f.name == "workloads":
-                continue  # specs always use the default catalog
+                # Omitted for the default catalog (keeps registered specs
+                # shape-only); a custom catalog must survive the round-trip.
+                if self.workloads != DEFAULT_JOB_MIX:
+                    spec["workloads"] = [
+                        dataclasses.asdict(workload) for workload in self.workloads
+                    ]
+                continue
             spec[f.name] = getattr(self, f.name)
         return spec
 
@@ -403,7 +410,12 @@ class ReplayArrivals(ArrivalProcess):
         return self.trace
 
     def to_dict(self) -> dict:
-        raise TypeError("replay processes carry concrete jobs; serialise the trace")
+        """The concrete trace, job by job (round-trips via
+        :func:`arrival_from_dict`; can be large — one entry per job)."""
+        return {
+            "kind": self.kind,
+            "trace": [job.to_dict() for job in self.trace],
+        }
 
 
 #: Spec-constructible process kinds (replay carries jobs, so it is built
@@ -430,10 +442,41 @@ def build_arrivals(spec: dict, **defaults) -> ArrivalProcess:
     for key, value in defaults.items():
         if value is not None and key not in params:
             params[key] = value
+    workloads = params.get("workloads")
+    if workloads is not None:
+        try:
+            params["workloads"] = tuple(
+                w if isinstance(w, Workload) else Workload(**w) for w in workloads
+            )
+        except TypeError as exc:
+            raise ValueError(f"bad workload catalog in arrival spec: {exc}") from None
     try:
         return ARRIVAL_KINDS[kind](**params)
     except TypeError as exc:
         raise ValueError(f"bad arrival spec for kind {kind!r}: {exc}") from None
+
+
+def arrival_from_dict(spec: dict, **defaults) -> ArrivalProcess:
+    """Symmetric inverse of :meth:`ArrivalProcess.to_dict`.
+
+    Handles every process kind — the generative shapes go through
+    :func:`build_arrivals` (so ``defaults`` still fills omitted fields),
+    and ``"replay"`` specs rebuild their concrete job trace.  Both the
+    run store and the scenario arrival-spec registry deserialise through
+    this one entry point.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError(f"an arrival spec must be a dict, got {type(spec).__name__}")
+    if spec.get("kind") == ReplayArrivals.kind:
+        trace = spec.get("trace")
+        if not isinstance(trace, (list, tuple)):
+            raise ValueError("a replay arrival spec needs a 'trace' list of jobs")
+        return ReplayArrivals(
+            trace=tuple(
+                job if isinstance(job, Job) else Job.from_dict(job) for job in trace
+            )
+        )
+    return build_arrivals(spec, **defaults)
 
 
 def resolve_arrivals(value, **defaults) -> ArrivalProcess:
@@ -450,7 +493,7 @@ def resolve_arrivals(value, **defaults) -> ArrivalProcess:
     if isinstance(value, ArrivalProcess):
         return value
     if isinstance(value, dict):
-        return build_arrivals(value, **defaults)
+        return arrival_from_dict(value, **defaults)
     if isinstance(value, str):
         if value in ARRIVAL_KINDS:
             return build_arrivals({"kind": value}, **defaults)
@@ -475,7 +518,7 @@ def resolve_arrivals(value, **defaults) -> ArrivalProcess:
             raise ValueError(f"bad arrival-spec JSON: {exc}") from None
         if not isinstance(spec, dict):
             raise ValueError("arrival-spec JSON must be an object")
-        return build_arrivals(spec, **defaults)
+        return arrival_from_dict(spec, **defaults)
     if isinstance(value, Iterable):
         return ReplayArrivals(trace=tuple(value))
     raise TypeError(

@@ -13,6 +13,7 @@ scenarios by their stable serialized spec — see
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -63,6 +64,30 @@ class Job:
     def kind(self) -> str:
         """The workload kind — the interference tracker's pairing key."""
         return self.workload.name
+
+    def to_dict(self) -> dict:
+        """A JSON-ready spec; round-trips through :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "workload": dataclasses.asdict(self.workload),
+            "num_steps": self.num_steps,
+            "arrival_time": self.arrival_time,
+            "graph_seed": self.graph_seed,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Job":
+        """Rebuild a job from :meth:`to_dict` output (exact round-trip)."""
+        workload = data["workload"]
+        if isinstance(workload, dict):
+            workload = Workload(**workload)
+        return Job(
+            name=data["name"],
+            workload=workload,
+            num_steps=data["num_steps"],
+            arrival_time=data.get("arrival_time", 0.0),
+            graph_seed=data.get("graph_seed", 0),
+        )
 
 
 def validate_trace(jobs: Sequence[Job]) -> None:

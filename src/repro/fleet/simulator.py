@@ -315,6 +315,39 @@ class MachineReport:
     #: drain completion) and the end of the trace (0.0 while alive).
     downtime: float = 0.0
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MachineReport":
+        """Exact inverse of the per-machine dict in
+        :meth:`FleetResult.to_dict`."""
+        return cls(
+            machine_id=payload["machine"],
+            machine_name=payload["name"],
+            jobs_served=payload["jobs_served"],
+            rounds=payload["rounds"],
+            corun_rounds=payload["corun_rounds"],
+            busy_time=payload["busy_time"],
+            utilization=payload["utilization"],
+            local_blacklist=tuple(
+                tuple(pair) for pair in payload.get("local_blacklist", ())
+            ),
+            retries=payload.get("retries", 0),
+            preemptions=payload.get("preemptions", 0),
+            lost_steps=payload.get("lost_steps", 0),
+            downtime=payload.get("downtime", 0.0),
+        )
+
+
+#: ``to_dict`` keys present only with ``include_overhead=True``: wall
+#: clock and estimator-traffic diagnostics that legitimately vary
+#: between byte-identical simulations, and therefore stay out of every
+#: determinism digest.
+OVERHEAD_KEYS: tuple[str, ...] = (
+    "scheduler_overhead_seconds",
+    "estimates_requested",
+    "estimates_computed",
+    "events_processed",
+)
+
 
 @dataclass
 class FleetResult:
@@ -463,6 +496,15 @@ class FleetResult:
                 for m in self.machine_reports
             ],
             "blacklisted_pairs": [list(pair) for pair in self.blacklisted_pairs],
+            "placements": [
+                {
+                    "job": p.job,
+                    "kind": p.kind,
+                    "machine": p.machine_id,
+                    "time": p.time,
+                }
+                for p in self.placements
+            ],
         }
         if include_overhead:
             out["scheduler_overhead_seconds"] = self.scheduler_overhead_seconds
@@ -470,6 +512,80 @@ class FleetResult:
             out["estimates_computed"] = self.estimates_computed
             out["events_processed"] = self.events_processed
         return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FleetResult":
+        """Exact inverse of :meth:`to_dict`: rebuild the result from its
+        JSON form.  Derived keys (``mean_wait_time``, percentiles,
+        ``peak_queue_depth``, ``shed_rate``) are recomputed from the
+        event lists rather than trusted; overhead keys stripped by
+        ``include_overhead=False`` come back as zeros.
+        """
+        return cls(
+            policy_name=payload["policy"],
+            machine_names=tuple(payload["machines"]),
+            num_jobs=payload["num_jobs"],
+            makespan=payload["makespan"],
+            completions=tuple(
+                JobCompletion(
+                    job=c["job"],
+                    kind=c["kind"],
+                    machine_id=c["machine"],
+                    arrival_time=c["arrival"],
+                    start_time=c["start"],
+                    finish_time=c["finish"],
+                    num_steps=c["steps"],
+                    attempts=c.get("attempts", 1),
+                )
+                for c in payload["completions"]
+            ),
+            placements=tuple(
+                Placement(
+                    job=p["job"],
+                    kind=p["kind"],
+                    machine_id=p["machine"],
+                    time=p["time"],
+                )
+                for p in payload.get("placements", ())
+            ),
+            machine_reports=tuple(
+                MachineReport.from_dict(m) for m in payload["machine_reports"]
+            ),
+            blacklisted_pairs=tuple(
+                tuple(pair) for pair in payload["blacklisted_pairs"]
+            ),
+            failures=tuple(
+                JobFailure(
+                    job=f["job"],
+                    kind=f["kind"],
+                    arrival_time=f["arrival"],
+                    attempts=f["attempts"],
+                    failed_time=f["failed"],
+                )
+                for f in payload.get("failures", ())
+            ),
+            rejections=tuple(
+                JobRejection(
+                    job=r["job"],
+                    kind=r["kind"],
+                    arrival_time=r["arrival"],
+                    rejected_time=r["rejected"],
+                    reason=r["reason"],
+                )
+                for r in payload.get("rejections", ())
+            ),
+            retries=payload.get("retries", 0),
+            preemptions=payload.get("preemptions", 0),
+            lost_steps=payload.get("lost_steps", 0),
+            series_window=payload.get("series_window", 25.0),
+            queue_depth_series=tuple(payload.get("queue_depth_series", ())),
+            throughput_series=tuple(payload.get("throughput_series", ())),
+            goodput_series=tuple(payload.get("goodput_series", ())),
+            scheduler_overhead_seconds=payload.get("scheduler_overhead_seconds", 0.0),
+            estimates_requested=payload.get("estimates_requested", 0),
+            estimates_computed=payload.get("estimates_computed", 0),
+            events_processed=payload.get("events_processed", 0),
+        )
 
 
 #: Event kinds, ordered: at equal timestamps round boundaries retire

@@ -395,6 +395,22 @@ def register_arrival_spec(
         )
     if name in ARRIVAL_SPECS and not overwrite:
         raise ValueError(f"arrival spec {name!r} is already registered")
+    # Deep validation: the spec must actually build, so unknown kinds and
+    # malformed shape parameters are rejected at registration time, not
+    # at first use.  The import is deferred (this module stays import-free
+    # of the fleet layer); during the circular-import window at package
+    # init (fleet.arrivals imports scenarios, which registers the default
+    # specs below) it falls back to the structural check above, which the
+    # defaults satisfy by construction.
+    try:
+        from repro.fleet.arrivals import arrival_from_dict
+    except ImportError:  # pragma: no cover - import-order dependent
+        arrival_from_dict = None
+    if arrival_from_dict is not None:
+        try:
+            arrival_from_dict(dict(spec), num_jobs=spec.get("num_jobs", 1), seed=0)
+        except ValueError as exc:
+            raise ValueError(f"invalid arrival spec {name!r}: {exc}") from None
     ARRIVAL_SPECS[name] = dict(spec)
     _ARRIVAL_SPEC_DESCRIPTIONS[name] = description
     return ARRIVAL_SPECS[name]

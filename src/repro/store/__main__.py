@@ -1,0 +1,6 @@
+"""``python -m repro.store`` — alias for ``python -m repro report``."""
+
+from repro.store.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

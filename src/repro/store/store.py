@@ -1,0 +1,251 @@
+"""The persistent run store: atomic, sharded, content-addressed.
+
+Same on-disk discipline as :class:`repro.sweep.cache.SweepCache` —
+``<root>/<id[:2]>/<id>.pkl``, written via ``mkstemp`` + ``os.replace``
+so concurrent writers and crashes can never surface a torn record, and
+corrupt entries self-heal as misses.  Unlike the cache, records are
+first-class artifacts: reads verify the payload digest (a tampered
+record raises :class:`StoreIntegrityError` instead of silently feeding
+bad history into reports), and entries are enumerable/diffable via the
+``repro report`` CLI.
+
+Enablement mirrors the sweep cache's environment contract: the default
+store records only when ``$REPRO_STORE_DIR`` is set (so plain test runs
+leave no ``.run_store/`` behind), ``$REPRO_STORE_DISABLE`` force-stops
+recording everywhere, and both parse strictly
+(:class:`repro.sweep.executor.EnvironmentConfigError` on garbage).
+The experiments CLI opts into recording by default; see
+:func:`repro.store.cli.main`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Iterator
+
+from repro.store.record import RunRecord
+from repro.sweep.executor import parse_bool_env
+
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+STORE_DISABLE_ENV = "REPRO_STORE_DISABLE"
+DEFAULT_STORE_DIR = ".run_store"
+
+
+class StoreIntegrityError(RuntimeError):
+    """A stored record's payload no longer matches its recorded digest."""
+
+
+def store_disabled() -> bool:
+    """True when ``$REPRO_STORE_DISABLE`` force-disables recording."""
+    return parse_bool_env(STORE_DISABLE_ENV)
+
+
+class RunStore:
+    """Content-addressed store of :class:`RunRecord` entries.
+
+    ``enabled=False`` turns :meth:`record` into a no-op returning
+    ``None`` (reads still work), which lets callers thread one object
+    through unconditionally.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None, *, enabled: bool = True):
+        if root is None:
+            root = os.environ.get(STORE_DIR_ENV, DEFAULT_STORE_DIR)
+        self.root = Path(root)
+        self.enabled = enabled
+
+    def _path(self, run_id: str) -> Path:
+        # Two-level sharding keeps directory listings sane at scale.
+        return self.root / run_id[:2] / f"{run_id}.pkl"
+
+    # -- writing -------------------------------------------------------------------
+
+    def record(self, record: RunRecord) -> str | None:
+        """Persist ``record`` atomically; returns its run id.
+
+        Same-identity records overwrite (latest observation wins —
+        ``created`` and ``version`` say which one you are looking at).
+        """
+        if not self.enabled:
+            return None
+        path = self._path(record.run_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".pkl")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return record.run_id
+
+    # -- reading -------------------------------------------------------------------
+
+    def get(self, run_id: str, *, verify: bool = True) -> RunRecord:
+        """Load one record by full id.
+
+        A missing entry raises :class:`KeyError`; a corrupt or truncated
+        one is unlinked first (self-heal) and then raises
+        :class:`KeyError`; a loadable record whose payload fails digest
+        verification raises :class:`StoreIntegrityError` (the entry is
+        kept for inspection — pass ``verify=False`` to read it anyway).
+        """
+        path = self._path(run_id)
+        try:
+            with path.open("rb") as handle:
+                record = pickle.load(handle)
+        except FileNotFoundError:
+            raise KeyError(f"no run {run_id!r} in {self.root}") from None
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            raise KeyError(
+                f"run {run_id!r} in {self.root} was corrupt and has been removed"
+            ) from None
+        if not isinstance(record, RunRecord):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            raise KeyError(
+                f"entry {run_id!r} in {self.root} was not a run record; removed"
+            )
+        if verify and not record.intact:
+            raise StoreIntegrityError(
+                f"run {run_id[:12]} payload hashes to "
+                f"{record.expected_digest()[:12]} but the record says "
+                f"{record.digest[:12]} — tampered or corrupted"
+            )
+        return record
+
+    def resolve(self, prefix: str) -> str:
+        """Expand a unique run-id prefix (at least 4 hex chars) to a full id."""
+        if len(prefix) == 64:
+            return prefix
+        if len(prefix) < 4:
+            raise KeyError("run-id prefixes need at least 4 characters")
+        matches = [p.stem for p in self._entries() if p.stem.startswith(prefix)]
+        if not matches:
+            raise KeyError(f"no run matching {prefix!r} in {self.root}")
+        if len(set(matches)) > 1:
+            listed = ", ".join(m[:12] for m in sorted(matches)[:5])
+            raise KeyError(f"ambiguous run prefix {prefix!r}: matches {listed}")
+        return matches[0]
+
+    def load(self, prefix: str, *, verify: bool = True) -> RunRecord:
+        """:meth:`get` with prefix expansion — the CLI's read path."""
+        return self.get(self.resolve(prefix), verify=verify)
+
+    def _entries(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir():
+                yield from sorted(shard.glob("*.pkl"))
+
+    def list_runs(
+        self, *, kind: str | None = None, name: str | None = None
+    ) -> list[RunRecord]:
+        """Every readable record, oldest first; corrupt entries self-heal
+        silently (tampered ones are skipped, not removed)."""
+        records = []
+        for path in list(self._entries()):
+            try:
+                record = self.get(path.stem, verify=False)
+            except KeyError:
+                continue
+            if kind is not None and record.kind != kind:
+                continue
+            if name is not None and record.name != name:
+                continue
+            records.append(record)
+        records.sort(key=lambda r: (r.created, r.run_id))
+        return records
+
+    def latest(
+        self, *, kind: str | None = None, name: str | None = None
+    ) -> RunRecord | None:
+        """The most recently created matching record, if any."""
+        records = self.list_runs(kind=kind, name=name)
+        return records[-1] if records else None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def __bool__(self) -> bool:
+        # Truthiness means "is a store", not "has records".
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+# -- process-wide default store -----------------------------------------------------
+
+_default_store: RunStore | None = None
+
+
+def default_store() -> RunStore:
+    """The process default: records only when ``$REPRO_STORE_DIR`` is set
+    (and ``$REPRO_STORE_DISABLE`` does not override), so library use and
+    plain test runs never write a store as a side effect."""
+    global _default_store
+    if _default_store is None:
+        root = os.environ.get(STORE_DIR_ENV)
+        enabled = root is not None and not store_disabled()
+        _default_store = RunStore(root, enabled=enabled)
+    return _default_store
+
+
+def configure_store(
+    root: str | os.PathLike | None = None, *, enabled: bool | None = None
+) -> RunStore:
+    """Replace the process default store (the CLI's opt-in hook)."""
+    global _default_store
+    current = default_store()
+    if enabled is None:
+        enabled = True if root is not None else current.enabled
+    _default_store = RunStore(root if root is not None else current.root, enabled=enabled)
+    return _default_store
+
+
+def resolve_store(value) -> RunStore | None:
+    """Coerce a caller's ``store=`` argument to a usable store or ``None``.
+
+    ``None`` means the process default (which is disabled unless
+    ``$REPRO_STORE_DIR`` is set or :func:`configure_store` ran);
+    ``False`` opts this call out; a path opens an enabled store there; a
+    :class:`RunStore` passes through.  ``$REPRO_STORE_DISABLE`` beats
+    everything, mirroring ``$REPRO_SWEEP_NO_CACHE``.
+    """
+    if value is False:
+        return None
+    if store_disabled():
+        return None
+    if value is None:
+        store = default_store()
+        return store if store.enabled else None
+    if isinstance(value, RunStore):
+        return value if value.enabled else None
+    if isinstance(value, (str, os.PathLike)):
+        return RunStore(value, enabled=True)
+    raise TypeError(
+        f"store must be None, False, a path or a RunStore, got {type(value).__name__}"
+    )

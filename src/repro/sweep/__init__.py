@@ -34,6 +34,7 @@ from repro.sweep.executor import (
     available_cpus,
     configure,
     get_default_executor,
+    parse_bool_env,
 )
 from repro.sweep.tasks import cached_call, op_sweep, op_sweep_totals
 
@@ -53,5 +54,6 @@ __all__ = [
     "content_key",
     "get_default_executor",
     "op_sweep",
+    "parse_bool_env",
     "op_sweep_totals",
 ]

@@ -265,26 +265,35 @@ _FALSY = frozenset({"", "0", "false", "no", "off"})
 
 
 class EnvironmentConfigError(ValueError):
-    """An ``REPRO_SWEEP_*`` environment variable holds an invalid value."""
+    """A ``REPRO_*`` environment variable holds an invalid value."""
 
 
-def no_cache_requested() -> bool:
-    """True when ``$REPRO_SWEEP_NO_CACHE`` asks to skip the result cache.
+def parse_bool_env(name: str, *, default: bool = False) -> bool:
+    """Strictly parse the boolean environment switch ``name``.
 
-    Values are normalised (``TRUE``, `` yes ``, ``On`` all count), and an
-    unrecognised value raises :class:`EnvironmentConfigError` instead of
-    silently leaving the cache enabled.
+    Values are normalised (``TRUE``, `` yes ``, ``On`` all count), an
+    unset variable yields ``default``, and an unrecognised value raises
+    :class:`EnvironmentConfigError` instead of silently picking a side.
+    Shared by every ``REPRO_*`` on/off switch so they all accept the
+    same spellings.
     """
-    raw = os.environ.get(NO_CACHE_ENV, "")
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
     value = raw.strip().lower()
     if value in _TRUTHY:
         return True
     if value in _FALSY:
         return False
     raise EnvironmentConfigError(
-        f"${NO_CACHE_ENV}={raw!r} is not a boolean; "
+        f"${name}={raw!r} is not a boolean; "
         f"use one of {sorted(_TRUTHY)} or {sorted(_FALSY - {''})}"
     )
+
+
+def no_cache_requested() -> bool:
+    """True when ``$REPRO_SWEEP_NO_CACHE`` asks to skip the result cache."""
+    return parse_bool_env(NO_CACHE_ENV)
 
 
 def _from_environment() -> SweepExecutor:

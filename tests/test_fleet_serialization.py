@@ -1,0 +1,203 @@
+"""Exact serialization round-trips for fleet results, jobs and arrivals.
+
+The run store replays reports from stored payloads, so ``to_dict`` /
+``from_dict`` must be exact inverses — including through a JSON
+encode/decode (tuples come back as lists).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import scenarios
+from repro.fleet import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    FaultPlan,
+    FleetResult,
+    FleetSimulator,
+    Job,
+    MachineCrash,
+    MachineReport,
+    PoissonArrivals,
+    ReplayArrivals,
+    arrival_from_dict,
+    generate_trace,
+)
+from repro.fleet.estimates import EstimatorStats
+from repro.scenarios import Workload, register_arrival_spec
+
+SYN_A = Workload(synthetic_ops=24, synthetic_width=4, label="ser-a")
+SYN_B = Workload(synthetic_ops=24, synthetic_width=4, heavy_fraction=0.6, label="ser-b")
+
+
+def job(name, workload=SYN_A, steps=2, arrival=0.0, seed=0):
+    return Job(
+        name=name,
+        workload=workload,
+        num_steps=steps,
+        arrival_time=arrival,
+        graph_seed=seed,
+    )
+
+
+class FakeEstimator:
+    """Dict-free deterministic estimator: solo = 1s, co-run = 1.5x slowest."""
+
+    def __init__(self):
+        self.stats = EstimatorStats()
+
+    def step_time(self, machine_name, jobs):
+        jobs = list(jobs)
+        self.stats.requests += 1
+        base = 1.0 if machine_name.startswith("desktop") else 2.0
+        slow = max(base * (1.5 if j.kind == "ser-b" else 1.0) for j in jobs)
+        return slow * (1.5 if len(jobs) > 1 else 1.0)
+
+    def solo_time(self, machine_name, job):
+        return self.step_time(machine_name, (job,))
+
+    def prewarm(self, machine_names, jobs, max_corun=1):
+        return 0
+
+
+def small_run(**kwargs):
+    sim = FleetSimulator(
+        ["desktop-8c", "laptop-4c"], policy="first-fit", estimator=FakeEstimator()
+    )
+    jobs = [
+        job("a", arrival=0.0),
+        job("b", SYN_B, steps=3, arrival=0.5),
+        job("c", arrival=1.0, steps=4),
+        job("d", SYN_B, arrival=6.0),
+    ]
+    return sim.run(jobs, prewarm=False, **kwargs)
+
+
+class TestFleetResultRoundTrip:
+    def assert_round_trips(self, result):
+        payload = result.to_dict()
+        rebuilt = FleetResult.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+        # And through an actual JSON encode/decode (tuples -> lists).
+        rebuilt_json = FleetResult.from_dict(json.loads(json.dumps(payload)))
+        assert rebuilt_json.to_dict() == payload
+
+    def test_plain_run(self):
+        self.assert_round_trips(small_run())
+
+    def test_faulted_run(self):
+        plan = FaultPlan(events=(MachineCrash(time=1.5, machine="m0"),))
+        result = small_run(faults=plan)
+        assert result.retries or result.failures or result.lost_steps
+        self.assert_round_trips(result)
+
+    def test_admission_run(self):
+        result = small_run(admission={"queue_limit": 1})
+        self.assert_round_trips(result)
+
+    def test_overheadless_round_trip(self):
+        result = small_run()
+        payload = result.to_dict(include_overhead=False)
+        rebuilt = FleetResult.from_dict(payload)
+        assert rebuilt.to_dict(include_overhead=False) == payload
+        # Missing overhead keys default to zero, not garbage.
+        assert rebuilt.scheduler_overhead_seconds == 0.0
+        assert rebuilt.events_processed == 0
+
+    def test_derived_metrics_recomputed(self):
+        result = small_run()
+        payload = result.to_dict()
+        payload["mean_wait_time"] = 1e9  # a tampered derived figure
+        rebuilt = FleetResult.from_dict(payload)
+        assert rebuilt.mean_wait_time == result.mean_wait_time
+
+    def test_machine_report_round_trip(self):
+        result = small_run()
+        entries = result.to_dict()["machine_reports"]
+        assert len(entries) == len(result.machine_reports)
+        for entry, report in zip(entries, result.machine_reports):
+            assert MachineReport.from_dict(entry) == report
+            assert MachineReport.from_dict(json.loads(json.dumps(entry))) == report
+
+
+class TestJobRoundTrip:
+    def test_round_trip(self):
+        original = job("x", SYN_B, steps=5, arrival=2.5, seed=9)
+        assert Job.from_dict(original.to_dict()) == original
+        assert Job.from_dict(json.loads(json.dumps(original.to_dict()))) == original
+
+    def test_defaults(self):
+        rebuilt = Job.from_dict(
+            {"name": "y", "workload": {"model": "resnet50"}, "num_steps": 2}
+        )
+        assert rebuilt.arrival_time == 0.0
+        assert rebuilt.graph_seed == 0
+
+
+ARRIVAL_CASES = [
+    PoissonArrivals(num_jobs=6, seed=3, mean_interarrival=1.5),
+    DiurnalArrivals(num_jobs=6, seed=3, period=40.0, amplitude=0.5),
+    BurstyArrivals(num_jobs=6, seed=3, burst_size=2, tail_alpha=1.2),
+    ReplayArrivals(trace=generate_trace(4, seed=1)),
+]
+
+
+class TestArrivalRoundTrip:
+    @pytest.mark.parametrize("process", ARRIVAL_CASES, ids=lambda p: p.kind)
+    def test_symmetric_inverse(self, process):
+        rebuilt = arrival_from_dict(process.to_dict())
+        assert rebuilt == process
+        assert rebuilt.materialize() == process.materialize()
+
+    @pytest.mark.parametrize("process", ARRIVAL_CASES, ids=lambda p: p.kind)
+    def test_through_json(self, process):
+        rebuilt = arrival_from_dict(json.loads(json.dumps(process.to_dict())))
+        assert rebuilt.materialize() == process.materialize()
+
+    def test_custom_workload_catalog_survives(self):
+        process = PoissonArrivals(num_jobs=5, seed=2, workloads=(SYN_A, SYN_B))
+        spec = process.to_dict()
+        assert "workloads" in spec  # non-default catalogs must be explicit
+        rebuilt = arrival_from_dict(spec)
+        assert rebuilt == process
+        assert rebuilt.materialize() == process.materialize()
+
+    def test_default_catalog_stays_shape_only(self):
+        assert "workloads" not in PoissonArrivals(num_jobs=5).to_dict()
+
+    def test_rejects_non_dict_and_bad_workloads(self):
+        with pytest.raises(ValueError):
+            arrival_from_dict("poisson")
+        with pytest.raises(ValueError, match="workload catalog"):
+            arrival_from_dict(
+                {"kind": "poisson", "num_jobs": 2, "workloads": [{"bogus": 1}]}
+            )
+
+    def test_replay_requires_trace(self):
+        with pytest.raises(ValueError):
+            arrival_from_dict({"kind": "replay"})
+
+
+class TestRegistryDeepValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="invalid arrival spec"):
+            register_arrival_spec("ser-bad-kind", {"kind": "lunar"})
+
+    def test_rejects_malformed_shape_parameters(self):
+        with pytest.raises(ValueError, match="invalid arrival spec"):
+            register_arrival_spec(
+                "ser-bad-shape", {"kind": "poisson", "mean_interarrival": -1.0}
+            )
+        assert "ser-bad-shape" not in scenarios.ARRIVAL_SPECS
+
+    def test_valid_spec_registers(self):
+        name = "ser-valid"
+        try:
+            register_arrival_spec(name, {"kind": "bursty", "burst_size": 3})
+            assert scenarios.ARRIVAL_SPECS[name] == {"kind": "bursty", "burst_size": 3}
+        finally:
+            scenarios.ARRIVAL_SPECS.pop(name, None)
+            scenarios._ARRIVAL_SPEC_DESCRIPTIONS.pop(name, None)

@@ -1,0 +1,229 @@
+"""End-to-end run store recording + `repro report` replay gates.
+
+The acceptance bar: two `run_fleet` calls with different policies diff
+cleanly, and stored runs replay their tables / regenerate the committed
+``BENCH_fleet.json`` section **byte-identically with zero simulator
+invocations** — every simulated-execution entry point is booby-trapped
+during replay, the PR 2 warm-cache gate pattern one layer up.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.fleet_bench import run_fleet_benchmark, write_bench_json
+from repro.api import run_fleet
+from repro.execsim.simulator import StepSimulator
+from repro.execsim.standalone import StandaloneRunner
+from repro.fleet.simulator import OVERHEAD_KEYS, FleetSimulator
+from repro.store import RunStore, store as store_module
+from repro.store.cli import main as report_main
+from repro.store.reporting import (
+    diff_runs,
+    fleet_comparison_table,
+    regenerate_bench_file,
+    replay_report,
+)
+from repro.sweep import SweepCache, SweepExecutor
+
+FLEET = ("desktop-8c", "laptop-4c")
+
+
+@pytest.fixture(scope="module")
+def fleet_store(tmp_path_factory):
+    """One store holding two real `run_fleet` runs differing only in policy."""
+    root = tmp_path_factory.mktemp("run_store")
+    store = RunStore(root)
+    executor = SweepExecutor("serial", cache=SweepCache(enabled=False))
+    outcomes = {}
+    for policy in ("first-fit", "interference-aware"):
+        outcomes[policy] = run_fleet(
+            machines=FLEET,
+            policy=policy,
+            num_jobs=6,
+            arrival_seed=3,
+            executor=executor,
+            store=store,
+        )
+    return store, outcomes
+
+
+def _trap_simulators(monkeypatch):
+    """Booby-trap every simulated-execution entry point."""
+
+    def boom(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("simulator invoked during a stored-run replay")
+
+    monkeypatch.setattr(FleetSimulator, "run", boom)
+    monkeypatch.setattr(StepSimulator, "run_step", boom)
+    for method in ("run", "measure", "sweep", "corun", "sweep_many"):
+        monkeypatch.setattr(StandaloneRunner, method, boom)
+
+
+class TestRunFleetRecording:
+    def test_outcomes_carry_run_ids(self, fleet_store):
+        store, outcomes = fleet_store
+        ids = {o.run_id for o in outcomes.values()}
+        assert None not in ids and len(ids) == 2
+        for outcome in outcomes.values():
+            record = store.get(outcome.run_id)
+            assert record.kind == "fleet"
+            assert record.digest_excludes == OVERHEAD_KEYS
+            assert record.payload["makespan"] == outcome.makespan
+
+    def test_config_names_the_policy(self, fleet_store):
+        store, outcomes = fleet_store
+        for policy, outcome in outcomes.items():
+            config = store.get(outcome.run_id).config
+            assert config["policy"] == policy
+            assert config["machines"] == list(FLEET)
+            assert config["arrivals"]["seed"] == 3
+
+    def test_diff_isolates_the_policy_change(self, fleet_store):
+        store, outcomes = fleet_store
+        a = store.get(outcomes["first-fit"].run_id)
+        b = store.get(outcomes["interference-aware"].run_id)
+        diff = diff_runs(a, b)
+        assert diff["config_delta"]["policy"] == {
+            "a": "first-fit",
+            "b": "interference-aware",
+        }
+        assert set(diff["config_delta"]) == {"policy"}
+        # Overhead keys are digest-excluded noise and must not show up.
+        assert not set(diff["metric_delta"]) & set(OVERHEAD_KEYS)
+
+
+class TestReportCli:
+    def test_list(self, fleet_store, capsys):
+        store, outcomes = fleet_store
+        assert report_main(["list", "--store", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        for outcome in outcomes.values():
+            assert outcome.run_id[:12] in out
+
+    def test_list_json(self, fleet_store, capsys):
+        store, _ = fleet_store
+        assert report_main(["list", "--json", "--store", str(store.root)]) == 0
+        listed = json.loads(capsys.readouterr().out)
+        assert {entry["kind"] for entry in listed} == {"fleet"}
+
+    def test_show_with_payload(self, fleet_store, capsys):
+        store, outcomes = fleet_store
+        run_id = outcomes["first-fit"].run_id
+        code = report_main(
+            ["show", run_id[:8], "--payload", "--store", str(store.root)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert run_id in out and "first-fit" in out and "machine_reports" in out
+
+    def test_diff(self, fleet_store, capsys):
+        store, outcomes = fleet_store
+        a, b = (outcomes[p].run_id for p in ("first-fit", "interference-aware"))
+        assert report_main(["diff", a[:8], b[:8], "--store", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "policy" in out and "interference-aware" in out
+
+    def test_unknown_prefix_is_an_error(self, fleet_store, capsys):
+        store, _ = fleet_store
+        assert report_main(["show", "feed", "--store", str(store.root)]) == 2
+        assert "no run matching" in capsys.readouterr().err
+
+    def test_table_replays_without_simulating(self, fleet_store, capsys, monkeypatch):
+        store, outcomes = fleet_store
+        _trap_simulators(monkeypatch)
+        a, b = (outcomes[p].run_id for p in ("first-fit", "interference-aware"))
+        assert report_main(["table", a[:8], b[:8], "--store", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed, not re-simulated" in out
+        assert "first-fit" in out and "interference-aware" in out
+
+    def test_table_matches_library_rendering(self, fleet_store, monkeypatch):
+        store, outcomes = fleet_store
+        _trap_simulators(monkeypatch)
+        records = [store.get(o.run_id) for o in outcomes.values()]
+        table = fleet_comparison_table(records)
+        assert f"{outcomes['first-fit'].makespan:.2f}" in table
+
+
+class TestExperimentReplay:
+    def test_fleet_experiment_replays_byte_identically(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.experiments import fleet_corun
+
+        store = RunStore(tmp_path / "store")
+        monkeypatch.setattr(store_module, "_default_store", store)
+        executor = SweepExecutor("serial", cache=SweepCache(enabled=False))
+        result = fleet_corun.run(
+            machines=FLEET, num_jobs=5, arrival_seed=2, executor=executor
+        )
+        live_report = fleet_corun.format_report(result)
+
+        record = store.latest(kind="experiment", name="fleet")
+        assert record is not None
+
+        _trap_simulators(monkeypatch)
+        assert replay_report(record) == live_report
+        code = report_main(["table", record.run_id[:8], "--store", str(store.root)])
+        assert code == 0
+        assert capsys.readouterr().out.rstrip("\n") == live_report.rstrip("\n")
+
+
+class TestBenchRegeneration:
+    @pytest.fixture(scope="class")
+    def bench_store(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("bench_store")
+        store = RunStore(root / "store")
+        report = run_fleet_benchmark(num_jobs=6, arrival_seed=3, jobs=1, store=store)
+        path = root / "BENCH_fleet.json"
+        write_bench_json(report, path)
+        return store, report, path
+
+    def test_section_and_policy_runs_recorded(self, bench_store):
+        store, report, _ = bench_store
+        section = store.latest(kind="bench", name="fleet-smoke")
+        assert section is not None
+        assert set(section.extras["runs"]) == set(report["policies"])
+        for run_id in section.extras["runs"].values():
+            assert store.get(run_id).kind == "fleet"
+
+    def test_regenerates_byte_identically_without_simulating(
+        self, bench_store, tmp_path, monkeypatch
+    ):
+        store, _, path = bench_store
+        _trap_simulators(monkeypatch)
+        text, drift = regenerate_bench_file(
+            store, "fleet-smoke", path, check=True
+        )
+        assert drift == []
+        assert text == path.read_text()
+        fresh = tmp_path / "fresh.json"
+        fresh_text, fresh_drift = regenerate_bench_file(store, "fleet-smoke", fresh)
+        assert fresh_drift == []
+        assert fresh.read_text() == fresh_text == path.read_text()
+
+    def test_cli_check_passes_then_catches_tampering(
+        self, bench_store, capsys, monkeypatch
+    ):
+        store, _, path = bench_store
+        _trap_simulators(monkeypatch)
+        args = ["bench", "fleet-smoke", "--file", str(path), "--store", str(store.root)]
+        assert report_main(args + ["--check"]) == 0
+        capsys.readouterr()
+
+        doctored = json.loads(path.read_text())
+        doctored["policies"]["first-fit"]["makespan"] += 1.0
+        path.write_text(json.dumps(doctored, indent=2) + "\n")
+        assert report_main(args + ["--check"]) == 1
+        assert "DRIFT" in capsys.readouterr().err
+
+    def test_missing_section_is_an_error(self, tmp_path, capsys):
+        store = RunStore(tmp_path / "empty")
+        code = report_main(
+            ["bench", "no-such-section", "--store", str(store.root)]
+        )
+        assert code == 2
+        assert "no stored bench run" in capsys.readouterr().err

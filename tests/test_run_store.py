@@ -1,0 +1,341 @@
+"""The persistent run store: records, storage discipline, env contract."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.store import (
+    RecordingError,
+    RunRecord,
+    RunStore,
+    StoreIntegrityError,
+    configure_store,
+    default_store,
+    jsonify,
+    make_record,
+    payload_digest,
+    record_run,
+    resolve_store,
+    run_key,
+    store_disabled,
+)
+from repro.store import store as store_module
+from repro.sweep.executor import EnvironmentConfigError
+from repro.version import __version__
+
+
+def sample_record(metric=1.0, *, name="unit", config=None, **kwargs):
+    return make_record(
+        "test",
+        name,
+        config=config if config is not None else {"seed": 7},
+        payload={"metric": metric},
+        **kwargs,
+    )
+
+
+class TestJsonify:
+    def test_primitives_pass_through(self):
+        assert jsonify(None) is None
+        assert jsonify(True) is True
+        assert jsonify("x") == "x"
+        assert jsonify(3) == 3
+        assert jsonify(2.5) == 2.5
+
+    def test_numpy_scalars_collapse(self):
+        np = pytest.importorskip("numpy")
+        assert jsonify(np.int64(4)) == 4
+        assert type(jsonify(np.int64(4))) is int
+        assert jsonify(np.float64(0.5)) == 0.5
+        assert type(jsonify(np.float64(0.5))) is float
+
+    def test_enum_uses_value(self):
+        class Kind(enum.Enum):
+            A = "a"
+
+        assert jsonify(Kind.A) == "a"
+
+    def test_dataclass_prefers_to_dict(self):
+        @dataclasses.dataclass
+        class WithToDict:
+            x: int
+
+            def to_dict(self):
+                return {"renamed": self.x}
+
+        assert jsonify(WithToDict(3)) == {"renamed": 3}
+
+    def test_dataclass_field_walk_fallback(self):
+        @dataclasses.dataclass
+        class Plain:
+            x: int
+            ys: tuple
+
+        assert jsonify(Plain(1, (2, 3))) == {"x": 1, "ys": [2, 3]}
+
+    def test_sets_sort_deterministically(self):
+        assert jsonify({3, 1, 2}) == [1, 2, 3]
+
+    def test_non_string_mapping_key_rejected(self):
+        with pytest.raises(RecordingError):
+            jsonify({1: "x"})
+
+    def test_unencodable_value_rejected(self):
+        with pytest.raises(RecordingError):
+            jsonify(lambda: None)
+
+    def test_result_is_json_serializable(self):
+        value = jsonify({"a": (1, 2), "b": {"c": frozenset({"y", "x"})}})
+        assert json.loads(json.dumps(value)) == value
+
+
+class TestRecordIdentity:
+    def test_same_config_same_id(self):
+        a = sample_record(1.0)
+        b = sample_record(2.0)  # different payload, same identity
+        assert a.run_id == b.run_id
+
+    def test_config_change_changes_id(self):
+        assert sample_record().run_id != sample_record(config={"seed": 8}).run_id
+
+    def test_name_is_part_of_the_key(self):
+        # Two experiments with identical configs must not collide.
+        assert (
+            run_key("experiment", "fig1", {"reduced": True})
+            != run_key("experiment", "table2", {"reduced": True})
+        )
+
+    def test_version_is_stored_but_not_identity(self):
+        record = sample_record()
+        assert record.version == __version__
+        assert record.run_id == run_key("test", "unit", record.config)
+
+    def test_digest_excludes_drop_noise_keys(self):
+        payload = {"metric": 1.0, "wall_seconds": 9.9}
+        assert payload_digest(payload, excludes=("wall_seconds",)) == payload_digest(
+            {"metric": 1.0}
+        )
+
+    def test_intact_and_tamper_detection(self):
+        record = sample_record()
+        assert record.intact
+        tampered = dataclasses.replace(record, payload={"metric": 99.0})
+        assert not tampered.intact
+
+    def test_non_object_config_rejected(self):
+        with pytest.raises(RecordingError):
+            make_record("test", "unit", config=[1, 2], payload={})
+
+
+class TestRunStore:
+    def test_record_and_get_round_trip(self, tmp_path):
+        store = RunStore(tmp_path)
+        record = sample_record()
+        assert store.record(record) == record.run_id
+        assert store.get(record.run_id) == record
+
+    def test_same_identity_overwrites(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record(sample_record(1.0, created=1.0))
+        run_id = store.record(sample_record(2.0, created=2.0))
+        assert len(store) == 1
+        assert store.get(run_id).payload == {"metric": 2.0}
+
+    def test_list_and_latest_filters(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record(sample_record(name="a", created=1.0))
+        store.record(sample_record(name="b", created=2.0))
+        assert [r.name for r in store.list_runs()] == ["a", "b"]
+        assert store.latest(kind="test").name == "b"
+        assert store.latest(name="a").name == "a"
+        assert store.latest(kind="other") is None
+
+    def test_prefix_resolution(self, tmp_path):
+        store = RunStore(tmp_path)
+        record = sample_record()
+        store.record(record)
+        assert store.resolve(record.run_id[:8]) == record.run_id
+        assert store.load(record.run_id[:8]) == record
+        with pytest.raises(KeyError, match="at least 4"):
+            store.resolve(record.run_id[:3])
+        with pytest.raises(KeyError, match="no run matching"):
+            store.resolve("ffff" if not record.run_id.startswith("ffff") else "0000")
+
+    def test_ambiguous_prefix_lists_matches(self, tmp_path):
+        store = RunStore(tmp_path)
+        a = sample_record(name="a")
+        b = sample_record(name="b")
+        # Force two entries under one shard sharing a 4-char prefix.
+        fake_a = dataclasses.replace(a, run_id="abcd" + "0" * 60)
+        fake_b = dataclasses.replace(b, run_id="abcd" + "1" * 60)
+        store.record(fake_a)
+        store.record(fake_b)
+        with pytest.raises(KeyError, match="ambiguous"):
+            store.resolve("abcd")
+
+    def test_missing_entry_is_key_error(self, tmp_path):
+        with pytest.raises(KeyError):
+            RunStore(tmp_path).get("0" * 64)
+
+    def test_corrupt_entry_self_heals(self, tmp_path):
+        store = RunStore(tmp_path)
+        record = sample_record()
+        store.record(record)
+        path = store._path(record.run_id)
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(KeyError, match="corrupt"):
+            store.get(record.run_id)
+        assert not path.exists()
+
+    def test_truncated_entry_self_heals(self, tmp_path):
+        store = RunStore(tmp_path)
+        record = sample_record()
+        store.record(record)
+        path = store._path(record.run_id)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(KeyError):
+            store.get(record.run_id)
+        assert not path.exists()
+
+    def test_foreign_object_self_heals(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = "ab" + "0" * 62
+        path = store._path(run_id)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"not": "a record"}))
+        with pytest.raises(KeyError, match="not a run record"):
+            store.get(run_id)
+        assert not path.exists()
+
+    def test_tampered_payload_raises_and_is_kept(self, tmp_path):
+        store = RunStore(tmp_path)
+        record = sample_record()
+        store.record(record)
+        tampered = dataclasses.replace(record, payload={"metric": 99.0})
+        path = store._path(record.run_id)
+        path.write_bytes(pickle.dumps(tampered, protocol=pickle.HIGHEST_PROTOCOL))
+        with pytest.raises(StoreIntegrityError):
+            store.get(record.run_id)
+        assert path.exists()  # kept for inspection, unlike corruption
+        assert store.get(record.run_id, verify=False).payload == {"metric": 99.0}
+        # Listings skip tampered entries without removing them.
+        assert store.list_runs() and path.exists()
+
+    def test_disabled_store_does_not_write(self, tmp_path):
+        store = RunStore(tmp_path, enabled=False)
+        assert store.record(sample_record()) is None
+        assert len(store) == 0
+
+    def test_clear(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record(sample_record(name="a"))
+        store.record(sample_record(name="b"))
+        assert store.clear() == 2
+        assert len(store) == 0
+
+
+def _concurrent_writer(args):
+    root, index = args
+    store = RunStore(root)
+    record = make_record(
+        "test", f"writer-{index}", config={"i": index}, payload={"value": index}
+    )
+    return store.record(record)
+
+
+class TestConcurrentWriters:
+    def test_parallel_writes_never_tear(self, tmp_path):
+        jobs = [(str(tmp_path), i) for i in range(16)]
+        with multiprocessing.Pool(4) as pool:
+            run_ids = pool.map(_concurrent_writer, jobs)
+        store = RunStore(tmp_path)
+        assert len(set(run_ids)) == 16
+        for run_id in run_ids:
+            assert store.get(run_id).intact
+        # The same identities hammered concurrently still read back clean.
+        same = [(str(tmp_path), 0) for _ in range(8)]
+        with multiprocessing.Pool(4) as pool:
+            repeated = pool.map(_concurrent_writer, same)
+        assert len(set(repeated)) == 1
+        assert store.get(repeated[0]).payload == {"value": 0}
+
+
+class TestEnvironmentContract:
+    @pytest.fixture(autouse=True)
+    def reset_default(self, monkeypatch):
+        monkeypatch.setattr(store_module, "_default_store", None)
+        monkeypatch.delenv(store_module.STORE_DIR_ENV, raising=False)
+        monkeypatch.delenv(store_module.STORE_DISABLE_ENV, raising=False)
+
+    def test_library_default_is_disabled(self):
+        store = default_store()
+        assert not store.enabled
+        assert resolve_store(None) is None
+
+    def test_store_dir_env_opts_in(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(store_module.STORE_DIR_ENV, str(tmp_path))
+        store = default_store()
+        assert store.enabled and store.root == tmp_path
+        assert resolve_store(None) is store
+
+    def test_disable_env_beats_everything(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(store_module.STORE_DIR_ENV, str(tmp_path))
+        monkeypatch.setenv(store_module.STORE_DISABLE_ENV, "1")
+        assert store_disabled()
+        assert not default_store().enabled
+        assert resolve_store(str(tmp_path)) is None
+        assert resolve_store(RunStore(tmp_path)) is None
+
+    @pytest.mark.parametrize("raw", ["maybe", "2", " garbage "])
+    def test_disable_env_garbage_raises(self, monkeypatch, raw):
+        monkeypatch.setenv(store_module.STORE_DISABLE_ENV, raw)
+        with pytest.raises(EnvironmentConfigError):
+            store_disabled()
+        with pytest.raises(EnvironmentConfigError):
+            resolve_store(None)
+
+    @pytest.mark.parametrize("raw", ["0", "false", "no", "off", ""])
+    def test_disable_env_falsy_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv(store_module.STORE_DISABLE_ENV, raw)
+        assert not store_disabled()
+
+    def test_configure_store_opts_in(self, tmp_path):
+        configured = configure_store(tmp_path)
+        assert configured.enabled
+        assert resolve_store(None) is configured
+        configure_store(enabled=False)
+        assert resolve_store(None) is None
+
+    def test_resolve_store_coercions(self, tmp_path):
+        assert resolve_store(False) is None
+        opened = resolve_store(str(tmp_path))
+        assert isinstance(opened, RunStore) and opened.enabled
+        passthrough = RunStore(tmp_path)
+        assert resolve_store(passthrough) is passthrough
+        assert resolve_store(RunStore(tmp_path, enabled=False)) is None
+        with pytest.raises(TypeError):
+            resolve_store(42)
+
+
+class TestRecordRun:
+    def test_none_store_is_noop(self):
+        assert record_run(None, "test", "x", config={}, payload={}) is None
+
+    def test_records_through_enabled_store(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_id = record_run(store, "test", "x", config={"a": 1}, payload={"b": 2})
+        assert store.get(run_id).payload == {"b": 2}
+
+    def test_unencodable_payload_is_swallowed(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert (
+            record_run(store, "test", "x", config={}, payload={"f": lambda: None})
+            is None
+        )
+        assert len(store) == 0
