@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench experiments fleet fleet-faults fleet-large fleet-stream report bench-full help
+.PHONY: test bench experiments fleet fleet-faults fleet-large fleet-stream fleet-xxl report bench-full help
 
 help:
 	@echo "make test        - run the tier-1 test suite"
@@ -17,6 +17,8 @@ help:
 	@echo "                   equivalence + monotonicity gates)"
 	@echo "make fleet-stream- open-loop streaming benchmark (overload/admission"
 	@echo "                   gates + the 1,000,000-job compressed smoke)"
+	@echo "make fleet-xxl   - sharded-engine benchmark (100k jobs / 1,000 machines:"
+	@echo "                   shard-equivalence + speedup gates)"
 	@echo "make report      - fleet smoke benchmark recorded into .run_store, then"
 	@echo "                   regenerate the BENCH_fleet.json section from the store"
 	@echo "                   and fail on drift"
@@ -43,6 +45,9 @@ fleet-large:
 
 fleet-stream:
 	$(PYTHON) -m benchmarks.fleet_bench --suite stream
+
+fleet-xxl:
+	$(PYTHON) -m benchmarks.fleet_bench --suite xxl
 
 report:
 	REPRO_STORE_DIR=.run_store $(PYTHON) -m benchmarks.fleet_bench --suite smoke

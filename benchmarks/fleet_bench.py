@@ -30,7 +30,23 @@ Three suites, all writing into ``BENCH_fleet.json``:
 * ``xl`` (part of ``make fleet-large``) — a 5,000-job / 100-machine
   compressed-only smoke proving datacenter-scale traces stay
   interactive; records wall time, no reference baseline (the seed path
-  would take minutes).
+  would take minutes).  Also replays the trace through the sharded
+  engine (4 shards) and enforces **byte-identical outcomes** — the
+  sharded acceptance gate on the xl trace.
+
+* ``xxl`` (``make fleet-xxl``) — the sharded-engine suite, writing the
+  ``sharding`` section: a 100,000-job / 1,000-machine open-loop stream
+  through the compressed path, once single-process and once sharded
+  (process backend), enforcing:
+
+  - **shard equivalence** — the sharded outcome must be byte-identical
+    to the single-process outcome (always gated);
+  - **speedup** — the sharded run must beat single-process by >= 3x on
+    a >= 4-core host, >= 1.5x on 2-3 cores (the CI runner); reported
+    but not gated on a single core;
+  - **trend** — the sharded wall time must not regress more than 2.5x
+    against the committed baseline (60 s noise floor: the committed
+    numbers come from whatever machine last regenerated the file).
 
 * ``faults`` (``make fleet-faults``) — replays the canonical 50-job
   trace under a fixed fault plan (a straggler window, a preemption, a
@@ -122,6 +138,35 @@ LARGE_SPEEDUP_GATE = 10.0
 XL_NUM_JOBS = 5000
 XL_MACHINES: tuple[str, ...] = DEFAULT_FLEET * 20
 XL_INTERARRIVAL = 54.0
+#: The xl sharded-equality leg: enough shards to exercise the merge
+#: without dominating the smoke's wall time.
+XL_SHARDS = 4
+
+#: The ``xxl`` suite: the ROADMAP's 100k-job / 1,000-machine target,
+#: streamed open-loop (the trace is never materialised) through the
+#: compressed path.  Short jobs at a high arrival rate (~50% fleet
+#: utilisation) put the cost where sharding helps: with long jobs the
+#: wall time is the per-round accounting both engines share (the
+#: ``large`` suite's regime, already solved by round compression), while
+#: a dense event stream isolates what divides them — the single-process
+#: path pays an O(machines) ``sync_to`` sweep per event, the sharded
+#: engine an O(due log) calendar pop.
+XXL_NUM_JOBS = 100_000
+XXL_MACHINES: tuple[str, ...] = DEFAULT_FLEET * 200
+XXL_SEED = 42
+XXL_INTERARRIVAL = 0.02
+XXL_MIN_STEPS, XXL_MAX_STEPS = 3, 10
+#: Sharded-vs-single-process speedup gates by host width.  Below two
+#: cores the speedup is reported, not gated.
+XXL_SPEEDUP_GATE = 3.0
+XXL_GATE_MIN_CORES = 4
+XXL_SMALL_SPEEDUP_GATE = 1.5
+XXL_SMALL_GATE_MIN_CORES = 2
+#: The xxl trend gate is cross-machine like the smoke one, but the legs
+#: run minutes, not milliseconds — a generous factor and floor keep it
+#: an algorithmic-regression tripwire rather than a hardware lottery.
+XXL_TREND_FACTOR = 2.5
+XXL_TREND_FLOOR_SECONDS = 60.0
 
 #: The ``stream`` suite's sustained-overload leg: a Poisson stream
 #: offered well past the five-machine fleet's service rate (the smoke
@@ -401,7 +446,12 @@ def run_xl_smoke(
     machines: tuple[str, ...] = XL_MACHINES,
     seed: int = LARGE_SEED,
 ) -> dict:
-    """Compressed-only 5,000-job / 100-machine smoke (no seed baseline)."""
+    """Compressed-only 5,000-job / 100-machine smoke (no seed baseline).
+
+    The trace also replays through the sharded engine
+    (:mod:`repro.fleet.sharding`, :data:`XL_SHARDS` shards) — the
+    acceptance gate that sharding stays byte-identical on the xl trace.
+    """
     trace = generate_trace(
         num_jobs,
         seed=seed,
@@ -416,6 +466,16 @@ def run_xl_smoke(
     start = time.perf_counter()
     result = simulator.run(trace)
     seconds = time.perf_counter() - start
+    sharded_sim = FleetSimulator(
+        machines,
+        policy="first-fit",
+        estimator=StepTimeEstimator(),
+        compressed=True,
+        shards=XL_SHARDS,
+    )
+    start = time.perf_counter()
+    sharded = sharded_sim.run(trace)
+    sharded_seconds = time.perf_counter() - start
     return {
         "workload": {
             "num_jobs": num_jobs,
@@ -430,7 +490,171 @@ def run_xl_smoke(
         "total_rounds": sum(m.rounds for m in result.machine_reports),
         "completions": len(result.completions),
         "makespan": result.makespan,
+        "sharded_seconds": round(sharded_seconds, 4),
+        "shards": XL_SHARDS,
+        "sharded_identical": _digest(sharded) == _digest(result),
     }
+
+
+def run_xxl_benchmark(
+    *,
+    num_jobs: int = XXL_NUM_JOBS,
+    machines: tuple[str, ...] = XXL_MACHINES,
+    seed: int = XXL_SEED,
+    shards: int | None = None,
+    backend: str = "process",
+) -> dict:
+    """Single-process vs sharded on the 100k-job / 1,000-machine stream.
+
+    Both legs run the identical open-loop Poisson stream through the
+    compressed path, each with a fresh cold estimator (symmetric cost);
+    the sharded leg defaults to one shard per core (capped at 8) on the
+    process backend.  The report carries the byte-identity verdict and
+    the speedup; :func:`check_xxl_gates` picks the gate by host width.
+    """
+    from repro.fleet import PoissonArrivals
+
+    cores = os.cpu_count() or 1
+    if shards is None:
+        shards = max(2, min(cores, 8))
+
+    def stream():
+        return PoissonArrivals(
+            num_jobs=num_jobs,
+            seed=seed,
+            mean_interarrival=XXL_INTERARRIVAL,
+            workloads=LARGE_JOB_MIX,
+            min_steps=XXL_MIN_STEPS,
+            max_steps=XXL_MAX_STEPS,
+        )
+
+    legs: dict[str, dict] = {}
+    digests: dict[str, str] = {}
+    for label, kwargs in (
+        ("single_process", {}),
+        ("sharded", {"shards": shards, "shard_backend": backend}),
+    ):
+        # Best-of-2 per leg (each fully cold: fresh estimator), for the
+        # same reason as the large suite: one scheduling hiccup on a
+        # shared host must not flip the speedup gate.
+        best = None
+        for _ in range(2):
+            simulator = FleetSimulator(
+                machines,
+                policy="first-fit",
+                estimator=StepTimeEstimator(),
+                compressed=True,
+                **kwargs,
+            )
+            start = time.perf_counter()
+            result = simulator.run(stream())
+            seconds = time.perf_counter() - start
+            if best is None or seconds < best[1]:
+                best = (result, seconds)
+        result, seconds = best
+        digests[label] = _digest(result)
+        legs[label] = {
+            "cold_seconds": round(seconds, 4),
+            "events_processed": result.events_processed,
+            "total_rounds": sum(m.rounds for m in result.machine_reports),
+            "corun_rounds": sum(m.corun_rounds for m in result.machine_reports),
+            "completions": len(result.completions),
+            "makespan": round(result.makespan, 2),
+        }
+    speedup = legs["single_process"]["cold_seconds"] / max(
+        legs["sharded"]["cold_seconds"], 1e-9
+    )
+    if cores >= XXL_GATE_MIN_CORES:
+        gate = XXL_SPEEDUP_GATE
+    elif cores >= XXL_SMALL_GATE_MIN_CORES:
+        gate = XXL_SMALL_SPEEDUP_GATE
+    else:
+        gate = None
+    return {
+        "workload": {
+            "num_jobs": num_jobs,
+            "machines": len(machines),
+            "steps": [XXL_MIN_STEPS, XXL_MAX_STEPS],
+            "mean_interarrival": XXL_INTERARRIVAL,
+            "seed": seed,
+            "policy": "first-fit",
+            "arrivals": "poisson (open loop)",
+        },
+        "shards": shards,
+        "backend": backend,
+        "cores": cores,
+        "single_process": legs["single_process"],
+        "sharded": legs["sharded"],
+        "speedup": round(speedup, 2),
+        "speedup_gate": gate,
+        "identical": digests["sharded"] == digests["single_process"],
+    }
+
+
+def format_xxl_report(report: dict) -> str:
+    workload = report["workload"]
+    single = report["single_process"]
+    sharded = report["sharded"]
+    gate = report["speedup_gate"]
+    gate_text = f"(gate >= {gate:g}x)" if gate is not None else "(not gated: 1 core)"
+    return "\n".join(
+        [
+            f"fleet XXL sharding benchmark — {workload['num_jobs']} jobs "
+            f"streamed over {workload['machines']} machines "
+            f"({report['cores']} cores)",
+            f"  single-process: {single['cold_seconds']:>8.2f}s, "
+            f"{single['events_processed']} events for "
+            f"{single['total_rounds']} rounds, "
+            f"{single['completions']} completions",
+            f"  sharded       : {sharded['cold_seconds']:>8.2f}s "
+            f"({report['shards']} shards, {report['backend']} backend)",
+            f"  speedup {report['speedup']}x {gate_text}; "
+            f"byte-identical outcomes: {report['identical']}",
+        ]
+    )
+
+
+def check_xl_gates(report: dict) -> list[str]:
+    """The failed-gate messages of one xl-smoke report (empty = pass)."""
+    if not report.get("sharded_identical", True):
+        return ["xl trace: sharded and single-process outcomes diverged"]
+    return []
+
+
+def check_xxl_gates(report: dict) -> list[str]:
+    """The failed-gate messages of one xxl-suite report (empty = pass)."""
+    failures = []
+    if not report["identical"]:
+        failures.append(
+            "xxl sharding: sharded and single-process outcomes diverged"
+        )
+    gate = report["speedup_gate"]
+    if gate is not None and report["speedup"] < gate:
+        failures.append(
+            f"xxl sharding: speedup {report['speedup']}x below the {gate:g}x "
+            f"gate ({report['cores']} cores, {report['shards']} shards)"
+        )
+    return failures
+
+
+def check_xxl_trend(report: dict, baseline_path: Path = BENCH_JSON) -> list[str]:
+    """Sharded wall-time regressions vs the committed ``sharding`` section."""
+    if not baseline_path.exists():
+        return []
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    old = baseline.get("sharding", {}).get("sharded", {}).get("cold_seconds")
+    new = report.get("sharded", {}).get("cold_seconds")
+    if old is None or new is None:
+        return []
+    if new > XXL_TREND_FLOOR_SECONDS and new > XXL_TREND_FACTOR * old:
+        return [
+            f"xxl sharded cold_seconds regressed {old:.1f}s -> {new:.1f}s "
+            f"(more than {XXL_TREND_FACTOR:g}x the committed baseline)"
+        ]
+    return []
 
 
 def run_faults_benchmark(
@@ -884,12 +1108,19 @@ def format_large_report(report: dict) -> str:
 
 def format_xl_report(report: dict) -> str:
     workload = report["workload"]
-    return (
+    text = (
         f"fleet XL smoke — {workload['num_jobs']} jobs over "
         f"{workload['machines']} machines: {report['cold_seconds']:.2f}s, "
         f"{report['events_processed']} events for {report['total_rounds']} "
         f"rounds, {report['completions']} completions"
     )
+    if "sharded_identical" in report:
+        text += (
+            f"\n  sharded ({report['shards']} shards): "
+            f"{report['sharded_seconds']:.2f}s, byte-identical: "
+            f"{report['sharded_identical']}"
+        )
+    return text
 
 
 def check_gates(report: dict) -> list[str]:
@@ -951,12 +1182,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("smoke", "large", "xl", "faults", "stream", "all"),
+        choices=("smoke", "large", "xl", "xxl", "faults", "stream", "all"),
         default="smoke",
         help="smoke: canonical 50-job gates; large: 1,000-job round-"
         "compression speedup gate; xl: 5,000-job compressed smoke; "
+        "xxl: 100k-job / 1,000-machine sharded-engine gates; "
         "faults: canonical-fault-plan equivalence gates; stream: "
         "open-loop overload/admission gates incl. the 1M-job smoke",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="xxl suite only: shard count of the sharded leg "
+        "(default: one per core, capped at 8)",
     )
     parser.add_argument("--jobs", type=int, default=None, help="sweep-engine worker count")
     parser.add_argument(
@@ -994,8 +1234,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.suite in ("xl", "all"):
         xl = run_xl_smoke()
         print(format_xl_report(xl))
+        failures += check_xl_gates(xl)
         payload.setdefault("round_compression", {})["xl_smoke"] = xl
         _record_section(store, "fleet-xl", {"round_compression": {"xl_smoke": xl}})
+    if args.suite in ("xxl", "all"):
+        xxl = run_xxl_benchmark(shards=args.shards)
+        print(format_xxl_report(xxl))
+        failures += check_xxl_gates(xxl)
+        failures += check_xxl_trend(xxl)
+        payload["sharding"] = xxl
+        _record_section(store, "fleet-xxl", {"sharding": xxl})
     if args.suite in ("faults", "all"):
         faults_report = run_faults_benchmark()
         print(format_faults_report(faults_report))

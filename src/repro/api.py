@@ -326,6 +326,8 @@ def run_fleet(
     config: RuntimeConfig | None = None,
     executor=None,
     compressed: bool = True,
+    shards: int | None = None,
+    fleet_backend: str = "serial",
     faults=None,
     store=None,
 ) -> FleetOutcome:
@@ -351,7 +353,14 @@ def run_fleet(
     ``"load-balanced"``, ``"interference-aware"``).  ``compressed``
     selects the round-compression fast path (default) or the one-event-
     per-round reference loop — both produce the identical deterministic
-    outcome.  ``faults`` injects a deterministic fault plan (machine
+    outcome.  ``shards`` partitions the machines into that many disjoint
+    groups advanced independently between fleet-wide synchronisation
+    points (see :mod:`repro.fleet.sharding`); ``fleet_backend``
+    (``"serial"``/``"thread"``/``"process"``) selects how shard windows
+    execute.  The sharded engine requires the compressed path and is
+    byte-identical to it, so the default (``shards=None``) changes
+    nothing for existing call sites.  ``faults`` injects a deterministic
+    fault plan (machine
     crashes, joins, drains, stragglers, preemptions): a
     :class:`~repro.fleet.FaultPlan`, a registered fault-spec name
     (:func:`repro.scenarios.available_fault_specs`), a spec dict or a
@@ -419,6 +428,8 @@ def run_fleet(
         config=config,
         max_corun=max_corun if max_corun is not None else DEFAULT_MAX_CORUN,
         compressed=compressed,
+        shards=shards,
+        shard_backend=fleet_backend,
         faults=faults,
         admission=admission,
     )
@@ -452,6 +463,8 @@ def run_fleet(
         machines=machines,
         max_corun=max_corun if max_corun is not None else DEFAULT_MAX_CORUN,
         compressed=compressed,
+        shards=shards,
+        fleet_backend=fleet_backend,
         admission=admission,
         faults=faults,
         generated_spec=generated_spec,
@@ -471,6 +484,8 @@ def _record_fleet_result(
     machines,
     max_corun,
     compressed,
+    shards,
+    fleet_backend,
     admission,
     faults,
     generated_spec,
@@ -512,19 +527,27 @@ def _record_fleet_result(
             fault_spec = resolve_fault_plan(faults).to_dict()
         except Exception:
             fault_spec = None
+    config = {
+        "machines": list(machines),
+        "policy": result.policy_name,
+        "max_corun": max_corun,
+        "compressed": compressed,
+        "admission": admission.to_dict() if admission is not None else None,
+        "faults": fault_spec,
+        "arrivals": arrival_spec,
+    }
+    # Shard config is recorded (so ``repro report diff`` shows the shard
+    # delta) but, like OVERHEAD_KEYS, it never enters the payload digest:
+    # a sharded and an unsharded run of the same trace digest-match.  The
+    # key is only present when sharding is on, so existing unsharded
+    # run_ids are unchanged.
+    if shards is not None:
+        config["sharding"] = {"shards": shards, "backend": fleet_backend}
     return record_run(
         resolved,
         "fleet",
         "run_fleet",
-        config={
-            "machines": list(machines),
-            "policy": result.policy_name,
-            "max_corun": max_corun,
-            "compressed": compressed,
-            "admission": admission.to_dict() if admission is not None else None,
-            "faults": fault_spec,
-            "arrivals": arrival_spec,
-        },
+        config=config,
         payload=result,
         digest_excludes=OVERHEAD_KEYS,
     )

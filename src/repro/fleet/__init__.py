@@ -19,6 +19,15 @@ trace as a declarative seeded :class:`~repro.fleet.faults.FaultPlan` —
 consulted by both simulator loops, with the compressed path still
 byte-identical to the reference loop under faults.
 
+The sharded engine (:mod:`repro.fleet.sharding`) partitions the
+machines into disjoint shards advanced independently between fleet-wide
+synchronisation points — placements and fault/admission instants are
+the only cross-shard coupling — optionally fanning shard windows out
+over :class:`~repro.sweep.SweepExecutor` worker processes, with a
+deterministic input-ordered merge that keeps
+``FleetSimulator(shards=N)`` byte-identical to the single-process
+compressed path for every N and backend.
+
 Open-loop service (:mod:`repro.fleet.arrivals`): seeded lazy arrival
 processes (Poisson, diurnal, bursty heavy-tail, replay) stream jobs
 into the simulator event-by-event — a million-job trace never
@@ -44,11 +53,13 @@ from repro.fleet.arrivals import (
     resolve_arrivals,
 )
 from repro.fleet.estimates import (
+    EstimatorStats,
     StepTimeEstimator,
     canonical_mix,
     corun_step_time,
     scale_step_time,
 )
+from repro.fleet.sharding import FANOUT_MIN_DUE, advance_shard, run_sharded
 from repro.fleet.faults import (
     DEFAULT_MAX_RETRIES,
     FaultInjector,
@@ -100,6 +111,8 @@ __all__ = [
     "DEFAULT_MAX_CORUN",
     "DEFAULT_MAX_RETRIES",
     "DiurnalArrivals",
+    "EstimatorStats",
+    "FANOUT_MIN_DUE",
     "FaultInjector",
     "FaultPlan",
     "FirstFitPolicy",
@@ -128,6 +141,7 @@ __all__ = [
     "ReplayArrivals",
     "StepTimeEstimator",
     "Straggler",
+    "advance_shard",
     "arrival_from_dict",
     "available_policies",
     "build_arrivals",
@@ -140,6 +154,7 @@ __all__ = [
     "make_policy",
     "resolve_arrivals",
     "resolve_fault_plan",
+    "run_sharded",
     "scale_step_time",
     "validate_trace",
 ]

@@ -25,6 +25,7 @@ from repro.core.config import RuntimeConfig
 from repro.fleet.job import Job
 from repro.hardware.zoo import get_machine
 from repro.scenarios import Workload, merge_graphs
+from repro.sweep.cache import SweepCache, UncacheableValue, content_key
 from repro.sweep.executor import SweepExecutor, SweepTask, get_default_executor
 
 #: Canonical co-run mix entry: (label, workload, graph_seed).
@@ -91,14 +92,29 @@ def canonical_mix(jobs: Sequence[Job]) -> tuple[MixEntry, ...]:
 
 @dataclass
 class EstimatorStats:
-    """How many estimates were requested vs actually simulated."""
+    """How many estimates were requested vs actually simulated.
+
+    ``cache_hits``/``cache_misses`` count lookups against the shared
+    on-disk estimate cache (zero when no cache is enabled): a hit means
+    the estimate was loaded instead of simulated, so warm shard workers
+    and repeat prewarms skip the sweep fan-out entirely.
+    """
 
     requests: int = 0
     computed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def memo_hits(self) -> int:
         return self.requests - self.computed
+
+    def merge(self, other: "EstimatorStats") -> None:
+        """Fold another stats delta (e.g. from a shard worker) into this one."""
+        self.requests += other.requests
+        self.computed += other.computed
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
 
 
 @dataclass
@@ -114,11 +130,58 @@ class StepTimeEstimator:
 
     executor: SweepExecutor | None = None
     config: RuntimeConfig = field(default_factory=RuntimeConfig)
+    cache: SweepCache | None = None
     _memo: dict[tuple, float] = field(default_factory=dict)
     stats: EstimatorStats = field(default_factory=EstimatorStats)
 
     def _executor(self) -> SweepExecutor:
         return self.executor if self.executor is not None else get_default_executor()
+
+    def _cache(self) -> SweepCache:
+        """The shared on-disk estimate cache (the executor's by default).
+
+        Estimates live under their own ``"estimate"`` content-key
+        namespace so any process holding the same cache root — shard
+        workers included — shares them with the same atomic
+        sharded-pickle discipline as :class:`SweepCache` task results.
+        """
+        if self.cache is not None:
+            return self.cache
+        return self._executor().cache
+
+    def _cache_key(self, machine_name: str, entries: tuple[MixEntry, ...]) -> str:
+        return content_key("estimate", machine_name, entries, self.config)
+
+    def _cache_lookup(
+        self, cache: SweepCache, machine_name: str, entries: tuple[MixEntry, ...]
+    ) -> tuple[bool, float | None]:
+        if not cache:
+            return False, None
+        try:
+            key = self._cache_key(machine_name, entries)
+        except UncacheableValue:
+            return False, None
+        hit, value = cache.lookup(key)
+        if hit:
+            self.stats.cache_hits += 1
+        else:
+            self.stats.cache_misses += 1
+        return hit, value
+
+    def _cache_store(
+        self,
+        cache: SweepCache,
+        machine_name: str,
+        entries: tuple[MixEntry, ...],
+        value: float,
+    ) -> None:
+        if not cache:
+            return
+        try:
+            key = self._cache_key(machine_name, entries)
+        except UncacheableValue:
+            return
+        cache.store(key, value)
 
     def step_time(self, machine_name: str, jobs: Sequence[Job]) -> float:
         """Round duration of ``jobs`` gang-stepping on ``machine_name``."""
@@ -127,12 +190,30 @@ class StepTimeEstimator:
         self.stats.requests += 1
         value = self._memo.get(key)
         if value is None:
-            value = self._executor().run(
-                [SweepTask(corun_step_time, (entries, machine_name, self.config))]
-            )[0]
+            cache = self._cache()
+            hit, cached = self._cache_lookup(cache, machine_name, entries)
+            if hit:
+                value = cached
+            else:
+                value = self._executor().run(
+                    [SweepTask(corun_step_time, (entries, machine_name, self.config))]
+                )[0]
+                self.stats.computed += 1
+                self._cache_store(cache, machine_name, entries, value)
             self._memo[key] = value
-            self.stats.computed += 1
         return value
+
+    def memo_snapshot(self) -> dict[tuple, float]:
+        """A copy of the in-memory memo, for shipping to shard workers."""
+        return dict(self._memo)
+
+    def merge_memo(self, delta: dict[tuple, float]) -> None:
+        """Fold a worker's new memo entries back in on fleet sync.
+
+        Estimates are pure functions of their key, so collisions are
+        value-identical and last-writer-wins is safe.
+        """
+        self._memo.update(delta)
 
     def solo_time(self, machine_name: str, job: Job) -> float:
         """The job's isolated (no co-runner) step time on ``machine_name``."""
@@ -170,6 +251,7 @@ class StepTimeEstimator:
         for size in range(1, max_corun + 1):
             for combo in combinations_with_replacement(representatives, size):
                 mixes.append(canonical_mix(combo))
+        cache = self._cache()
         tasks: list[SweepTask] = []
         keys: list[tuple] = []
         seen: set[tuple] = set(self._memo)
@@ -179,6 +261,15 @@ class StepTimeEstimator:
                 if key in seen:
                     continue
                 seen.add(key)
+                # Dedupe against the shared on-disk estimate cache:
+                # warm simulators (repeat policies, shard workers) fill
+                # the memo from disk instead of fanning the mix out
+                # through the sweep engine again.
+                hit, cached = self._cache_lookup(cache, machine_name, entries)
+                if hit:
+                    self._memo[key] = cached
+                    self.stats.requests += 1
+                    continue
                 keys.append(key)
                 tasks.append(
                     SweepTask(corun_step_time, (entries, machine_name, self.config))
@@ -188,6 +279,7 @@ class StepTimeEstimator:
         results = self._executor().run(tasks)
         for key, value in zip(keys, results):
             self._memo[key] = value
+            self._cache_store(cache, key[0], key[1], value)
         # Prewarmed estimates are requests too, so ``memo_hits`` (the
         # requests/computed difference) can never go negative.
         self.stats.requests += len(tasks)

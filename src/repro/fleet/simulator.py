@@ -120,7 +120,7 @@ from repro.fleet.state import (
     Placement,
 )
 from repro.hardware.zoo import get_machine
-from repro.sweep.executor import SweepExecutor
+from repro.sweep.executor import BACKENDS, SweepExecutor
 
 #: Default number of jobs allowed to share one machine (the paper's
 #: co-run studies pair two workloads; capacity 2 is the sweet spot where
@@ -639,6 +639,17 @@ class FleetSimulator:
     series_window:
         Width, in simulated seconds, of the windowed queue-depth /
         throughput / goodput series on :class:`FleetResult`.
+    shards:
+        ``None`` (default) keeps the single-event-loop paths above.  An
+        integer ``>= 1`` runs the sharded engine
+        (:mod:`repro.fleet.sharding`): machines are partitioned into
+        that many groups which advance independently between fleet-wide
+        synchronisation points, byte-identical to the compressed path.
+        Requires ``compressed=True``.
+    shard_backend:
+        Sweep-executor backend (``"serial"``, ``"thread"``,
+        ``"process"``) shard groups fan out on during wide
+        synchronisation windows; ``"serial"`` advances them inline.
     """
 
     def __init__(
@@ -655,6 +666,8 @@ class FleetSimulator:
         faults: "FaultPlan | FaultInjector | dict | str | None" = None,
         admission: "AdmissionController | dict | None" = None,
         series_window: float = 25.0,
+        shards: int | None = None,
+        shard_backend: str = "serial",
     ) -> None:
         if not machines:
             raise ValueError("a fleet needs at least one machine")
@@ -662,6 +675,21 @@ class FleetSimulator:
             raise ValueError("max_corun must be at least 1")
         if series_window <= 0:
             raise ValueError("series_window must be positive")
+        if shards is not None:
+            shards = int(shards)
+            if shards < 1:
+                raise ValueError("shards must be at least 1")
+            if not compressed:
+                raise ValueError(
+                    "the sharded engine runs on the compressed path: "
+                    "shards= requires compressed=True"
+                )
+        if shard_backend not in BACKENDS:
+            raise ValueError(
+                f"unknown shard backend {shard_backend!r}; pick one of {BACKENDS}"
+            )
+        self.shards = shards
+        self.shard_backend = shard_backend
         for name in machines:
             get_machine(name)  # fail fast on dangling zoo names
         self.machine_names = tuple(machines)
@@ -772,7 +800,14 @@ class FleetSimulator:
                 machines, [], [], [], [], (), 0, 0.0, 0,
                 requests_before, computed_before,
             )
-        runner = self._run_compressed if self.compressed else self._run_reference
+        if self.shards is not None:
+            from repro.fleet.sharding import run_sharded
+
+            runner = lambda *args: run_sharded(self, *args)  # noqa: E731
+        elif self.compressed:
+            runner = self._run_compressed
+        else:
+            runner = self._run_reference
         (
             completions,
             placements,
@@ -947,15 +982,17 @@ class FleetSimulator:
             depth_log.record(now, len(queue))
 
         def fleet_state() -> FleetState:
+            # Read the dirty-flag cache directly: a thousand-machine fleet
+            # pays one method call per *touched* machine instead of one
+            # per machine per placement.
             return FleetState(
                 time=now,
-                machines=tuple(m.view() for m in machines),
+                machines=tuple(m._view_cache or m.view() for m in machines),
                 queue=tuple(queue),
                 queue_limit=queue_limit,
             )
 
         def start_round(machine: MachineState) -> None:
-            nonlocal seq
             machine.residents.extend(machine.waiting)
             machine.waiting.clear()
             machine.touch()
@@ -969,12 +1006,17 @@ class FleetSimulator:
             machine.round_time = round_time
             machine.busy_until = now + round_time
             machine.round_active = True
+            # Round-end events tie-break on the machine's stable numeric
+            # index (machine ids are dense ``m<index>``), not a global
+            # sequence counter: equal-instant round ends then replay in
+            # an order reconstructible from per-machine state alone,
+            # which the compressed ``sync_to`` and the sharded engine's
+            # log merge both rely on.
             heapq.heappush(
                 events,
-                (machine.busy_until, _ROUND_END, seq,
+                (machine.busy_until, _ROUND_END, int(machine.machine_id[1:]),
                  (machine.machine_id, machine.epoch)),
             )
-            seq += 1
 
         def finish_round(machine: MachineState) -> None:
             machine.round_active = False
@@ -1350,9 +1392,11 @@ class FleetSimulator:
             nonlocal queue_view
             if queue_view is None:
                 queue_view = tuple(pending.values())
+            # Dirty-flag cache read, as in the reference loop: only
+            # touched machines pay the view() rebuild call.
             return FleetState(
                 time=now,
-                machines=tuple(m.view() for m in machines),
+                machines=tuple(m._view_cache or m.view() for m in machines),
                 queue=queue_view,
                 queue_limit=queue_limit,
             )
@@ -1463,16 +1507,20 @@ class FleetSimulator:
             """Flush every unflushed round boundary at or before ``now_time``.
 
             Boundaries of co-running segments are replayed in global
-            ``(time, tie_seq)`` order — the order the reference loop's
-            heap would have popped them — so shared interference
-            histories evolve identically; pair-free segments batch
-            through :func:`bulk_flush`.  While the queue is non-empty
-            only ``own``'s boundary at exactly ``now_time`` is flushed:
-            every other machine then has its own heap event, and the
-            reference loop dispatches between them.
+            ``(time, machine index)`` order — the order the reference
+            loop's heap pops equal-time round ends, now that round-end
+            events carry the machine's stable numeric index as their tie
+            key — so shared interference histories evolve identically;
+            pair-free segments batch through :func:`bulk_flush`.  While
+            the queue is non-empty only ``own``'s boundary at exactly
+            ``now_time`` is flushed: every other machine then has its
+            own heap event, and the reference loop dispatches between
+            them.  The stable key is what lets the sharded engine
+            reconstruct this exact order from independently advanced
+            shard logs (:mod:`repro.fleet.sharding`).
             """
             empty_queue = not pending
-            flushable: list[tuple[float, int, int]] = []
+            flushable: list[tuple[float, int]] = []
             for index, machine in enumerate(machines):
                 if not machine.round_active:
                     continue
@@ -1480,23 +1528,22 @@ class FleetSimulator:
                 allow_now = empty_queue or machine is own
                 if boundary < now_time or (boundary == now_time and allow_now):
                     if machine.seg_records:
-                        flushable.append((boundary, machine.tie_seq, index))
+                        flushable.append((boundary, index))
                     else:
                         bulk_flush(machine, now_time, allow_now)
             if not flushable:
                 return
             heapq.heapify(flushable)
             while flushable:
-                boundary, _, index = heapq.heappop(flushable)
+                boundary, index = heapq.heappop(flushable)
                 machine = machines[index]
                 flush_round(machine, boundary)
                 if machine.round_active:
-                    machine.tie_seq = next_seq()
                     nxt = machine.busy_until
                     if nxt < now_time or (
                         nxt == now_time and (empty_queue or machine is own)
                     ):
-                        heapq.heappush(flushable, (nxt, machine.tie_seq, index))
+                        heapq.heappush(flushable, (nxt, index))
 
         def truncate(machine: MachineState) -> None:
             """Clamp a running segment to its current round (mix about to
@@ -1506,7 +1553,7 @@ class FleetSimulator:
                 machine.epoch += 1
                 heapq.heappush(
                     events,
-                    (machine.busy_until, _ROUND_END, next_seq(),
+                    (machine.busy_until, _ROUND_END, int(machine.machine_id[1:]),
                      (machine.machine_id, machine.epoch)),
                 )
 
@@ -1566,7 +1613,6 @@ class FleetSimulator:
                 # the identical per-round state sequence.
                 rounds = 1
             machine.seg_rounds_left = rounds
-            machine.tie_seq = next_seq()
             # The segment-end instant accumulates one addition per round —
             # the same float sequence the reference loop's per-round
             # ``now + round_time`` produces.
@@ -1576,7 +1622,8 @@ class FleetSimulator:
             machine.epoch += 1
             heapq.heappush(
                 events,
-                (end, _ROUND_END, next_seq(), (machine.machine_id, machine.epoch)),
+                (end, _ROUND_END, int(machine.machine_id[1:]),
+                 (machine.machine_id, machine.epoch)),
             )
 
         def dispatch() -> None:

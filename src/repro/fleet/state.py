@@ -153,11 +153,6 @@ class MachineState:
     #: Invalidation counter for heap events (a truncated segment's stale
     #: end event is recognised and skipped by its old epoch).
     epoch: int = 0
-    #: Mirrors the reference path's heap-push sequence for equal-time
-    #: round boundaries: assigned from the simulator's global counter at
-    #: every round start, so same-instant flushes replay in the exact
-    #: order the one-event-per-round loop would have processed them.
-    tie_seq: int = 0
     # -- fault-injection bookkeeping (see repro.fleet.faults) --------------------
     #: False once the machine crashed or finished a graceful drain.
     alive: bool = True

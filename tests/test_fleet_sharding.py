@@ -1,0 +1,291 @@
+"""Sharded fleet engine: byte-identity with the single-process path.
+
+The tentpole contract: ``repro.fleet.sharding`` advances disjoint
+machine shards independently between fleet-wide synchronisation points
+and merges their flush logs deterministically, so
+``FleetSimulator(shards=N)`` is byte-identical
+(``to_dict(include_overhead=False)`` plus the full fleet
+``InterferenceTracker`` snapshot) to the compressed single-process path
+for every shard count and backend — across policies, fault plans and
+admission control.  The satellites pin shard-count invariance (1, 2, 7
+identical), the process-backend worker round-trip, the prewarm
+disk-cache dedupe, the run-store digest match, and the constructor
+guards.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet import (
+    AdmissionController,
+    FleetSimulator,
+    StepTimeEstimator,
+    generate_fault_plan,
+    generate_trace,
+)
+from repro.fleet.estimates import EstimatorStats
+from repro.scenarios import Workload
+from repro.sweep.cache import SweepCache
+from repro.sweep.executor import SweepExecutor
+
+SYN_A = Workload(synthetic_ops=24, synthetic_width=4, label="kind-a")
+SYN_B = Workload(synthetic_ops=24, synthetic_width=4, heavy_fraction=0.6, label="kind-b")
+SYN_C = Workload(synthetic_ops=16, synthetic_width=2, heavy_fraction=0.3, label="kind-c")
+
+POLICIES = ("first-fit", "load-balanced", "interference-aware")
+
+MACHINES = ["desktop-8c", "laptop-4c", "cloud-vm-16v", "desktop-8c", "arm-server-64c"]
+
+
+class FakeEstimator:
+    """Deterministic dict-driven estimator (no graph simulation)."""
+
+    def __init__(self, solo, pair_factor=1.5):
+        self.solo = solo
+        self.pair_factor = pair_factor
+        self.stats = EstimatorStats()
+
+    def step_time(self, machine_name, jobs):
+        jobs = list(jobs)
+        self.stats.requests += 1
+        if len(jobs) == 1:
+            return self.solo[(machine_name, jobs[0].kind)]
+        slowest = max(self.solo[(machine_name, j.kind)] for j in jobs)
+        return slowest * self.pair_factor
+
+    def solo_time(self, machine_name, job):
+        return self.step_time(machine_name, (job,))
+
+    def prewarm(self, machine_names, jobs, max_corun=1):
+        return 0
+
+
+BASES = {"desktop-8c": 1.0, "laptop-4c": 3.0, "cloud-vm-16v": 2.0, "arm-server-64c": 1.5}
+
+
+def fake_estimator(machines=MACHINES, pair_factor=1.5):
+    solo = {}
+    for name in set(machines) | set(BASES):
+        base = BASES[name]
+        solo[(name, "kind-a")] = base
+        solo[(name, "kind-b")] = 1.5 * base
+        solo[(name, "kind-c")] = 0.7 * base
+    return FakeEstimator(solo, pair_factor)
+
+
+def trace(num_jobs=50, seed=0, **kwargs):
+    kwargs.setdefault("workloads", (SYN_A, SYN_B, SYN_C))
+    kwargs.setdefault("min_steps", 2)
+    kwargs.setdefault("max_steps", 25)
+    kwargs.setdefault("mean_interarrival", 1.5)
+    return generate_trace(num_jobs, seed=seed, **kwargs)
+
+
+def deterministic_dict(result):
+    return json.dumps(result.to_dict(include_overhead=False), sort_keys=True)
+
+
+def run_once(
+    policy,
+    jobs,
+    *,
+    shards=None,
+    shard_backend="serial",
+    faults=None,
+    admission=None,
+    machines=MACHINES,
+    estimator=None,
+):
+    sim = FleetSimulator(
+        machines,
+        policy=policy,
+        estimator=estimator if estimator is not None else fake_estimator(machines),
+        compressed=True,
+        shards=shards,
+        shard_backend=shard_backend,
+        admission=admission,
+    )
+    result = sim.run(jobs, prewarm=False, faults=faults)
+    return result, sim.tracker.snapshot()
+
+
+def fault_plan(jobs, machines=MACHINES, seed=3):
+    horizon = max(1.0, jobs[-1].arrival_time * 1.5)
+    return generate_fault_plan(
+        [f"m{i}" for i in range(len(machines))],
+        horizon=horizon,
+        seed=seed,
+        crash_rate=0.5,
+        straggler_rate=0.5,
+        preempt_rate=0.3,
+        job_names=[job.name for job in jobs],
+        join_machines=["laptop-4c"],
+    )
+
+
+ADMISSION = dict(queue_limit=4, deadline=12.0, shed_policy="drop-oldest")
+
+
+class TestShardedByteIdentity:
+    """The acceptance gate: sharded == compressed single-process, byte for
+    byte, including the fleet tracker's full snapshot."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("scenario", ("clean", "faults", "admission"))
+    def test_fifty_job_trace(self, policy, scenario):
+        jobs = trace(50, seed=0)
+        faults = fault_plan(jobs) if scenario == "faults" else None
+        admission = (
+            AdmissionController(**ADMISSION) if scenario == "admission" else None
+        )
+        base, base_tracker = run_once(
+            policy, jobs, faults=faults, admission=admission
+        )
+        sharded, shard_tracker = run_once(
+            policy, jobs, shards=2, faults=faults, admission=admission
+        )
+        assert deterministic_dict(sharded) == deterministic_dict(base)
+        assert shard_tracker == base_tracker
+
+    @pytest.mark.parametrize("shards", (1, 2, 7))
+    def test_shard_count_invariance(self, shards):
+        jobs = trace(50, seed=11)
+        base, base_tracker = run_once("interference-aware", jobs)
+        sharded, shard_tracker = run_once(
+            "interference-aware", jobs, shards=shards
+        )
+        assert deterministic_dict(sharded) == deterministic_dict(base)
+        assert shard_tracker == base_tracker
+
+    def test_thousand_job_trace(self):
+        jobs = trace(1000, seed=5, mean_interarrival=0.8)
+        base, base_tracker = run_once("first-fit", jobs)
+        sharded, shard_tracker = run_once("first-fit", jobs, shards=4)
+        assert deterministic_dict(sharded) == deterministic_dict(base)
+        assert shard_tracker == base_tracker
+
+    def test_faults_and_admission_compose(self):
+        jobs = trace(50, seed=2)
+        plan = fault_plan(jobs, seed=7)
+        admission = AdmissionController(**ADMISSION)
+        base, base_tracker = run_once(
+            "load-balanced", jobs, faults=plan, admission=admission
+        )
+        sharded, shard_tracker = run_once(
+            "load-balanced", jobs, shards=3, faults=plan, admission=admission
+        )
+        assert deterministic_dict(sharded) == deterministic_dict(base)
+        assert shard_tracker == base_tracker
+
+
+class TestProcessBackend:
+    """Shard windows on worker processes: same bytes, worker round-trip
+    (machine states, flush logs, completions, estimator memo) included."""
+
+    def test_process_backend_byte_identical(self, tmp_path):
+        jobs = trace(16, seed=4)
+        machines = MACHINES[:3]
+        cache = SweepCache(tmp_path / "cache")
+        results = []
+        trackers = []
+        for shards, backend in ((None, "serial"), (2, "process")):
+            executor = SweepExecutor(backend="serial", cache=cache)
+            estimator = StepTimeEstimator(executor=executor)
+            result, tracker = run_once(
+                "interference-aware",
+                jobs,
+                machines=machines,
+                shards=shards,
+                shard_backend=backend,
+                estimator=estimator,
+            )
+            results.append(result)
+            trackers.append(tracker)
+        assert deterministic_dict(results[1]) == deterministic_dict(results[0])
+        assert trackers[1] == trackers[0]
+
+
+class TestPrewarmDedupe:
+    """prewarm() dedupes against the shared on-disk estimate cache: a
+    warm estimator (fresh memo, same cache root) fills from disk and
+    skips the sweep fan-out entirely."""
+
+    def test_second_prewarm_computes_nothing(self, tmp_path):
+        jobs = trace(12, seed=0)
+        machines = MACHINES[:2]
+        cache = SweepCache(tmp_path / "cache")
+
+        cold = StepTimeEstimator(executor=SweepExecutor(backend="serial", cache=cache))
+        computed = cold.prewarm([m for m in machines], jobs, max_corun=2)
+        assert computed > 0
+        assert cold.stats.computed == computed
+        assert cold.stats.cache_hits == 0
+
+        warm = StepTimeEstimator(executor=SweepExecutor(backend="serial", cache=cache))
+        assert warm.prewarm([m for m in machines], jobs, max_corun=2) == 0
+        assert warm.stats.computed == 0
+        assert warm.stats.cache_hits == computed
+        # The disk hits landed in the memo: step_time replays without
+        # touching the executor at all.
+        warm.executor = None
+        job = jobs[0]
+        assert warm.solo_time(machines[0], job) == cold.solo_time(machines[0], job)
+
+    def test_stats_merge(self):
+        a = EstimatorStats(requests=5, computed=2, cache_hits=1, cache_misses=1)
+        b = EstimatorStats(requests=3, computed=1, cache_hits=2, cache_misses=0)
+        a.merge(b)
+        assert (a.requests, a.computed, a.cache_hits, a.cache_misses) == (8, 3, 3, 1)
+        assert a.memo_hits == 5
+
+
+class TestRunStoreDigest:
+    """Satellite: the shard config is recorded but digest-excluded, so a
+    sharded and an unsharded run of the same trace digest-match."""
+
+    def test_sharded_run_digest_matches_unsharded(self, tmp_path):
+        from repro.api import run_fleet
+        from repro.store import RunStore
+
+        store = RunStore(tmp_path / "store")
+        plain = run_fleet(
+            num_jobs=12, machines=MACHINES[:2], policy="first-fit", store=store
+        )
+        sharded = run_fleet(
+            num_jobs=12,
+            machines=MACHINES[:2],
+            policy="first-fit",
+            store=store,
+            shards=2,
+            fleet_backend="serial",
+        )
+        a = store.load(plain.run_id)
+        b = store.load(sharded.run_id)
+        assert a.digest == b.digest
+        assert "sharding" not in a.config
+        assert b.config["sharding"] == {"shards": 2, "backend": "serial"}
+
+
+class TestGuards:
+    def test_shards_require_compressed_path(self):
+        with pytest.raises(ValueError, match="compressed"):
+            FleetSimulator(MACHINES[:2], shards=2, compressed=False)
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FleetSimulator(MACHINES[:2], shards=0)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            FleetSimulator(MACHINES[:2], shards=2, shard_backend="quantum")
+
+    def test_shards_may_exceed_machine_count(self):
+        jobs = trace(10, seed=1)
+        base, _ = run_once("first-fit", jobs, machines=MACHINES[:2])
+        sharded, _ = run_once(
+            "first-fit", jobs, machines=MACHINES[:2], shards=5
+        )
+        assert deterministic_dict(sharded) == deterministic_dict(base)
