@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench experiments fleet fleet-faults fleet-large fleet-stream fleet-xxl report bench-full help
+.PHONY: test bench experiments fleet fleet-faults fleet-large fleet-stream fleet-xxl chaos report bench-full help
 
 help:
 	@echo "make test        - run the tier-1 test suite"
@@ -19,6 +19,9 @@ help:
 	@echo "                   gates + the 1,000,000-job compressed smoke)"
 	@echo "make fleet-xxl   - sharded-engine benchmark (100k jobs / 1,000 machines:"
 	@echo "                   shard-equivalence + speedup gates)"
+	@echo "make chaos       - resilience suite: checkpoint-overhead, kill-and-"
+	@echo "                   resume and chaos-injection gates, updates the"
+	@echo "                   resilience section of BENCH_fleet.json"
 	@echo "make report      - fleet smoke benchmark recorded into .run_store, then"
 	@echo "                   regenerate the BENCH_fleet.json section from the store"
 	@echo "                   and fail on drift"
@@ -48,6 +51,9 @@ fleet-stream:
 
 fleet-xxl:
 	$(PYTHON) -m benchmarks.fleet_bench --suite xxl
+
+chaos:
+	$(PYTHON) -m benchmarks.fleet_bench --suite resilience
 
 report:
 	REPRO_STORE_DIR=.run_store $(PYTHON) -m benchmarks.fleet_bench --suite smoke

@@ -87,6 +87,8 @@ import hashlib
 import json
 import os
 import platform
+import subprocess
+import sys
 import tempfile
 import time
 from datetime import datetime, timezone
@@ -212,6 +214,35 @@ BENCH_FAULT_PLAN: dict = {
         {"kind": "preempt", "time": 80.0, "job": "job-040-dcgan"},
     ],
 }
+
+#: The ``resilience`` suite (``make chaos``): checkpoint overhead on an
+#: xl-scale open-loop stream, a kill-and-resume smoke, and seeded chaos
+#: legs over the sweep executor and the sharded engine.  The overhead
+#: gate is self-relative (checkpointed vs plain warm time on the same
+#: host), so no cross-machine floor is needed.
+RESILIENCE_NUM_JOBS = 4 * XL_NUM_JOBS
+RESILIENCE_INTERARRIVAL = 0.1
+RESILIENCE_MIN_STEPS, RESILIENCE_MAX_STEPS = 3, 10
+RESILIENCE_QUEUE_LIMIT = 200
+#: Snapshot every this many processed events on the overhead leg.  With
+#: background (forked) writers the parent only pays for the state
+#: capture plus the fork's copy-on-write traffic — tens of ms per
+#: snapshot at this scale — while the ~2 MB pickle and its
+#: cache-pollution aftermath land in the throwaway child; this interval
+#: checkpoints the ~52k-event stream twice, keeping the residual
+#: parent-side cost comfortably inside the gate on a noisy host.
+RESILIENCE_CKPT_INTERVAL = 20_000
+RESILIENCE_OVERHEAD_GATE = 1.15
+#: Plain/checkpointed timing pairs on the overhead leg.  Each pair runs
+#: in a fresh interpreter (allocator and cache state from earlier runs
+#: in the same process skews in-process timing more than the checkpoint
+#: cost itself) and the pair order flips every rep; the reported ratio
+#: is the median of the within-pair ratios, and an odd rep count keeps
+#: the median a single real measurement, robust to one noisy outlier.
+RESILIENCE_OVERHEAD_REPS = 5
+#: The chaos legs' seeded plan knobs (see repro.resilience.chaos).
+CHAOS_SEED = 7
+CHAOS_SWEEP_TASKS = 48
 
 #: Trend gate: warm reruns must not get more than 2x slower than the
 #: committed baseline.  The committed numbers come from whatever
@@ -1018,6 +1049,356 @@ def check_trend(report: dict, baseline_path: Path = BENCH_JSON) -> list[str]:
     return failures
 
 
+def _chaos_probe(value: int) -> int:
+    """Module-level (picklable) sweep payload for the chaos legs."""
+    return value * value
+
+
+def _overhead_probe(order: str) -> dict:
+    """One checkpoint-overhead measurement in a pristine interpreter.
+
+    Runs the resilience workload cold once (estimator warm-up), then
+    times one plain and one checkpointed run in the requested ``order``
+    (``plain-first`` / ``ckpt-first``).  Ran as a subprocess by
+    :func:`run_resilience_benchmark`: in-process back-to-back timing is
+    polluted by allocator and cache state the previous run leaves
+    behind, which routinely dwarfs the checkpoint cost itself.
+    """
+    from repro.fleet import AdmissionController, PoissonArrivals
+    from repro.resilience import CheckpointConfig, Checkpointer
+
+    admission = AdmissionController(queue_limit=RESILIENCE_QUEUE_LIMIT)
+    estimator = StepTimeEstimator()
+
+    def simulate(checkpoint=None):
+        simulator = FleetSimulator(
+            XL_MACHINES,
+            policy="first-fit",
+            estimator=estimator,
+            compressed=True,
+            admission=admission,
+        )
+        stream = PoissonArrivals(
+            num_jobs=RESILIENCE_NUM_JOBS,
+            seed=XXL_SEED,
+            mean_interarrival=RESILIENCE_INTERARRIVAL,
+            workloads=LARGE_JOB_MIX,
+            min_steps=RESILIENCE_MIN_STEPS,
+            max_steps=RESILIENCE_MAX_STEPS,
+        )
+        start = time.perf_counter()
+        result = simulator.run(stream, checkpoint=checkpoint)
+        return result, time.perf_counter() - start
+
+    simulate()  # cold: warm the estimator memo so both timed runs match
+    with tempfile.TemporaryDirectory(prefix="repro-ckpt-probe-") as root:
+
+        def checkpointed_run():
+            checkpointer = Checkpointer(
+                "bench-resilience-overhead",
+                CheckpointConfig(interval=RESILIENCE_CKPT_INTERVAL, root=root),
+            )
+            result, seconds = simulate(checkpoint=checkpointer)
+            return result, seconds, checkpointer.saves
+
+        if order == "ckpt-first":
+            checkpointed, checkpoint_seconds, snapshots = checkpointed_run()
+            plain, plain_seconds = simulate()
+        else:
+            plain, plain_seconds = simulate()
+            checkpointed, checkpoint_seconds, snapshots = checkpointed_run()
+    return {
+        "order": order,
+        "plain_seconds": plain_seconds,
+        "checkpoint_seconds": checkpoint_seconds,
+        "snapshots": snapshots,
+        "identical": _digest(plain) == _digest(checkpointed),
+    }
+
+
+def run_resilience_benchmark(
+    *,
+    num_jobs: int = RESILIENCE_NUM_JOBS,
+    machines: tuple[str, ...] = XL_MACHINES,
+) -> dict:
+    """The resilience suite: checkpoint overhead, kill-resume, chaos."""
+    from repro.fleet import AdmissionController, PoissonArrivals
+    from repro.resilience import (
+        ChaosPlan,
+        RetryPolicy,
+        RunInterrupted,
+        corrupt_cache_entries,
+        resume_fleet,
+    )
+    from repro.sweep.executor import SweepTask
+
+    def stream(n=num_jobs):
+        return PoissonArrivals(
+            num_jobs=n,
+            seed=XXL_SEED,
+            mean_interarrival=RESILIENCE_INTERARRIVAL,
+            workloads=LARGE_JOB_MIX,
+            min_steps=RESILIENCE_MIN_STEPS,
+            max_steps=RESILIENCE_MAX_STEPS,
+        )
+
+    admission = AdmissionController(queue_limit=RESILIENCE_QUEUE_LIMIT)
+    estimator = StepTimeEstimator()
+
+    # -- checkpoint overhead: plain warm vs checkpointed warm ------------
+    # Each rep measures one plain/checkpointed pair in a *fresh
+    # interpreter* (see _overhead_probe), with the pair order flipping
+    # every rep.  The reported ratio is the median of the per-probe
+    # ratios: a probe's pair shares its host conditions, so within-probe
+    # ratios are far more stable than any cross-probe min/min.
+    probes = []
+    for rep in range(RESILIENCE_OVERHEAD_REPS):
+        order = "plain-first" if rep % 2 == 0 else "ckpt-first"
+        proc = subprocess.run(
+            [sys.executable, "-m", "benchmarks.fleet_bench", "--overhead-probe", order],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        probes.append(json.loads(proc.stdout.strip().splitlines()[-1]))
+    ratios = sorted(
+        p["checkpoint_seconds"] / p["plain_seconds"] for p in probes if p["plain_seconds"] > 0
+    )
+    mid = len(ratios) // 2
+    ratio = (
+        ratios[mid]
+        if len(ratios) % 2
+        else (ratios[mid - 1] + ratios[mid]) / 2
+    )
+    overhead_report = {
+        "warm_seconds": round(min(p["plain_seconds"] for p in probes), 4),
+        "checkpoint_seconds": round(min(p["checkpoint_seconds"] for p in probes), 4),
+        "probe_ratios": [round(r, 4) for r in ratios],
+        "overhead_ratio": round(ratio, 4),
+        "interval": RESILIENCE_CKPT_INTERVAL,
+        "snapshots": probes[0]["snapshots"],
+        "reps": RESILIENCE_OVERHEAD_REPS,
+        "identical": all(p["identical"] for p in probes),
+        "gate": RESILIENCE_OVERHEAD_GATE,
+    }
+
+    # -- kill-and-resume smoke: interrupt mid-stream, resume, compare ----
+    kill_jobs = max(200, num_jobs // 10)
+    with tempfile.TemporaryDirectory(prefix="repro-resume-bench-") as tmp:
+        root = os.path.join(tmp, "ck")
+        store_dir = os.path.join(tmp, "store")
+        from repro.api import run_fleet
+
+        kw = dict(
+            arrival_process=stream(kill_jobs).to_dict(),
+            machines=BENCH_MACHINES,
+            policy="interference-aware",
+            queue_limit=STREAM_QUEUE_LIMIT,
+            shards=2,
+            fleet_backend="thread",
+            store=store_dir,
+        )
+        baseline = run_fleet(**kw)
+        want = resolve_store(store_dir).get(baseline.run_id).digest
+        interrupt_events = baseline.events_processed // 2
+        try:
+            run_fleet(
+                **kw,
+                checkpoint={
+                    "interval": 64,
+                    "root": root,
+                    "interrupt_after": interrupt_events,
+                },
+            )
+            interrupted = False
+        except RunInterrupted:
+            interrupted = True
+        resumed = resume_fleet(baseline.run_id, root=root, store=store_dir)
+        got = resolve_store(store_dir).get(resumed.run_id).digest
+        kill_resume_report = {
+            "jobs": kill_jobs,
+            "interrupt_events": interrupt_events,
+            "interrupted": interrupted,
+            "identical": interrupted and got == want and resumed.run_id == baseline.run_id,
+        }
+
+    # -- chaos: sweep retries repair injected crashes --------------------
+    expected = [_chaos_probe(i) for i in range(CHAOS_SWEEP_TASKS)]
+    retry_exec = SweepExecutor(
+        backend="thread",
+        jobs=4,
+        retry=RetryPolicy(max_attempts=5, backoff=0.001, max_backoff=0.004),
+        chaos=ChaosPlan(seed=CHAOS_SEED, crash_rate=0.35, fail_attempts=2),
+    )
+    try:
+        retry_results = retry_exec.run(
+            [SweepTask(_chaos_probe, (i,)) for i in range(CHAOS_SWEEP_TASKS)]
+        )
+    finally:
+        retry_exec.close(force=True)
+    sweep_retry_report = {
+        "tasks": CHAOS_SWEEP_TASKS,
+        "correct": retry_results == expected,
+        "retries": retry_exec.stats.retries,
+        "pool_restarts": retry_exec.stats.pool_restarts,
+    }
+
+    # -- chaos: persistent failures quarantine, the rest stay exact ------
+    quarantine_exec = SweepExecutor(
+        backend="thread",
+        jobs=4,
+        retry=RetryPolicy(
+            max_attempts=2, backoff=0.001, quarantine=True, degrade=False
+        ),
+        chaos=ChaosPlan(seed=CHAOS_SEED, crash_rate=0.3, fail_attempts=10**6),
+    )
+    try:
+        quarantine_results = quarantine_exec.run(
+            [SweepTask(_chaos_probe, (i,)) for i in range(CHAOS_SWEEP_TASKS)]
+        )
+    finally:
+        quarantine_exec.close(force=True)
+    from repro.sweep.retry import SweepTaskFailure
+
+    survivors_correct = all(
+        isinstance(got, SweepTaskFailure) or got == expected[i]
+        for i, got in enumerate(quarantine_results)
+    )
+    sweep_quarantine_report = {
+        "tasks": CHAOS_SWEEP_TASKS,
+        "quarantined": quarantine_exec.stats.quarantined,
+        "survivors_correct": survivors_correct,
+    }
+
+    # -- chaos: corrupted cache entries are re-misses, not poison --------
+    with tempfile.TemporaryDirectory(prefix="repro-cache-chaos-") as cache_root:
+        cache_exec = SweepExecutor(
+            backend="serial", cache=SweepCache(cache_root, enabled=True)
+        )
+        tasks = [SweepTask(_chaos_probe, (i,)) for i in range(16)]
+        cache_exec.run(tasks)
+        corrupted = corrupt_cache_entries(cache_root, seed=CHAOS_SEED, fraction=0.5)
+        recovered = cache_exec.run(tasks) == [_chaos_probe(i) for i in range(16)]
+    cache_report = {"corrupted": len(corrupted), "recovered": recovered}
+
+    # -- chaos: the sharded engine under injected shard-worker crashes ---
+    shard_jobs = max(500, num_jobs // 4)
+    shard_machines = XL_MACHINES
+
+    def sharded(chaos=None, retry=None):
+        simulator = FleetSimulator(
+            shard_machines,
+            policy="first-fit",
+            estimator=estimator,
+            compressed=True,
+            admission=admission,
+            shards=XL_SHARDS,
+            shard_backend="thread",
+            shard_retry=retry,
+            shard_chaos=chaos,
+        )
+        result = simulator.run(stream(shard_jobs))
+        return result, simulator.shard_stats
+
+    clean, _ = sharded()
+    # Crash-only plan: an injected crash fires *before* the shard window
+    # executes, so a thread-backend retry re-runs it from clean state.
+    # Only the final drain fans out to workers at this scale (a handful
+    # of tasks), so every task crashes exactly once: the retry counter
+    # is deterministically nonzero and the second attempt always lands.
+    chaotic, shard_stats = sharded(
+        chaos=ChaosPlan(seed=CHAOS_SEED, crash_rate=1.0, fail_attempts=1),
+        retry=RetryPolicy(max_attempts=5, backoff=0.001, max_backoff=0.004),
+    )
+    sharded_report = {
+        "jobs": shard_jobs,
+        "shards": XL_SHARDS,
+        "identical": _digest(clean) == _digest(chaotic),
+        "retries": shard_stats.retries if shard_stats else 0,
+    }
+
+    return {
+        "workload": {
+            "num_jobs": num_jobs,
+            "seed": XXL_SEED,
+            "mean_interarrival": RESILIENCE_INTERARRIVAL,
+            "machines": len(machines),
+            "policy": "first-fit",
+            "queue_limit": RESILIENCE_QUEUE_LIMIT,
+        },
+        "checkpoint_overhead": overhead_report,
+        "kill_resume": kill_resume_report,
+        "chaos": {
+            "sweep_retry": sweep_retry_report,
+            "sweep_quarantine": sweep_quarantine_report,
+            "cache_corruption": cache_report,
+            "sharded": sharded_report,
+        },
+    }
+
+
+def format_resilience_report(report: dict) -> str:
+    overhead = report["checkpoint_overhead"]
+    resume = report["kill_resume"]
+    chaos = report["chaos"]
+    return "\n".join(
+        [
+            f"fleet resilience benchmark — {report['workload']['num_jobs']} jobs "
+            f"streamed over {report['workload']['machines']} machines",
+            f"  checkpoint : warm {overhead['warm_seconds']:.2f}s -> "
+            f"checkpointed {overhead['checkpoint_seconds']:.2f}s "
+            f"({overhead['overhead_ratio']:.3f}x, gate <= {overhead['gate']:g}x, "
+            f"{overhead['snapshots']} snapshots), identical {overhead['identical']}",
+            f"  kill-resume: interrupted at {resume['interrupt_events']} events, "
+            f"byte-identical resume {resume['identical']}",
+            f"  chaos sweep: retry correct {chaos['sweep_retry']['correct']} "
+            f"({chaos['sweep_retry']['retries']} retries), quarantine "
+            f"{chaos['sweep_quarantine']['quarantined']} tasks "
+            f"(survivors correct {chaos['sweep_quarantine']['survivors_correct']}), "
+            f"cache rot recovered {chaos['cache_corruption']['recovered']} "
+            f"({chaos['cache_corruption']['corrupted']} entries)",
+            f"  chaos shard: byte-identical {chaos['sharded']['identical']} "
+            f"({chaos['sharded']['retries']} shard retries over "
+            f"{chaos['sharded']['shards']} shards)",
+        ]
+    )
+
+
+def check_resilience_gates(report: dict) -> list[str]:
+    """The failed-gate messages of one resilience report (empty = pass)."""
+    failures = []
+    overhead = report["checkpoint_overhead"]
+    if not overhead["identical"]:
+        failures.append("resilience: checkpointing perturbed the outcome digest")
+    if overhead["overhead_ratio"] > RESILIENCE_OVERHEAD_GATE:
+        failures.append(
+            f"resilience: checkpoint overhead {overhead['overhead_ratio']:.3f}x "
+            f"exceeds the {RESILIENCE_OVERHEAD_GATE:g}x gate"
+        )
+    if not report["kill_resume"]["identical"]:
+        failures.append(
+            "resilience: kill-and-resume digest diverged from the uninterrupted run"
+        )
+    chaos = report["chaos"]
+    if not chaos["sweep_retry"]["correct"]:
+        failures.append("resilience: chaos sweep results diverged after retries")
+    if chaos["sweep_retry"]["retries"] == 0:
+        failures.append("resilience: chaos plan injected no retries (inert plan?)")
+    if chaos["sweep_quarantine"]["quarantined"] == 0:
+        failures.append("resilience: persistent chaos quarantined nothing")
+    if not chaos["sweep_quarantine"]["survivors_correct"]:
+        failures.append("resilience: quarantine corrupted surviving results")
+    if not chaos["cache_corruption"]["recovered"]:
+        failures.append("resilience: corrupted cache entries poisoned the sweep")
+    if not chaos["sharded"]["identical"]:
+        failures.append(
+            "resilience: sharded outcome diverged under injected shard crashes"
+        )
+    if chaos["sharded"]["retries"] == 0:
+        failures.append("resilience: sharded chaos plan injected no retries")
+    return failures
+
+
 def _record_section(store, name: str, payload: dict) -> None:
     """Record a non-smoke suite's BENCH section under a constant identity.
 
@@ -1182,13 +1563,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("smoke", "large", "xl", "xxl", "faults", "stream", "all"),
+        choices=("smoke", "large", "xl", "xxl", "faults", "stream", "resilience", "all"),
         default="smoke",
         help="smoke: canonical 50-job gates; large: 1,000-job round-"
         "compression speedup gate; xl: 5,000-job compressed smoke; "
         "xxl: 100k-job / 1,000-machine sharded-engine gates; "
         "faults: canonical-fault-plan equivalence gates; stream: "
-        "open-loop overload/admission gates incl. the 1M-job smoke",
+        "open-loop overload/admission gates incl. the 1M-job smoke; "
+        "resilience: checkpoint-overhead, kill-resume and seeded-chaos "
+        "gates (make chaos)",
     )
     parser.add_argument(
         "--shards",
@@ -1205,12 +1588,21 @@ def main(argv: list[str] | None = None) -> int:
         help="print the report without updating BENCH_fleet.json",
     )
     parser.add_argument(
+        "--overhead-probe",
+        choices=("plain-first", "ckpt-first"),
+        default=None,
+        help=argparse.SUPPRESS,  # internal: one fresh-process overhead pair
+    )
+    parser.add_argument(
         "--store",
         default=None,
         metavar="DIR",
         help="record runs into this run store (default: $REPRO_STORE_DIR when set)",
     )
     args = parser.parse_args(argv)
+    if args.overhead_probe is not None:
+        print(json.dumps(_overhead_probe(args.overhead_probe)))
+        return 0
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be at least 1")
     # --store DIR forces recording there; otherwise $REPRO_STORE_DIR (when
@@ -1257,6 +1649,12 @@ def main(argv: list[str] | None = None) -> int:
         failures += check_stream_trend(stream_report)
         payload["streaming"] = stream_report
         _record_section(store, "fleet-stream", {"streaming": stream_report})
+    if args.suite in ("resilience", "all"):
+        resilience_report = run_resilience_benchmark()
+        print(format_resilience_report(resilience_report))
+        failures += check_resilience_gates(resilience_report)
+        payload["resilience"] = resilience_report
+        _record_section(store, "fleet-resilience", {"resilience": resilience_report})
 
     if not args.no_write:
         if failures:

@@ -1,7 +1,9 @@
 """``python -m repro`` — the package-level command line.
 
-One subsystem today: ``python -m repro report ...`` drives the run
-store (:mod:`repro.store.cli`).  The experiments CLI stays at
+Two subsystems today: ``python -m repro report ...`` drives the run
+store (:mod:`repro.store.cli`) and ``python -m repro resume <run_id>``
+restarts an interrupted checkpointed fleet run
+(:mod:`repro.resilience.cli`).  The experiments CLI stays at
 ``python -m repro.experiments``.
 """
 
@@ -12,7 +14,8 @@ import sys
 _USAGE = """usage: python -m repro <command> ...
 
 commands:
-  report   inspect, diff and replay stored runs (see: python -m repro report -h)
+  report   inspect, diff, verify and replay stored runs (see: python -m repro report -h)
+  resume   resume an interrupted checkpointed fleet run (see: python -m repro resume -h)
 """
 
 
@@ -26,6 +29,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.store.cli import main as report_main
 
         return report_main(rest)
+    if command == "resume":
+        from repro.resilience.cli import main as resume_main
+
+        return resume_main(rest)
     print(f"unknown command {command!r}\n\n{_USAGE}", file=sys.stderr, end="")
     return 2
 

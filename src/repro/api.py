@@ -329,7 +329,9 @@ def run_fleet(
     shards: int | None = None,
     fleet_backend: str = "serial",
     faults=None,
+    checkpoint=None,
     store=None,
+    _resume=None,
 ) -> FleetOutcome:
     """Place a stream of training jobs across many zoo machines.
 
@@ -433,7 +435,50 @@ def run_fleet(
         faults=faults,
         admission=admission,
     )
-    result = simulator.run(jobs)
+    fleet_config = _fleet_config(
+        machines=machines,
+        policy_name=getattr(simulator.policy, "name", str(policy)),
+        max_corun=max_corun if max_corun is not None else DEFAULT_MAX_CORUN,
+        compressed=compressed,
+        shards=shards,
+        fleet_backend=fleet_backend,
+        admission=admission,
+        faults=faults,
+        generated_spec=generated_spec,
+        jobs=jobs,
+        arrival_process_cls=ArrivalProcess,
+        replay_cls=ReplayArrivals,
+    )
+    ckpt = None
+    if checkpoint is not None and checkpoint is not False:
+        from repro.resilience.checkpoint import Checkpointer, resolve_checkpoint
+
+        if isinstance(checkpoint, Checkpointer):
+            ckpt = checkpoint
+        else:
+            if fleet_config is None:
+                raise ValueError(
+                    "checkpointing needs a recordable run config; pass a "
+                    "serialisable arrival process (or a generated trace)"
+                )
+            from repro.store.record import run_key
+
+            ckpt = resolve_checkpoint(
+                checkpoint,
+                run_id=run_key("fleet", "run_fleet", fleet_config),
+                manifest={"config": fleet_config},
+            )
+    if ckpt is not None:
+        from repro.resilience.checkpoint import GracefulInterrupt, RunInterrupted
+
+        try:
+            with GracefulInterrupt(ckpt):
+                result = simulator.run(jobs, checkpoint=ckpt, resume_from=_resume)
+        except RunInterrupted as exc:
+            _record_interrupted_fleet(store, fleet_config, exc)
+            raise
+    else:
+        result = simulator.run(jobs, resume_from=_resume)
     outcome = FleetOutcome(
         policy=result.policy_name,
         machines=result.machine_names,
@@ -457,31 +502,16 @@ def run_fleet(
         peak_queue_depth=result.peak_queue_depth,
         wait_percentiles=tuple(sorted(result.wait_percentiles.items())),
     )
-    run_id = _record_fleet_result(
-        store,
-        result,
-        machines=machines,
-        max_corun=max_corun if max_corun is not None else DEFAULT_MAX_CORUN,
-        compressed=compressed,
-        shards=shards,
-        fleet_backend=fleet_backend,
-        admission=admission,
-        faults=faults,
-        generated_spec=generated_spec,
-        jobs=jobs,
-        arrival_process_cls=ArrivalProcess,
-        replay_cls=ReplayArrivals,
-    )
+    run_id = _record_fleet_result(store, result, config=fleet_config)
     if run_id is not None:
         outcome = dataclasses.replace(outcome, run_id=run_id)
     return outcome
 
 
-def _record_fleet_result(
-    store,
-    result,
+def _fleet_config(
     *,
     machines,
+    policy_name,
     max_corun,
     compressed,
     shards,
@@ -492,23 +522,18 @@ def _record_fleet_result(
     jobs,
     arrival_process_cls,
     replay_cls,
-) -> str | None:
-    """Record a fleet run's full history, best-effort.
+):
+    """The canonical (JSON-ready) config dict of one ``run_fleet`` call.
 
-    The payload is the complete :meth:`FleetResult.to_dict` (with
-    overhead); the digest excludes
-    :data:`~repro.fleet.simulator.OVERHEAD_KEYS`, making the stored
-    digest byte-compatible with the benchmark determinism gate.  Spec
-    capture (arrival/fault) is defensive: an unserialisable custom
-    process or plan degrades the stored config, never the run.
+    Built *before* the simulation so checkpointing can derive the run id
+    up front; the run store records the exact same dict afterwards, so a
+    resumed run lands on the same ``run_id`` as its uninterrupted twin.
+    Spec capture (arrival/fault) is defensive: an unserialisable custom
+    process or plan degrades the stored config (returning ``None``
+    disables recording/checkpoint identity), never the run.
     """
-    from repro.store import record_run, resolve_store
-
-    resolved = resolve_store(store)
-    if resolved is None:
-        return None
     from repro.fleet.faults import resolve_fault_plan
-    from repro.fleet.simulator import OVERHEAD_KEYS
+    from repro.store.record import RecordingError, jsonify
 
     arrival_spec = generated_spec
     if arrival_spec is None:
@@ -529,7 +554,7 @@ def _record_fleet_result(
             fault_spec = None
     config = {
         "machines": list(machines),
-        "policy": result.policy_name,
+        "policy": policy_name,
         "max_corun": max_corun,
         "compressed": compressed,
         "admission": admission.to_dict() if admission is not None else None,
@@ -543,6 +568,27 @@ def _record_fleet_result(
     # run_ids are unchanged.
     if shards is not None:
         config["sharding"] = {"shards": shards, "backend": fleet_backend}
+    try:
+        return jsonify(config)
+    except RecordingError:
+        return None
+
+
+def _record_fleet_result(store, result, *, config) -> str | None:
+    """Record a fleet run's full history, best-effort.
+
+    The payload is the complete :meth:`FleetResult.to_dict` (with
+    overhead); the digest excludes
+    :data:`~repro.fleet.simulator.OVERHEAD_KEYS`, making the stored
+    digest byte-compatible with the benchmark determinism gate.
+    """
+    from repro.store import record_run, resolve_store
+
+    resolved = resolve_store(store)
+    if resolved is None or config is None:
+        return None
+    from repro.fleet.simulator import OVERHEAD_KEYS
+
     return record_run(
         resolved,
         "fleet",
@@ -550,4 +596,31 @@ def _record_fleet_result(
         config=config,
         payload=result,
         digest_excludes=OVERHEAD_KEYS,
+    )
+
+
+def _record_interrupted_fleet(store, config, exc) -> str | None:
+    """Best-effort partial record of an interrupted fleet run.
+
+    Marked ``interrupted=True`` in the extras so ``repro report list``
+    can flag it; recorded under the *same* run id as the eventual
+    complete run, so a successful resume simply supersedes the stub
+    (latest record wins).
+    """
+    from repro.store import record_run, resolve_store
+
+    resolved = resolve_store(store)
+    if resolved is None or config is None:
+        return None
+    return record_run(
+        resolved,
+        "fleet",
+        "run_fleet",
+        config=config,
+        payload={
+            "interrupted": True,
+            "events_processed": exc.events,
+            "checkpoint_seq": exc.seq,
+        },
+        extras={"interrupted": True},
     )

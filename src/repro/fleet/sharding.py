@@ -75,11 +75,14 @@ from repro.fleet.simulator import (
     JobCompletion,
     JobFailure,
     JobRejection,
+    _PackCache,
     _QueueDepthLog,
+    _unpack_rows,
 )
 from repro.fleet.state import FleetState, MachineState, Placement
 from repro.sweep.cache import SweepCache
 from repro.sweep.executor import SweepExecutor, SweepTask
+from repro.sweep.retry import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.config import RuntimeConfig
@@ -91,6 +94,13 @@ if TYPE_CHECKING:  # pragma: no cover
 #: heuristic: wide windows cluster, and counting due entries up front
 #: would reintroduce the O(machines) scan the calendars remove).
 FANOUT_MIN_DUE = 64
+
+#: Default fault tolerance of the shard fan-out.  Shard advances are
+#: pure functions of their shipped state, so a crashed or hung worker is
+#: always recoverable: retry twice, then degrade to running the shard in
+#: the parent.  Quarantine stays off — a quarantined shard would *lose*
+#: its machines, which is never an acceptable answer here.
+DEFAULT_SHARD_RETRY = RetryPolicy(max_attempts=3, quarantine=False, degrade=True)
 
 #: Completion record produced inside a shard advance, before the parent
 #: attaches start time and attempt count (which live in parent state):
@@ -427,17 +437,81 @@ def run_sharded(
     #: round boundaries live in the shard calendars.
     events: list[tuple[float, int, int, object]] = []
 
+    arrivals_pulled = 0
+    ckpt = sim._ckpt
+
     def push_next_arrival() -> None:
-        nonlocal seq
+        nonlocal seq, arrivals_pulled
         job = next(stream, None)
         if job is not None:
+            arrivals_pulled += 1
             heapq.heappush(events, (job.arrival_time, _ARRIVAL, seq, job))
             seq += 1
 
-    push_next_arrival()
-    for instant in injector.timeline():
-        heapq.heappush(events, (instant.time, _FAULT, seq, instant))
-        seq += 1
+    placements_pack = _PackCache()
+    completions_pack = _PackCache()
+    if sim._resume_payload is None:
+        push_next_arrival()
+        for instant in injector.timeline():
+            heapq.heappush(events, (instant.time, _FAULT, seq, instant))
+            seq += 1
+    else:
+        # Restore the captured loop state wholesale (the simulator
+        # loops' pattern): the in-flight arrival, pending fault instants
+        # and timers already live in the captured global heap, and the
+        # shard calendars/partition come back as plain data.
+        state = sim._resume_payload["state"]
+        now = state["now"]
+        seq = state["seq"]
+        offered = state["offered"]
+        overhead = state["overhead"]
+        events_processed = state["events_processed"]
+        arrivals_pulled = state["arrivals_pulled"]
+        momentum = state["momentum"]
+        events = state["events"]
+        pending = state["pending"]
+        placements = _unpack_rows(Placement, state["placements"])
+        completions = _unpack_rows(JobCompletion, state["completions"])
+        placements_pack = _PackCache(seed=state["placements"])
+        completions_pack = _PackCache(seed=state["completions"])
+        failures = state["failures"]
+        rejections = state["rejections"]
+        depth_log = state["depth_log"]
+        start_times = state["start_times"]
+        attempts = state["attempts"]
+        remaining_override = state["remaining_override"]
+        machines[:] = state["machines"]
+        by_id.clear()
+        by_id.update((m.machine_id, m) for m in machines)
+        shard_members = state["shard_members"]
+        shard_heaps = state["shard_heaps"]
+        queue_view = None
+
+    def capture() -> dict:
+        return {
+            "mode": "sharded",
+            "now": now,
+            "seq": seq,
+            "offered": offered,
+            "overhead": overhead,
+            "events_processed": events_processed,
+            "arrivals_pulled": arrivals_pulled,
+            "momentum": momentum,
+            "events": events,
+            "pending": pending,
+            "placements": placements_pack.pack(placements),
+            "completions": completions_pack.pack(completions),
+            "failures": failures,
+            "rejections": rejections,
+            "depth_log": depth_log,
+            "start_times": start_times,
+            "attempts": attempts,
+            "remaining_override": remaining_override,
+            "machines": machines,
+            "tracker": fleet_tracker,
+            "shard_members": shard_members,
+            "shard_heaps": shard_heaps,
+        }
 
     def next_seq() -> int:
         nonlocal seq
@@ -449,7 +523,10 @@ def run_sharded(
         nonlocal shard_exec
         if shard_exec is None:
             shard_exec = SweepExecutor(
-                backend=backend, cache=SweepCache(enabled=False)
+                backend=backend,
+                cache=SweepCache(enabled=False),
+                retry=sim.shard_retry or DEFAULT_SHARD_RETRY,
+                chaos=sim.shard_chaos,
             )
         return shard_exec
 
@@ -887,6 +964,13 @@ def run_sharded(
 
     try:
         while True:
+            if ckpt is not None and events_processed >= ckpt._trigger:
+                # Loop tops are fleet-wide sync points here too: every
+                # shard calendar and the global heap are consistent, so
+                # the captured state round-trips exactly.  The inlined
+                # ``_trigger`` guard keeps no-save iterations to one
+                # compare.
+                ckpt.tick(events_processed, capture)
             boundary = shard_peek()
             if not pending:
                 if events:
@@ -915,7 +999,8 @@ def run_sharded(
                     truncate(m)
     finally:
         if shard_exec is not None:
-            shard_exec.close()
+            sim.shard_stats = shard_exec.stats
+            shard_exec.close(force=True)
 
     if pending:
         if any(m.accepting for m in machines):

@@ -98,6 +98,7 @@ import heapq
 import math
 import time as _time
 from dataclasses import dataclass
+from itertools import islice
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.config import RuntimeConfig
@@ -335,6 +336,48 @@ class MachineReport:
             lost_steps=payload.get("lost_steps", 0),
             downtime=payload.get("downtime", 0.0),
         )
+
+
+def _pack_rows(rows: list) -> list[tuple]:
+    """Snapshot form of a homogeneous list of dataclass records.
+
+    Plain field tuples pickle several times faster than dataclass
+    instances, and the placement/completion logs are the two O(jobs)
+    components of a checkpoint — packing them keeps the snapshot cost
+    inside the resilience suite's checkpoint-overhead gate.
+    """
+    return [
+        tuple(getattr(row, name) for name in type(row).__dataclass_fields__)
+        for row in rows
+    ]
+
+
+def _unpack_rows(cls, rows: list) -> list:
+    """Rebuild :func:`_pack_rows` tuples as records (field order = ctor order)."""
+    return [cls(*row) for row in rows]
+
+
+class _PackCache:
+    """Incremental :func:`_pack_rows` over an append-only record list.
+
+    The placement/completion logs only ever grow, so each snapshot packs
+    just the rows appended since the previous one — total packing work
+    per run is O(jobs) regardless of how many snapshots are taken.  The
+    returned list is shared between snapshots; the checkpointer pickles
+    it synchronously inside ``save``, before the next append.
+    """
+
+    __slots__ = ("count", "packed")
+
+    def __init__(self, seed: "list | None" = None) -> None:
+        self.packed: list = list(seed) if seed else []
+        self.count = len(self.packed)
+
+    def pack(self, rows: list) -> list:
+        if self.count < len(rows):
+            self.packed.extend(_pack_rows(rows[self.count :]))
+            self.count = len(rows)
+        return self.packed
 
 
 #: ``to_dict`` keys present only with ``include_overhead=True``: wall
@@ -668,6 +711,8 @@ class FleetSimulator:
         series_window: float = 25.0,
         shards: int | None = None,
         shard_backend: str = "serial",
+        shard_retry: "RetryPolicy | None" = None,
+        shard_chaos: "object | None" = None,
     ) -> None:
         if not machines:
             raise ValueError("a fleet needs at least one machine")
@@ -690,6 +735,15 @@ class FleetSimulator:
             )
         self.shards = shards
         self.shard_backend = shard_backend
+        #: Retry policy for shard fan-out workers (None picks
+        #: :data:`repro.fleet.sharding.DEFAULT_SHARD_RETRY`: shard tasks
+        #: are pure, so crashed/hung workers are always recoverable by a
+        #: local degrade) and an optional chaos plan for them.
+        self.shard_retry = shard_retry
+        self.shard_chaos = shard_chaos
+        #: Executor counters of the last sharded run's fan-out
+        #: (:class:`~repro.sweep.executor.SweepStats`), ``None`` before.
+        self.shard_stats = None
         for name in machines:
             get_machine(name)  # fail fast on dangling zoo names
         self.machine_names = tuple(machines)
@@ -705,11 +759,21 @@ class FleetSimulator:
             self.policy = make_policy(
                 policy, estimator=self.estimator, tracker=self.tracker
             )
+            #: Registered policy name, kept so a checkpoint resume can
+            #: rebuild the policy against the restored tracker (policy
+            #: instances passed directly cannot be resumed).
+            self._policy_spec: str | None = policy
         else:
             self.policy = policy
+            self._policy_spec = None
         #: Tracker state at first run entry (pre-seeded knowledge included);
         #: every later run() resets to it so repeated runs are identical.
         self._tracker_baseline: "InterferenceSnapshot | None" = None
+        #: Per-run checkpoint plumbing, set by run() for the duration of
+        #: the event loop (the loops read them instead of new parameters
+        #: so the three runner signatures stay identical).
+        self._ckpt = None
+        self._resume_payload: dict | None = None
 
     # -- shared run scaffolding ----------------------------------------------------
 
@@ -720,6 +784,10 @@ class FleetSimulator:
         prewarm: bool | str = True,
         faults: "FaultPlan | FaultInjector | dict | str | None" = None,
         admission: "AdmissionController | dict | None" = None,
+        checkpoint: "object | None" = None,
+        run_id: str | None = None,
+        manifest: dict | None = None,
+        resume_from: dict | None = None,
     ) -> FleetResult:
         """Simulate ``jobs`` arriving and running to completion.
 
@@ -743,6 +811,20 @@ class FleetSimulator:
         :class:`~repro.fleet.arrivals.AdmissionController` (each
         overriding the constructor's default); every offered job then
         ends as exactly one completion, failure or rejection.
+
+        ``checkpoint`` enables periodic full-state snapshots (anything
+        :func:`repro.resilience.checkpoint.resolve_checkpoint` accepts:
+        ``True``, an event interval, a config dict/``CheckpointConfig``,
+        or a ready ``Checkpointer``); ``run_id`` names the snapshot
+        directory (required unless a ``Checkpointer`` is passed) and
+        ``manifest`` is an opaque JSON-ready run description stored
+        beside the snapshots so tooling can rebuild the run.  An
+        interrupted checkpointed run raises
+        :class:`~repro.resilience.checkpoint.RunInterrupted` *after*
+        flushing a final snapshot; ``resume_from`` (the payload from
+        ``Checkpointer.open``) restarts the loop from that snapshot and
+        produces a digest byte-identical to the uninterrupted run.
+        ``jobs``/``faults``/``admission`` must match the original run.
         """
         if isinstance(jobs, ArrivalProcess):
             expected = jobs.num_jobs
@@ -760,15 +842,62 @@ class FleetSimulator:
         controller = (
             resolve_admission(admission) if admission is not None else self.admission
         )
-        # Same inputs -> same outcome, even on a reused simulator: the
-        # fleet-wide tracker restarts from its first-run baseline (which
-        # keeps any knowledge the caller pre-seeded), and estimator stats
-        # are reported as per-run deltas.
-        if self._tracker_baseline is None:
-            self._tracker_baseline = self.tracker.snapshot()
+        from repro.resilience.checkpoint import (
+            CheckpointError,
+            Checkpointer,
+            resolve_checkpoint,
+        )
+
+        if resume_from is not None:
+            state = resume_from.get("state")
+            if not isinstance(state, dict):
+                raise CheckpointError("resume payload carries no state dict")
+            expected_mode = (
+                "sharded"
+                if self.shards is not None
+                else ("compressed" if self.compressed else "reference")
+            )
+            if state.get("mode") != expected_mode:
+                raise CheckpointError(
+                    f"checkpoint was written by the {state.get('mode')!r} loop "
+                    f"but this simulator runs the {expected_mode!r} path"
+                )
+            if self._policy_spec is None:
+                raise CheckpointError(
+                    "resume requires a policy constructed from a registered "
+                    "name (policy instances cannot be rebuilt against the "
+                    "restored tracker)"
+                )
+            # The snapshot's tracker object IS the run's fleet tracker
+            # (the machines' seg_records share its history deques);
+            # adopt it and rebuild the policy against it.
+            self.tracker = state["tracker"]
+            self.policy = make_policy(
+                self._policy_spec, estimator=self.estimator, tracker=self.tracker
+            )
+            self._tracker_baseline = None
+            # Re-aim the fresh deterministic stream at the snapshot's
+            # arrival cursor: every job at or before the snapshot is
+            # either done or inside the captured loop state.
+            stream = islice(stream, state["arrivals_pulled"], None)
         else:
-            self.tracker.clear()
-            self.tracker.merge(self._tracker_baseline)
+            # Same inputs -> same outcome, even on a reused simulator: the
+            # fleet-wide tracker restarts from its first-run baseline (which
+            # keeps any knowledge the caller pre-seeded), and estimator stats
+            # are reported as per-run deltas.
+            if self._tracker_baseline is None:
+                self._tracker_baseline = self.tracker.snapshot()
+            else:
+                self.tracker.clear()
+                self.tracker.merge(self._tracker_baseline)
+        if checkpoint is not None and not isinstance(checkpoint, Checkpointer):
+            if checkpoint and run_id is None:
+                raise ValueError(
+                    "checkpoint= requires run_id= (or pass a ready Checkpointer)"
+                )
+            checkpoint = resolve_checkpoint(
+                checkpoint, run_id=run_id or "", manifest=manifest
+            )
         # Policies may memoise pure per-run computations; reset them so a
         # rerun reports the identical estimator traffic.
         clear_memo = getattr(self.policy, "clear_memo", None)
@@ -808,17 +937,23 @@ class FleetSimulator:
             runner = self._run_compressed
         else:
             runner = self._run_reference
-        (
-            completions,
-            placements,
-            failures,
-            rejections,
-            depth_series,
-            offered,
-            overhead,
-            events,
-        ) = runner(stream, machines, injector, controller)
-        return self._assemble_result(
+        self._ckpt = checkpoint
+        self._resume_payload = resume_from
+        try:
+            (
+                completions,
+                placements,
+                failures,
+                rejections,
+                depth_series,
+                offered,
+                overhead,
+                events,
+            ) = runner(stream, machines, injector, controller)
+        finally:
+            self._ckpt = None
+            self._resume_payload = None
+        result = self._assemble_result(
             machines,
             completions,
             placements,
@@ -831,6 +966,11 @@ class FleetSimulator:
             requests_before,
             computed_before,
         )
+        if checkpoint is not None:
+            # The run completed and its result assembled cleanly: the
+            # snapshots have served their purpose.
+            checkpoint.complete()
+        return result
 
     def _assemble_result(
         self,
@@ -950,18 +1090,74 @@ class FleetSimulator:
         #: equal-time arrivals keep their relative push order, so the
         #: outcome is byte-identical to pushing the whole trace up front.
         events: list[tuple[float, int, int, object]] = []
+        arrivals_pulled = 0
+        ckpt = self._ckpt
 
         def push_next_arrival() -> None:
-            nonlocal seq
+            nonlocal seq, arrivals_pulled
             job = next(stream, None)
             if job is not None:
+                arrivals_pulled += 1
                 heapq.heappush(events, (job.arrival_time, _ARRIVAL, seq, job))
                 seq += 1
 
-        push_next_arrival()
-        for instant in injector.timeline():
-            heapq.heappush(events, (instant.time, _FAULT, seq, instant))
-            seq += 1
+        placements_pack = _PackCache()
+        completions_pack = _PackCache()
+        if self._resume_payload is None:
+            push_next_arrival()
+            for instant in injector.timeline():
+                heapq.heappush(events, (instant.time, _FAULT, seq, instant))
+                seq += 1
+        else:
+            # Restore the captured loop state wholesale.  The pending
+            # fault instants, the in-flight arrival and every timer
+            # already live in the captured heap, so the initial pushes
+            # above must not run again.
+            state = self._resume_payload["state"]
+            now = state["now"]
+            seq = state["seq"]
+            offered = state["offered"]
+            overhead = state["overhead"]
+            events_processed = state["events_processed"]
+            arrivals_pulled = state["arrivals_pulled"]
+            events = state["events"]
+            queue = state["queue"]
+            placements = _unpack_rows(Placement, state["placements"])
+            completions = _unpack_rows(JobCompletion, state["completions"])
+            placements_pack = _PackCache(seed=state["placements"])
+            completions_pack = _PackCache(seed=state["completions"])
+            failures = state["failures"]
+            rejections = state["rejections"]
+            depth_log = state["depth_log"]
+            start_times = state["start_times"]
+            attempts = state["attempts"]
+            remaining_override = state["remaining_override"]
+            machines[:] = state["machines"]
+            by_id.clear()
+            by_id.update((m.machine_id, m) for m in machines)
+
+        def capture() -> dict:
+            return {
+                "mode": "reference",
+                "now": now,
+                "seq": seq,
+                "offered": offered,
+                "overhead": overhead,
+                "events_processed": events_processed,
+                "arrivals_pulled": arrivals_pulled,
+                "events": events,
+                "queue": queue,
+                "placements": placements_pack.pack(placements),
+                "completions": completions_pack.pack(completions),
+                "failures": failures,
+                "rejections": rejections,
+                "depth_log": depth_log,
+                "start_times": start_times,
+                "attempts": attempts,
+                "remaining_override": remaining_override,
+                "machines": machines,
+                "tracker": self.tracker,
+            }
 
         def reject(job: Job, reason: str) -> None:
             rejections.append(
@@ -1234,6 +1430,12 @@ class FleetSimulator:
             return restart
 
         while events:
+            if ckpt is not None and events_processed >= ckpt._trigger:
+                # Every loop top is a sync point: all state is between
+                # events here, so a snapshot (or an interruption) is
+                # always resumable.  The inlined ``_trigger`` guard
+                # keeps the common no-save iteration to one compare.
+                ckpt.tick(events_processed, capture)
             event_time, kind, _, payload = heapq.heappop(events)
             now = event_time
             if kind == _ARRIVAL:
@@ -1353,18 +1555,76 @@ class FleetSimulator:
         #: Lazy arrival pull — see _run_reference: one future arrival in
         #: the heap, byte-identical to pushing the trace up front.
         events: list[tuple[float, int, int, object]] = []
+        arrivals_pulled = 0
+        ckpt = self._ckpt
 
         def push_next_arrival() -> None:
-            nonlocal seq
+            nonlocal seq, arrivals_pulled
             job = next(stream, None)
             if job is not None:
+                arrivals_pulled += 1
                 heapq.heappush(events, (job.arrival_time, _ARRIVAL, seq, job))
                 seq += 1
 
-        push_next_arrival()
-        for instant in injector.timeline():
-            heapq.heappush(events, (instant.time, _FAULT, seq, instant))
-            seq += 1
+        placements_pack = _PackCache()
+        completions_pack = _PackCache()
+        if self._resume_payload is None:
+            push_next_arrival()
+            for instant in injector.timeline():
+                heapq.heappush(events, (instant.time, _FAULT, seq, instant))
+                seq += 1
+        else:
+            # Restore the captured loop state wholesale (see
+            # _run_reference).  Machines, tracker and heap were pickled
+            # as ONE payload, so the seg_records' live references into
+            # the machine-local and fleet-wide interference history
+            # deques are still shared after the round-trip.
+            state = self._resume_payload["state"]
+            now = state["now"]
+            seq = state["seq"]
+            offered = state["offered"]
+            overhead = state["overhead"]
+            events_processed = state["events_processed"]
+            arrivals_pulled = state["arrivals_pulled"]
+            events = state["events"]
+            pending = state["pending"]
+            placements = _unpack_rows(Placement, state["placements"])
+            completions = _unpack_rows(JobCompletion, state["completions"])
+            placements_pack = _PackCache(seed=state["placements"])
+            completions_pack = _PackCache(seed=state["completions"])
+            failures = state["failures"]
+            rejections = state["rejections"]
+            depth_log = state["depth_log"]
+            start_times = state["start_times"]
+            attempts = state["attempts"]
+            remaining_override = state["remaining_override"]
+            machines[:] = state["machines"]
+            by_id.clear()
+            by_id.update((m.machine_id, m) for m in machines)
+            queue_view = None
+
+        def capture() -> dict:
+            return {
+                "mode": "compressed",
+                "now": now,
+                "seq": seq,
+                "offered": offered,
+                "overhead": overhead,
+                "events_processed": events_processed,
+                "arrivals_pulled": arrivals_pulled,
+                "events": events,
+                "pending": pending,
+                "placements": placements_pack.pack(placements),
+                "completions": completions_pack.pack(completions),
+                "failures": failures,
+                "rejections": rejections,
+                "depth_log": depth_log,
+                "start_times": start_times,
+                "attempts": attempts,
+                "remaining_override": remaining_override,
+                "machines": machines,
+                "tracker": self.tracker,
+            }
 
         def next_seq() -> int:
             nonlocal seq
@@ -1804,6 +2064,12 @@ class FleetSimulator:
             return restart
 
         while events:
+            if ckpt is not None and events_processed >= ckpt._trigger:
+                # Loop tops are sync points: all boundaries due strictly
+                # before the previous event are flushed, so the captured
+                # state round-trips exactly.  The inlined ``_trigger``
+                # guard keeps the common no-save iteration to one compare.
+                ckpt.tick(events_processed, capture)
             event_time, kind, event_seq, payload = heapq.heappop(events)
             now = event_time
             if kind == _ARRIVAL:

@@ -1,0 +1,84 @@
+"""``python -m repro resume`` — restart an interrupted fleet run.
+
+Thin argparse shell around :func:`repro.resilience.resume.resume_fleet`;
+exit codes follow the report CLI's convention (0 success, 2 usage/not
+found, 130 interrupted again).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    RunInterrupted,
+    list_checkpoint_runs,
+)
+from repro.resilience.resume import resume_fleet
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro resume",
+        description="Resume an interrupted checkpointed fleet run.",
+    )
+    parser.add_argument(
+        "run",
+        nargs="?",
+        help="checkpointed run id (a unique prefix of >= 4 chars is enough); "
+        "omit to list resumable runs",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="checkpoint root directory (default: $REPRO_CHECKPOINT_DIR or .checkpoints)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="run-store directory the completed run records into "
+        "(default: $REPRO_STORE_DIR when set)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the outcome as JSON"
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.run is None:
+        runs = list_checkpoint_runs(args.root)
+        if not runs:
+            print("no checkpointed runs found")
+            return 0
+        for run_id in runs:
+            print(run_id)
+        return 0
+    try:
+        outcome = resume_fleet(args.run, root=args.root, store=args.store)
+    except RunInterrupted as exc:
+        print(str(exc), file=sys.stderr)
+        return 130
+    except (CheckpointError, KeyError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    body = dataclasses.asdict(outcome)
+    if args.json:
+        print(json.dumps(body, indent=2, sort_keys=True, default=str))
+        return 0
+    print(
+        f"resumed run complete: policy={outcome.policy} jobs={outcome.num_jobs} "
+        f"makespan={outcome.makespan:.3f} events={outcome.events_processed}"
+    )
+    if outcome.run_id:
+        print(f"recorded as {outcome.run_id[:12]} (repro report show {outcome.run_id[:12]})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

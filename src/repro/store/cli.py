@@ -3,12 +3,14 @@
 Subcommands over a :class:`~repro.store.store.RunStore` (default
 ``.run_store``, or ``$REPRO_STORE_DIR``):
 
-* ``list``  — every stored run, oldest first
-* ``show``  — one run by id prefix (``--payload`` for the full history)
-* ``diff``  — config + metric delta and digest match between two runs
-* ``table`` — policy-comparison table replayed from stored histories
-* ``bench`` — regenerate a committed ``BENCH_*.json`` section from the
+* ``list``   — every stored run, oldest first
+* ``show``   — one run by id prefix (``--payload`` for the full history)
+* ``diff``   — config + metric delta and digest match between two runs
+* ``table``  — policy-comparison table replayed from stored histories
+* ``bench``  — regenerate a committed ``BENCH_*.json`` section from the
   store (``--check`` compares instead of writing and exits 1 on drift)
+* ``verify`` — walk the store, re-hash every payload; report corrupt/
+  tampered entries, ``--heal`` to unlink them in bulk
 
 Everything renders from stored payloads; no subcommand ever invokes the
 simulator.  Exit codes: 0 ok, 1 drift/integrity findings, 2 bad usage
@@ -91,6 +93,26 @@ def _cmd_bench(store: RunStore, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(store: RunStore, args: argparse.Namespace) -> int:
+    report = store.verify(heal=args.heal)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(
+            f"{report['root']}: {report['entries']} entr"
+            f"{'y' if report['entries'] == 1 else 'ies'}, "
+            f"{report['intact']} intact, {len(report['corrupt'])} corrupt, "
+            f"{len(report['tampered'])} tampered"
+        )
+        for bucket in ("corrupt", "tampered"):
+            for run_id in report[bucket]:
+                healed = " (removed)" if run_id in report["healed"] else ""
+                print(f"  {bucket}: {run_id[:12]}{healed}")
+    findings = report["corrupt"] + report["tampered"]
+    unhealed = [run_id for run_id in findings if run_id not in report["healed"]]
+    return 1 if unhealed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument(
@@ -148,6 +170,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare instead of writing; exit 1 on drift",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_verify = sub.add_parser(
+        "verify",
+        parents=[common],
+        help="re-hash every stored payload; report or heal bad entries",
+    )
+    p_verify.add_argument(
+        "--heal",
+        action="store_true",
+        help="unlink corrupt and tampered entries instead of only reporting",
+    )
+    p_verify.add_argument("--json", action="store_true", help="emit JSON")
+    p_verify.set_defaults(func=_cmd_verify)
     return parser
 
 

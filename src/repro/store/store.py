@@ -178,6 +178,54 @@ class RunStore:
         records = self.list_runs(kind=kind, name=name)
         return records[-1] if records else None
 
+    def verify(self, *, heal: bool = False) -> dict:
+        """Walk every entry, re-hash payloads, report (optionally heal).
+
+        Each entry lands in exactly one bucket: ``intact`` (readable and
+        the payload re-hashes to the recorded digest), ``corrupt``
+        (unreadable pickle / not a :class:`~repro.store.record.RunRecord`
+        — a torn write), or ``tampered`` (readable but the digest does
+        not match — bytes changed after recording).  With ``heal=True``
+        both failure buckets are unlinked, matching :meth:`get`'s
+        self-heal behaviour but in bulk; without it nothing is touched,
+        so the report is safe to run against a store under suspicion.
+        """
+        intact = 0
+        corrupt: list[str] = []
+        tampered: list[str] = []
+        healed: list[str] = []
+        for path in list(self._entries()):
+            run_id = path.stem
+            record = None
+            try:
+                with path.open("rb") as handle:
+                    loaded = pickle.load(handle)
+                if isinstance(loaded, RunRecord):
+                    record = loaded
+            except Exception:
+                record = None
+            if record is None:
+                corrupt.append(run_id)
+            elif not record.intact:
+                tampered.append(run_id)
+            else:
+                intact += 1
+                continue
+            if heal:
+                try:
+                    path.unlink()
+                    healed.append(run_id)
+                except OSError:
+                    pass
+        return {
+            "root": str(self.root),
+            "entries": intact + len(corrupt) + len(tampered),
+            "intact": intact,
+            "corrupt": sorted(corrupt),
+            "tampered": sorted(tampered),
+            "healed": sorted(healed),
+        }
+
     def __len__(self) -> int:
         return sum(1 for _ in self._entries())
 

@@ -1,0 +1,115 @@
+"""Retry/backoff policy and failure records for the sweep engine.
+
+The executor's fault tolerance is configured by one frozen value — a
+:class:`RetryPolicy` — so a sweep's behaviour under worker crashes,
+hangs and poison tasks is as declarative (and as reproducible) as a
+:class:`~repro.fleet.faults.FaultPlan` is for the simulated fleet.
+Backoff jitter is *seeded*: the same policy produces the same delay
+sequence, keeping chaos-suite wall times and retry traces reproducible.
+
+The module lives in ``repro.sweep`` (stdlib-only, no fleet imports) so
+the executor can depend on it without a layering cycle;
+``repro.resilience`` re-exports it as part of the resilience surface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+
+def _fraction(*parts: object) -> float:
+    """A deterministic uniform-ish fraction in [0, 1) from hashed parts."""
+    text = "\x1f".join(repr(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the sweep executor treats failing, hung and poison tasks.
+
+    Parameters
+    ----------
+    max_attempts:
+        Pool executions per task before it is exhausted (1 = the seed
+        behaviour: first failure propagates).
+    timeout:
+        Per-task wall-clock budget in seconds, measured while the
+        parent waits on the task's future; ``None`` waits forever.  A
+        timed-out process pool is force-closed (the hung child reaped)
+        and its other in-flight tasks resubmitted.
+    backoff / max_backoff / jitter / seed:
+        Exponential backoff between retry rounds:
+        ``min(backoff * 2**(round-1), max_backoff)`` seconds, scaled by
+        ``1 + jitter * u`` where ``u`` is a seeded deterministic
+        fraction — reproducible delays, no thundering resubmits.
+    quarantine:
+        After exhaustion (and a failed local degrade), record the task
+        as a :class:`SweepTaskFailure` in its result slot and keep
+        going, instead of sinking the whole sweep.
+    degrade:
+        After pool-side exhaustion, run the task once locally in the
+        parent (serial) before giving up — a crashed or hung *backend*
+        then costs latency, never a result.  Repeated pool failures
+        also degrade the backend itself: process → thread → serial.
+    heartbeat:
+        Liveness-probe interval, in seconds, while waiting on a future
+        under a ``timeout`` (the granularity of hang detection).
+    """
+
+    max_attempts: int = 3
+    timeout: float | None = None
+    backoff: float = 0.05
+    max_backoff: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    quarantine: bool = False
+    degrade: bool = True
+    heartbeat: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.timeout is not None and (
+            not math.isfinite(self.timeout) or self.timeout <= 0
+        ):
+            raise ValueError(f"timeout must be positive, got {self.timeout!r}")
+        if self.backoff < 0 or self.max_backoff < 0 or self.jitter < 0:
+            raise ValueError("backoff, max_backoff and jitter must be >= 0")
+        if self.heartbeat <= 0:
+            raise ValueError("heartbeat must be positive")
+
+    def delay(self, round_index: int) -> float:
+        """Seeded backoff delay before retry round ``round_index`` (1-based)."""
+        base = min(self.backoff * (2 ** max(round_index - 1, 0)), self.max_backoff)
+        if base <= 0 or self.jitter <= 0:
+            return base
+        return base * (1.0 + self.jitter * _fraction(self.seed, round_index))
+
+
+#: The seed executor's semantics as a policy: one attempt, no timeout,
+#: first failure propagates.  Used when no RetryPolicy is configured.
+SINGLE_ATTEMPT = RetryPolicy(
+    max_attempts=1, timeout=None, backoff=0.0, jitter=0.0,
+    quarantine=False, degrade=False,
+)
+
+
+@dataclass(frozen=True)
+class SweepTaskFailure:
+    """A quarantined task's result slot: what failed, how, how often.
+
+    Lands in the executor's input-ordered result list in place of the
+    task's value, so a sweep under quarantine still returns one entry
+    per task, in submission order.
+    """
+
+    index: int
+    error: str
+    attempts: int
+    kind: str  # "exception" | "timeout" | "crash"
+
+    def __bool__(self) -> bool:
+        return False

@@ -6,4 +6,4 @@ entry on this string, so a bump is what invalidates stale on-disk
 results.
 """
 
-__version__ = "0.9.0"
+__version__ = "0.10.0"

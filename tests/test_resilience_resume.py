@@ -1,0 +1,154 @@
+"""Kill-and-resume gates: an interrupted run, resumed, must produce a
+store digest byte-identical to its uninterrupted twin — across loop
+modes, policies, faults and admission, including chained interrupts."""
+
+import pytest
+
+from repro.api import run_fleet
+from repro.resilience import RunInterrupted, list_checkpoint_runs
+from repro.resilience.resume import resume_fleet
+from repro.store import RunStore
+
+@pytest.fixture(scope="module", autouse=True)
+def shared_estimate_cache(tmp_path_factory):
+    """One on-disk estimate cache for every run in this module.
+
+    The matrix replays the same workload dozens of times; without a
+    shared cache each run_fleet call recomputes the whole co-run
+    estimate table cold, which dominates the module's wall time.  The
+    cache is value-identical (estimates are pure functions), so digests
+    are unaffected — the determinism assertions below prove it.
+    """
+    from repro.sweep import executor as sweep_executor
+
+    previous = sweep_executor._default_executor
+    sweep_executor.configure(
+        cache_dir=tmp_path_factory.mktemp("estimates"), cache_enabled=True
+    )
+    yield
+    sweep_executor._default_executor = previous
+
+
+#: A small-but-busy stream: faults + admission shedding keep every
+#: recovery path (requeue, reject, deadline shed) inside the window.
+WORKLOAD = dict(
+    num_jobs=100,
+    arrival_seed=11,
+    mean_interarrival=0.05,
+    faults="rolling-churn",
+    queue_limit=25,
+    deadline=35.0,
+)
+
+MODES = {
+    "reference": dict(compressed=False),
+    "compressed": dict(compressed=True),
+    "sharded": dict(compressed=True, shards=2, fleet_backend="thread"),
+}
+
+
+def run_pair(tmp_path, *, policy, mode, interrupt_fraction=0.5):
+    """Baseline run, interrupted twin, resumed — returns both digests."""
+    store = RunStore(tmp_path / "store")
+    root = tmp_path / "ck"
+    kw = dict(WORKLOAD, policy=policy, store=store, **MODES[mode])
+    baseline = run_fleet(**kw)
+    want = store.load(baseline.run_id).digest
+    interrupt_at = max(1, int(baseline.events_processed * interrupt_fraction))
+    with pytest.raises(RunInterrupted) as excinfo:
+        run_fleet(
+            **kw,
+            checkpoint={"interval": 50, "root": root, "interrupt_after": interrupt_at},
+        )
+    assert excinfo.value.run_id == baseline.run_id
+    resumed = resume_fleet(baseline.run_id, root=root, store=store)
+    assert resumed.run_id == baseline.run_id
+    return want, store.load(resumed.run_id).digest
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+@pytest.mark.parametrize(
+    "policy", ["first-fit", "interference-aware", "load-balanced"]
+)
+def test_resume_is_byte_identical(tmp_path, policy, mode):
+    want, got = run_pair(tmp_path, policy=policy, mode=mode)
+    assert got == want
+
+
+def test_double_interrupt_chained_resume(tmp_path):
+    """Interrupt at 1/3, resume, interrupt again at 2/3, resume to the end."""
+    store = RunStore(tmp_path / "store")
+    root = tmp_path / "ck"
+    kw = dict(WORKLOAD, policy="interference-aware", store=store, compressed=True)
+    baseline = run_fleet(**kw)
+    want = store.load(baseline.run_id).digest
+    total = baseline.events_processed
+    with pytest.raises(RunInterrupted):
+        run_fleet(
+            **kw,
+            checkpoint={"interval": 40, "root": root, "interrupt_after": total // 3},
+        )
+    with pytest.raises(RunInterrupted):
+        resume_fleet(
+            baseline.run_id,
+            root=root,
+            store=store,
+            checkpoint={"interval": 40, "interrupt_after": 2 * total // 3},
+        )
+    resumed = resume_fleet(baseline.run_id, root=root, store=store)
+    assert store.load(resumed.run_id).digest == want
+
+
+def test_completed_run_drops_its_checkpoints(tmp_path):
+    root = tmp_path / "ck"
+    run_fleet(
+        num_jobs=40,
+        arrival_seed=3,
+        checkpoint={"interval": 25, "root": root},
+    )
+    assert list_checkpoint_runs(root) == ()
+
+
+def test_resume_unknown_run_fails_cleanly(tmp_path):
+    with pytest.raises(KeyError):
+        resume_fleet("feedface", root=tmp_path / "empty")
+
+
+class TestResumeCLI:
+    def run_cli(self, argv, capsys):
+        from repro.__main__ import main
+
+        code = main(["resume", *argv])
+        return code, capsys.readouterr().out
+
+    def test_lists_resumable_runs(self, tmp_path, capsys):
+        root = tmp_path / "ck"
+        kw = dict(WORKLOAD, policy="first-fit", store=RunStore(tmp_path / "s"))
+        baseline = run_fleet(**kw)
+        with pytest.raises(RunInterrupted):
+            run_fleet(
+                **kw,
+                checkpoint={
+                    "interval": 50,
+                    "root": root,
+                    "interrupt_after": baseline.events_processed // 2,
+                },
+            )
+        code, out = self.run_cli(["--root", str(root)], capsys)
+        assert code == 0
+        assert baseline.run_id in out
+
+        code, out = self.run_cli(
+            [baseline.run_id[:8], "--root", str(root), "--store", str(tmp_path / "s")],
+            capsys,
+        )
+        assert code == 0
+        assert baseline.run_id[:12] in out
+        # The run completed: nothing left to resume.
+        assert list_checkpoint_runs(root) == ()
+
+    def test_unknown_run_exits_2(self, tmp_path, capsys):
+        code, _ = self.run_cli(
+            ["feedface", "--root", str(tmp_path / "none")], capsys
+        )
+        assert code == 2

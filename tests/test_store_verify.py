@@ -1,0 +1,95 @@
+"""`python -m repro report verify`: bulk re-hash of stored payloads,
+with --heal unlinking corrupt/tampered entries the way get() would."""
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+from repro.api import run_fleet
+from repro.store import RunStore
+from repro.store.cli import main as report_main
+
+
+@pytest.fixture(scope="module", autouse=True)
+def shared_estimate_cache(tmp_path_factory):
+    """Share one estimate cache across this module's run_fleet calls
+    (estimates are pure; only the first run computes them cold)."""
+    from repro.sweep import executor as sweep_executor
+
+    previous = sweep_executor._default_executor
+    sweep_executor.configure(
+        cache_dir=tmp_path_factory.mktemp("estimates"), cache_enabled=True
+    )
+    yield
+    sweep_executor._default_executor = previous
+
+
+@pytest.fixture()
+def populated(tmp_path):
+    store = RunStore(tmp_path)
+    ids = [
+        run_fleet(num_jobs=6, arrival_seed=seed, store=store).run_id
+        for seed in range(3)
+    ]
+    return store, ids
+
+
+def rot(store, run_id):
+    store._path(run_id).write_bytes(b"\xba\xdf\x00\x0d")
+
+
+def tamper(store, run_id):
+    path = store._path(run_id)
+    record = pickle.loads(path.read_bytes())
+    doctored = dataclasses.replace(
+        record, payload={**record.payload, "makespan": -1.0}
+    )
+    path.write_bytes(pickle.dumps(doctored))
+
+
+class TestStoreVerify:
+    def test_clean_store(self, populated):
+        store, ids = populated
+        report = store.verify()
+        assert report["intact"] == len(ids)
+        assert report["corrupt"] == report["tampered"] == report["healed"] == []
+
+    def test_buckets_and_heal(self, populated):
+        store, ids = populated
+        rot(store, ids[0])
+        tamper(store, ids[1])
+        report = store.verify()
+        assert report["corrupt"] == [ids[0]]
+        assert report["tampered"] == [ids[1]]
+        assert report["intact"] == 1
+        assert report["healed"] == []  # dry by default: nothing touched
+        assert store._path(ids[0]).exists()
+
+        healed = store.verify(heal=True)
+        assert sorted(healed["healed"]) == sorted(ids[:2])
+        assert not store._path(ids[0]).exists()
+        assert not store._path(ids[1]).exists()
+        assert store.verify()["intact"] == 1  # the survivor is untouched
+
+
+class TestVerifyCLI:
+    def cli(self, tmp_path, *argv):
+        return report_main(["verify", "--store", str(tmp_path), *argv])
+
+    def test_clean_exit_zero(self, populated, tmp_path, capsys):
+        code = self.cli(tmp_path, "--json")
+        out = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert out["intact"] == 3
+
+    def test_bad_entries_exit_one_until_healed(self, populated, tmp_path, capsys):
+        store, ids = populated
+        rot(store, ids[0])
+        assert self.cli(tmp_path) == 1
+        out = capsys.readouterr().out
+        assert ids[0][:12] in out
+
+        assert self.cli(tmp_path, "--heal") == 0  # healed: nothing unresolved
+        assert self.cli(tmp_path) == 0
